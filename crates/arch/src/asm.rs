@@ -1,0 +1,422 @@
+//! A text assembler: parses the disassembler's output format back into a
+//! [`Program`], so hand-written or externally generated assembly can be
+//! analysed directly (`cinderella analyze prog.s`).
+//!
+//! Accepted syntax, one item per line (`;` and `#` start comments):
+//!
+//! ```text
+//! .entry main                       ; optional, defaults to the first function
+//! .global buf @0 words=4 init = 1 2 3
+//! main: frame=2 params=1            ; frame/params optional
+//!      0: ldc   r8, 5               ; the "N:" index prefix is optional
+//!         add   r8, r8, r9
+//!         ld    r8, [fp+1]
+//!         st    r8, [sp-2]
+//!         br.ne r8, 0, @6
+//!         jmp   @0
+//!         call  helper
+//!         ret
+//! ```
+//!
+//! Branch targets are `@index` within the current function, exactly as the
+//! disassembler prints them.
+
+use crate::instr::{AluOp, Cond, Instr, Operand};
+use crate::program::{FuncId, Function, Global, Program, ValidateError};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the text assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Syntax error with the 1-based line.
+    Syntax { line: usize, message: String },
+    /// The assembled program failed validation.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::Invalid(e) => write!(f, "assembled program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn syntax(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Syntax { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    match tok {
+        "zero" => Ok(Reg::ZERO),
+        "sp" => Ok(Reg::SP),
+        "fp" => Ok(Reg::FP),
+        "rv" => Ok(Reg::RV),
+        _ => {
+            let n: u8 = tok
+                .strip_prefix('r')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| syntax(line, format!("bad register {tok}")))?;
+            Reg::new(n).ok_or_else(|| syntax(line, format!("register {tok} out of range")))
+        }
+    }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    if let Ok(imm) = tok.parse::<i32>() {
+        Ok(Operand::Imm(imm))
+    } else {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    }
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<usize, AsmError> {
+    tok.strip_prefix('@')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| syntax(line, format!("bad branch target {tok} (expected @index)")))
+}
+
+/// `[fp+4]` / `[r9-2]` / `[zero+0]` → `(base, offset)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| syntax(line, format!("bad memory operand {tok}")))?;
+    let split = inner
+        .find(['+', '-'])
+        .ok_or_else(|| syntax(line, format!("bad memory operand {tok}")))?;
+    let base = parse_reg(&inner[..split], line)?;
+    let offset: i32 = inner[split..]
+        .parse()
+        .map_err(|_| syntax(line, format!("bad offset in {tok}")))?;
+    Ok((base, offset))
+}
+
+/// Splits an instruction line into mnemonic + comma/space-separated
+/// operand tokens, dropping an optional leading `N:` index.
+fn instruction_tokens(text: &str) -> Vec<String> {
+    let mut toks: Vec<String> = text
+        .replace(',', " ")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    if toks
+        .first()
+        .map(|t| t.ends_with(':') && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit()))
+        .unwrap_or(false)
+    {
+        toks.remove(0);
+    }
+    toks
+}
+
+/// Parses assembly text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError::Syntax`] with the offending line, or
+/// [`AsmError::Invalid`] if the assembled program fails
+/// [`Program::validate`] (dangling targets, unknown callees, …).
+pub fn parse_program(text: &str) -> Result<Program, AsmError> {
+    // Pass 1: function names in order (for call resolution).
+    let mut names: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('.') {
+            continue;
+        }
+        let first = line.split_whitespace().next().unwrap_or("");
+        if let Some(name) = first.strip_suffix(':') {
+            if !name.chars().all(|c| c.is_ascii_digit()) && !name.is_empty() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    let ids: HashMap<&str, FuncId> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), FuncId(i)))
+        .collect();
+
+    // Pass 2: build everything.
+    let mut globals: Vec<Global> = Vec::new();
+    let mut functions: Vec<Function> = Vec::new();
+    let mut current: Option<Function> = None;
+    let mut entry: Option<FuncId> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix(".entry") {
+            let name = rest.trim();
+            entry = Some(
+                *ids.get(name)
+                    .ok_or_else(|| syntax(line, format!("unknown entry function {name}")))?,
+            );
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".global") {
+            // .global name @addr words=N [init = v1 v2 ...]
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() < 3 {
+                return Err(syntax(line, ".global needs: name @addr words=N"));
+            }
+            let name = toks[0].to_string();
+            let addr: u32 = toks[1]
+                .strip_prefix('@')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| syntax(line, format!("bad address {}", toks[1])))?;
+            let words: u32 = toks[2]
+                .strip_prefix("words=")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| syntax(line, format!("bad size {}", toks[2])))?;
+            let mut init = Vec::new();
+            if toks.len() > 3 {
+                if toks[3] != "init" && toks[3] != "init=" {
+                    return Err(syntax(line, format!("unexpected {}", toks[3])));
+                }
+                for t in &toks[4.min(toks.len())..] {
+                    let t = t.trim_start_matches('=');
+                    if t.is_empty() {
+                        continue;
+                    }
+                    init.push(
+                        t.parse::<i32>()
+                            .map_err(|_| syntax(line, format!("bad initializer {t}")))?,
+                    );
+                }
+            }
+            globals.push(Global { name, addr, words, init });
+            continue;
+        }
+
+        let first = text.split_whitespace().next().unwrap_or("");
+        if let Some(name) = first.strip_suffix(':') {
+            if !name.chars().all(|c| c.is_ascii_digit()) {
+                // New function header: name: [frame=N] [params=N]
+                if let Some(f) = current.take() {
+                    functions.push(f);
+                }
+                let mut f = Function::new(name);
+                for t in text.split_whitespace().skip(1) {
+                    if let Some(v) = t.strip_prefix("frame=") {
+                        f.frame_words = v
+                            .parse()
+                            .map_err(|_| syntax(line, format!("bad frame size {v}")))?;
+                    } else if let Some(v) = t.strip_prefix("params=") {
+                        f.num_params = v
+                            .parse()
+                            .map_err(|_| syntax(line, format!("bad param count {v}")))?;
+                    } else {
+                        return Err(syntax(line, format!("unexpected token {t}")));
+                    }
+                }
+                current = Some(f);
+                continue;
+            }
+        }
+
+        // An instruction line.
+        let f = current
+            .as_mut()
+            .ok_or_else(|| syntax(line, "instruction outside a function"))?;
+        let toks = instruction_tokens(text);
+        if toks.is_empty() {
+            continue;
+        }
+        let argc = toks.len() - 1;
+        let need = |n: usize| -> Result<(), AsmError> {
+            if argc == n {
+                Ok(())
+            } else {
+                Err(syntax(line, format!("{} expects {n} operands, found {argc}", toks[0])))
+            }
+        };
+        let ins = match toks[0].as_str() {
+            "mov" => {
+                need(2)?;
+                Instr::Mov { dst: parse_reg(&toks[1], line)?, src: parse_reg(&toks[2], line)? }
+            }
+            "ldc" => {
+                need(2)?;
+                Instr::Ldc {
+                    dst: parse_reg(&toks[1], line)?,
+                    imm: toks[2]
+                        .parse()
+                        .map_err(|_| syntax(line, format!("bad immediate {}", toks[2])))?,
+                }
+            }
+            "ld" => {
+                need(2)?;
+                let (base, offset) = parse_mem(&toks[2], line)?;
+                Instr::Ld { dst: parse_reg(&toks[1], line)?, base, offset }
+            }
+            "st" => {
+                need(2)?;
+                let (base, offset) = parse_mem(&toks[2], line)?;
+                Instr::St { src: parse_reg(&toks[1], line)?, base, offset }
+            }
+            "jmp" => {
+                need(1)?;
+                Instr::Jmp { target: parse_target(&toks[1], line)? }
+            }
+            "call" => {
+                need(1)?;
+                let callee = *ids
+                    .get(toks[1].as_str())
+                    .ok_or_else(|| syntax(line, format!("unknown function {}", toks[1])))?;
+                Instr::Call { func: callee }
+            }
+            "ret" => {
+                need(0)?;
+                Instr::Ret
+            }
+            "nop" => {
+                need(0)?;
+                Instr::Nop
+            }
+            mnemonic if mnemonic.starts_with("br.") => {
+                need(3)?;
+                let cond = Cond::ALL
+                    .into_iter()
+                    .find(|c| c.mnemonic() == &mnemonic[3..])
+                    .ok_or_else(|| syntax(line, format!("bad condition {mnemonic}")))?;
+                Instr::Br {
+                    cond,
+                    a: parse_reg(&toks[1], line)?,
+                    b: parse_operand(&toks[2], line)?,
+                    target: parse_target(&toks[3], line)?,
+                }
+            }
+            mnemonic => {
+                let op = AluOp::ALL
+                    .into_iter()
+                    .find(|o| o.mnemonic() == mnemonic)
+                    .ok_or_else(|| syntax(line, format!("unknown mnemonic {mnemonic}")))?;
+                need(3)?;
+                Instr::Alu {
+                    op,
+                    dst: parse_reg(&toks[1], line)?,
+                    a: parse_reg(&toks[2], line)?,
+                    b: parse_operand(&toks[3], line)?,
+                }
+            }
+        };
+        f.instrs.push(ins);
+        f.src_lines.push(line as u32);
+    }
+    if let Some(f) = current.take() {
+        functions.push(f);
+    }
+
+    let entry = entry.unwrap_or(FuncId(0));
+    Program::new(functions, globals, entry).map_err(AsmError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_small_program() {
+        let p = parse_program(
+            "
+            ; a tiny loop
+            .global buf @0 words=4 init = 1 2 3
+            .entry main
+            helper: frame=1 params=1
+                mov  rv, r4
+                ret
+            main:
+                 0: ldc   r8, 0
+                 1: br.ge r8, 3, @5
+                 2: add   r8, r8, 1
+                 3: call  helper
+                 4: jmp   @1
+                 5: ret
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.entry_function().name, "main");
+        assert_eq!(p.functions[0].frame_words, 1);
+        assert_eq!(p.functions[0].num_params, 1);
+        assert_eq!(p.global_by_name("buf").unwrap().init, vec![1, 2, 3]);
+        assert_eq!(p.functions[1].instrs.len(), 6);
+        assert!(matches!(p.functions[1].instrs[3], Instr::Call { func: FuncId(0) }));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = parse_program("f:\n ld r8, [fp+4]\n st r8, [sp-2]\n ld r9, [zero+7]\n ret\n")
+            .unwrap();
+        assert_eq!(p.functions[0].instrs[0], Instr::Ld { dst: Reg::T0, base: Reg::FP, offset: 4 });
+        assert_eq!(
+            p.functions[0].instrs[1],
+            Instr::St { src: Reg::T0, base: Reg::SP, offset: -2 }
+        );
+        assert_eq!(
+            p.functions[0].instrs[2],
+            Instr::Ld { dst: Reg::temp(1), base: Reg::ZERO, offset: 7 }
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse_program("f:\n bogus r1\n ret\n").unwrap_err();
+        assert!(matches!(err, AsmError::Syntax { line: 2, .. }), "{err}");
+        let err = parse_program("mov r1, r2\n").unwrap_err();
+        assert!(err.to_string().contains("outside a function"));
+        let err = parse_program("f:\n jmp @99\n ret\n").unwrap_err();
+        assert!(matches!(err, AsmError::Invalid(_)));
+        let err = parse_program("f:\n call nowhere\n ret\n").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+        let err = parse_program(".entry ghost\nf:\n ret\n").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn roundtrips_the_disassembler_output() {
+        use crate::builder::AsmBuilder;
+        let mut helper = AsmBuilder::new("helper");
+        helper.frame_words(2).num_params(1);
+        helper.alu(AluOp::Mul, Reg::RV, Reg::A0, 3);
+        helper.ret();
+        let mut main = AsmBuilder::new("main");
+        let l = main.fresh_label();
+        main.ldc(Reg::T0, 9);
+        main.br(Cond::Ne, Reg::T0, 9, l);
+        main.ld(Reg::A0, Reg::ZERO, 0);
+        main.call(FuncId(0));
+        main.bind(l);
+        main.st(Reg::RV, Reg::ZERO, 1);
+        main.ret();
+        let original = Program::new(
+            vec![helper.finish().unwrap(), main.finish().unwrap()],
+            vec![Global { name: "g".into(), addr: 0, words: 2, init: vec![5] }],
+            FuncId(1),
+        )
+        .unwrap();
+
+        let text = crate::text::disassemble_program(&original);
+        let parsed = parse_program(&text).unwrap();
+        assert_eq!(parsed.entry, original.entry);
+        assert_eq!(parsed.globals, original.globals);
+        assert_eq!(parsed.functions.len(), original.functions.len());
+        for (a, b) in parsed.functions.iter().zip(&original.functions) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.instrs, b.instrs);
+            assert_eq!(a.frame_words, b.frame_words);
+            assert_eq!(a.num_params, b.num_params);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! A small assembler with symbolic labels, used by the code generator in
+//! `ipet-lang` and by hand-written test programs.
+
+use crate::instr::{AluOp, Cond, Instr, Operand};
+use crate::program::{FuncId, Function};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A forward-referenceable position in the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced by [`AsmBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound with [`AsmBuilder::bind`].
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    Rebound(usize),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label L{l} was never bound"),
+            BuildError::Rebound(l) => write!(f, "label L{l} was bound twice"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds one [`Function`], resolving labels at the end.
+///
+/// ```
+/// use ipet_arch::{AsmBuilder, Cond, Operand, Reg};
+/// let mut b = AsmBuilder::new("id");
+/// b.mov(Reg::RV, Reg::A0);
+/// b.ret();
+/// let f = b.finish().unwrap();
+/// assert_eq!(f.instrs.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct AsmBuilder {
+    func: Function,
+    /// `bindings[l]` is the instruction index of label `l`, if bound.
+    bindings: Vec<Option<usize>>,
+    /// Instructions whose `target` field holds a label id to patch.
+    fixups: Vec<(usize, usize)>,
+    current_line: u32,
+}
+
+impl AsmBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> AsmBuilder {
+        AsmBuilder {
+            func: Function::new(name),
+            bindings: Vec::new(),
+            fixups: Vec::new(),
+            current_line: 0,
+        }
+    }
+
+    /// Sets the frame size in words for the function under construction.
+    pub fn frame_words(&mut self, words: u32) -> &mut Self {
+        self.func.frame_words = words;
+        self
+    }
+
+    /// Sets the number of register parameters.
+    pub fn num_params(&mut self, n: u32) -> &mut Self {
+        self.func.num_params = n;
+        self
+    }
+
+    /// Sets the source line attached to subsequently emitted instructions
+    /// (0 means "no line info").
+    pub fn set_line(&mut self, line: u32) -> &mut Self {
+        self.current_line = line;
+        self
+    }
+
+    /// Allocates a new, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction to be emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label id is foreign to this builder.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = self
+            .bindings
+            .get_mut(label.0)
+            .expect("label from a different builder");
+        // Rebinding is deferred to finish() so builders stay panic-free in
+        // normal operation; remember only the first binding here.
+        if slot.is_none() {
+            *slot = Some(self.func.instrs.len());
+        } else {
+            // Mark as rebound by pushing an impossible fixup checked later.
+            self.fixups.push((usize::MAX, label.0));
+        }
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.func.instrs.len()
+    }
+
+    /// True if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.func.instrs.is_empty()
+    }
+
+    fn push(&mut self, ins: Instr) -> &mut Self {
+        self.func.instrs.push(ins);
+        self.func.src_lines.push(self.current_line);
+        self
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Mov { dst, src })
+    }
+
+    /// Emits `ldc dst, imm`.
+    pub fn ldc(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.push(Instr::Ldc { dst, imm })
+    }
+
+    /// Emits a three-operand ALU instruction.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
+        self.push(Instr::Alu { op, dst, a, b: b.into() })
+    }
+
+    /// Emits `ld dst, [base + offset]`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.push(Instr::Ld { dst, base, offset })
+    }
+
+    /// Emits `st src, [base + offset]`.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.push(Instr::St { src, base, offset })
+    }
+
+    /// Emits a compare-and-branch to `label`.
+    pub fn br(&mut self, cond: Cond, a: Reg, b: impl Into<Operand>, label: Label) -> &mut Self {
+        self.fixups.push((self.func.instrs.len(), label.0));
+        self.push(Instr::Br { cond, a, b: b.into(), target: usize::MAX })
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.func.instrs.len(), label.0));
+        self.push(Instr::Jmp { target: usize::MAX })
+    }
+
+    /// Emits `call func`.
+    pub fn call(&mut self, func: FuncId) -> &mut Self {
+        self.push(Instr::Call { func })
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instr::Ret)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Resolves all labels and returns the finished function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was never
+    /// bound, and [`BuildError::Rebound`] if a label was bound twice.
+    pub fn finish(mut self) -> Result<Function, BuildError> {
+        for &(at, label) in &self.fixups {
+            if at == usize::MAX {
+                return Err(BuildError::Rebound(label));
+            }
+        }
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let target = self.bindings[label].ok_or(BuildError::UnboundLabel(label))?;
+            match &mut self.func.instrs[at] {
+                Instr::Br { target: t, .. } | Instr::Jmp { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = AsmBuilder::new("loop");
+        let top = b.fresh_label();
+        let out = b.fresh_label();
+        b.ldc(Reg::T0, 0);
+        b.bind(top);
+        b.br(Cond::Ge, Reg::T0, Operand::Imm(10), out);
+        b.alu(AluOp::Add, Reg::T0, Reg::T0, 1);
+        b.jmp(top);
+        b.bind(out);
+        b.ret();
+        let f = b.finish().unwrap();
+        assert_eq!(f.instrs[1].branch_target(), Some(4));
+        assert_eq!(f.instrs[3].branch_target(), Some(1));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = AsmBuilder::new("f");
+        let l = b.fresh_label();
+        b.jmp(l);
+        b.ret();
+        assert_eq!(b.finish().unwrap_err(), BuildError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut b = AsmBuilder::new("f");
+        let l = b.fresh_label();
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        b.ret();
+        assert_eq!(b.finish().unwrap_err(), BuildError::Rebound(0));
+    }
+
+    #[test]
+    fn line_info_attaches_to_instructions() {
+        let mut b = AsmBuilder::new("f");
+        b.set_line(3);
+        b.nop();
+        b.set_line(4);
+        b.ret();
+        let f = b.finish().unwrap();
+        assert_eq!(f.src_line(0), Some(3));
+        assert_eq!(f.src_line(1), Some(4));
+    }
+
+    #[test]
+    fn metadata_setters() {
+        let mut b = AsmBuilder::new("f");
+        b.frame_words(6).num_params(2);
+        b.ret();
+        let f = b.finish().unwrap();
+        assert_eq!(f.frame_words, 6);
+        assert_eq!(f.num_params, 2);
+    }
+}

@@ -1,0 +1,438 @@
+//! Instruction set definition.
+//!
+//! Fixed-width instructions in the spirit of the i960KB's core integer
+//! subset: ALU register/literal operations, loads and stores with
+//! register+displacement addressing, compare-and-branch (`cmpib*`-style),
+//! unconditional branch, call and return.
+
+use crate::program::FuncId;
+use crate::reg::Reg;
+use std::fmt;
+
+/// An ALU operation performed by [`Instr::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition (wrapping).
+    Add,
+    /// Two's-complement subtraction (wrapping).
+    Sub,
+    /// Two's-complement multiplication (wrapping); multi-cycle on the i960KB.
+    Mul,
+    /// Truncated signed division; the longest-latency integer operation.
+    Div,
+    /// Remainder of truncated signed division.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl,
+    /// Arithmetic shift right (shift amount taken modulo 32).
+    Shr,
+}
+
+impl AluOp {
+    /// All ALU operations, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
+
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        }
+    }
+
+    /// Applies the operation to two signed 32-bit values.
+    ///
+    /// Division and remainder by zero return 0, matching the simulator's
+    /// trap-free embedded semantics; all arithmetic wraps.
+    pub fn apply(self, a: i32, b: i32) -> i32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 31),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 31),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison condition of a compare-and-branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed less-or-equal.
+    Le,
+    /// Branch if signed greater-than.
+    Gt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// All conditions, in a fixed order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Evaluates the condition on two signed values.
+    pub fn holds(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The condition that holds exactly when `self` does not.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// Mnemonic suffix used by the disassembler (`br.lt` etc.).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Second source operand: a register or an immediate literal.
+///
+/// The i960 permits 5-bit literals in register positions; we allow full
+/// 32-bit immediates for convenience (the encoding is not the point of the
+/// reproduction, the CFG and timing are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate literal operand.
+    Imm(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(i: i32) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+/// Coarse instruction class consumed by the timing model in `ipet-hw`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Single-cycle integer ALU operation or register move.
+    IntSimple,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Multi-cycle integer divide/remainder.
+    IntDiv,
+    /// Data-memory load.
+    Load,
+    /// Data-memory store.
+    Store,
+    /// Conditional compare-and-branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Procedure call.
+    Call,
+    /// Procedure return.
+    Ret,
+    /// No-operation.
+    Nop,
+}
+
+/// One machine instruction.
+///
+/// Branch targets are *instruction indices within the containing function*;
+/// the assembler resolves labels to indices and [`crate::Program::validate`]
+/// checks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst <- src` register move.
+    Mov { dst: Reg, src: Reg },
+    /// `dst <- imm` load constant (the i960 `lda`).
+    Ldc { dst: Reg, imm: i32 },
+    /// `dst <- a <op> b` three-operand ALU operation.
+    Alu { op: AluOp, dst: Reg, a: Reg, b: Operand },
+    /// `dst <- mem[base + offset]` word load.
+    Ld { dst: Reg, base: Reg, offset: i32 },
+    /// `mem[base + offset] <- src` word store.
+    St { src: Reg, base: Reg, offset: i32 },
+    /// Compare-and-branch: if `a <cond> b` then jump to instruction `target`.
+    Br { cond: Cond, a: Reg, b: Operand, target: usize },
+    /// Unconditional jump to instruction `target`.
+    Jmp { target: usize },
+    /// Call function `func`; the return address is saved on the hardware
+    /// call stack (the i960's register cache performs the equivalent save).
+    Call { func: FuncId },
+    /// Return to the caller (or terminate the program when the hardware
+    /// call stack is empty).
+    Ret,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The timing class of this instruction.
+    pub fn class(self) -> InstrClass {
+        match self {
+            Instr::Mov { .. } | Instr::Ldc { .. } => InstrClass::IntSimple,
+            Instr::Alu { op, .. } => match op {
+                AluOp::Mul => InstrClass::IntMul,
+                AluOp::Div | AluOp::Rem => InstrClass::IntDiv,
+                _ => InstrClass::IntSimple,
+            },
+            Instr::Ld { .. } => InstrClass::Load,
+            Instr::St { .. } => InstrClass::Store,
+            Instr::Br { .. } => InstrClass::Branch,
+            Instr::Jmp { .. } => InstrClass::Jump,
+            Instr::Call { .. } => InstrClass::Call,
+            Instr::Ret => InstrClass::Ret,
+            Instr::Nop => InstrClass::Nop,
+        }
+    }
+
+    /// True if control may fall through to the next instruction.
+    pub fn falls_through(self) -> bool {
+        !matches!(self, Instr::Jmp { .. } | Instr::Ret)
+    }
+
+    /// True if this instruction ends a basic block.
+    ///
+    /// Calls terminate blocks, as in the paper's Fig. 4: the `f`-edge
+    /// leaves the call block, flows through the callee's CFG and re-enters
+    /// at the following block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Instr::Br { .. } | Instr::Jmp { .. } | Instr::Ret | Instr::Call { .. }
+        )
+    }
+
+    /// The intra-function branch target, if any.
+    pub fn branch_target(self) -> Option<usize> {
+        match self {
+            Instr::Br { target, .. } | Instr::Jmp { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn def_reg(self) -> Option<Reg> {
+        match self {
+            Instr::Mov { dst, .. }
+            | Instr::Ldc { dst, .. }
+            | Instr::Alu { dst, .. }
+            | Instr::Ld { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Registers read by this instruction (up to three).
+    pub fn use_regs(self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(3);
+        match self {
+            Instr::Mov { src, .. } => out.push(src),
+            Instr::Ldc { .. } | Instr::Jmp { .. } | Instr::Call { .. } | Instr::Ret | Instr::Nop => {}
+            Instr::Alu { a, b, .. } => {
+                out.push(a);
+                if let Operand::Reg(r) = b {
+                    out.push(r);
+                }
+            }
+            Instr::Ld { base, .. } => out.push(base),
+            Instr::St { src, base, .. } => {
+                out.push(src);
+                out.push(base);
+            }
+            Instr::Br { a, b, .. } => {
+                out.push(a);
+                if let Operand::Reg(r) = b {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_apply_basics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), -1);
+        assert_eq!(AluOp::Mul.apply(-4, 3), -12);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(-7, 2), -3);
+        assert_eq!(AluOp::Rem.apply(7, 2), 1);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(-16, 2), -4);
+    }
+
+    #[test]
+    fn alu_division_by_zero_is_total() {
+        assert_eq!(AluOp::Div.apply(5, 0), 0);
+        assert_eq!(AluOp::Rem.apply(5, 0), 0);
+        // i32::MIN / -1 must not trap either.
+        assert_eq!(AluOp::Div.apply(i32::MIN, -1), i32::MIN);
+        assert_eq!(AluOp::Rem.apply(i32::MIN, -1), 0);
+    }
+
+    #[test]
+    fn alu_wrapping() {
+        assert_eq!(AluOp::Add.apply(i32::MAX, 1), i32::MIN);
+        assert_eq!(AluOp::Mul.apply(i32::MAX, 2), -2);
+    }
+
+    #[test]
+    fn cond_holds_and_negate() {
+        for c in Cond::ALL {
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-3, 3)] {
+                assert_eq!(c.holds(a, b), !c.negate().holds(a, b), "{c:?} {a} {b}");
+            }
+        }
+        assert!(Cond::Le.holds(2, 2));
+        assert!(!Cond::Lt.holds(2, 2));
+        assert!(Cond::Ge.holds(2, 2));
+    }
+
+    #[test]
+    fn classes() {
+        use InstrClass::*;
+        let r = Reg::T0;
+        assert_eq!(Instr::Mov { dst: r, src: r }.class(), IntSimple);
+        assert_eq!(
+            Instr::Alu { op: AluOp::Mul, dst: r, a: r, b: Operand::Imm(2) }.class(),
+            IntMul
+        );
+        assert_eq!(
+            Instr::Alu { op: AluOp::Rem, dst: r, a: r, b: Operand::Imm(2) }.class(),
+            IntDiv
+        );
+        assert_eq!(Instr::Ld { dst: r, base: r, offset: 0 }.class(), Load);
+        assert_eq!(Instr::St { src: r, base: r, offset: 0 }.class(), Store);
+        assert_eq!(Instr::Ret.class(), Ret);
+        assert_eq!(Instr::Nop.class(), Nop);
+    }
+
+    #[test]
+    fn terminators_and_fallthrough() {
+        let br = Instr::Br { cond: Cond::Eq, a: Reg::RV, b: Operand::Imm(0), target: 0 };
+        assert!(br.is_terminator());
+        assert!(br.falls_through());
+        let jmp = Instr::Jmp { target: 0 };
+        assert!(jmp.is_terminator());
+        assert!(!jmp.falls_through());
+        let call = Instr::Call { func: FuncId(0) };
+        assert!(call.is_terminator(), "calls end blocks (paper Fig. 4)");
+        assert!(call.falls_through());
+        assert!(Instr::Ret.is_terminator());
+        assert!(!Instr::Ret.falls_through());
+    }
+
+    #[test]
+    fn def_and_use_sets() {
+        let r4 = Reg::A0;
+        let r5 = Reg::A1;
+        let st = Instr::St { src: r4, base: r5, offset: 8 };
+        assert_eq!(st.def_reg(), None);
+        assert_eq!(st.use_regs(), vec![r4, r5]);
+        let alu = Instr::Alu { op: AluOp::Add, dst: r4, a: r5, b: Operand::Reg(r4) };
+        assert_eq!(alu.def_reg(), Some(r4));
+        assert_eq!(alu.use_regs(), vec![r5, r4]);
+        let ldc = Instr::Ldc { dst: r4, imm: 7 };
+        assert_eq!(ldc.def_reg(), Some(r4));
+        assert!(ldc.use_regs().is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! # ipet-arch
+//!
+//! An i960-flavoured 32-bit RISC instruction set used throughout the IPET
+//! reproduction. The paper's tool (`cinderella`) analyses Intel i960KB
+//! executables; this crate plays the role of that target architecture:
+//! a fixed-width (4-byte) instruction encoding, 32 general-purpose
+//! registers, compare-and-branch instructions (in the spirit of the i960
+//! `cmpibe` family), and an explicit call/return model that the CFG layer
+//! turns into `f`-edges.
+//!
+//! The crate deliberately contains no timing information: per-instruction
+//! costs live in `ipet-hw`, mirroring the paper's separation between path
+//! analysis and micro-architectural modelling.
+//!
+//! ## Example
+//!
+//! ```
+//! use ipet_arch::{AsmBuilder, Cond, Operand, Reg};
+//!
+//! let mut b = AsmBuilder::new("clamp");
+//! let done = b.fresh_label();
+//! b.ldc(Reg::RV, 0);
+//! b.br(Cond::Lt, Reg::A0, Operand::Imm(0), done);
+//! b.mov(Reg::RV, Reg::A0);
+//! b.bind(done);
+//! b.ret();
+//! let func = b.finish().unwrap();
+//! assert_eq!(func.name, "clamp");
+//! assert_eq!(func.instrs.len(), 4);
+//! ```
+
+mod asm;
+mod builder;
+mod instr;
+mod program;
+mod reg;
+mod text;
+
+pub use builder::{AsmBuilder, BuildError, Label};
+pub use instr::{AluOp, Cond, Instr, InstrClass, Operand};
+pub use program::{FuncId, Function, Global, Program, ValidateError, INSTR_BYTES};
+pub use reg::Reg;
+pub use asm::{parse_program, AsmError};
+pub use text::{disassemble_function, disassemble_program};

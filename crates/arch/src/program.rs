@@ -1,0 +1,364 @@
+//! Programs, functions and global data.
+
+use crate::instr::Instr;
+use std::fmt;
+
+/// Size of one encoded instruction in bytes. The i960 core instruction set
+/// is fixed-width 32-bit; the i-cache model in `ipet-hw` relies on this to
+/// map instruction indices to cache lines.
+pub const INSTR_BYTES: u32 = 4;
+
+/// Index of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub usize);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// A word-granular global data object (scalar or array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Source-level name; unique within a program.
+    pub name: String,
+    /// Word address of the first element in data memory.
+    pub addr: u32,
+    /// Size in 32-bit words.
+    pub words: u32,
+    /// Initial values; padded with zeroes to `words` at load time.
+    pub init: Vec<i32>,
+}
+
+/// One function: a contiguous run of instructions plus frame metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Source-level name; unique within a program.
+    pub name: String,
+    /// The instruction stream. Branch targets index into this vector.
+    pub instrs: Vec<Instr>,
+    /// Number of 32-bit words of stack frame the function owns
+    /// (locals + spill slots); the prologue is implicit.
+    pub frame_words: u32,
+    /// Number of register arguments (`A0..A0+num_params`).
+    pub num_params: u32,
+    /// Byte address of the first instruction in the unified text segment.
+    /// Assigned by [`Program::layout`]; 0 until then.
+    pub base_addr: u32,
+    /// Optional mapping from instruction index to source line (1-based),
+    /// used by annotated-listing output. Empty when unavailable.
+    pub src_lines: Vec<u32>,
+}
+
+impl Function {
+    /// Creates an empty function with the given name.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            instrs: Vec::new(),
+            frame_words: 0,
+            num_params: 0,
+            base_addr: 0,
+            src_lines: Vec::new(),
+        }
+    }
+
+    /// Byte address of instruction `idx` once the program is laid out.
+    pub fn instr_addr(&self, idx: usize) -> u32 {
+        self.base_addr + idx as u32 * INSTR_BYTES
+    }
+
+    /// Source line of instruction `idx`, if line info is present.
+    pub fn src_line(&self, idx: usize) -> Option<u32> {
+        self.src_lines.get(idx).copied().filter(|&l| l != 0)
+    }
+}
+
+/// Errors reported by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A branch target lies outside its function.
+    BranchOutOfRange { func: String, instr: usize, target: usize },
+    /// A call names a function id not present in the program.
+    UnknownCallee { func: String, instr: usize, callee: FuncId },
+    /// The entry function id is out of range.
+    BadEntry(FuncId),
+    /// A function body is empty (every function must at least `ret`).
+    EmptyFunction(String),
+    /// A function's last instruction can fall through past the end.
+    FallsOffEnd(String),
+    /// Two functions or two globals share a name.
+    DuplicateName(String),
+    /// Two globals overlap in data memory.
+    OverlappingGlobals { a: String, b: String },
+    /// A global's initializer is longer than its declared size.
+    OversizedInit(String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BranchOutOfRange { func, instr, target } => {
+                write!(f, "branch at {func}:{instr} targets out-of-range index {target}")
+            }
+            ValidateError::UnknownCallee { func, instr, callee } => {
+                write!(f, "call at {func}:{instr} names unknown {callee}")
+            }
+            ValidateError::BadEntry(id) => write!(f, "entry {id} is out of range"),
+            ValidateError::EmptyFunction(n) => write!(f, "function {n} has no instructions"),
+            ValidateError::FallsOffEnd(n) => {
+                write!(f, "function {n} may fall through past its last instruction")
+            }
+            ValidateError::DuplicateName(n) => write!(f, "duplicate name {n}"),
+            ValidateError::OverlappingGlobals { a, b } => {
+                write!(f, "globals {a} and {b} overlap in data memory")
+            }
+            ValidateError::OversizedInit(n) => {
+                write!(f, "global {n} has more initializers than declared words")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A complete executable: functions, globals and an entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// All functions; [`FuncId`]s index into this vector.
+    pub functions: Vec<Function>,
+    /// All global data objects.
+    pub globals: Vec<Global>,
+    /// The function timing analysis and execution start from.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Creates a program from parts and lays out the text segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] encountered, if any.
+    pub fn new(
+        functions: Vec<Function>,
+        globals: Vec<Global>,
+        entry: FuncId,
+    ) -> Result<Program, ValidateError> {
+        let mut p = Program { functions, globals, entry };
+        p.layout();
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Assigns `base_addr` to each function, packing the text segment
+    /// contiguously from address 0 in declaration order.
+    pub fn layout(&mut self) {
+        let mut addr = 0u32;
+        for f in &mut self.functions {
+            f.base_addr = addr;
+            addr += f.instrs.len() as u32 * INSTR_BYTES;
+        }
+    }
+
+    /// Total size of the text segment in bytes (after layout).
+    pub fn text_bytes(&self) -> u32 {
+        self.functions
+            .iter()
+            .map(|f| f.instrs.len() as u32 * INSTR_BYTES)
+            .sum()
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i), f))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// The entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry id is invalid (a validated program never is).
+    pub fn entry_function(&self) -> &Function {
+        &self.functions[self.entry.0]
+    }
+
+    /// First data-memory word address past every global (the heap/stack
+    /// region starts here; the simulator places the stack above it).
+    pub fn data_words(&self) -> u32 {
+        self.globals.iter().map(|g| g.addr + g.words).max().unwrap_or(0)
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// See [`ValidateError`] for the conditions checked.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.entry.0 >= self.functions.len() {
+            return Err(ValidateError::BadEntry(self.entry));
+        }
+        let mut names = std::collections::HashSet::new();
+        for f in &self.functions {
+            if !names.insert(f.name.clone()) {
+                return Err(ValidateError::DuplicateName(f.name.clone()));
+            }
+            if f.instrs.is_empty() {
+                return Err(ValidateError::EmptyFunction(f.name.clone()));
+            }
+            let last = *f.instrs.last().expect("nonempty");
+            if last.falls_through() {
+                return Err(ValidateError::FallsOffEnd(f.name.clone()));
+            }
+            for (i, ins) in f.instrs.iter().enumerate() {
+                if let Some(t) = ins.branch_target() {
+                    if t >= f.instrs.len() {
+                        return Err(ValidateError::BranchOutOfRange {
+                            func: f.name.clone(),
+                            instr: i,
+                            target: t,
+                        });
+                    }
+                }
+                if let Instr::Call { func } = ins {
+                    if func.0 >= self.functions.len() {
+                        return Err(ValidateError::UnknownCallee {
+                            func: f.name.clone(),
+                            instr: i,
+                            callee: *func,
+                        });
+                    }
+                }
+            }
+        }
+        let mut gnames = std::collections::HashSet::new();
+        for g in &self.globals {
+            if !gnames.insert(g.name.clone()) {
+                return Err(ValidateError::DuplicateName(g.name.clone()));
+            }
+            if g.init.len() as u32 > g.words {
+                return Err(ValidateError::OversizedInit(g.name.clone()));
+            }
+        }
+        for (i, a) in self.globals.iter().enumerate() {
+            for b in &self.globals[i + 1..] {
+                let disjoint = a.addr + a.words <= b.addr || b.addr + b.words <= a.addr;
+                if !disjoint {
+                    return Err(ValidateError::OverlappingGlobals {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Operand};
+    use crate::reg::Reg;
+
+    fn ret_fn(name: &str) -> Function {
+        let mut f = Function::new(name);
+        f.instrs.push(Instr::Ret);
+        f
+    }
+
+    #[test]
+    fn layout_packs_contiguously() {
+        let mut f1 = ret_fn("a");
+        f1.instrs.insert(0, Instr::Nop);
+        let f2 = ret_fn("b");
+        let p = Program::new(vec![f1, f2], vec![], FuncId(0)).unwrap();
+        assert_eq!(p.functions[0].base_addr, 0);
+        assert_eq!(p.functions[1].base_addr, 2 * INSTR_BYTES);
+        assert_eq!(p.text_bytes(), 3 * INSTR_BYTES);
+        assert_eq!(p.functions[1].instr_addr(0), 8);
+    }
+
+    #[test]
+    fn validate_rejects_bad_entry() {
+        let err = Program::new(vec![ret_fn("a")], vec![], FuncId(3)).unwrap_err();
+        assert_eq!(err, ValidateError::BadEntry(FuncId(3)));
+    }
+
+    #[test]
+    fn validate_rejects_empty_function() {
+        let f = Function::new("empty");
+        let err = Program::new(vec![f], vec![], FuncId(0)).unwrap_err();
+        assert_eq!(err, ValidateError::EmptyFunction("empty".into()));
+    }
+
+    #[test]
+    fn validate_rejects_fallthrough_end() {
+        let mut f = Function::new("f");
+        f.instrs.push(Instr::Nop);
+        let err = Program::new(vec![f], vec![], FuncId(0)).unwrap_err();
+        assert_eq!(err, ValidateError::FallsOffEnd("f".into()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_branch() {
+        let mut f = Function::new("f");
+        f.instrs.push(Instr::Br {
+            cond: Cond::Eq,
+            a: Reg::RV,
+            b: Operand::Imm(0),
+            target: 9,
+        });
+        f.instrs.push(Instr::Ret);
+        let err = Program::new(vec![f], vec![], FuncId(0)).unwrap_err();
+        assert!(matches!(err, ValidateError::BranchOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_callee() {
+        let mut f = Function::new("f");
+        f.instrs.push(Instr::Call { func: FuncId(7) });
+        f.instrs.push(Instr::Ret);
+        let err = Program::new(vec![f], vec![], FuncId(0)).unwrap_err();
+        assert!(matches!(err, ValidateError::UnknownCallee { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_and_overlapping_globals() {
+        let g1 = Global { name: "x".into(), addr: 0, words: 4, init: vec![] };
+        let g2 = Global { name: "y".into(), addr: 2, words: 4, init: vec![] };
+        let err = Program::new(vec![ret_fn("f")], vec![g1.clone(), g2], FuncId(0)).unwrap_err();
+        assert!(matches!(err, ValidateError::OverlappingGlobals { .. }));
+
+        let g3 = Global { name: "x".into(), addr: 8, words: 1, init: vec![] };
+        let err = Program::new(vec![ret_fn("f")], vec![g1, g3], FuncId(0)).unwrap_err();
+        assert_eq!(err, ValidateError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn validate_rejects_oversized_init() {
+        let g = Global { name: "x".into(), addr: 0, words: 1, init: vec![1, 2] };
+        let err = Program::new(vec![ret_fn("f")], vec![g], FuncId(0)).unwrap_err();
+        assert_eq!(err, ValidateError::OversizedInit("x".into()));
+    }
+
+    #[test]
+    fn lookups() {
+        let g = Global { name: "buf".into(), addr: 4, words: 8, init: vec![] };
+        let p = Program::new(vec![ret_fn("main"), ret_fn("aux")], vec![g], FuncId(0)).unwrap();
+        assert_eq!(p.function_by_name("aux").unwrap().0, FuncId(1));
+        assert!(p.function_by_name("nope").is_none());
+        assert_eq!(p.global_by_name("buf").unwrap().words, 8);
+        assert_eq!(p.data_words(), 12);
+        assert_eq!(p.entry_function().name, "main");
+    }
+}

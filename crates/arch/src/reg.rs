@@ -1,0 +1,142 @@
+//! General-purpose register file.
+//!
+//! The i960KB exposes 16 global (`g0`–`g15`) and 16 local (`r0`–`r15`)
+//! registers; we model a flat file of 32 registers with a software calling
+//! convention encoded as associated constants.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// The inner index is guaranteed to be `< Reg::COUNT`; construct values via
+/// [`Reg::new`] (checked) or the named convention constants.
+///
+/// ```
+/// use ipet_arch::Reg;
+/// assert_eq!(Reg::new(4), Some(Reg::A0));
+/// assert_eq!(Reg::new(99), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Hard-wired zero register (reads as 0; writes are ignored).
+    pub const ZERO: Reg = Reg(0);
+    /// Stack pointer (grows towards lower addresses).
+    pub const SP: Reg = Reg(1);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(2);
+    /// Return-value register.
+    pub const RV: Reg = Reg(3);
+    /// First argument register. Arguments are passed in `A0..A0+n`.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// First caller-saved scratch register available to code generators.
+    pub const T0: Reg = Reg(8);
+
+    /// Creates a register from a raw index, or `None` if out of range.
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < Reg::COUNT {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Raw index in `0..Reg::COUNT`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The `n`-th argument register (`A0 + n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A0 + n` falls outside the register file.
+    pub fn arg(n: u8) -> Reg {
+        Reg::new(Reg::A0.0 + n).expect("argument register index out of range")
+    }
+
+    /// The `n`-th caller-saved scratch register (`T0 + n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T0 + n` falls outside the register file.
+    pub fn temp(n: u8) -> Reg {
+        Reg::new(Reg::T0.0 + n).expect("scratch register index out of range")
+    }
+
+    /// Number of scratch registers available via [`Reg::temp`].
+    pub fn temp_count() -> u8 {
+        Reg::COUNT as u8 - Reg::T0.0
+    }
+
+    /// Iterates over every architectural register in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => write!(f, "zero"),
+            Reg::SP => write!(f, "sp"),
+            Reg::FP => write!(f, "fp"),
+            Reg::RV => write!(f, "rv"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+        assert!(Reg::new(31).is_some());
+    }
+
+    #[test]
+    fn conventions_are_distinct() {
+        let named = [Reg::ZERO, Reg::SP, Reg::FP, Reg::RV, Reg::A0, Reg::T0];
+        for (i, a) in named.iter().enumerate() {
+            for b in &named[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn arg_and_temp_offsets() {
+        assert_eq!(Reg::arg(0), Reg::A0);
+        assert_eq!(Reg::arg(3), Reg::A3);
+        assert_eq!(Reg::temp(0), Reg::T0);
+        assert_eq!(Reg::temp(1).index(), Reg::T0.index() + 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::temp(2).to_string(), "r10");
+    }
+
+    #[test]
+    fn all_covers_register_file() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), Reg::COUNT);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[31].index(), 31);
+    }
+}

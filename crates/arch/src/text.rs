@@ -1,0 +1,117 @@
+//! Textual disassembly of programs and functions.
+
+use crate::instr::Instr;
+use crate::program::{Function, Program};
+use std::fmt::Write as _;
+
+/// Renders one instruction as assembly text.
+fn render(ins: &Instr, func_names: &[String]) -> String {
+    match *ins {
+        Instr::Mov { dst, src } => format!("mov   {dst}, {src}"),
+        Instr::Ldc { dst, imm } => format!("ldc   {dst}, {imm}"),
+        Instr::Alu { op, dst, a, b } => format!("{:<5} {dst}, {a}, {b}", op.mnemonic()),
+        Instr::Ld { dst, base, offset } => format!("ld    {dst}, [{base}{offset:+}]"),
+        Instr::St { src, base, offset } => format!("st    {src}, [{base}{offset:+}]"),
+        Instr::Br { cond, a, b, target } => {
+            format!("br.{:<2} {a}, {b}, @{target}", cond.mnemonic())
+        }
+        Instr::Jmp { target } => format!("jmp   @{target}"),
+        Instr::Call { func } => {
+            let name = func_names
+                .get(func.0)
+                .map(String::as_str)
+                .unwrap_or("<bad>");
+            format!("call  {name}")
+        }
+        Instr::Ret => "ret".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+/// Disassembles a single function. Branch targets are shown as `@index`.
+///
+/// `func_names` supplies names for `call` targets; pass the program's
+/// function-name table (an empty slice degrades call targets to `<bad>`).
+pub fn disassemble_function(f: &Function, func_names: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: frame={} params={}", f.name, f.frame_words, f.num_params);
+    for (i, ins) in f.instrs.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4}: {}", render(ins, func_names));
+    }
+    out
+}
+
+/// Disassembles a whole program, entry function first in declaration order.
+pub fn disassemble_program(p: &Program) -> String {
+    let names: Vec<String> = p.functions.iter().map(|f| f.name.clone()).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, ".entry {}", p.functions[p.entry.0].name);
+    for g in &p.globals {
+        if g.init.is_empty() {
+            let _ = writeln!(out, ".global {} @{} words={}", g.name, g.addr, g.words);
+        } else {
+            let init: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(
+                out,
+                ".global {} @{} words={} init = {}",
+                g.name,
+                g.addr,
+                g.words,
+                init.join(" ")
+            );
+        }
+    }
+    for f in &p.functions {
+        out.push_str(&disassemble_function(f, &names));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AsmBuilder;
+    use crate::instr::{AluOp, Cond, Operand};
+    use crate::program::{FuncId, Global};
+    use crate::reg::Reg;
+
+    #[test]
+    fn disassembly_is_stable() {
+        let mut b = AsmBuilder::new("main");
+        let l = b.fresh_label();
+        b.ldc(Reg::T0, 5);
+        b.br(Cond::Eq, Reg::T0, Operand::Imm(5), l);
+        b.alu(AluOp::Add, Reg::T0, Reg::T0, Operand::Reg(Reg::T0));
+        b.bind(l);
+        b.call(FuncId(0));
+        b.ret();
+        let f = b.finish().unwrap();
+        let g = Global { name: "data".into(), addr: 0, words: 2, init: vec![] };
+        let p = Program::new(vec![f], vec![g], FuncId(0)).unwrap();
+        let text = disassemble_program(&p);
+        assert!(text.contains(".global data @0 words=2"));
+        assert!(text.contains("main:"));
+        assert!(text.contains("br.eq r8, 5, @3"));
+        assert!(text.contains("call  main"));
+    }
+
+    #[test]
+    fn unknown_call_target_degrades_gracefully() {
+        let mut f = Function::new("f");
+        f.instrs.push(Instr::Call { func: FuncId(9) });
+        f.instrs.push(Instr::Ret);
+        let text = disassemble_function(&f, &[]);
+        assert!(text.contains("<bad>"));
+    }
+
+    #[test]
+    fn memory_operands_show_sign() {
+        let mut f = Function::new("f");
+        f.instrs.push(Instr::Ld { dst: Reg::T0, base: Reg::FP, offset: -4 });
+        f.instrs.push(Instr::St { src: Reg::T0, base: Reg::SP, offset: 8 });
+        f.instrs.push(Instr::Ret);
+        let text = disassemble_function(&f, &[]);
+        assert!(text.contains("ld    r8, [fp-4]"));
+        assert!(text.contains("st    r8, [sp+8]"));
+    }
+}

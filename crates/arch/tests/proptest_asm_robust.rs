@@ -1,0 +1,32 @@
+//! Robustness: the text assembler never panics on arbitrary input.
+
+use ipet_arch::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 never panics the assembler.
+    #[test]
+    fn assembler_never_panics(src in ".*") {
+        let _ = parse_program(&src);
+    }
+
+    /// Assembly-ish token soup never panics.
+    #[test]
+    fn assembler_survives_token_soup(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just(".entry"), Just(".global"), Just("main:"), Just("f:"),
+                Just("mov"), Just("ldc"), Just("add"), Just("br.lt"),
+                Just("jmp"), Just("call"), Just("ret"), Just("ld"), Just("st"),
+                Just("r1,"), Just("r2"), Just("rv,"), Just("[fp+1]"),
+                Just("@3"), Just("7"), Just("words=2"), Just("\n"), Just(";x"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_program(&src);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property test: disassembling any valid program and re-assembling the
+//! text yields the identical program (modulo source-line info, which the
+//! disassembler does not carry).
+
+use ipet_arch::{
+    parse_program, disassemble_program, AluOp, AsmBuilder, Cond, FuncId, Global, Operand,
+    Program, Reg,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GenInstr {
+    Mov(u8, u8),
+    Ldc(u8, i32),
+    Alu(usize, u8, u8, Option<i32>),
+    Ld(u8, i32),
+    St(u8, i32),
+    Nop,
+}
+
+fn arb_instr() -> impl Strategy<Value = GenInstr> {
+    prop_oneof![
+        (0u8..31, 0u8..31).prop_map(|(a, b)| GenInstr::Mov(a, b)),
+        (0u8..31, -1000i32..1000).prop_map(|(r, k)| GenInstr::Ldc(r, k)),
+        (0usize..10, 0u8..31, 0u8..31, prop::option::of(-50i32..50))
+            .prop_map(|(op, d, a, imm)| GenInstr::Alu(op, d, a, imm)),
+        (0u8..31, -8i32..16).prop_map(|(r, o)| GenInstr::Ld(r, o)),
+        (0u8..31, -8i32..16).prop_map(|(r, o)| GenInstr::St(r, o)),
+        Just(GenInstr::Nop),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_instr(), 1..25),
+        prop::collection::vec(arb_instr(), 0..10),
+        any::<bool>(),
+        0u32..3,
+        0u32..4,
+        prop::collection::vec(-100i32..100, 0..4),
+    )
+        .prop_map(|(body, helper_body, branch, frame, params, init)| {
+            let emit = |b: &mut AsmBuilder, instrs: &[GenInstr]| {
+                for ins in instrs {
+                    match *ins {
+                        GenInstr::Mov(x, y) => {
+                            b.mov(Reg::new(x).unwrap(), Reg::new(y).unwrap());
+                        }
+                        GenInstr::Ldc(r, k) => {
+                            b.ldc(Reg::new(r).unwrap(), k);
+                        }
+                        GenInstr::Alu(op, d, a, imm) => {
+                            let op = AluOp::ALL[op % AluOp::ALL.len()];
+                            let rhs = match imm {
+                                Some(k) => Operand::Imm(k),
+                                None => Operand::Reg(Reg::new(a).unwrap()),
+                            };
+                            b.alu(op, Reg::new(d).unwrap(), Reg::new(a).unwrap(), rhs);
+                        }
+                        GenInstr::Ld(r, o) => {
+                            b.ld(Reg::new(r).unwrap(), Reg::FP, o);
+                        }
+                        GenInstr::St(r, o) => {
+                            b.st(Reg::new(r).unwrap(), Reg::SP, o);
+                        }
+                        GenInstr::Nop => {
+                            b.nop();
+                        }
+                    }
+                }
+            };
+
+            let mut helper = AsmBuilder::new("helper");
+            helper.frame_words(frame).num_params(params);
+            emit(&mut helper, &helper_body);
+            helper.ret();
+
+            let mut main = AsmBuilder::new("main");
+            let skip = main.fresh_label();
+            if branch {
+                main.br(Cond::Lt, Reg::A0, 7, skip);
+            }
+            emit(&mut main, &body);
+            main.call(FuncId(0));
+            main.bind(skip);
+            main.ret();
+
+            let globals = if init.is_empty() {
+                vec![]
+            } else {
+                vec![Global {
+                    name: "data".into(),
+                    addr: 0,
+                    words: init.len() as u32 + 1,
+                    init,
+                }]
+            };
+            Program::new(
+                vec![helper.finish().unwrap(), main.finish().unwrap()],
+                globals,
+                FuncId(1),
+            )
+            .expect("generated program valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// disassemble . parse == identity (up to src_lines).
+    #[test]
+    fn assembler_roundtrip(original in arb_program()) {
+        let text = disassemble_program(&original);
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(parsed.entry, original.entry);
+        prop_assert_eq!(&parsed.globals, &original.globals);
+        prop_assert_eq!(parsed.functions.len(), original.functions.len());
+        for (a, b) in parsed.functions.iter().zip(&original.functions) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.instrs, &b.instrs);
+            prop_assert_eq!(a.frame_words, b.frame_words);
+            prop_assert_eq!(a.num_params, b.num_params);
+            prop_assert_eq!(a.base_addr, b.base_addr);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Times the ILP pipeline per benchmark — the paper's §VI observation
+//! that "the CPU times taken for each ILP problem were insignificant,
+//! less than 2 seconds on an SGI Indigo".
+//!
+//! One Criterion group per Table-I routine, timing the full analysis
+//! (structural extraction + DNF expansion + all ILP solves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipet_core::Analyzer;
+use ipet_hw::Machine;
+use std::hint::black_box;
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_solve");
+    group.sample_size(10);
+    for b in ipet_suite::all() {
+        let program = b.program().unwrap();
+        let machine = Machine::i960kb();
+        let analyzer = Analyzer::new(&program, machine).unwrap();
+        let ann = b.annotations(&program);
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let est = analyzer.analyze(black_box(&ann)).unwrap();
+                black_box(est.bound)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

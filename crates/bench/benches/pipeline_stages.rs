@@ -1,0 +1,52 @@
+//! Times each stage of the toolchain separately on the largest routine —
+//! compile, CFG + instance expansion, block costing, simulation — to show
+//! where the milliseconds go (the paper's "insignificant" claim covers
+//! only the ILP; this bench covers the substrates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipet_cfg::Instances;
+use ipet_hw::{block_cost, Machine};
+use ipet_sim::measure;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let b = ipet_suite::by_name("dhry").expect("bundled benchmark");
+    let machine = Machine::i960kb();
+    let program = b.program().unwrap();
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+
+    group.bench_function("compile", |bench| {
+        bench.iter(|| black_box(ipet_lang::compile(black_box(b.source), b.entry).unwrap()))
+    });
+
+    group.bench_function("cfg_expand", |bench| {
+        bench.iter(|| black_box(Instances::expand(&program, program.entry).unwrap()))
+    });
+
+    group.bench_function("block_costs", |bench| {
+        bench.iter(|| {
+            let inst = Instances::expand(&program, program.entry).unwrap();
+            let mut total = 0u64;
+            for (f, cfg) in inst.cfgs.iter().enumerate() {
+                for blk in &cfg.blocks {
+                    total += block_cost(&machine, &program.functions[f], blk).worst_cold;
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("simulate_worst", |bench| {
+        bench.iter(|| {
+            let r = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
+            black_box(r.cycles)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments all                 # everything below, in order
+//! experiments fig1|fig2|fig3|fig4|fig5|fig6
+//! experiments table1|table2|table3
+//! experiments ilpstats            # §III-D: first LP relaxation integral
+//! experiments blowup              # §II: explicit enumeration blow-up
+//! experiments ablation-split     # §IV: first-iteration cache splitting
+//! experiments sweep               # WCET vs i-cache miss penalty
+//! experiments dsp3210             # §VII: the AT&T DSP3210 port
+//! experiments dcache              # future work: data-cache hardware model
+//! experiments exhaustive          # actual bound by full input sweep
+//! experiments sensitivity         # WCET price of each loop bound
+//! experiments stress              # random-program soundness sweep
+//! experiments csv [DIR]           # dump every table as CSV (default ./results)
+//! ```
+
+use ipet_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let all = || run_all();
+    // `experiments csv <dir>` dumps every table as CSV for plotting.
+    if which == "csv" {
+        let dir = std::path::PathBuf::from(
+            args.get(1).map(String::as_str).unwrap_or("results"),
+        );
+        write_csvs(&dir, &all()).expect("writing CSVs");
+        println!("wrote CSVs to {}", dir.display());
+        return;
+    }
+    match which.as_str() {
+        "fig1" => fig1(&all()),
+        "fig2" | "fig3" | "fig4" => figures(),
+        "fig5" => println!("{}", fig5_text()),
+        "fig6" => fig6(),
+        "table1" => table1(&all()),
+        "table2" => table23(&all(), false),
+        "table3" => table23(&all(), true),
+        "ilpstats" => ilpstats(&all()),
+        "blowup" => blowup(),
+        "ablation-split" => ablation(),
+        "sweep" => sweep(),
+        "dsp3210" => dsp3210(),
+        "dcache" => dcache(),
+        "exhaustive" => exhaustive(),
+        "sensitivity" => sensitivity(),
+        "stress" => stress(),
+        "all" => {
+            let data = all();
+            figures();
+            println!("{}", fig5_text());
+            fig6();
+            fig1(&data);
+            table1(&data);
+            table23(&data, false);
+            table23(&data, true);
+            ilpstats(&data);
+            blowup();
+            ablation();
+            sweep();
+            dsp3210();
+            dcache();
+            exhaustive();
+            sensitivity();
+            stress();
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fig1(data: &[BenchData]) {
+    println!("== Fig. 1: estimated bound encloses the actual (measured) bound ==");
+    println!("{:<16} {:>24} {:>24}  encloses", "function", "estimated", "measured");
+    for (name, est, meas, ok) in fig1_rows(data) {
+        println!("{name:<16} {:>24} {:>24}  {}", fmt_bound(est), fmt_bound(meas), ok);
+    }
+    println!();
+}
+
+fn figures() {
+    println!("== Figs. 2-4: structural constraints extracted from the CFG ==");
+    for (title, program) in figure_cfgs() {
+        println!("-- {title} --");
+        println!("{}", ipet_arch::disassemble_program(&program));
+        println!("{}", structural_dump(&program));
+    }
+}
+
+fn fig6() {
+    let (text, est) = fig6_text();
+    println!("== Fig. 6: caller/callee path relationship (x4 = x6.f1) ==");
+    println!("{text}");
+    println!(
+        "estimated bound: {}  ({} sets, {} pruned)",
+        fmt_bound(est.bound),
+        est.sets_total,
+        est.sets_pruned
+    );
+    println!();
+}
+
+fn table1(data: &[BenchData]) {
+    println!("== Table I: benchmark set ==");
+    println!(
+        "{:<16} {:>11} {:>10} {:>10} {:>12}",
+        "function", "paper-lines", "our-lines", "paper-sets", "our-sets"
+    );
+    for (name, plines, lines, psets, sets, after) in table1_rows(data) {
+        let our = if sets == after {
+            format!("{sets}")
+        } else {
+            format!("{sets})-{after}")
+        };
+        println!("{name:<16} {plines:>11} {lines:>10} {psets:>10} {our:>12}");
+    }
+    println!();
+}
+
+fn table23(data: &[BenchData], measured: bool) {
+    if measured {
+        println!("== Table III: estimated vs measured bound (cycle-level simulation) ==");
+    } else {
+        println!("== Table II: pessimism in path analysis (estimated vs calculated) ==");
+    }
+    let reference = if measured { "measured" } else { "calculated" };
+    println!(
+        "{:<16} {:>24} {:>24} {:>16}",
+        "function", "estimated", reference, "pessimism"
+    );
+    for (name, est, refb, (pl, pu)) in table23_rows(data, measured) {
+        println!(
+            "{name:<16} {:>24} {:>24}    [{pl:5.2}, {pu:5.2}]",
+            fmt_bound(est),
+            fmt_bound(refb)
+        );
+    }
+    println!();
+}
+
+fn ilpstats(data: &[BenchData]) {
+    println!("== §III-D: ILP solver behaviour (branch & bound) ==");
+    println!(
+        "{:<16} {:>9} {:>7} {:>24} {:>12}",
+        "function", "lp-calls", "nodes", "first-relax-integral", "solve-time"
+    );
+    let mut all_integral = true;
+    for (name, stats, time) in ilp_stat_rows(data) {
+        all_integral &= stats.first_relaxation_integral;
+        println!(
+            "{name:<16} {:>9} {:>7} {:>24} {:>9.2?}",
+            stats.lp_calls, stats.nodes, stats.first_relaxation_integral, time
+        );
+    }
+    println!(
+        "=> every first LP relaxation integral: {all_integral} (the paper's observation)\n"
+    );
+}
+
+fn blowup() {
+    println!("== §II: explicit path enumeration vs IPET (k sequential diamonds) ==");
+    println!(
+        "{:<4} {:>12} {:>10} {:>14} {:>9} {:>14}",
+        "k", "paths", "truncated", "explicit-time", "lp-calls", "implicit-time"
+    );
+    for r in blowup_rows(&[2, 4, 6, 8, 10, 12, 14, 16, 18, 20], 2_000_000) {
+        println!(
+            "{:<4} {:>12} {:>10} {:>11.2?} {:>9} {:>11.2?}",
+            r.k,
+            group_digits(r.paths),
+            r.truncated,
+            r.explicit_time,
+            r.lp_calls,
+            r.implicit_time
+        );
+    }
+    println!();
+}
+
+fn ablation() {
+    println!("== §IV ablation: all-miss vs first-iteration cache splitting ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10}",
+        "function", "all-miss", "split", "measured", "tightened"
+    );
+    for (name, base, split, meas) in ablation_split_rows() {
+        let gain = 100.0 * (base - split) as f64 / base as f64;
+        println!(
+            "{name:<16} {:>12} {:>12} {:>12} {:>9.1}%",
+            group_digits(base),
+            group_digits(split),
+            group_digits(meas),
+            gain
+        );
+    }
+    println!();
+}
+
+fn sweep() {
+    println!("== sensitivity: estimated WCET vs i-cache miss penalty ==");
+    let names = ["check_data", "fft", "matgen"];
+    let points = sweep_miss_penalty(&[0, 2, 4, 8, 16, 32], &names);
+    print!("{:<10}", "penalty");
+    for n in names {
+        print!(" {n:>16}");
+    }
+    println!();
+    for p in points {
+        print!("{:<10}", p.miss_penalty);
+        for (_, w) in &p.wcet {
+            print!(" {:>16}", group_digits(*w));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn dsp3210() {
+    println!("== §VII: the AT&T DSP3210 port (second machine model) ==");
+    println!("{:<16} {:>24} {:>24}  encloses", "function", "estimated", "measured");
+    for (name, est, meas, ok) in machine_rows(ipet_hw::Machine::dsp3210()) {
+        println!("{name:<16} {:>24} {:>24}  {ok}", fmt_bound(est), fmt_bound(meas));
+        assert!(ok, "{name}: unsound on dsp3210");
+    }
+    println!();
+}
+
+fn stress() {
+    println!("== stress: random programs, inferred bounds, soundness probes ==");
+    let rows = stress_rows(25);
+    let mut all = true;
+    for r in &rows {
+        all &= r.sound;
+    }
+    println!(
+        "{} random programs, {} total loops, all sound: {all}",
+        rows.len(),
+        rows.iter().map(|r| r.loops).sum::<usize>()
+    );
+    for r in rows.iter().take(5) {
+        println!(
+            "  seed {:>3}: {} loops, bound {}",
+            r.seed,
+            r.loops,
+            fmt_bound(r.bound)
+        );
+    }
+    println!();
+}
+
+fn dcache() {
+    println!("== future work: i960KB fitted with a data cache (hardware-model refinement) ==");
+    println!("{:<16} {:>24} {:>24}  encloses", "function", "estimated", "measured");
+    for (name, est, meas, ok) in machine_rows(ipet_hw::Machine::i960kb_with_dcache()) {
+        println!("{name:<16} {:>24} {:>24}  {ok}", fmt_bound(est), fmt_bound(meas));
+        assert!(ok, "{name}: unsound with a data cache");
+    }
+    println!();
+}
+
+fn exhaustive() {
+    println!("== actual bound by exhaustive input sweep (infeasible in general; feasible here) ==");
+    println!(
+        "{:<12} {:>8} {:>22} {:>24} {:>10}",
+        "function", "runs", "actual [T_min,T_max]", "estimated [t_min,t_max]", "extremes"
+    );
+    for r in exhaustive_rows() {
+        println!(
+            "{:<12} {:>8} {:>22} {:>24} {:>10}",
+            r.name,
+            group_digits(r.runs),
+            fmt_bound(r.actual),
+            fmt_bound(r.estimated),
+            if r.extremes_confirmed { "confirmed" } else { "NOT!" }
+        );
+        assert!(r.estimated.encloses(r.actual), "{}: actual bound escapes", r.name);
+    }
+    println!();
+}
+
+fn sensitivity() {
+    println!("== WCET sensitivity: cycles gained per extra loop iteration ==");
+    println!("{:<16} {:<22} {:>8} {:>14}", "function", "loop", "bound", "delta-cycles");
+    for (bench, loop_id, hi, delta) in sensitivity_rows() {
+        println!("{bench:<16} {loop_id:<22} {hi:>8} {delta:>14}");
+        assert!(delta >= 0, "widening a bound can never shrink the WCET");
+    }
+    println!();
+}

@@ -1,0 +1,205 @@
+//! Seeded random workload generator: structured mini-C-level programs
+//! (assignments, nested if/else, bounded counted loops) built directly on
+//! the `ipet-lang` AST. Used by the stress experiment and benches to
+//! exercise the whole pipeline on inputs nobody hand-tuned.
+
+use ipet_lang::{compile_module, BinOp, Expr, ExprKind, FuncDecl, Item, Module, Stmt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Maximum statement-tree depth.
+    pub max_depth: usize,
+    /// Maximum statements per block.
+    pub max_block: usize,
+    /// Probability (percent) that a nested statement is an `if`.
+    pub if_weight: u32,
+    /// Probability (percent) that a nested statement is a counted loop.
+    pub loop_weight: u32,
+    /// Maximum iterations of generated counted loops.
+    pub max_trips: i64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig { max_depth: 3, max_block: 4, if_weight: 45, loop_weight: 25, max_trips: 6 }
+    }
+}
+
+fn num(n: i64) -> Expr {
+    Expr { kind: ExprKind::Num(n), line: 1 }
+}
+
+fn var(name: &str) -> Expr {
+    Expr { kind: ExprKind::Var(name.into()), line: 1 }
+}
+
+fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr { kind: ExprKind::Binary(op, Box::new(l), Box::new(r)), line: 1 }
+}
+
+/// A generated program plus the loop metadata needed to annotate it.
+#[derive(Debug)]
+pub struct SynthProgram {
+    /// The compiled program (entry `f`, one `int` argument).
+    pub program: ipet_arch::Program,
+    /// Number of counted loops generated (each has an exact constant trip
+    /// count, so `ipet_core::infer_loop_bounds` can bound them all).
+    pub num_loops: usize,
+}
+
+/// Generates a random structured program from `seed`.
+///
+/// Every generated loop is a `for (v = 0; v < K; v = v + 1)` with constant
+/// `K`, so the program always terminates and the automatic loop-bound
+/// inference closes the analysis without manual annotations.
+pub fn generate(seed: u64, config: SynthConfig) -> SynthProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut num_loops = 0usize;
+    let mut loop_var = 0usize;
+
+    fn gen_block(
+        rng: &mut StdRng,
+        config: &SynthConfig,
+        depth: usize,
+        num_loops: &mut usize,
+        loop_var: &mut usize,
+    ) -> Vec<Stmt> {
+        let n = rng.gen_range(1..=config.max_block);
+        (0..n)
+            .map(|_| gen_stmt(rng, config, depth, num_loops, loop_var))
+            .collect()
+    }
+
+    fn gen_stmt(
+        rng: &mut StdRng,
+        config: &SynthConfig,
+        depth: usize,
+        num_loops: &mut usize,
+        loop_var: &mut usize,
+    ) -> Stmt {
+        let roll = rng.gen_range(0u32..100);
+        if depth > 0 && roll < config.if_weight {
+            let threshold = rng.gen_range(-8i64..8);
+            let cmp = match rng.gen_range(0..3) {
+                0 => BinOp::Lt,
+                1 => BinOp::Ge,
+                _ => BinOp::Eq,
+            };
+            let then_branch = gen_block(rng, config, depth - 1, num_loops, loop_var);
+            let else_branch = if rng.gen_bool(0.5) {
+                gen_block(rng, config, depth - 1, num_loops, loop_var)
+            } else {
+                Vec::new()
+            };
+            Stmt::If {
+                cond: binop(cmp, var("a"), num(threshold)),
+                then_branch,
+                else_branch,
+                line: 1,
+            }
+        } else if depth > 0 && roll < config.if_weight + config.loop_weight {
+            *num_loops += 1;
+            *loop_var += 1;
+            let v = format!("i{loop_var}");
+            let trips = rng.gen_range(1..=config.max_trips);
+            let body = gen_block(rng, config, depth - 1, num_loops, loop_var);
+            Stmt::For {
+                init: Some(Box::new(Stmt::Assign { name: v.clone(), value: num(0), line: 1 })),
+                cond: Some(binop(BinOp::Lt, var(&v), num(trips))),
+                step: Some(Box::new(Stmt::Assign {
+                    name: v.clone(),
+                    value: binop(BinOp::Add, var(&v), num(1)),
+                    line: 1,
+                })),
+                body,
+                line: 1,
+            }
+        } else {
+            let op = match rng.gen_range(0..5) {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Xor,
+                _ => BinOp::Div,
+            };
+            Stmt::Assign {
+                name: "t".into(),
+                value: binop(op, var("t"), num(rng.gen_range(1i64..30))),
+                line: 1,
+            }
+        }
+    }
+
+    let mut body = vec![Stmt::Decl { name: "t".into(), init: Some(num(1)), line: 1 }];
+    // Pre-declare loop variables discovered during generation: generate the
+    // tree first, then prepend the declarations.
+    let tree = gen_block(&mut rng, &config, config.max_depth, &mut num_loops, &mut loop_var);
+    for v in 1..=loop_var {
+        body.push(Stmt::Decl { name: format!("i{v}"), init: None, line: 1 });
+    }
+    body.extend(tree);
+    body.push(Stmt::Return { value: Some(var("t")), line: 1 });
+
+    let module = Module {
+        items: vec![Item::Func(FuncDecl {
+            name: "f".into(),
+            params: vec!["a".into()],
+            body,
+            line: 1,
+        })],
+    };
+    let program = compile_module(&module, "f").expect("generated program compiles");
+    SynthProgram { program, num_loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipet_core::{infer_loop_bounds, inferred_annotations, Analyzer};
+    use ipet_hw::Machine;
+    use ipet_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, SynthConfig::default());
+        let b = generate(42, SynthConfig::default());
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.num_loops, b.num_loops);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(1, SynthConfig::default());
+        let b = generate(2, SynthConfig::default());
+        assert_ne!(a.program, b.program);
+    }
+
+    #[test]
+    fn generated_loops_are_all_inferable() {
+        for seed in 0..20 {
+            let s = generate(seed, SynthConfig::default());
+            let machine = Machine::i960kb();
+            let analyzer = Analyzer::new(&s.program, machine).unwrap();
+            let loops = analyzer.loops_needing_bounds();
+            let inferred = infer_loop_bounds(&analyzer);
+            assert_eq!(
+                inferred.len(),
+                loops.len(),
+                "seed {seed}: all counted loops inferable"
+            );
+            let est = analyzer.analyze(&inferred_annotations(&inferred)).unwrap();
+            // Soundness spot-check on a few inputs.
+            for a in [-5, 0, 7] {
+                let mut sim = Simulator::new(&s.program, machine, SimConfig::default());
+                let r = sim.run(&[a]).unwrap();
+                assert!(
+                    est.bound.lower <= r.cycles && r.cycles <= est.bound.upper,
+                    "seed {seed}, a={a}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Dominator computation (iterative dataflow, Cooper–Harvey–Kennedy style
+//! simplified to the dense bitset formulation — the CFGs here are small).
+
+use crate::graph::{BlockId, Cfg};
+
+/// Immediate-dominator-free dominator sets: `dominates(a, b)` answers
+/// whether every path from the entry to `b` passes through `a`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `sets[b]` is the bitset of blocks dominating block `b`.
+    sets: Vec<Vec<bool>>,
+}
+
+impl Dominators {
+    /// Computes dominator sets for `cfg` by round-robin iteration to a
+    /// fixed point. Every block in a [`Cfg`] is reachable, so the classic
+    /// initialisation (`dom(entry) = {entry}`, `dom(b) = all`) converges.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.num_blocks();
+        let mut sets = vec![vec![true; n]; n];
+        sets[cfg.entry.0] = vec![false; n];
+        sets[cfg.entry.0][cfg.entry.0] = true;
+
+        let preds: Vec<Vec<BlockId>> = (0..n).map(|b| cfg.predecessors(BlockId(b))).collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == cfg.entry.0 {
+                    continue;
+                }
+                // intersection of predecessors' dominator sets, plus self
+                let mut new = vec![true; n];
+                if preds[b].is_empty() {
+                    // entry-only reachable via entry edge; keep {b}
+                    new = vec![false; n];
+                } else {
+                    for p in &preds[b] {
+                        for (i, slot) in new.iter_mut().enumerate() {
+                            *slot = *slot && sets[p.0][i];
+                        }
+                    }
+                }
+                new[b] = true;
+                if new != sets[b] {
+                    sets[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { sets }
+    }
+
+    /// True if `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.sets[b.0][a.0]
+    }
+
+    /// The set of blocks dominating `b`, in index order.
+    pub fn dominators_of(&self, b: BlockId) -> Vec<BlockId> {
+        self.sets[b.0]
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| BlockId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use ipet_arch::{AluOp, AsmBuilder, Cond, FuncId, Reg};
+
+    fn while_loop_cfg() -> Cfg {
+        let mut b = AsmBuilder::new("wl");
+        let head = b.fresh_label();
+        let out = b.fresh_label();
+        b.mov(Reg::T0, Reg::A0);
+        b.bind(head);
+        b.br(Cond::Ge, Reg::T0, 10, out);
+        b.alu(AluOp::Add, Reg::T0, Reg::T0, 1);
+        b.jmp(head);
+        b.bind(out);
+        b.ret();
+        Cfg::build(FuncId(0), &b.finish().unwrap())
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let cfg = while_loop_cfg();
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.num_blocks() {
+            assert!(dom.dominates(cfg.entry, BlockId(b)));
+        }
+    }
+
+    #[test]
+    fn self_domination_is_reflexive() {
+        let cfg = while_loop_cfg();
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.num_blocks() {
+            assert!(dom.dominates(BlockId(b), BlockId(b)));
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_exit() {
+        let cfg = while_loop_cfg();
+        let dom = Dominators::compute(&cfg);
+        // B2 (index 1) is the header; B3 (index 2) the body; B4 (index 3) exit.
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let mut b = AsmBuilder::new("ite");
+        let els = b.fresh_label();
+        let join = b.fresh_label();
+        b.br(Cond::Eq, Reg::A0, 0, els);
+        b.ldc(Reg::T0, 1);
+        b.jmp(join);
+        b.bind(els);
+        b.ldc(Reg::T0, 2);
+        b.bind(join);
+        b.ret();
+        let cfg = Cfg::build(FuncId(0), &b.finish().unwrap());
+        let dom = Dominators::compute(&cfg);
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert_eq!(dom.dominators_of(BlockId(3)), vec![BlockId(0), BlockId(3)]);
+    }
+}

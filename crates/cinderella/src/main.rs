@@ -1,0 +1,387 @@
+//! `cinderella` — the timing-analysis tool of the reproduction, named
+//! after the paper's tool ("in recognition of her hard real-time
+//! constraint: she had to be back home at the stroke of midnight").
+//!
+//! ```text
+//! cinderella list
+//! cinderella cfg <benchmark|file.mc> [--entry NAME]
+//! cinderella listing <benchmark|file.mc> [--entry NAME]
+//! cinderella analyze <benchmark|file.mc> [--entry NAME]
+//!            [--annotations FILE] [--idl FILE] [--infer]
+//!            [--machine i960kb|dsp3210] [--cache-split]
+//!            [--dump-structural] [--measure]
+//! ```
+//!
+//! `cfg` prints the annotated listing: disassembly, basic blocks with
+//! their `x_i` variables and costs, the structural constraints in the
+//! paper's notation, and the loops that need bounds. `listing` prints the
+//! annotated source in the style of the paper's Fig. 5. `analyze` runs the
+//! full IPET estimation and reports the estimated bound, block costs and
+//! counts — the outputs the paper describes in §V. `--infer` derives loop
+//! bounds for counted loops automatically; `--idl` accepts Park-style IDL
+//! annotations; `--machine dsp3210` selects the paper's §VII port target.
+
+use ipet_cfg::InstanceId;
+use ipet_core::{structural_text, Analyzer, CacheMode, ContextMode, TimeBound};
+use ipet_hw::Machine;
+use ipet_sim::measure;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cinderella: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cinderella <list|cfg|listing|dot|trace|analyze> [target] [options]\n\
+     \x20 list                         list bundled benchmarks\n\
+     \x20 cfg <bench|file.mc>          print disassembly, CFG and structural constraints\n\
+     \x20 listing <bench|file.mc>      print the Fig.-5-style annotated source\n\
+     \x20 dot <bench|file.mc>          print the CFGs in Graphviz DOT syntax\n\
+     \x20 trace <bench>                print the worst-case block trace\n\
+     \x20 analyze <bench|file.mc>      estimate [t_min, t_max]\n\
+     options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
+     \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure"
+        .to_string()
+}
+
+struct Target {
+    program: ipet_arch::Program,
+    annotations: String,
+    source: Option<String>,
+    bench: Option<ipet_suite::Benchmark>,
+}
+
+fn load_target(
+    name: &str,
+    entry: Option<&str>,
+    ann_file: Option<&str>,
+    idl_file: Option<&str>,
+    optimize: bool,
+) -> Result<Target, String> {
+    let read_annotations = |fallback: String| -> Result<String, String> {
+        match (ann_file, idl_file) {
+            (Some(_), Some(_)) => Err("use --annotations or --idl, not both".into()),
+            (Some(f), None) => std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}")),
+            (None, Some(f)) => {
+                let src = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+                ipet_core::compile_idl(&src).map_err(|e| e.to_string())
+            }
+            (None, None) => Ok(fallback),
+        }
+    };
+    if name.ends_with(".mc") {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        let entry = entry.unwrap_or("main");
+        let level = if optimize { ipet_lang::OptLevel::O1 } else { ipet_lang::OptLevel::O0 };
+        let program =
+            ipet_lang::compile_with(&src, entry, level).map_err(|e| format!("{name}: {e}"))?;
+        let annotations = read_annotations(String::new())?;
+        Ok(Target { program, annotations, source: Some(src), bench: None })
+    } else if name.ends_with(".s") {
+        let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        let program = ipet_arch::parse_program(&src).map_err(|e| format!("{name}: {e}"))?;
+        let annotations = read_annotations(String::new())?;
+        Ok(Target { program, annotations, source: Some(src), bench: None })
+    } else {
+        let bench = ipet_suite::by_name(name)
+            .ok_or_else(|| format!("no benchmark named {name}; try `cinderella list`"))?;
+        let program = bench.program().map_err(|e| format!("{name}: {e}"))?;
+        let annotations = read_annotations(bench.annotations(&program))?;
+        Ok(Target {
+            program,
+            annotations,
+            source: Some(bench.source.to_string()),
+            bench: Some(bench),
+        })
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut cmd = None;
+    let mut target = None;
+    let mut entry = None;
+    let mut ann_file = None;
+    let mut idl_file = None;
+    let mut machine_name = "i960kb".to_string();
+    let mut cache_split = false;
+    let mut dump_structural = false;
+    let mut do_measure = false;
+    let mut do_infer = false;
+    let mut optimize = false;
+    let mut shared = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--entry" => entry = Some(it.next().ok_or("--entry needs a value")?.to_string()),
+            "--annotations" => {
+                ann_file = Some(it.next().ok_or("--annotations needs a value")?.to_string())
+            }
+            "--idl" => idl_file = Some(it.next().ok_or("--idl needs a value")?.to_string()),
+            "--machine" => {
+                machine_name = it.next().ok_or("--machine needs a value")?.to_string()
+            }
+            "--infer" => do_infer = true,
+            "--shared" => shared = true,
+            "-O1" => optimize = true,
+            "--cache-split" => cache_split = true,
+            "--dump-structural" => dump_structural = true,
+            "--measure" => do_measure = true,
+            _ if cmd.is_none() => cmd = Some(a.to_string()),
+            _ if target.is_none() => target = Some(a.to_string()),
+            other => return Err(format!("unexpected argument {other}\n{}", usage())),
+        }
+    }
+
+    match cmd.as_deref() {
+        Some("list") => {
+            println!("{:<16} {:>5}  description", "name", "lines");
+            for b in ipet_suite::all() {
+                println!("{:<16} {:>5}  {}", b.name, b.source_lines(), b.description);
+            }
+            Ok(())
+        }
+        Some("cfg") => {
+            let t = load_target(
+                target.as_deref().ok_or_else(usage)?,
+                entry.as_deref(),
+                ann_file.as_deref(),
+                idl_file.as_deref(),
+                optimize,
+            )?;
+            print_cfg(&t.program, &machine_name)
+        }
+        Some("trace") => {
+            let t = load_target(
+                target.as_deref().ok_or_else(usage)?,
+                entry.as_deref(),
+                ann_file.as_deref(),
+                idl_file.as_deref(),
+                optimize,
+            )?;
+            let b = t
+                .bench
+                .as_ref()
+                .ok_or("trace requires a bundled benchmark (it carries the data sets)")?;
+            let machine = machine_by_name(&machine_name)?;
+            let mut sim = ipet_sim::Simulator::new(
+                &t.program,
+                machine,
+                ipet_sim::SimConfig::default(),
+            );
+            for (name, data) in (b.worst_seeds)() {
+                sim.seed_global(name, &data).map_err(|e| e.to_string())?;
+            }
+            let (result, trace) = sim
+                .run_traced(b.args_worst, 100)
+                .map_err(|e| e.to_string())?;
+            println!("worst-case block trace (first {} of {} block entries):",
+                trace.len(),
+                result.block_counts.values().sum::<u64>());
+            for ev in &trace {
+                println!(
+                    "  cycle {:>8}  {}  x{}",
+                    ev.cycle,
+                    t.program.functions[ev.func.0].name,
+                    ev.block.0 + 1
+                );
+            }
+            println!("total: {} cycles, {} instructions", result.cycles, result.steps);
+            Ok(())
+        }
+        Some("dot") => {
+            let t = load_target(
+                target.as_deref().ok_or_else(usage)?,
+                entry.as_deref(),
+                ann_file.as_deref(),
+                idl_file.as_deref(),
+                optimize,
+            )?;
+            let analyzer =
+                Analyzer::new(&t.program, Machine::i960kb()).map_err(|e| e.to_string())?;
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..analyzer.instances().len() {
+                let cfg = analyzer.instances().cfg(InstanceId(i));
+                if seen.insert(cfg.func) {
+                    println!("{}", cfg.to_dot());
+                }
+            }
+            Ok(())
+        }
+        Some("listing") => {
+            let t = load_target(
+                target.as_deref().ok_or_else(usage)?,
+                entry.as_deref(),
+                ann_file.as_deref(),
+                idl_file.as_deref(),
+                optimize,
+            )?;
+            listing(&t)
+        }
+        Some("analyze") => {
+            let t = load_target(
+                target.as_deref().ok_or_else(usage)?,
+                entry.as_deref(),
+                ann_file.as_deref(),
+                idl_file.as_deref(),
+                optimize,
+            )?;
+            analyze(&t, &machine_name, cache_split, dump_structural, do_measure, do_infer, shared)
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn machine_by_name(name: &str) -> Result<Machine, String> {
+    Machine::by_name(name).ok_or_else(|| format!("unknown machine {name} (i960kb, dsp3210)"))
+}
+
+fn print_cfg(program: &ipet_arch::Program, machine_name: &str) -> Result<(), String> {
+    let machine = machine_by_name(machine_name)?;
+    let analyzer = Analyzer::new(program, machine).map_err(|e| e.to_string())?;
+    let instances = analyzer.instances();
+    println!("{}", ipet_arch::disassemble_program(program));
+
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..instances.len() {
+        let inst = InstanceId(i);
+        let cfg = instances.cfg(inst);
+        if !seen.insert(cfg.func) {
+            continue;
+        }
+        println!("{}", cfg.render());
+        println!("  block costs (cycles):");
+        for b in 0..cfg.num_blocks() {
+            let c = analyzer.block_cost(cfg.func, ipet_cfg::BlockId(b));
+            let blk = &cfg.blocks[b];
+            let line = program.functions[cfg.func.0]
+                .src_line(blk.start)
+                .map(|l| format!(" line {l}"))
+                .unwrap_or_default();
+            println!(
+                "    x{:<3} [{:3}..{:3}) best={:<5} worst={:<5} warm={:<5}{line}",
+                b + 1,
+                blk.start,
+                blk.end,
+                c.best,
+                c.worst_cold,
+                c.worst_warm
+            );
+        }
+        println!("{}", structural_text(instances, inst));
+    }
+
+    let loops = analyzer.loops_needing_bounds();
+    if loops.is_empty() {
+        println!("no loops: no bound annotations needed");
+    } else {
+        println!("loops needing bounds:");
+        for (f, h) in loops {
+            println!("  fn {f} {{ loop x{} in [?, ?]; }}", h.0 + 1);
+        }
+    }
+    Ok(())
+}
+
+/// Prints the Fig.-5-style annotated source: every source line that
+/// starts a basic block is prefixed with that block's x-variable.
+fn listing(t: &Target) -> Result<(), String> {
+    let source = t.source.as_deref().ok_or("no source available for listing")?;
+    let machine = Machine::i960kb();
+    let analyzer = Analyzer::new(&t.program, machine).map_err(|e| e.to_string())?;
+    let instances = analyzer.instances();
+    // line -> x-variable labels across all functions.
+    let mut marks: std::collections::BTreeMap<u32, Vec<String>> = std::collections::BTreeMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..instances.len() {
+        let cfg = instances.cfg(ipet_cfg::InstanceId(i));
+        if !seen.insert(cfg.func) {
+            continue;
+        }
+        let function = &t.program.functions[cfg.func.0];
+        for (bi, blk) in cfg.blocks.iter().enumerate() {
+            if let Some(line) = function.src_line(blk.start) {
+                marks
+                    .entry(line)
+                    .or_default()
+                    .push(format!("{}:x{}", cfg.func_name, bi + 1));
+            }
+        }
+    }
+    for (n, text) in source.lines().enumerate() {
+        let line = n as u32 + 1;
+        let mark = marks
+            .get(&line)
+            .map(|m| m.join(","))
+            .unwrap_or_default();
+        println!("{mark:>24} | {text}");
+    }
+    Ok(())
+}
+
+fn analyze(
+    t: &Target,
+    machine_name: &str,
+    cache_split: bool,
+    dump_structural: bool,
+    do_measure: bool,
+    do_infer: bool,
+    shared: bool,
+) -> Result<(), String> {
+    let machine = machine_by_name(machine_name)?;
+    let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
+    let context = if shared { ContextMode::Shared } else { ContextMode::PerCallSite };
+    let analyzer = Analyzer::new_with_context(&t.program, machine, context)
+        .map_err(|e| e.to_string())?
+        .with_cache_mode(mode);
+
+    let mut annotations = t.annotations.clone();
+    if do_infer {
+        let inferred = ipet_core::infer_loop_bounds(&analyzer);
+        if !inferred.is_empty() {
+            let text = ipet_core::inferred_annotations(&inferred);
+            println!("automatically derived loop bounds:\n{}", text.trim_end());
+            annotations.push_str(&text);
+        }
+    }
+    if !annotations.is_empty() {
+        println!("functionality constraints:\n{}", annotations.trim_end());
+    }
+    let est = analyzer.analyze(&annotations).map_err(|e| e.to_string())?;
+    print!("{}", est.render());
+
+    if dump_structural {
+        let instances = analyzer.instances();
+        for i in 0..instances.len() {
+            println!("{}", structural_text(instances, InstanceId(i)));
+        }
+    }
+
+    if do_measure {
+        let b = t
+            .bench
+            .as_ref()
+            .ok_or("--measure requires a bundled benchmark (it carries the data sets)")?;
+        let worst = measure(&t.program, machine, &(b.worst_seeds)(), b.args_worst, true)
+            .map_err(|e| e.to_string())?;
+        let best = measure(&t.program, machine, &(b.best_seeds)(), b.args_best, false)
+            .map_err(|e| e.to_string())?;
+        let measured = TimeBound { lower: best.cycles, upper: worst.cycles };
+        let calc = analyzer.calculated_bound(&best.block_counts, &worst.block_counts);
+        println!("calculated bound: [{}, {}] cycles", calc.lower, calc.upper);
+        println!("measured bound:   [{}, {}] cycles", measured.lower, measured.upper);
+        let (pl, pu) = est.bound.pessimism_against(measured);
+        println!("pessimism vs measured: [{pl:.2}, {pu:.2}]");
+        if !est.bound.encloses(measured) {
+            return Err("estimated bound does not enclose the measured bound".into());
+        }
+    }
+    Ok(())
+}

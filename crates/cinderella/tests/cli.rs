@@ -1,0 +1,263 @@
+//! End-to-end tests of the `cinderella` command-line tool.
+
+use std::process::Command;
+
+fn cinderella(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cinderella"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let (ok, stdout, _) = cinderella(&["list"]);
+    assert!(ok);
+    for b in ipet_suite::all() {
+        assert!(stdout.contains(b.name), "missing {}", b.name);
+    }
+}
+
+#[test]
+fn cfg_prints_structural_constraints() {
+    let (ok, stdout, _) = cinderella(&["cfg", "check_data"]);
+    assert!(ok);
+    assert!(stdout.contains("x1 = d1"));
+    assert!(stdout.contains("d1 = 1"));
+    assert!(stdout.contains("block costs"));
+}
+
+#[test]
+fn analyze_reports_bound_and_sets() {
+    let (ok, stdout, _) = cinderella(&["analyze", "check_data"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("estimated bound: ["));
+    assert!(stdout.contains("constraint sets: 2 total"));
+    assert!(stdout.contains("first relaxation integral: true"));
+}
+
+#[test]
+fn analyze_measure_checks_containment() {
+    let (ok, stdout, _) = cinderella(&["analyze", "piksrt", "--measure"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("measured bound"));
+    assert!(stdout.contains("pessimism vs measured"));
+}
+
+#[test]
+fn analyze_cache_split_tightens() {
+    let (_, base, _) = cinderella(&["analyze", "matgen"]);
+    let (_, split, _) = cinderella(&["analyze", "matgen", "--cache-split"]);
+    let upper = |s: &str| -> u64 {
+        let line = s.lines().find(|l| l.starts_with("estimated bound")).unwrap();
+        let inner = line.split('[').nth(1).unwrap().split(']').next().unwrap();
+        inner.split(',').nth(1).unwrap().trim().parse().unwrap()
+    };
+    assert!(upper(&split) < upper(&base));
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let (ok, _, stderr) = cinderella(&["analyze", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("no benchmark named"));
+}
+
+#[test]
+fn compiles_and_analyzes_a_source_file() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.mc");
+    std::fs::write(
+        &src,
+        "int main() { int i; int s; s = 0; for (i = 0; i < 8; i = i + 1) { s = s + i; } return s; }",
+    )
+    .unwrap();
+    let ann = dir.join("prog.ann");
+    std::fs::write(&ann, "fn main { loop x2 in [8, 8]; }").unwrap();
+    let (ok, stdout, stderr) = cinderella(&[
+        "analyze",
+        src.to_str().unwrap(),
+        "--annotations",
+        ann.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("estimated bound"));
+}
+
+#[test]
+fn missing_loop_bound_names_the_loop() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("loopy.mc");
+    std::fs::write(&src, "int main() { int i; i = 0; while (i < 10) { i = i + 1; } return i; }")
+        .unwrap();
+    let (ok, _, stderr) = cinderella(&["analyze", src.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("add loop bounds"), "{stderr}");
+}
+
+#[test]
+fn listing_marks_blocks_on_source_lines() {
+    let (ok, stdout, _) = cinderella(&["listing", "check_data"]);
+    assert!(ok);
+    assert!(stdout.contains("check_data:x1"));
+    assert!(stdout.contains("while (morecheck)"));
+}
+
+#[test]
+fn infer_derives_bounds_for_counted_loops() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("counted.mc");
+    std::fs::write(
+        &src,
+        "int main() { int i; int s; s = 0; for (i = 0; i < 12; i = i + 1) { s = s + i; } return s; }",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = cinderella(&["analyze", src.to_str().unwrap(), "--infer"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("automatically derived loop bounds"));
+    assert!(stdout.contains("loop x2 in [12, 12]"));
+    assert!(stdout.contains("estimated bound"));
+}
+
+#[test]
+fn idl_annotations_are_accepted() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let idl = dir.join("check.idl");
+    std::fs::write(
+        &idl,
+        "idl check_data {\n iterates x2 [1, 10];\n exactlyone x6 x8;\n samepath x6 x13;\n}",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) =
+        cinderella(&["analyze", "check_data", "--idl", idl.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("constraint sets: 2 total"));
+}
+
+#[test]
+fn dsp3210_machine_changes_the_bound() {
+    let upper = |s: &str| -> u64 {
+        let line = s.lines().find(|l| l.starts_with("estimated bound")).unwrap();
+        let inner = line.split('[').nth(1).unwrap().split(']').next().unwrap();
+        inner.split(',').nth(1).unwrap().trim().parse().unwrap()
+    };
+    let (_, i960, _) = cinderella(&["analyze", "fft"]);
+    let (ok, dsp, _) = cinderella(&["analyze", "fft", "--machine", "dsp3210"]);
+    assert!(ok);
+    assert_ne!(upper(&i960), upper(&dsp));
+}
+
+#[test]
+fn unknown_machine_is_rejected() {
+    let (ok, _, stderr) = cinderella(&["analyze", "fft", "--machine", "z80"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown machine"));
+}
+
+#[test]
+fn assembly_files_are_accepted() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let asm = dir.join("prog.s");
+    std::fs::write(
+        &asm,
+        ".entry main\nmain:\n ldc r8, 3\n mul rv, r8, 7\n ret\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = cinderella(&["analyze", asm.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("estimated bound"));
+}
+
+#[test]
+fn optimized_build_tightens_straight_line_wcet() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test6");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("fold.mc");
+    std::fs::write(&src, "int main() { int x; x = 2 * 3 + 4; return x * 2; }").unwrap();
+    let upper = |s: &str| -> u64 {
+        let line = s.lines().find(|l| l.starts_with("estimated bound")).unwrap();
+        let inner = line.split('[').nth(1).unwrap().split(']').next().unwrap();
+        inner.split(',').nth(1).unwrap().trim().parse().unwrap()
+    };
+    let (_, o0, _) = cinderella(&["analyze", src.to_str().unwrap()]);
+    let (ok, o1, _) = cinderella(&["analyze", src.to_str().unwrap(), "-O1"]);
+    assert!(ok);
+    assert!(upper(&o1) < upper(&o0), "O1 {} vs O0 {}", upper(&o1), upper(&o0));
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let (ok, stdout, _) = cinderella(&["dot", "check_data"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("source ->"));
+}
+
+#[test]
+fn trace_prints_block_entries() {
+    let (ok, stdout, _) = cinderella(&["trace", "piksrt"]);
+    assert!(ok);
+    assert!(stdout.contains("worst-case block trace"));
+    assert!(stdout.contains("piksrt  x1"));
+    assert!(stdout.contains("total:"));
+}
+
+#[test]
+fn shipped_sample_programs_analyze() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs");
+    let fir = root.join("fir.mc");
+    let (ok, stdout, stderr) =
+        cinderella(&["analyze", fir.to_str().unwrap(), "--entry", "fir", "--infer"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("loop x2 in [64, 64]"));
+
+    let gcd = root.join("gcd.mc");
+    let ann = root.join("gcd.ann");
+    let (ok, stdout, stderr) = cinderella(&[
+        "analyze",
+        gcd.to_str().unwrap(),
+        "--entry",
+        "gcd",
+        "--annotations",
+        ann.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("estimated bound"));
+
+    let idl = root.join("filter.idl");
+    let (ok, _, stderr) = cinderella(&[
+        "analyze",
+        fir.to_str().unwrap(),
+        "--entry",
+        "fir",
+        "--idl",
+        idl.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+}
+
+#[test]
+fn shared_formulation_gives_the_same_bound() {
+    let bound = |args: &[&str]| -> String {
+        let (ok, stdout, stderr) = cinderella(args);
+        assert!(ok, "{stderr}");
+        stdout
+            .lines()
+            .find(|l| l.starts_with("estimated bound"))
+            .unwrap()
+            .to_string()
+    };
+    let per_site = bound(&["analyze", "whetstone"]);
+    let shared = bound(&["analyze", "whetstone", "--shared"]);
+    assert_eq!(per_site, shared);
+}

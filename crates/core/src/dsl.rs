@@ -1,0 +1,773 @@
+//! The functionality-constraint annotation language.
+//!
+//! The paper lets the user state loop bounds and arbitrary (disjunctions
+//! of) linear path facts; this module provides a concrete syntax for them:
+//!
+//! ```text
+//! # check_data example (paper Fig. 5 / eqs. (14)-(17))
+//! fn check_data {
+//!     loop x2 in [1, 10];                     # eqs. (14)-(15)
+//!     (x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0);  # eq. (16)
+//!     x3 = x8;                                # eq. (17)
+//! }
+//! fn task {
+//!     x12 = x8.f1;                            # eq. (18)
+//! }
+//! ```
+//!
+//! References are function-scoped: `x3` is block `B3` of the annotated
+//! function, `d2` its second CFG edge, `f1` the flow through its first
+//! call site, and `x8.f1` block `B8` of the callee instance entered
+//! through call site `f1`. Paths chain (`x2.f1.f3`) for nested calls.
+//! `loop xH in [lo, hi]` bounds the *back-edge traversals per entry* of
+//! the loop headed at block `H` — for a top-tested (`while`/`for`) loop
+//! that equals the iteration count; for a bottom-tested (`do`/`while`)
+//! loop it is the iteration count minus one.
+
+use crate::error::AnalysisError;
+use ipet_lp::Relation;
+use std::fmt;
+
+/// What namespace a [`Ref`] lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// A basic-block execution count (`x3`).
+    X,
+    /// A CFG-edge flow (`d2`).
+    D,
+    /// A call-site flow (`f1`).
+    F,
+}
+
+/// A variable reference, possibly scoped into callees via `.fN` hops.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ref {
+    /// Namespace of the final component.
+    pub kind: RefKind,
+    /// 1-based index within the function finally reached.
+    pub index: usize,
+    /// 1-based call-site hops from the annotated function, applied left to
+    /// right before resolving `index`.
+    pub path: Vec<usize>,
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            RefKind::X => 'x',
+            RefKind::D => 'd',
+            RefKind::F => 'f',
+        };
+        write!(f, "{k}{}", self.index)?;
+        for p in &self.path {
+            write!(f, ".f{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A linear expression `Σ coeff·ref + constant` with integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Signed integer terms.
+    pub terms: Vec<(i64, Ref)>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+/// One relational atom or a parenthesised sub-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `lhs REL rhs`
+    Rel(LinExpr, Relation, LinExpr),
+    /// `( or-expression )`
+    Group(OrExpr),
+}
+
+/// Conjunction of atoms (the paper's `&`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AndExpr(pub Vec<Atom>);
+
+/// Disjunction of conjunctions (the paper's `|`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrExpr(pub Vec<AndExpr>);
+
+impl OrExpr {
+    /// Expands to disjunctive normal form: a list of conjunctive sets of
+    /// relational atoms. The paper's "set of constraint sets".
+    pub fn to_dnf(&self) -> Vec<Vec<(LinExpr, Relation, LinExpr)>> {
+        let mut out = Vec::new();
+        for and in &self.0 {
+            // Cartesian product across the atoms of the conjunction.
+            let mut sets: Vec<Vec<(LinExpr, Relation, LinExpr)>> = vec![Vec::new()];
+            for atom in &and.0 {
+                let choices: Vec<Vec<(LinExpr, Relation, LinExpr)>> = match atom {
+                    Atom::Rel(l, r, rr) => vec![vec![(l.clone(), *r, rr.clone())]],
+                    Atom::Group(or) => or.to_dnf(),
+                };
+                let mut next = Vec::with_capacity(sets.len() * choices.len());
+                for s in &sets {
+                    for c in &choices {
+                        let mut merged = s.clone();
+                        merged.extend(c.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                sets = next;
+            }
+            out.extend(sets);
+        }
+        out
+    }
+}
+
+/// One annotation statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `loop xH in [lo, hi];` — per entry, the loop headed at block `H`
+    /// traverses its back edges between `lo` and `hi` times (the iteration
+    /// count for top-tested loops; iterations minus one for `do`/`while`).
+    Loop {
+        /// Header block reference (must be `x`-kind).
+        header: Ref,
+        /// Minimum back-edge traversals per entry.
+        lo: i64,
+        /// Maximum back-edge traversals per entry.
+        hi: i64,
+    },
+    /// A (possibly disjunctive) linear constraint.
+    Cons(OrExpr),
+}
+
+/// Parsed annotation file: statements grouped by function name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Annotations {
+    /// `(function name, statements)` in file order.
+    pub functions: Vec<(String, Vec<Stmt>)>,
+}
+
+impl Annotations {
+    /// Statements attached to `func`, across all `fn` items naming it.
+    pub fn for_function(&self, func: &str) -> Vec<&Stmt> {
+        self.functions
+            .iter()
+            .filter(|(n, _)| n == func)
+            .flat_map(|(_, s)| s.iter())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Fn,
+    Loop,
+    In,
+    Ident(String),
+    Int(i64),
+    Var(RefKind, usize),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Eq,
+    Le,
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Fn => write!(f, "fn"),
+            Tok::Loop => write!(f, "loop"),
+            Tok::In => write!(f, "in"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Var(k, n) => {
+                let c = match k {
+                    RefKind::X => 'x',
+                    RefKind::D => 'd',
+                    RefKind::F => 'f',
+                };
+                write!(f, "{c}{n}")
+            }
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Amp => write!(f, "&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, AnalysisError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            '[' => {
+                toks.push((Tok::LBracket, line));
+                i += 1;
+            }
+            ']' => {
+                toks.push((Tok::RBracket, line));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, line));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, line));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, line));
+                i += 1;
+            }
+            '&' => {
+                toks.push((Tok::Amp, line));
+                i += 1;
+            }
+            '|' => {
+                toks.push((Tok::Pipe, line));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, line));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, line));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, line));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, line));
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&'=') => {
+                toks.push((Tok::Le, line));
+                i += 2;
+            }
+            '>' if bytes.get(i + 1) == Some(&'=') => {
+                toks.push((Tok::Ge, line));
+                i += 2;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: i64 = text.parse().map_err(|_| AnalysisError::Parse {
+                    line,
+                    message: format!("integer literal {text} out of range"),
+                })?;
+                toks.push((Tok::Int(n), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "fn" => Tok::Fn,
+                    "loop" => Tok::Loop,
+                    "in" => Tok::In,
+                    _ => classify_ident(&word),
+                };
+                toks.push((tok, line));
+            }
+            other => {
+                return Err(AnalysisError::Parse {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// `x12`, `d3`, `f1` become variable tokens; everything else is an
+/// identifier (function name).
+fn classify_ident(word: &str) -> Tok {
+    let mut chars = word.chars();
+    let head = chars.next().expect("nonempty word");
+    let rest: String = chars.collect();
+    if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+        if let Ok(n) = rest.parse::<usize>() {
+            let kind = match head {
+                'x' => Some(RefKind::X),
+                'd' => Some(RefKind::D),
+                'f' => Some(RefKind::F),
+                _ => None,
+            };
+            if let (Some(kind), true) = (kind, n >= 1) {
+                return Tok::Var(kind, n);
+            }
+        }
+    }
+    Tok::Ident(word.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> AnalysisError {
+        AnalysisError::Parse { line: self.line(), message: message.into() }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), AnalysisError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected {want}, found {t}"))),
+            None => Err(self.err(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn parse_file(&mut self) -> Result<Annotations, AnalysisError> {
+        let mut anns = Annotations::default();
+        while self.peek().is_some() {
+            self.expect(Tok::Fn)?;
+            let name = match self.bump() {
+                Some(Tok::Ident(n)) => n,
+                Some(Tok::Var(k, n)) => {
+                    // Allow function names that look like variables (rare).
+                    let c = match k {
+                        RefKind::X => 'x',
+                        RefKind::D => 'd',
+                        RefKind::F => 'f',
+                    };
+                    format!("{c}{n}")
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected function name, found {}",
+                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            };
+            self.expect(Tok::LBrace)?;
+            let mut stmts = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                stmts.push(self.parse_stmt()?);
+            }
+            self.expect(Tok::RBrace)?;
+            anns.functions.push((name, stmts));
+        }
+        Ok(anns)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, AnalysisError> {
+        if self.peek() == Some(&Tok::Loop) {
+            self.bump();
+            let header = self.parse_ref()?;
+            self.expect(Tok::In)?;
+            self.expect(Tok::LBracket)?;
+            let lo = self.parse_int()?;
+            self.expect(Tok::Comma)?;
+            let hi = self.parse_int()?;
+            self.expect(Tok::RBracket)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Loop { header, lo, hi });
+        }
+        let or = self.parse_or()?;
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Cons(or))
+    }
+
+    fn parse_int(&mut self) -> Result<i64, AnalysisError> {
+        let neg = if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(if neg { -n } else { n }),
+            other => Err(self.err(format!(
+                "expected integer, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<OrExpr, AnalysisError> {
+        let mut ands = vec![self.parse_and()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            ands.push(self.parse_and()?);
+        }
+        Ok(OrExpr(ands))
+    }
+
+    fn parse_and(&mut self) -> Result<AndExpr, AnalysisError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(AndExpr(atoms))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, AnalysisError> {
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            let inner = self.parse_or()?;
+            self.expect(Tok::RParen)?;
+            return Ok(Atom::Group(inner));
+        }
+        let lhs = self.parse_linexpr()?;
+        let rel = match self.bump() {
+            Some(Tok::Eq) => Relation::Eq,
+            Some(Tok::Le) => Relation::Le,
+            Some(Tok::Ge) => Relation::Ge,
+            other => {
+                return Err(self.err(format!(
+                    "expected =, <= or >=, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        let rhs = self.parse_linexpr()?;
+        Ok(Atom::Rel(lhs, rel, rhs))
+    }
+
+    fn parse_linexpr(&mut self) -> Result<LinExpr, AnalysisError> {
+        let mut expr = LinExpr { terms: Vec::new(), constant: 0 };
+        let mut sign = 1i64;
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            sign = -1;
+        }
+        loop {
+            self.parse_term(&mut expr, sign)?;
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.bump();
+                    sign = 1;
+                }
+                Some(Tok::Minus) => {
+                    self.bump();
+                    sign = -1;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_term(&mut self, expr: &mut LinExpr, sign: i64) -> Result<(), AnalysisError> {
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let n = match self.bump() {
+                    Some(Tok::Int(n)) => n,
+                    _ => unreachable!("peeked an Int"),
+                };
+                if self.peek() == Some(&Tok::Star) {
+                    self.bump();
+                    let r = self.parse_ref()?;
+                    expr.terms.push((sign * n, r));
+                } else if matches!(self.peek(), Some(Tok::Var(_, _))) {
+                    // `10 x1` shorthand.
+                    let r = self.parse_ref()?;
+                    expr.terms.push((sign * n, r));
+                } else {
+                    expr.constant += sign * n;
+                }
+                Ok(())
+            }
+            Some(Tok::Var(_, _)) => {
+                let r = self.parse_ref()?;
+                expr.terms.push((sign, r));
+                Ok(())
+            }
+            other => Err(self.err(format!(
+                "expected a term, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn parse_ref(&mut self) -> Result<Ref, AnalysisError> {
+        let (kind, index) = match self.bump() {
+            Some(Tok::Var(k, n)) => (k, n),
+            other => {
+                return Err(self.err(format!(
+                    "expected a variable reference, found {}",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        let mut path = Vec::new();
+        while self.peek() == Some(&Tok::Dot) {
+            self.bump();
+            match self.bump() {
+                Some(Tok::Var(RefKind::F, n)) => path.push(n),
+                other => {
+                    return Err(self.err(format!(
+                        "expected .fN call-site hop, found {}",
+                        other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    )))
+                }
+            }
+        }
+        // `x8.f1` in the paper reads "x8 of the callee at site f1": the
+        // written order is base-then-path, but resolution follows the path
+        // first. Keep the parsed order; resolution handles it.
+        Ok(Ref { kind, index, path })
+    }
+}
+
+/// Parses an annotation file.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Parse`] with the offending line.
+pub fn parse_annotations(src: &str) -> Result<Annotations, AnalysisError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.parse_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_check_data_annotations() {
+        let src = r#"
+            # paper Fig. 5
+            fn check_data {
+                loop x2 in [1, 10];
+                (x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0);
+                x3 = x8;
+            }
+            fn task {
+                x12 = x8.f1;
+            }
+        "#;
+        let anns = parse_annotations(src).unwrap();
+        assert_eq!(anns.functions.len(), 2);
+        let cd = anns.for_function("check_data");
+        assert_eq!(cd.len(), 3);
+        assert!(matches!(cd[0], Stmt::Loop { lo: 1, hi: 10, .. }));
+        let task = anns.for_function("task");
+        assert_eq!(task.len(), 1);
+        if let Stmt::Cons(or) = task[0] {
+            let dnf = or.to_dnf();
+            assert_eq!(dnf.len(), 1);
+            let (_, rel, rhs) = &dnf[0][0];
+            assert_eq!(*rel, Relation::Eq);
+            assert_eq!(rhs.terms[0].1, Ref { kind: RefKind::X, index: 8, path: vec![1] });
+        } else {
+            panic!("expected constraint");
+        }
+    }
+
+    #[test]
+    fn dnf_of_disjunction_has_two_sets() {
+        let src = "fn f { (x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0); }";
+        let anns = parse_annotations(src).unwrap();
+        if let Stmt::Cons(or) = &anns.functions[0].1[0] {
+            let dnf = or.to_dnf();
+            assert_eq!(dnf.len(), 2);
+            assert_eq!(dnf[0].len(), 2);
+            assert_eq!(dnf[1].len(), 2);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn nested_groups_expand() {
+        // (a | b) & (c | d) -> 4 sets.
+        let src = "fn f { (x1 = 0 | x1 = 1) & (x2 = 0 | x2 = 1); }";
+        let anns = parse_annotations(src).unwrap();
+        if let Stmt::Cons(or) = &anns.functions[0].1[0] {
+            assert_eq!(or.to_dnf().len(), 4);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn coefficients_and_constants() {
+        let src = "fn f { 2*x1 - 3*x2 + 5 <= 10 x3; }";
+        let anns = parse_annotations(src).unwrap();
+        if let Stmt::Cons(or) = &anns.functions[0].1[0] {
+            let dnf = or.to_dnf();
+            let (lhs, rel, rhs) = &dnf[0][0];
+            assert_eq!(*rel, Relation::Le);
+            assert_eq!(lhs.terms, vec![
+                (2, Ref { kind: RefKind::X, index: 1, path: vec![] }),
+                (-3, Ref { kind: RefKind::X, index: 2, path: vec![] }),
+            ]);
+            assert_eq!(lhs.constant, 5);
+            assert_eq!(rhs.terms, vec![(10, Ref { kind: RefKind::X, index: 3, path: vec![] })]);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn leading_minus_and_d_f_refs() {
+        let src = "fn f { -x1 + d2 >= f1 - 4; }";
+        let anns = parse_annotations(src).unwrap();
+        if let Stmt::Cons(or) = &anns.functions[0].1[0] {
+            let (lhs, _, rhs) = &or.to_dnf()[0][0];
+            assert_eq!(lhs.terms[0].0, -1);
+            assert_eq!(lhs.terms[1].1.kind, RefKind::D);
+            assert_eq!(rhs.terms[0].1.kind, RefKind::F);
+            assert_eq!(rhs.constant, -4);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn multi_hop_path() {
+        let src = "fn f { x2.f1.f3 = 7; }";
+        let anns = parse_annotations(src).unwrap();
+        if let Stmt::Cons(or) = &anns.functions[0].1[0] {
+            let (lhs, _, _) = &or.to_dnf()[0][0];
+            assert_eq!(lhs.terms[0].1.path, vec![1, 3]);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "fn f {\n x1 = ;\n}";
+        match parse_annotations(src) {
+            Err(AnalysisError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_character() {
+        match parse_annotations("fn f { x1 = 0 ^ x2 = 1; }") {
+            Err(AnalysisError::Parse { message, .. }) => {
+                assert!(message.contains('^'), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "# a comment\nfn f { // another\n x1 = 1; }";
+        let anns = parse_annotations(src).unwrap();
+        assert_eq!(anns.functions[0].1.len(), 1);
+    }
+
+    #[test]
+    fn x0_is_an_identifier_not_a_var() {
+        // Indices are 1-based; `x0` falls back to an identifier and fails
+        // to parse as a term.
+        assert!(parse_annotations("fn f { x0 = 1; }").is_err());
+    }
+
+    #[test]
+    fn empty_function_block_is_fine() {
+        let anns = parse_annotations("fn f { }").unwrap();
+        assert!(anns.for_function("f").is_empty());
+        assert!(anns.for_function("other").is_empty());
+    }
+
+    #[test]
+    fn ref_display_roundtrip() {
+        let r = Ref { kind: RefKind::X, index: 8, path: vec![1, 2] };
+        assert_eq!(r.to_string(), "x8.f1.f2");
+    }
+}

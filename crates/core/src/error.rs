@@ -1,0 +1,91 @@
+//! Analysis errors.
+
+use ipet_cfg::CallGraphError;
+use std::fmt;
+
+/// Errors reported by the IPET analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The program violates an IPET restriction (recursion, expansion cap).
+    CallGraph(CallGraphError),
+    /// The annotation text failed to parse: `(line, message)`.
+    Parse { line: usize, message: String },
+    /// An annotation names a function that does not exist.
+    UnknownFunction(String),
+    /// An annotation references a block/edge/site out of range.
+    BadReference { func: String, reference: String, reason: String },
+    /// A `loop` annotation names a block that is not a loop header.
+    NotALoopHeader { func: String, block: String },
+    /// A loop bound interval is empty or negative.
+    BadLoopBound { func: String, lo: i64, hi: i64 },
+    /// The WCET ILP is unbounded — some loop lacks a bound annotation.
+    /// Lists `function(block)` headers that have no bound.
+    Unbounded { unbounded_loops: Vec<String> },
+    /// Every functionality constraint set was null or infeasible.
+    AllSetsInfeasible { total: usize },
+    /// The ILP solver gave up (node limit).
+    SolverLimit,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::CallGraph(e) => write!(f, "{e}"),
+            AnalysisError::Parse { line, message } => {
+                write!(f, "annotation parse error at line {line}: {message}")
+            }
+            AnalysisError::UnknownFunction(n) => {
+                write!(f, "annotation names unknown function {n}")
+            }
+            AnalysisError::BadReference { func, reference, reason } => {
+                write!(f, "bad reference {reference} in fn {func}: {reason}")
+            }
+            AnalysisError::NotALoopHeader { func, block } => {
+                write!(f, "loop annotation in fn {func}: {block} is not a loop header")
+            }
+            AnalysisError::BadLoopBound { func, lo, hi } => {
+                write!(f, "loop bound [{lo}, {hi}] in fn {func} is not a valid interval")
+            }
+            AnalysisError::Unbounded { unbounded_loops } => {
+                write!(
+                    f,
+                    "WCET is unbounded; add loop bounds for: {}",
+                    unbounded_loops.join(", ")
+                )
+            }
+            AnalysisError::AllSetsInfeasible { total } => {
+                write!(f, "all {total} functionality constraint sets are infeasible")
+            }
+            AnalysisError::SolverLimit => write!(f, "ILP solver hit its node limit"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<CallGraphError> for AnalysisError {
+    fn from(e: CallGraphError) -> AnalysisError {
+        AnalysisError::CallGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AnalysisError::Unbounded {
+            unbounded_loops: vec!["main(B2)".into(), "fft(B4)".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("main(B2)"));
+        assert!(s.contains("fft(B4)"));
+
+        let e = AnalysisError::Parse { line: 3, message: "expected ';'".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e: AnalysisError = CallGraphError::Recursion(vec!["a".into(), "a".into()]).into();
+        assert!(e.to_string().contains("recursive"));
+    }
+}

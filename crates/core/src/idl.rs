@@ -1,0 +1,333 @@
+//! A front-end for Park-style IDL annotations.
+//!
+//! The paper compares its functionality constraints with the IDL
+//! (information description language) of Park's thesis and claims that
+//! "every construct in IDL can be translated to a disjunctive form
+//! constraint". This module demonstrates the translation constructively:
+//! a small IDL-like language is parsed and compiled into the native
+//! constraint DSL of [`crate::parse_annotations`].
+//!
+//! Supported constructs (per annotated function):
+//!
+//! ```text
+//! idl check_data {
+//!     iterates x2 [1, 10];       # loop bound
+//!     times x6 [0, 1];           # execution-count range of a statement
+//!     samepath x6 x13;           # executed together, equally often
+//!     exclusive x6 x8;           # never on the same run
+//!     exactlyone x6 x8;          # exclusive, and one of them happens
+//!     implies x4 x2;             # if x4 executes at all, so does x2
+//! }
+//! ```
+//!
+//! Every construct lowers to a conjunction or disjunction of linear
+//! constraints; `exclusive`/`exactlyone` produce the disjunctive sets the
+//! paper's eq. (16) illustrates.
+
+use crate::error::AnalysisError;
+use std::fmt::Write as _;
+
+/// One parsed IDL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdlStmt {
+    /// `iterates xH [lo, hi];`
+    Iterates { header: usize, lo: i64, hi: i64 },
+    /// `times xA [lo, hi];`
+    Times { block: usize, lo: i64, hi: i64 },
+    /// `samepath xA xB;`
+    SamePath { a: usize, b: usize },
+    /// `exclusive xA xB;`
+    Exclusive { a: usize, b: usize },
+    /// `exactlyone xA xB;`
+    ExactlyOne { a: usize, b: usize },
+    /// `implies xA xB;`
+    Implies { a: usize, b: usize },
+}
+
+/// A parsed IDL file: statements grouped by function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IdlAnnotations {
+    /// `(function, statements)` in file order.
+    pub functions: Vec<(String, Vec<IdlStmt>)>,
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<usize, AnalysisError> {
+    let err = || AnalysisError::Parse {
+        line,
+        message: format!("expected a block reference like x3, found {tok}"),
+    };
+    let rest = tok.strip_prefix('x').ok_or_else(err)?;
+    let n: usize = rest.parse().map_err(|_| err())?;
+    if n == 0 {
+        return Err(err());
+    }
+    Ok(n)
+}
+
+fn parse_range(toks: &[&str], line: usize) -> Result<(i64, i64), AnalysisError> {
+    // Accept the forms "[lo, hi]" possibly split across tokens.
+    let joined: String = toks.concat();
+    let inner = joined
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AnalysisError::Parse {
+            line,
+            message: format!("expected [lo, hi], found {joined}"),
+        })?;
+    let mut parts = inner.split(',');
+    let parse = |p: Option<&str>| -> Result<i64, AnalysisError> {
+        p.and_then(|s| s.trim().parse().ok()).ok_or(AnalysisError::Parse {
+            line,
+            message: format!("expected [lo, hi], found {joined}"),
+        })
+    };
+    let lo = parse(parts.next())?;
+    let hi = parse(parts.next())?;
+    if parts.next().is_some() {
+        return Err(AnalysisError::Parse {
+            line,
+            message: format!("expected [lo, hi], found {joined}"),
+        });
+    }
+    Ok((lo, hi))
+}
+
+/// Parses IDL text.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Parse`] with the offending line.
+pub fn parse_idl(src: &str) -> Result<IdlAnnotations, AnalysisError> {
+    let mut out = IdlAnnotations::default();
+    let mut current: Option<(String, Vec<IdlStmt>)> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        match toks[0] {
+            "idl" => {
+                if current.is_some() {
+                    return Err(AnalysisError::Parse {
+                        line,
+                        message: "nested idl blocks are not allowed".into(),
+                    });
+                }
+                if toks.len() < 2 {
+                    return Err(AnalysisError::Parse {
+                        line,
+                        message: "idl needs a function name".into(),
+                    });
+                }
+                let name = toks[1].trim_end_matches('{').to_string();
+                current = Some((name, Vec::new()));
+            }
+            "}" => {
+                let block = current.take().ok_or(AnalysisError::Parse {
+                    line,
+                    message: "unmatched closing brace".into(),
+                })?;
+                out.functions.push(block);
+            }
+            keyword => {
+                let (_, stmts) = current.as_mut().ok_or(AnalysisError::Parse {
+                    line,
+                    message: format!("{keyword} outside an idl block"),
+                })?;
+                let body = text.trim_end_matches(';');
+                let args: Vec<&str> = body.split_whitespace().skip(1).collect();
+                let stmt = match keyword {
+                    "iterates" | "times" => {
+                        if args.len() < 2 {
+                            return Err(AnalysisError::Parse {
+                                line,
+                                message: format!("{keyword} needs a block and a range"),
+                            });
+                        }
+                        let block = parse_block_ref(args[0], line)?;
+                        let (lo, hi) = parse_range(&args[1..], line)?;
+                        if lo < 0 || hi < lo {
+                            return Err(AnalysisError::Parse {
+                                line,
+                                message: format!("bad range [{lo}, {hi}]"),
+                            });
+                        }
+                        if keyword == "iterates" {
+                            IdlStmt::Iterates { header: block, lo, hi }
+                        } else {
+                            IdlStmt::Times { block, lo, hi }
+                        }
+                    }
+                    "samepath" | "exclusive" | "exactlyone" | "implies" => {
+                        if args.len() != 2 {
+                            return Err(AnalysisError::Parse {
+                                line,
+                                message: format!("{keyword} needs exactly two blocks"),
+                            });
+                        }
+                        let a = parse_block_ref(args[0], line)?;
+                        let b = parse_block_ref(args[1], line)?;
+                        match keyword {
+                            "samepath" => IdlStmt::SamePath { a, b },
+                            "exclusive" => IdlStmt::Exclusive { a, b },
+                            "exactlyone" => IdlStmt::ExactlyOne { a, b },
+                            _ => IdlStmt::Implies { a, b },
+                        }
+                    }
+                    other => {
+                        return Err(AnalysisError::Parse {
+                            line,
+                            message: format!("unknown IDL construct {other}"),
+                        })
+                    }
+                };
+                stmts.push(stmt);
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(AnalysisError::Parse {
+            line: src.lines().count(),
+            message: "unterminated idl block".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// Lowers parsed IDL to the native constraint DSL — the paper's claimed
+/// translation, made executable.
+pub fn idl_to_dsl(idl: &IdlAnnotations) -> String {
+    let mut out = String::new();
+    for (func, stmts) in &idl.functions {
+        let _ = writeln!(out, "fn {func} {{");
+        for s in stmts {
+            match s {
+                IdlStmt::Iterates { header, lo, hi } => {
+                    let _ = writeln!(out, "    loop x{header} in [{lo}, {hi}];");
+                }
+                IdlStmt::Times { block, lo, hi } => {
+                    let _ = writeln!(out, "    x{block} >= {lo};");
+                    let _ = writeln!(out, "    x{block} <= {hi};");
+                }
+                IdlStmt::SamePath { a, b } => {
+                    let _ = writeln!(out, "    x{a} = x{b};");
+                }
+                IdlStmt::Exclusive { a, b } => {
+                    let _ = writeln!(out, "    (x{a} = 0) | (x{b} = 0);");
+                }
+                IdlStmt::ExactlyOne { a, b } => {
+                    let _ = writeln!(
+                        out,
+                        "    (x{a} = 0 & x{b} >= 1) | (x{a} >= 1 & x{b} = 0);"
+                    );
+                }
+                IdlStmt::Implies { a, b } => {
+                    // "if A executes, B executes": A = 0 or B >= 1.
+                    let _ = writeln!(out, "    (x{a} = 0) | (x{b} >= 1);");
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Parses IDL text and lowers it to the native DSL in one step.
+///
+/// # Errors
+///
+/// Propagates parse errors from either language layer (the lowered text is
+/// re-parsed as a sanity check).
+pub fn compile_idl(src: &str) -> Result<String, AnalysisError> {
+    let idl = parse_idl(src)?;
+    let dsl = idl_to_dsl(&idl);
+    crate::dsl::parse_annotations(&dsl)?; // the translation must be valid DSL
+    Ok(dsl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_constructs() {
+        let idl = parse_idl(
+            "idl check_data {
+                iterates x2 [1, 10];
+                times x6 [0, 1];
+                samepath x6 x13;
+                exclusive x6 x8;
+                exactlyone x6 x8;
+                implies x4 x2;   # comment
+            }",
+        )
+        .unwrap();
+        assert_eq!(idl.functions.len(), 1);
+        assert_eq!(idl.functions[0].1.len(), 6);
+    }
+
+    #[test]
+    fn lowering_produces_disjunctions() {
+        let dsl = compile_idl(
+            "idl f {
+                exclusive x3 x5;
+                exactlyone x3 x5;
+            }",
+        )
+        .unwrap();
+        assert!(dsl.contains("(x3 = 0) | (x5 = 0);"));
+        assert!(dsl.contains("(x3 = 0 & x5 >= 1) | (x3 >= 1 & x5 = 0);"));
+    }
+
+    #[test]
+    fn range_forms_tolerate_spacing() {
+        for text in ["iterates x2 [1, 10];", "iterates x2 [1,10];", "iterates x2 [ 1 , 10 ];"] {
+            let src = format!("idl f {{\n{text}\n}}");
+            let idl = parse_idl(&src).unwrap();
+            assert_eq!(idl.functions[0].1[0], IdlStmt::Iterates { header: 2, lo: 1, hi: 10 });
+        }
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse_idl("idl f {\n bogus x1 x2;\n}").unwrap_err();
+        match err {
+            AnalysisError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_idl("idl f {\n iterates x2 [5, 1];\n}").is_err());
+        assert!(parse_idl("iterates x2 [1, 2];").is_err(), "outside a block");
+        assert!(parse_idl("idl f {").is_err(), "unterminated");
+        assert!(parse_idl("idl f {\n times y3 [1, 2];\n}").is_err(), "bad ref");
+    }
+
+    #[test]
+    fn end_to_end_idl_equals_native_dsl() {
+        // The paper's check_data constraints expressed in IDL must produce
+        // the same estimate as the native annotations.
+        use crate::estimate::Analyzer;
+        use ipet_hw::Machine;
+
+        let b = ipet_suite::by_name("check_data").unwrap();
+        let program = b.program().unwrap();
+        let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+        let native = analyzer.analyze(&b.annotations(&program)).unwrap();
+
+        let idl_src = "
+            idl check_data {
+                iterates x2 [1, 10];
+                exactlyone x6 x8;
+                samepath x6 x13;
+            }";
+        let dsl = compile_idl(idl_src).unwrap();
+        let via_idl = analyzer.analyze(&dsl).unwrap();
+        assert_eq!(via_idl.bound, native.bound);
+        assert_eq!(via_idl.sets_total, native.sets_total);
+    }
+}

@@ -1,0 +1,180 @@
+//! The ILP variable space: one `x` per (instance, block), one `d` per
+//! (instance, edge), plus the virtual cold/warm split variables used by the
+//! first-iteration cache refinement.
+
+use ipet_cfg::{BlockId, EdgeId, InstanceId, Instances};
+use ipet_lp::VarId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic reference to one ILP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarRef {
+    /// Execution count of a basic block (`x_i` in the paper).
+    Block(InstanceId, BlockId),
+    /// Flow along a CFG edge (`d_j` / `f_k` in the paper).
+    Edge(InstanceId, EdgeId),
+    /// Cold-cache executions of a loop block (first-iteration splitting).
+    SplitCold(InstanceId, BlockId),
+    /// Warm-cache executions of a loop block.
+    SplitWarm(InstanceId, BlockId),
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarRef::Block(i, b) => write!(f, "x{}@i{}", b.0 + 1, i.0),
+            VarRef::Edge(i, e) => write!(f, "d{}@i{}", e.0 + 1, i.0),
+            VarRef::SplitCold(i, b) => write!(f, "xc{}@i{}", b.0 + 1, i.0),
+            VarRef::SplitWarm(i, b) => write!(f, "xw{}@i{}", b.0 + 1, i.0),
+        }
+    }
+}
+
+/// Bidirectional mapping between [`VarRef`]s and dense LP variable ids.
+#[derive(Debug, Clone, Default)]
+pub struct VarSpace {
+    by_ref: HashMap<VarRef, VarId>,
+    refs: Vec<VarRef>,
+    labels: Vec<String>,
+}
+
+impl VarSpace {
+    /// Creates a variable space covering every block and edge of every
+    /// instance (split variables are interned on demand).
+    pub fn new(instances: &Instances) -> VarSpace {
+        let mut space = VarSpace::default();
+        for (i, _inst) in instances.instances.iter().enumerate() {
+            let inst = InstanceId(i);
+            let cfg = instances.cfg(inst);
+            for b in 0..cfg.num_blocks() {
+                space.intern(VarRef::Block(inst, BlockId(b)), &instances.instances[i].label);
+            }
+            for e in 0..cfg.num_edges() {
+                space.intern(VarRef::Edge(inst, EdgeId(e)), &instances.instances[i].label);
+            }
+        }
+        space
+    }
+
+    /// Interns a reference, returning its dense id.
+    pub fn intern(&mut self, r: VarRef, instance_label: &str) -> VarId {
+        if let Some(&id) = self.by_ref.get(&r) {
+            return id;
+        }
+        let id = VarId(self.refs.len());
+        self.by_ref.insert(r, id);
+        self.refs.push(r);
+        let short = match r {
+            VarRef::Block(_, b) => format!("x{}", b.0 + 1),
+            VarRef::Edge(_, e) => format!("d{}", e.0 + 1),
+            VarRef::SplitCold(_, b) => format!("xc{}", b.0 + 1),
+            VarRef::SplitWarm(_, b) => format!("xw{}", b.0 + 1),
+        };
+        self.labels.push(format!("{short}@{instance_label}"));
+        id
+    }
+
+    /// Looks up an already-interned reference.
+    pub fn id(&self, r: VarRef) -> Option<VarId> {
+        self.by_ref.get(&r).copied()
+    }
+
+    /// The reference behind a dense id.
+    pub fn var_ref(&self, id: VarId) -> VarRef {
+        self.refs[id.0]
+    }
+
+    /// Human-readable label of a variable (`x3@main/f1:check_data`).
+    pub fn label(&self, id: VarId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True when no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Iterates over `(VarId, VarRef)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, VarRef)> + '_ {
+        self.refs.iter().enumerate().map(|(i, &r)| (VarId(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipet_arch::{AsmBuilder, FuncId, Program};
+
+    fn two_func_instances() -> Instances {
+        let mut leaf = AsmBuilder::new("leaf");
+        leaf.ret();
+        let mut main = AsmBuilder::new("main");
+        main.call(FuncId(0));
+        main.ret();
+        let p = Program::new(
+            vec![leaf.finish().unwrap(), main.finish().unwrap()],
+            vec![],
+            FuncId(1),
+        )
+        .unwrap();
+        Instances::expand(&p, FuncId(1)).unwrap()
+    }
+
+    #[test]
+    fn covers_all_blocks_and_edges() {
+        let inst = two_func_instances();
+        let space = VarSpace::new(&inst);
+        let expected: usize = (0..inst.len())
+            .map(|i| {
+                let cfg = inst.cfg(InstanceId(i));
+                cfg.num_blocks() + cfg.num_edges()
+            })
+            .sum();
+        assert_eq!(space.len(), expected);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let inst = two_func_instances();
+        let mut space = VarSpace::new(&inst);
+        let r = VarRef::Block(InstanceId(0), BlockId(0));
+        let a = space.intern(r, "main");
+        let b = space.intern(r, "main");
+        assert_eq!(a, b);
+        assert_eq!(space.id(r), Some(a));
+    }
+
+    #[test]
+    fn labels_carry_instance_context() {
+        let inst = two_func_instances();
+        let space = VarSpace::new(&inst);
+        let labels: Vec<&str> = (0..space.len()).map(|i| space.label(VarId(i))).collect();
+        assert!(labels.iter().any(|l| l.starts_with("x1@main")));
+        assert!(labels.iter().any(|l| l.contains("f1:leaf")));
+    }
+
+    #[test]
+    fn roundtrip_id_to_ref() {
+        let inst = two_func_instances();
+        let space = VarSpace::new(&inst);
+        for (id, r) in space.iter() {
+            assert_eq!(space.id(r), Some(id));
+            assert_eq!(space.var_ref(id), r);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = VarRef::Block(InstanceId(2), BlockId(0));
+        assert_eq!(r.to_string(), "x1@i2");
+        let d = VarRef::Edge(InstanceId(0), EdgeId(3));
+        assert_eq!(d.to_string(), "d4@i0");
+    }
+}

@@ -1,0 +1,30 @@
+//! The whole analysis is deterministic: identical inputs give identical
+//! estimates, counts, breakdowns and solver statistics — a requirement for
+//! a certification-oriented tool.
+
+use ipet_core::Analyzer;
+use ipet_hw::Machine;
+
+#[test]
+fn analysis_is_deterministic_across_runs() {
+    for name in ["check_data", "dhry", "fft"] {
+        let b = ipet_suite::by_name(name).unwrap();
+        let program = b.program().unwrap();
+        let ann = b.annotations(&program);
+        let a1 = Analyzer::new(&program, Machine::i960kb()).unwrap();
+        let a2 = Analyzer::new(&program, Machine::i960kb()).unwrap();
+        let e1 = a1.analyze(&ann).unwrap();
+        let e2 = a2.analyze(&ann).unwrap();
+        assert_eq!(e1, e2, "{name}");
+        assert_eq!(e1.render(), e2.render(), "{name}");
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    for b in ipet_suite::all() {
+        let p1 = b.program().unwrap();
+        let p2 = b.program().unwrap();
+        assert_eq!(p1, p2, "{}", b.name);
+    }
+}

@@ -1,0 +1,108 @@
+//! Instruction-cache geometry shared between the static cost model and the
+//! timing simulator in `ipet-sim`.
+
+/// Geometry of a direct-mapped instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeom {
+    /// Total capacity in bytes (the i960KB has 512).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two; 16 on the i960KB — four
+    /// instructions per line).
+    pub line_bytes: u32,
+}
+
+impl CacheGeom {
+    /// Creates a geometry, checking the i960-style invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are non-zero powers of two with
+    /// `line_bytes <= size_bytes`.
+    pub fn new(size_bytes: u32, line_bytes: u32) -> CacheGeom {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(line_bytes <= size_bytes, "line larger than cache");
+        CacheGeom { size_bytes, line_bytes }
+    }
+
+    /// Number of cache lines.
+    pub fn num_lines(self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The memory line index containing byte address `addr`.
+    pub fn line_of(self, addr: u32) -> u32 {
+        addr / self.line_bytes
+    }
+
+    /// The direct-mapped cache set a memory line maps to.
+    pub fn set_of_line(self, line: u32) -> u32 {
+        line % self.num_lines()
+    }
+
+    /// Number of distinct memory lines overlapped by the byte range
+    /// `[start, end)`. Returns 0 for an empty range.
+    pub fn lines_in_range(self, start: u32, end: u32) -> u32 {
+        if end <= start {
+            return 0;
+        }
+        self.line_of(end - 1) - self.line_of(start) + 1
+    }
+
+    /// True if the byte range `[start, end)` fits in the cache without any
+    /// two of its lines mapping to the same set — i.e. once loaded, the
+    /// range is conflict-free (used to justify warm-iteration costing).
+    pub fn range_is_conflict_free(self, start: u32, end: u32) -> bool {
+        self.lines_in_range(start, end) <= self.num_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i960kb_geometry() {
+        let g = CacheGeom::new(512, 16);
+        assert_eq!(g.num_lines(), 32);
+        assert_eq!(g.line_of(0), 0);
+        assert_eq!(g.line_of(15), 0);
+        assert_eq!(g.line_of(16), 1);
+        assert_eq!(g.set_of_line(0), 0);
+        assert_eq!(g.set_of_line(32), 0);
+        assert_eq!(g.set_of_line(33), 1);
+    }
+
+    #[test]
+    fn lines_in_range_counts_partial_lines() {
+        let g = CacheGeom::new(512, 16);
+        assert_eq!(g.lines_in_range(0, 0), 0);
+        assert_eq!(g.lines_in_range(0, 1), 1);
+        assert_eq!(g.lines_in_range(0, 16), 1);
+        assert_eq!(g.lines_in_range(0, 17), 2);
+        assert_eq!(g.lines_in_range(12, 20), 2);
+        assert_eq!(g.lines_in_range(16, 32), 1);
+    }
+
+    #[test]
+    fn conflict_freedom() {
+        let g = CacheGeom::new(512, 16);
+        assert!(g.range_is_conflict_free(0, 512));
+        assert!(!g.range_is_conflict_free(0, 513));
+        // Contiguous ranges of <= num_lines lines never self-conflict in a
+        // direct-mapped cache.
+        assert!(g.range_is_conflict_free(100, 100 + 400));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        CacheGeom::new(500, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "line larger than cache")]
+    fn rejects_line_larger_than_cache() {
+        CacheGeom::new(16, 32);
+    }
+}

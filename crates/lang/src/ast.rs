@@ -1,0 +1,172 @@
+//! Mini-C abstract syntax tree.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncated)
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), yields 0 or 1.
+    Not,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Expression node.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable or named constant.
+    Var(String),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int name;` or `int name = expr;` (local scalar).
+    Decl { name: String, init: Option<Expr>, line: usize },
+    /// `name = expr;`
+    Assign { name: String, value: Expr, line: usize },
+    /// `name[index] = expr;`
+    AssignIndex { name: String, index: Expr, value: Expr, line: usize },
+    /// `if (cond) { .. } else { .. }`
+    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, line: usize },
+    /// `while (cond) { .. }`
+    While { cond: Expr, body: Vec<Stmt>, line: usize },
+    /// `do { .. } while (cond);`
+    DoWhile { body: Vec<Stmt>, cond: Expr, line: usize },
+    /// `for (init; cond; step) { .. }` — any clause may be empty.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `return;` / `return expr;`
+    Return { value: Option<Expr>, line: usize },
+    /// `break;`
+    Break { line: usize },
+    /// `continue;`
+    Continue { line: usize },
+    /// An expression evaluated for effect (a call).
+    ExprStmt { expr: Expr, line: usize },
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Decl { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::AssignIndex { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::DoWhile { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::ExprStmt { line, .. } => *line,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// 1-based source line of the signature.
+    pub line: usize,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `const NAME = 10;` — a compile-time integer constant.
+    Const { name: String, value: i64, line: usize },
+    /// `int name;` / `int name = 3;` — a global scalar.
+    GlobalScalar { name: String, init: i64, line: usize },
+    /// `int name[N];` / `int name[N] = {..};` — a global array.
+    GlobalArray { name: String, words: u32, init: Vec<i64>, line: usize },
+    /// A function definition.
+    Func(FuncDecl),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// All function declarations in order.
+    pub fn functions(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+}

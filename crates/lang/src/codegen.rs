@@ -1,0 +1,661 @@
+//! Code generation from the mini-C AST to `ipet-arch` machine code.
+//!
+//! The generator is deliberately simple and deterministic (no optimisation
+//! passes): locals live in frame slots, expressions evaluate on a register
+//! stack (`T0..`), globals are addressed off the hard-wired zero register,
+//! and all control flow lowers to compare-and-branch — producing exactly
+//! the CFG shapes the paper's figures show.
+
+use crate::ast::*;
+use crate::lexer::CompileError;
+use ipet_arch::{AluOp, AsmBuilder, Cond, FuncId, Global, Label, Program, Reg};
+use std::collections::HashMap;
+
+/// Number of expression-stack registers (`T0..`).
+fn max_temps() -> u32 {
+    Reg::temp_count() as u32
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GlobalInfo {
+    addr: u32,
+    words: u32,
+}
+
+#[derive(Debug, Default)]
+struct Ctx {
+    consts: HashMap<String, i64>,
+    globals: HashMap<String, GlobalInfo>,
+    funcs: HashMap<String, (FuncId, usize)>,
+}
+
+/// Compiles a parsed [`Module`] with `entry` as the program entry point.
+///
+/// # Errors
+///
+/// Reports semantic errors (unknown names, arity mismatches, assignment to
+/// constants, `break` outside a loop, over-deep expressions, missing entry
+/// function) with source lines.
+pub fn compile_module(module: &Module, entry: &str) -> Result<Program, CompileError> {
+    let mut ctx = Ctx::default();
+    let mut globals = Vec::new();
+    let mut next_addr = 0u32;
+
+    // Pass 1: collect consts, globals and function signatures.
+    for item in &module.items {
+        match item {
+            Item::Const { name, value, line } => {
+                if ctx.consts.insert(name.clone(), *value).is_some() {
+                    return Err(CompileError::new(*line, format!("duplicate const {name}")));
+                }
+            }
+            Item::GlobalScalar { name, init, line } => {
+                if ctx.globals.contains_key(name) {
+                    return Err(CompileError::new(*line, format!("duplicate global {name}")));
+                }
+                ctx.globals.insert(name.clone(), GlobalInfo { addr: next_addr, words: 1 });
+                globals.push(Global {
+                    name: name.clone(),
+                    addr: next_addr,
+                    words: 1,
+                    init: vec![*init as i32],
+                });
+                next_addr += 1;
+            }
+            Item::GlobalArray { name, words, init, line } => {
+                if ctx.globals.contains_key(name) {
+                    return Err(CompileError::new(*line, format!("duplicate global {name}")));
+                }
+                ctx.globals
+                    .insert(name.clone(), GlobalInfo { addr: next_addr, words: *words });
+                globals.push(Global {
+                    name: name.clone(),
+                    addr: next_addr,
+                    words: *words,
+                    init: init.iter().map(|&v| v as i32).collect(),
+                });
+                next_addr += *words;
+            }
+            Item::Func(f) => {
+                if ctx.funcs.contains_key(&f.name) {
+                    return Err(CompileError::new(
+                        f.line,
+                        format!("duplicate function {}", f.name),
+                    ));
+                }
+                let id = FuncId(ctx.funcs.len());
+                ctx.funcs.insert(f.name.clone(), (id, f.params.len()));
+            }
+        }
+    }
+
+    // Pass 2: generate code.
+    let mut functions = Vec::new();
+    for f in module.functions() {
+        functions.push(FnCg::generate(&ctx, f)?);
+    }
+
+    let (entry_id, _) = *ctx
+        .funcs
+        .get(entry)
+        .ok_or_else(|| CompileError::new(1, format!("entry function {entry} not found")))?;
+
+    Program::new(functions, globals, entry_id)
+        .map_err(|e| CompileError::new(1, format!("generated program invalid: {e}")))
+}
+
+struct FnCg<'a> {
+    ctx: &'a Ctx,
+    b: AsmBuilder,
+    locals: HashMap<String, u32>,
+    n_locals: u32,
+    depth: u32,
+    max_spill: u32,
+    /// `(break target, continue target)` per enclosing loop.
+    loop_stack: Vec<(Label, Label)>,
+}
+
+impl<'a> FnCg<'a> {
+    fn generate(ctx: &'a Ctx, f: &FuncDecl) -> Result<ipet_arch::Function, CompileError> {
+        // Collect every local (params first) into frame slots.
+        let mut locals = HashMap::new();
+        for (i, p) in f.params.iter().enumerate() {
+            if locals.insert(p.clone(), i as u32).is_some() {
+                return Err(CompileError::new(f.line, format!("duplicate parameter {p}")));
+            }
+        }
+        let mut order = f.params.len() as u32;
+        collect_locals(&f.body, &mut locals, &mut order)?;
+
+        let mut cg = FnCg {
+            ctx,
+            b: AsmBuilder::new(f.name.clone()),
+            locals,
+            n_locals: order,
+            depth: 0,
+            max_spill: 0,
+            loop_stack: Vec::new(),
+        };
+        cg.b.num_params(f.params.len() as u32);
+        cg.b.set_line(f.line as u32);
+
+        // Prologue: spill register parameters into their frame slots.
+        for i in 0..f.params.len() {
+            cg.b.st(Reg::arg(i as u8), Reg::FP, i as i32);
+        }
+        cg.stmts(&f.body)?;
+        // Implicit `return 0` (trimmed from the CFG when unreachable).
+        cg.b.ldc(Reg::RV, 0);
+        cg.b.ret();
+
+        cg.b.frame_words(cg.n_locals + cg.max_spill);
+        cg.b
+            .finish()
+            .map_err(|e| CompileError::new(f.line, format!("internal label error: {e}")))
+    }
+
+    // -- expression stack helpers ------------------------------------------
+
+    fn top(&self) -> Reg {
+        Reg::temp((self.depth - 1) as u8)
+    }
+
+    fn push_slot(&mut self, line: usize) -> Result<Reg, CompileError> {
+        if self.depth >= max_temps() {
+            return Err(CompileError::new(
+                line,
+                "expression too deeply nested for the register stack",
+            ));
+        }
+        self.depth += 1;
+        Ok(self.top())
+    }
+
+    fn pop(&mut self, n: u32) {
+        debug_assert!(self.depth >= n);
+        self.depth -= n;
+    }
+
+    fn spill_slot(&self, i: u32) -> i32 {
+        (self.n_locals + i) as i32
+    }
+
+    // -- name resolution -----------------------------------------------------
+
+    fn local(&self, name: &str) -> Option<u32> {
+        self.locals.get(name).copied()
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    /// Evaluates `e`, leaving the value in a fresh stack register.
+    fn eval(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Num(n) => {
+                let v = i32::try_from(*n)
+                    .map_err(|_| CompileError::new(e.line, format!("literal {n} out of range")))?;
+                let t = self.push_slot(e.line)?;
+                self.b.ldc(t, v);
+            }
+            ExprKind::Var(name) => {
+                if let Some(slot) = self.local(name) {
+                    let t = self.push_slot(e.line)?;
+                    self.b.ld(t, Reg::FP, slot as i32);
+                } else if let Some(&c) = self.ctx.consts.get(name) {
+                    let v = i32::try_from(c).map_err(|_| {
+                        CompileError::new(e.line, format!("constant {name} out of range"))
+                    })?;
+                    let t = self.push_slot(e.line)?;
+                    self.b.ldc(t, v);
+                } else if let Some(g) = self.ctx.globals.get(name) {
+                    if g.words != 1 {
+                        return Err(CompileError::new(
+                            e.line,
+                            format!("array {name} used without an index"),
+                        ));
+                    }
+                    let t = self.push_slot(e.line)?;
+                    self.b.ld(t, Reg::ZERO, g.addr as i32);
+                } else {
+                    return Err(CompileError::new(e.line, format!("unknown name {name}")));
+                }
+            }
+            ExprKind::Index(name, idx) => {
+                let g = *self.ctx.globals.get(name).ok_or_else(|| {
+                    CompileError::new(e.line, format!("unknown array {name}"))
+                })?;
+                self.eval(idx)?;
+                let t = self.top();
+                self.b.ld(t, t, g.addr as i32);
+            }
+            ExprKind::Call(name, args) => {
+                self.call(name, args, e.line)?;
+            }
+            ExprKind::Unary(op, inner) => match op {
+                UnOp::Neg => {
+                    self.eval(inner)?;
+                    let t = self.top();
+                    self.b.alu(AluOp::Sub, t, Reg::ZERO, t);
+                }
+                UnOp::Not => {
+                    self.boolean_value(e)?;
+                }
+            },
+            ExprKind::Binary(op, lhs, rhs) => match op {
+                BinOp::LAnd | BinOp::LOr | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                | BinOp::Eq | BinOp::Ne => {
+                    self.boolean_value(e)?;
+                }
+                _ => {
+                    let alu = match op {
+                        BinOp::Add => AluOp::Add,
+                        BinOp::Sub => AluOp::Sub,
+                        BinOp::Mul => AluOp::Mul,
+                        BinOp::Div => AluOp::Div,
+                        BinOp::Rem => AluOp::Rem,
+                        BinOp::And => AluOp::And,
+                        BinOp::Or => AluOp::Or,
+                        BinOp::Xor => AluOp::Xor,
+                        BinOp::Shl => AluOp::Shl,
+                        BinOp::Shr => AluOp::Shr,
+                        _ => unreachable!("comparison handled above"),
+                    };
+                    self.eval(lhs)?;
+                    self.eval(rhs)?;
+                    let r = self.top();
+                    self.pop(1);
+                    let l = self.top();
+                    self.b.alu(alu, l, l, r);
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Materialises a boolean expression as 0/1 in a fresh register.
+    fn boolean_value(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let lt = self.b.fresh_label();
+        let lf = self.b.fresh_label();
+        let join = self.b.fresh_label();
+        self.branch(e, lt, lf)?;
+        let t = self.push_slot(e.line)?;
+        self.b.bind(lt);
+        self.b.ldc(t, 1);
+        self.b.jmp(join);
+        self.b.bind(lf);
+        self.b.ldc(t, 0);
+        self.b.bind(join);
+        Ok(())
+    }
+
+    /// Compiles `e` as a condition: jumps to `lt` when true, `lf` when
+    /// false. Both labels are left unbound for the caller.
+    fn branch(&mut self, e: &Expr, lt: Label, lf: Label) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Binary(op, lhs, rhs)
+                if matches!(
+                    op,
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+                ) =>
+            {
+                let cond = match op {
+                    BinOp::Lt => Cond::Lt,
+                    BinOp::Le => Cond::Le,
+                    BinOp::Gt => Cond::Gt,
+                    BinOp::Ge => Cond::Ge,
+                    BinOp::Eq => Cond::Eq,
+                    BinOp::Ne => Cond::Ne,
+                    _ => unreachable!(),
+                };
+                self.eval(lhs)?;
+                self.eval(rhs)?;
+                let r = self.top();
+                self.pop(1);
+                let l = self.top();
+                self.pop(1);
+                self.b.br(cond, l, r, lt);
+                self.b.jmp(lf);
+            }
+            ExprKind::Binary(BinOp::LAnd, lhs, rhs) => {
+                let mid = self.b.fresh_label();
+                self.branch(lhs, mid, lf)?;
+                self.b.bind(mid);
+                self.branch(rhs, lt, lf)?;
+            }
+            ExprKind::Binary(BinOp::LOr, lhs, rhs) => {
+                let mid = self.b.fresh_label();
+                self.branch(lhs, lt, mid)?;
+                self.b.bind(mid);
+                self.branch(rhs, lt, lf)?;
+            }
+            ExprKind::Unary(UnOp::Not, inner) => {
+                self.branch(inner, lf, lt)?;
+            }
+            _ => {
+                self.eval(e)?;
+                let t = self.top();
+                self.pop(1);
+                self.b.br(Cond::Ne, t, 0, lt);
+                self.b.jmp(lf);
+            }
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], line: usize) -> Result<(), CompileError> {
+        let (id, arity) = *self
+            .ctx
+            .funcs
+            .get(name)
+            .ok_or_else(|| CompileError::new(line, format!("unknown function {name}")))?;
+        if args.len() != arity {
+            return Err(CompileError::new(
+                line,
+                format!("{name} takes {arity} arguments, {} given", args.len()),
+            ));
+        }
+        let base = self.depth;
+        for a in args {
+            self.eval(a)?;
+        }
+        // Save the live expression stack below the arguments: the callee
+        // clobbers every temp register.
+        self.max_spill = self.max_spill.max(base);
+        for i in 0..base {
+            self.b.st(Reg::temp(i as u8), Reg::FP, self.spill_slot(i));
+        }
+        for (i, _) in args.iter().enumerate() {
+            self.b.mov(Reg::arg(i as u8), Reg::temp((base + i as u32) as u8));
+        }
+        self.b.call(id);
+        self.pop(args.len() as u32);
+        let t = self.push_slot(line)?;
+        self.b.mov(t, Reg::RV);
+        for i in 0..base {
+            self.b.ld(Reg::temp(i as u8), Reg::FP, self.spill_slot(i));
+        }
+        Ok(())
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn store_local(&mut self, name: &str, line: usize) -> Result<(), CompileError> {
+        // Value on top of the stack; consume it.
+        let t = self.top();
+        if let Some(slot) = self.local(name) {
+            self.b.st(t, Reg::FP, slot as i32);
+        } else if self.ctx.consts.contains_key(name) {
+            return Err(CompileError::new(line, format!("cannot assign to constant {name}")));
+        } else if let Some(g) = self.ctx.globals.get(name) {
+            if g.words != 1 {
+                return Err(CompileError::new(
+                    line,
+                    format!("array {name} assigned without an index"),
+                ));
+            }
+            self.b.st(t, Reg::ZERO, g.addr as i32);
+        } else {
+            return Err(CompileError::new(line, format!("unknown name {name}")));
+        }
+        self.pop(1);
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        self.b.set_line(s.line() as u32);
+        match s {
+            Stmt::Decl { name, init, .. } => {
+                if let Some(e) = init {
+                    self.eval(e)?;
+                    let slot = self.local(name).expect("collected in pass 1");
+                    let t = self.top();
+                    self.b.st(t, Reg::FP, slot as i32);
+                    self.pop(1);
+                }
+            }
+            Stmt::Assign { name, value, line } => {
+                self.eval(value)?;
+                self.store_local(name, *line)?;
+            }
+            Stmt::AssignIndex { name, index, value, line } => {
+                let g = *self
+                    .ctx
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(*line, format!("unknown array {name}")))?;
+                self.eval(index)?;
+                self.eval(value)?;
+                let v = self.top();
+                self.pop(1);
+                let idx = self.top();
+                self.pop(1);
+                self.b.st(v, idx, g.addr as i32);
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                let lt = self.b.fresh_label();
+                let lf = self.b.fresh_label();
+                self.branch(cond, lt, lf)?;
+                self.b.bind(lt);
+                self.stmts(then_branch)?;
+                if else_branch.is_empty() {
+                    self.b.bind(lf);
+                } else {
+                    let join = self.b.fresh_label();
+                    self.b.jmp(join);
+                    self.b.bind(lf);
+                    self.stmts(else_branch)?;
+                    self.b.bind(join);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                let head = self.b.fresh_label();
+                let lt = self.b.fresh_label();
+                let lf = self.b.fresh_label();
+                self.b.bind(head);
+                self.branch(cond, lt, lf)?;
+                self.b.bind(lt);
+                self.loop_stack.push((lf, head));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.b.jmp(head);
+                self.b.bind(lf);
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let top = self.b.fresh_label();
+                let check = self.b.fresh_label();
+                let exit = self.b.fresh_label();
+                self.b.bind(top);
+                self.loop_stack.push((exit, check));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.b.bind(check);
+                self.branch(cond, top, exit)?;
+                self.b.bind(exit);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.b.fresh_label();
+                let lt = self.b.fresh_label();
+                let lf = self.b.fresh_label();
+                let cont = self.b.fresh_label();
+                self.b.bind(head);
+                match cond {
+                    Some(c) => self.branch(c, lt, lf)?,
+                    None => {
+                        self.b.jmp(lt);
+                    }
+                }
+                self.b.bind(lt);
+                self.loop_stack.push((lf, cont));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.b.bind(cont);
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.b.jmp(head);
+                self.b.bind(lf);
+            }
+            Stmt::Return { value, .. } => {
+                match value {
+                    Some(e) => {
+                        self.eval(e)?;
+                        let t = self.top();
+                        self.pop(1);
+                        self.b.mov(Reg::RV, t);
+                    }
+                    None => {
+                        self.b.ldc(Reg::RV, 0);
+                    }
+                }
+                self.b.ret();
+            }
+            Stmt::Break { line } => {
+                let (brk, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "break outside a loop"))?;
+                self.b.jmp(brk);
+            }
+            Stmt::Continue { line } => {
+                let (_, cont) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "continue outside a loop"))?;
+                self.b.jmp(cont);
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                self.eval(expr)?;
+                self.pop(1);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_locals(
+    body: &[Stmt],
+    locals: &mut HashMap<String, u32>,
+    next: &mut u32,
+) -> Result<(), CompileError> {
+    for s in body {
+        match s {
+            Stmt::Decl { name, line, .. } => {
+                if locals.insert(name.clone(), *next).is_some() {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("duplicate local {name} (shadowing is not supported)"),
+                    ));
+                }
+                *next += 1;
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_locals(then_branch, locals, next)?;
+                collect_locals(else_branch, locals, next)?;
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                collect_locals(body, locals, next)?;
+            }
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    collect_locals(std::slice::from_ref(i), locals, next)?;
+                }
+                if let Some(st) = step {
+                    collect_locals(std::slice::from_ref(st), locals, next)?;
+                }
+                collect_locals(body, locals, next)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn compile(src: &str, entry: &str) -> Result<Program, CompileError> {
+        compile_module(&parse_module(src).unwrap(), entry)
+    }
+
+    #[test]
+    fn globals_get_distinct_addresses() {
+        let p = compile("int a; int b[3]; int c; int main() { return 0; }", "main").unwrap();
+        let a = p.global_by_name("a").unwrap();
+        let b = p.global_by_name("b").unwrap();
+        let c = p.global_by_name("c").unwrap();
+        assert_eq!(a.addr, 0);
+        assert_eq!(b.addr, 1);
+        assert_eq!(b.words, 3);
+        assert_eq!(c.addr, 4);
+    }
+
+    #[test]
+    fn entry_resolution() {
+        let p = compile("int f() { return 1; } int g() { return 2; }", "g").unwrap();
+        assert_eq!(p.entry_function().name, "g");
+        assert!(compile("int f() { return 1; }", "zzz").is_err());
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(compile("int f() { return x; }", "f").unwrap_err().message.contains("unknown"));
+        assert!(compile("int f() { break; }", "f").unwrap_err().message.contains("break"));
+        assert!(compile("const C = 1; int f() { C = 2; return 0; }", "f")
+            .unwrap_err()
+            .message
+            .contains("constant"));
+        assert!(compile("int f(int a) { return f(1, 2); }", "f")
+            .unwrap_err()
+            .message
+            .contains("arguments"));
+        assert!(compile("int f() { int a; int a; return 0; }", "f")
+            .unwrap_err()
+            .message
+            .contains("duplicate local"));
+        assert!(compile("int a[2]; int f() { return a; }", "f")
+            .unwrap_err()
+            .message
+            .contains("index"));
+    }
+
+    #[test]
+    fn frame_sizes_cover_locals() {
+        let p = compile(
+            "int f(int a, int b) { int c; int d = 1; return a + b + d; }",
+            "f",
+        )
+        .unwrap();
+        assert!(p.functions[0].frame_words >= 4);
+        assert_eq!(p.functions[0].num_params, 2);
+    }
+
+    #[test]
+    fn programs_validate() {
+        let p = compile(
+            "int N = 5;
+             int sq(int x) { return x * x; }
+             int main() {
+                 int s = 0;
+                 int i;
+                 for (i = 0; i < N; i = i + 1) { s = s + sq(i); }
+                 return s;
+             }",
+            "main",
+        )
+        .unwrap();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.functions.len(), 2);
+    }
+}

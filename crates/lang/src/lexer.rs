@@ -1,0 +1,433 @@
+//! Mini-C lexer.
+
+use std::fmt;
+
+/// A compilation failure with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    // keywords
+    Int,
+    Const,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    // literals / names
+    Ident(String),
+    Num(i64),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    // operators
+    Plus,
+    PlusEq,
+    PlusPlus,
+    Minus,
+    MinusEq,
+    MinusMinus,
+    Star,
+    StarEq,
+    Slash,
+    SlashEq,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Not,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Int => "int",
+            Tok::Const => "const",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::Do => "do",
+            Tok::For => "for",
+            Tok::Return => "return",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::Ident(s) => return write!(f, "{s}"),
+            Tok::Num(n) => return write!(f, "{n}"),
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Assign => "=",
+            Tok::Plus => "+",
+            Tok::PlusEq => "+=",
+            Tok::PlusPlus => "++",
+            Tok::Minus => "-",
+            Tok::MinusEq => "-=",
+            Tok::MinusMinus => "--",
+            Tok::Star => "*",
+            Tok::StarEq => "*=",
+            Tok::Slash => "/",
+            Tok::SlashEq => "/=",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::AmpAmp => "&&",
+            Tok::Pipe => "|",
+            Tok::PipePipe => "||",
+            Tok::Caret => "^",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            Tok::Not => "!",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tokenizes mini-C source; comments are `//` and `/* ... */`.
+pub(crate) fn lex(src: &str) -> Result<Vec<(Tok, usize)>, CompileError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                loop {
+                    match (chars.get(i), chars.get(i + 1)) {
+                        (Some('*'), Some('/')) => {
+                            i += 2;
+                            break;
+                        }
+                        (Some('\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        (Some(_), _) => i += 1,
+                        (None, _) => {
+                            return Err(CompileError::new(line, "unterminated block comment"))
+                        }
+                    }
+                }
+            }
+            '(' => {
+                out.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, line));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, line));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, line));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, line));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, line));
+                i += 1;
+            }
+            '+' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Tok::PlusEq, line));
+                    i += 2;
+                }
+                Some('+') => {
+                    out.push((Tok::PlusPlus, line));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Plus, line));
+                    i += 1;
+                }
+            },
+            '-' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Tok::MinusEq, line));
+                    i += 2;
+                }
+                Some('-') => {
+                    out.push((Tok::MinusMinus, line));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Minus, line));
+                    i += 1;
+                }
+            },
+            '*' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::StarEq, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Star, line));
+                    i += 1;
+                }
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::SlashEq, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Slash, line));
+                    i += 1;
+                }
+            }
+            '%' => {
+                out.push((Tok::Percent, line));
+                i += 1;
+            }
+            '^' => {
+                out.push((Tok::Caret, line));
+                i += 1;
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    out.push((Tok::AmpAmp, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Amp, line));
+                    i += 1;
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    out.push((Tok::PipePipe, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Pipe, line));
+                    i += 1;
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Tok::Le, line));
+                    i += 2;
+                }
+                Some('<') => {
+                    out.push((Tok::Shl, line));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Lt, line));
+                    i += 1;
+                }
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push((Tok::Ge, line));
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push((Tok::Shr, line));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Tok::Gt, line));
+                    i += 1;
+                }
+            },
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::EqEq, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Assign, line));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::Ne, line));
+                    i += 2;
+                } else {
+                    out.push((Tok::Not, line));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(line, format!("bad integer {text}")))?;
+                out.push((Tok::Num(n), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let tok = match word.as_str() {
+                    "int" => Tok::Int,
+                    "const" => Tok::Const,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "do" => Tok::Do,
+                    "for" => Tok::For,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    _ => Tok::Ident(word),
+                };
+                out.push((tok, line));
+            }
+            other => {
+                return Err(CompileError::new(line, format!("unexpected character {other:?}")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int x while whilex"),
+            vec![
+                Tok::Int,
+                Tok::Ident("x".into()),
+                Tok::While,
+                Tok::Ident("whilex".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("<= >= == != && || << >> < > = ! & |"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Not,
+                Tok::Amp,
+                Tok::Pipe
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let tokens = lex("a // one\n/* two\nthree */ b").unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(tokens[0].1, 1);
+        assert_eq!(tokens[1].1, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0 42 123456789"), vec![Tok::Num(0), Tok::Num(42), Tok::Num(123456789)]);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+        assert_eq!(err.line, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! # ipet-lang
+//!
+//! `mcc` — a mini-C frontend and code generator targeting the
+//! [`ipet_arch`] instruction set. The paper analyses i960 executables
+//! produced by a C compiler; this crate plays that compiler's role so the
+//! benchmark suite can be written at the source level ("the high-level
+//! language program is the right place to provide useful annotations ...
+//! the final analysis must be performed on the assembly language
+//! program").
+//!
+//! ## Language
+//!
+//! A deterministic, analysis-friendly C subset:
+//!
+//! * `int` scalars (32-bit) and global `int` arrays;
+//! * `const NAME = <int>;` compile-time constants;
+//! * functions of up to four `int` parameters returning `int`;
+//! * `if`/`else`, `while`, `do`/`while`, `for`, `break`, `continue`,
+//!   `return`;
+//! * compound assignment (`+=`, `-=`, `*=`, `/=`) and statement-position
+//!   increment/decrement (`i++`, `++i`, `i--`, `--i`);
+//! * expressions with the usual C operators, including short-circuit
+//!   `&&`/`||` (compiled to branches, exactly the CFG shapes of the
+//!   paper's figures).
+//!
+//! There are no pointers, no recursion and no dynamic allocation — the
+//! decidability restrictions the paper adopts (§II).
+//!
+//! ## Example
+//!
+//! ```
+//! use ipet_lang::compile;
+//!
+//! let program = compile(
+//!     "int twice(int x) { return 2 * x; }
+//!      int main() { return twice(21); }",
+//!     "main",
+//! ).unwrap();
+//! assert_eq!(program.functions.len(), 2);
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod opt;
+mod parser;
+
+pub use ast::{BinOp, Expr, ExprKind, FuncDecl, Item, Module, Stmt, UnOp};
+pub use codegen::compile_module;
+pub use opt::{optimize_function, optimize_program, OptLevel};
+pub use lexer::CompileError;
+pub use parser::parse_module;
+
+use ipet_arch::Program;
+
+/// Compiles mini-C source into an executable [`Program`] with `entry` as
+/// the analysed/executed routine, without optimisation ([`OptLevel::O0`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying the source line for lexing, parsing,
+/// semantic and code-generation failures (including an unknown entry name).
+pub fn compile(source: &str, entry: &str) -> Result<Program, CompileError> {
+    compile_with(source, entry, OptLevel::O0)
+}
+
+/// Compiles with an explicit optimisation level.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with(source: &str, entry: &str, level: OptLevel) -> Result<Program, CompileError> {
+    let module = parse_module(source)?;
+    let mut program = compile_module(&module, entry)?;
+    if level == OptLevel::O1 {
+        optimize_program(&mut program);
+    }
+    Ok(program)
+}

@@ -1,0 +1,679 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::lexer::{lex, CompileError, Tok};
+
+/// Parses a source file into a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with the offending line.
+pub fn parse_module(src: &str) -> Result<Module, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, consts: Vec::new() };
+    p.module()
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    /// Constants seen so far, for folding array sizes and initializers.
+    consts: Vec<(String, i64)>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg.into())
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.err(format!("expected `{want}`, found end of file"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected identifier, found `{t}`"))),
+            None => Err(self.err("expected identifier, found end of file")),
+        }
+    }
+
+    fn const_value(&self, name: &str) -> Option<i64> {
+        self.consts.iter().rev().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A compile-time integer: literal, named constant, or unary minus.
+    fn const_int(&mut self) -> Result<i64, CompileError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(Tok::Minus) => Ok(-self.const_int()?),
+            Some(Tok::Ident(name)) => self
+                .const_value(&name)
+                .ok_or_else(|| self.err(format!("`{name}` is not a known constant"))),
+            other => Err(self.err(format!(
+                "expected a constant integer, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of file".into())
+            ))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, CompileError> {
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            match self.peek() {
+                Some(Tok::Const) => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(Tok::Assign)?;
+                    let value = self.const_int()?;
+                    self.expect(Tok::Semi)?;
+                    self.consts.push((name.clone(), value));
+                    items.push(Item::Const { name, value, line });
+                }
+                Some(Tok::Int) => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    match self.peek() {
+                        Some(Tok::LParen) => {
+                            items.push(Item::Func(self.func_rest(name, line)?));
+                        }
+                        Some(Tok::LBracket) => {
+                            self.bump();
+                            let words = self.const_int()?;
+                            if words <= 0 {
+                                return Err(self.err("array size must be positive"));
+                            }
+                            self.expect(Tok::RBracket)?;
+                            let mut init = Vec::new();
+                            if self.peek() == Some(&Tok::Assign) {
+                                self.bump();
+                                self.expect(Tok::LBrace)?;
+                                if self.peek() != Some(&Tok::RBrace) {
+                                    loop {
+                                        init.push(self.const_int()?);
+                                        if self.peek() == Some(&Tok::Comma) {
+                                            self.bump();
+                                        } else {
+                                            break;
+                                        }
+                                    }
+                                }
+                                self.expect(Tok::RBrace)?;
+                            }
+                            self.expect(Tok::Semi)?;
+                            if init.len() as i64 > words {
+                                return Err(self.err("more initializers than array elements"));
+                            }
+                            items.push(Item::GlobalArray {
+                                name,
+                                words: words as u32,
+                                init,
+                                line,
+                            });
+                        }
+                        _ => {
+                            let mut init = 0i64;
+                            if self.peek() == Some(&Tok::Assign) {
+                                self.bump();
+                                init = self.const_int()?;
+                            }
+                            self.expect(Tok::Semi)?;
+                            items.push(Item::GlobalScalar { name, init, line });
+                        }
+                    }
+                }
+                Some(t) => {
+                    return Err(self.err(format!("expected `int` or `const` item, found `{t}`")))
+                }
+                None => break,
+            }
+        }
+        Ok(Module { items })
+    }
+
+    fn func_rest(&mut self, name: String, line: usize) -> Result<FuncDecl, CompileError> {
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                self.expect(Tok::Int)?;
+                params.push(self.ident()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        if params.len() > 4 {
+            return Err(self.err("functions take at most four parameters"));
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// A statement or a `{ ... }` block flattened into statements.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Int) => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if self.peek() == Some(&Tok::Assign) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Decl { name, init, line })
+            }
+            Some(Tok::If) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch = if self.peek() == Some(&Tok::Else) {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, line })
+            }
+            Some(Tok::While) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Some(Tok::Do) => {
+                self.bump();
+                let body = self.stmt_or_block()?;
+                self.expect(Tok::While)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, line })
+            }
+            Some(Tok::For) => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.peek() == Some(&Tok::Semi) {
+                    self.bump();
+                    None
+                } else {
+                    let s = self.simple_stmt()?; // consumes the `;`
+                    Some(Box::new(s))
+                };
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.assign_like()?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Some(Tok::Return) => {
+                self.bump();
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Some(Tok::Break) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Some(Tok::Continue) => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => self.simple_stmt(),
+        }
+    }
+
+    /// Assignment / declaration-free statement ending in `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.peek() == Some(&Tok::Int) {
+            // allow `for (int i = 0; ...)`
+            let line = self.line();
+            self.bump();
+            let name = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let init = Some(self.expr()?);
+            self.expect(Tok::Semi)?;
+            return Ok(Stmt::Decl { name, init, line });
+        }
+        let s = self.assign_like()?;
+        self.expect(Tok::Semi)?;
+        Ok(s)
+    }
+
+    /// Assignment or expression statement, without the trailing `;`
+    /// (used by `for` steps).
+    fn assign_like(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        // Lookahead: IDENT `=` / IDENT `[` ... `]` `=` are assignments.
+        if let (Some(Tok::Ident(name)), Some(next)) = (self.peek().cloned(), self.peek2()) {
+            let desugar = |op: BinOp, name: &str, rhs: Expr, line: usize| Stmt::Assign {
+                name: name.to_string(),
+                value: Expr {
+                    kind: ExprKind::Binary(
+                        op,
+                        Box::new(Expr { kind: ExprKind::Var(name.to_string()), line }),
+                        Box::new(rhs),
+                    ),
+                    line,
+                },
+                line,
+            };
+            match next {
+                Tok::Assign => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { name, value, line });
+                }
+                Tok::PlusEq | Tok::MinusEq | Tok::StarEq | Tok::SlashEq => {
+                    let op = match next {
+                        Tok::PlusEq => BinOp::Add,
+                        Tok::MinusEq => BinOp::Sub,
+                        Tok::StarEq => BinOp::Mul,
+                        _ => BinOp::Div,
+                    };
+                    self.bump();
+                    self.bump();
+                    let rhs = self.expr()?;
+                    return Ok(desugar(op, &name, rhs, line));
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    let op = if *next == Tok::PlusPlus { BinOp::Add } else { BinOp::Sub };
+                    self.bump();
+                    self.bump();
+                    return Ok(desugar(op, &name, Expr { kind: ExprKind::Num(1), line }, line));
+                }
+                Tok::LBracket => {
+                    // Could be `a[i] = v` or the expression `a[i]` — scan
+                    // for the matching `]` and check for `=`.
+                    let save = self.pos;
+                    self.bump(); // ident
+                    self.bump(); // [
+                    let mut depth = 1usize;
+                    let mut scan = self.pos;
+                    while depth > 0 {
+                        match self.toks.get(scan).map(|(t, _)| t) {
+                            Some(Tok::LBracket) => depth += 1,
+                            Some(Tok::RBracket) => depth -= 1,
+                            Some(_) => {}
+                            None => return Err(self.err("unterminated index")),
+                        }
+                        scan += 1;
+                    }
+                    if self.toks.get(scan).map(|(t, _)| t) == Some(&Tok::Assign) {
+                        let index = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        self.expect(Tok::Assign)?;
+                        let value = self.expr()?;
+                        return Ok(Stmt::AssignIndex { name, index, value, line });
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        // Prefix increment/decrement as a statement: ++i; / --i;
+        if matches!(self.peek(), Some(Tok::PlusPlus) | Some(Tok::MinusMinus)) {
+            let op = if self.peek() == Some(&Tok::PlusPlus) { BinOp::Add } else { BinOp::Sub };
+            self.bump();
+            let name = self.ident()?;
+            return Ok(Stmt::Assign {
+                name: name.clone(),
+                value: Expr {
+                    kind: ExprKind::Binary(
+                        op,
+                        Box::new(Expr { kind: ExprKind::Var(name), line }),
+                        Box::new(Expr { kind: ExprKind::Num(1), line }),
+                    ),
+                    line,
+                },
+                line,
+            });
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::ExprStmt { expr, line })
+    }
+
+    // Expression parsing: precedence climbing.
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Tok::PipePipe) => (BinOp::LOr, 1),
+                Some(Tok::AmpAmp) => (BinOp::LAnd, 2),
+                Some(Tok::Pipe) => (BinOp::Or, 3),
+                Some(Tok::Caret) => (BinOp::Xor, 4),
+                Some(Tok::Amp) => (BinOp::And, 5),
+                Some(Tok::EqEq) => (BinOp::Eq, 6),
+                Some(Tok::Ne) => (BinOp::Ne, 6),
+                Some(Tok::Lt) => (BinOp::Lt, 7),
+                Some(Tok::Le) => (BinOp::Le, 7),
+                Some(Tok::Gt) => (BinOp::Gt, 7),
+                Some(Tok::Ge) => (BinOp::Ge, 7),
+                Some(Tok::Shl) => (BinOp::Shl, 8),
+                Some(Tok::Shr) => (BinOp::Shr, 8),
+                Some(Tok::Plus) => (BinOp::Add, 9),
+                Some(Tok::Minus) => (BinOp::Sub, 9),
+                Some(Tok::Star) => (BinOp::Mul, 10),
+                Some(Tok::Slash) => (BinOp::Div, 10),
+                Some(Tok::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)), line })
+            }
+            Some(Tok::Not) => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(inner)), line })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr { kind: ExprKind::Num(n), line }),
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                }
+                Some(Tok::LBracket) => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr { kind: ExprKind::Index(name, Box::new(idx)), line })
+                }
+                _ => Ok(Expr { kind: ExprKind::Var(name), line }),
+            },
+            other => Err(CompileError::new(
+                line,
+                format!(
+                    "expected an expression, found `{}`",
+                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of file".into())
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_consts_and_functions() {
+        let m = parse_module(
+            "const N = 4;
+             int total = 7;
+             int data[N] = {1, 2, 3};
+             int f(int a, int b) { return a + b; }",
+        )
+        .unwrap();
+        assert_eq!(m.items.len(), 4);
+        assert!(matches!(m.items[0], Item::Const { value: 4, .. }));
+        assert!(matches!(m.items[1], Item::GlobalScalar { init: 7, .. }));
+        match &m.items[2] {
+            Item::GlobalArray { words, init, .. } => {
+                assert_eq!(*words, 4);
+                assert_eq!(init, &vec![1, 2, 3]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.functions().count(), 1);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let m = parse_module("int f() { return 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let f = m.functions().next().unwrap();
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
+        // && at the top
+        let ExprKind::Binary(BinOp::LAnd, l, r) = &e.kind else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(l.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        let m = parse_module(
+            "int g;
+             int a[8];
+             int f(int n) {
+                 int i;
+                 for (i = 0; i < n; i = i + 1) {
+                     a[i] = i;
+                     if (a[i] > 3) break; else continue;
+                 }
+                 do { g = g - 1; } while (g > 0);
+                 while (n) { n = n - 1; }
+                 f(0);
+                 return g;
+             }",
+        )
+        .unwrap();
+        let f = m.functions().next().unwrap();
+        assert_eq!(f.body.len(), 6);
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+        assert!(matches!(f.body[2], Stmt::DoWhile { .. }));
+        assert!(matches!(f.body[4], Stmt::ExprStmt { .. }));
+    }
+
+    #[test]
+    fn for_with_decl_init() {
+        let m = parse_module("int f() { for (int i = 0; i < 3; i = i + 1) { } return 0; }").unwrap();
+        let f = m.functions().next().unwrap();
+        let Stmt::For { init: Some(init), .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(**init, Stmt::Decl { .. }));
+    }
+
+    #[test]
+    fn array_read_vs_write_disambiguation() {
+        let m = parse_module("int a[4]; int f() { a[a[0]] = a[1]; return a[2]; }").unwrap();
+        let f = m.functions().next().unwrap();
+        assert!(matches!(f.body[0], Stmt::AssignIndex { .. }));
+    }
+
+    #[test]
+    fn const_in_array_size_and_negative_init() {
+        let m = parse_module("const N = 3; int a[N] = {-1, -2};").unwrap();
+        match &m.items[1] {
+            Item::GlobalArray { words, init, .. } => {
+                assert_eq!(*words, 3);
+                assert_eq!(init, &vec![-1, -2]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse_module("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_module("int a[0];").unwrap_err();
+        assert!(err.message.contains("positive"));
+        let err = parse_module("int f(int a, int b, int c, int d, int e) { return 0; }")
+            .unwrap_err();
+        assert!(err.message.contains("four parameters"));
+        let err = parse_module("int a[2] = {1,2,3};").unwrap_err();
+        assert!(err.message.contains("initializers"));
+    }
+
+    #[test]
+    fn unknown_constant_is_an_error() {
+        let err = parse_module("int a[SIZE];").unwrap_err();
+        assert!(err.message.contains("SIZE"));
+    }
+}
+
+#[cfg(test)]
+mod sugar_tests {
+    use super::*;
+
+    fn body_of(src: &str) -> Vec<Stmt> {
+        parse_module(src).unwrap().functions().next().unwrap().body.clone()
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let body = body_of("int f(int x) { x += 3; x -= 1; x *= 2; x /= 4; return x; }");
+        for (i, op) in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div].iter().enumerate() {
+            let Stmt::Assign { name, value, .. } = &body[i] else { panic!() };
+            assert_eq!(name, "x");
+            let ExprKind::Binary(got, lhs, _) = &value.kind else { panic!() };
+            assert_eq!(got, op);
+            assert!(matches!(&lhs.kind, ExprKind::Var(v) if v == "x"));
+        }
+    }
+
+    #[test]
+    fn increment_statements_desugar() {
+        let body = body_of("int f(int i) { i++; ++i; i--; --i; return i; }");
+        assert_eq!(body.len(), 5);
+        for stmt in &body[..4] {
+            let Stmt::Assign { value, .. } = stmt else { panic!("{stmt:?}") };
+            assert!(matches!(&value.kind, ExprKind::Binary(_, _, rhs)
+                if matches!(rhs.kind, ExprKind::Num(1))));
+        }
+    }
+
+    #[test]
+    fn for_step_accepts_sugar() {
+        let body = body_of("int f() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s += i; } return s; }");
+        assert!(matches!(body[3], Stmt::For { .. }), "{body:?}");
+    }
+
+    #[test]
+    fn sugar_executes_correctly() {
+        let p = crate::compile(
+            "int f(int n) { int s; s = 0; for (int i = 0; i < n; ++i) { s += i * 2; } return s; }",
+            "f",
+        )
+        .unwrap();
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Differential property test: compiled mini-C expressions evaluated on
+//! the simulator must match a direct AST interpreter.
+
+use ipet_lang::{compile_module, BinOp, Expr, ExprKind, FuncDecl, Item, Module, Stmt, UnOp};
+use ipet_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// Reference evaluator with the architecture's semantics: wrapping
+/// arithmetic, total division (x/0 = 0), masked shifts, 0/1 booleans.
+fn eval(e: &Expr, a: i32, b: i32) -> i32 {
+    match &e.kind {
+        ExprKind::Num(n) => *n as i32,
+        ExprKind::Var(v) => match v.as_str() {
+            "a" => a,
+            "b" => b,
+            _ => unreachable!("generator only emits a, b"),
+        },
+        ExprKind::Unary(op, inner) => {
+            let v = eval(inner, a, b);
+            match op {
+                UnOp::Neg => 0i32.wrapping_sub(v),
+                UnOp::Not => i32::from(v == 0),
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let (x, y) = (eval(l, a, b), eval(r, a, b));
+            match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                BinOp::Rem => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(y as u32 & 31),
+                BinOp::Shr => x.wrapping_shr(y as u32 & 31),
+                BinOp::Lt => i32::from(x < y),
+                BinOp::Le => i32::from(x <= y),
+                BinOp::Gt => i32::from(x > y),
+                BinOp::Ge => i32::from(x >= y),
+                BinOp::Eq => i32::from(x == y),
+                BinOp::Ne => i32::from(x != y),
+                BinOp::LAnd => i32::from(x != 0 && eval(r, a, b) != 0),
+                BinOp::LOr => i32::from(x != 0 || eval(r, a, b) != 0),
+            }
+        }
+        ExprKind::Index(..) | ExprKind::Call(..) => unreachable!("not generated"),
+    }
+}
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-100i64..=100).prop_map(|n| Expr { kind: ExprKind::Num(n), line: 1 }),
+        Just(Expr { kind: ExprKind::Var("a".into()), line: 1 }),
+        Just(Expr { kind: ExprKind::Var("b".into()), line: 1 }),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 24, 3, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::Xor),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::LAnd),
+            Just(BinOp::LOr),
+        ];
+        let unop = prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr {
+                kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
+                line: 1,
+            }),
+            (unop, inner).prop_map(|(op, e)| Expr {
+                kind: ExprKind::Unary(op, Box::new(e)),
+                line: 1,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// For random expressions and random inputs, the compiled program and
+    /// the reference evaluator agree.
+    #[test]
+    fn compiled_expressions_match_reference(
+        e in arb_expr(),
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+    ) {
+        let module = Module {
+            items: vec![Item::Func(FuncDecl {
+                name: "f".into(),
+                params: vec!["a".into(), "b".into()],
+                body: vec![Stmt::Return { value: Some(e.clone()), line: 1 }],
+                line: 1,
+            })],
+        };
+        let program = compile_module(&module, "f").expect("compiles");
+        let machine = ipet_sim::Machine::i960kb();
+        let mut sim = Simulator::new(&program, machine, SimConfig::default());
+        let got = sim.run(&[a, b]).expect("runs").return_value;
+        let want = eval(&e, a, b);
+        prop_assert_eq!(got, want, "expr {:?} a={} b={}", e, a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Peephole optimisation preserves semantics: O0 and O1 builds return
+    /// the same value on the same input, and O1 never executes more
+    /// instructions.
+    #[test]
+    fn optimizer_preserves_semantics(
+        e in arb_expr(),
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+    ) {
+        let module = Module {
+            items: vec![Item::Func(FuncDecl {
+                name: "f".into(),
+                params: vec!["a".into(), "b".into()],
+                body: vec![
+                    Stmt::Decl { name: "t".into(), init: Some(e.clone()), line: 1 },
+                    Stmt::Assign {
+                        name: "t".into(),
+                        value: Expr {
+                            kind: ExprKind::Binary(
+                                BinOp::Add,
+                                Box::new(Expr { kind: ExprKind::Var("t".into()), line: 1 }),
+                                Box::new(e),
+                            ),
+                            line: 1,
+                        },
+                        line: 1,
+                    },
+                    Stmt::Return {
+                        value: Some(Expr { kind: ExprKind::Var("t".into()), line: 1 }),
+                        line: 1,
+                    },
+                ],
+                line: 1,
+            })],
+        };
+        let o0 = compile_module(&module, "f").expect("compiles");
+        let mut o1 = o0.clone();
+        ipet_lang::optimize_program(&mut o1);
+        let machine = ipet_sim::Machine::i960kb();
+        let mut s0 = Simulator::new(&o0, machine, SimConfig::default());
+        let mut s1 = Simulator::new(&o1, machine, SimConfig::default());
+        let r0 = s0.run(&[a, b]).expect("O0 runs");
+        let r1 = s1.run(&[a, b]).expect("O1 runs");
+        prop_assert_eq!(r0.return_value, r1.return_value);
+        prop_assert!(r1.steps <= r0.steps);
+    }
+}

@@ -1,0 +1,34 @@
+//! Robustness: the mini-C front end never panics on arbitrary input.
+
+use ipet_lang::{compile, parse_module};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 never panics the parser.
+    #[test]
+    fn parser_never_panics(src in ".*") {
+        let _ = parse_module(&src);
+    }
+
+    /// C-ish token soup never panics the parser or the code generator.
+    #[test]
+    fn frontend_survives_token_soup(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("int"), Just("const"), Just("if"), Just("else"),
+                Just("while"), Just("do"), Just("for"), Just("return"),
+                Just("break"), Just("continue"), Just("{"), Just("}"),
+                Just("("), Just(")"), Just("["), Just("]"), Just(";"),
+                Just(","), Just("="), Just("=="), Just("<"), Just("+"),
+                Just("-"), Just("*"), Just("/"), Just("&&"), Just("||"),
+                Just("x"), Just("y"), Just("main"), Just("0"), Just("42"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = compile(&src, "main");
+    }
+}

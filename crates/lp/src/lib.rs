@@ -1,0 +1,50 @@
+//! # ipet-lp
+//!
+//! A self-contained linear-programming and integer-linear-programming solver,
+//! standing in for the commercial ILP package used by the paper's tool.
+//!
+//! The paper observes that in practice its branch-and-bound solver finds an
+//! integral solution at the *very first* LP relaxation (the structural
+//! constraints are network-flow-like). This crate therefore reports that
+//! statistic explicitly in [`IlpStats::first_relaxation_integral`], so the
+//! experiment harness can reproduce the claim.
+//!
+//! ## Components
+//!
+//! * [`Problem`] / [`ProblemBuilder`] — dense LP/ILP model with named
+//!   variables, `≤ / ≥ / =` rows and non-negative variables.
+//! * [`solve_lp`] — two-phase primal simplex with Bland's anti-cycling rule.
+//! * [`solve_ilp`] — depth-first branch & bound on fractional variables.
+//!
+//! ## Example
+//!
+//! ```
+//! use ipet_lp::{ProblemBuilder, Relation, Sense, solve_ilp, IlpOutcome};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x,y integer >= 0
+//! let mut b = ProblemBuilder::new(Sense::Maximize);
+//! let x = b.add_var("x", true);
+//! let y = b.add_var("y", true);
+//! b.objective(x, 3.0);
+//! b.objective(y, 2.0);
+//! b.constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! b.constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+//! let (outcome, stats) = solve_ilp(&b.build());
+//! match outcome {
+//!     IlpOutcome::Optimal { value, .. } => {
+//!         assert_eq!(value.round() as i64, 10); // x=2, y=2
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! assert!(stats.lp_calls >= 1);
+//! ```
+
+mod ilp;
+mod model;
+mod simplex;
+mod structure;
+
+pub use ilp::{solve_ilp, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpStats};
+pub use model::{Constraint, Problem, ProblemBuilder, Relation, Sense, VarId};
+pub use simplex::{solve_lp, LpOutcome, FEAS_TOL, INT_TOL};
+pub use structure::is_network_matrix;

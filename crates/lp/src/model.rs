@@ -1,0 +1,282 @@
+//! LP/ILP problem model.
+
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Maximize the objective (the WCET query).
+    Maximize,
+    /// Minimize the objective (the BCET query).
+    Minimize,
+}
+
+/// Relation of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Le => "<=",
+            Relation::Ge => ">=",
+            Relation::Eq => "=",
+        })
+    }
+}
+
+/// Index of a decision variable within a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+/// One linear constraint `Σ coeff·var <relation> rhs`.
+///
+/// Coefficients for the same variable may repeat; they are summed when the
+/// problem is solved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse left-hand side terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Row relation.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Returns the dense coefficient vector over `n` variables.
+    pub fn dense(&self, n: usize) -> Vec<f64> {
+        let mut row = vec![0.0; n];
+        for &(v, c) in &self.terms {
+            row[v.0] += c;
+        }
+        row
+    }
+}
+
+/// A complete LP/ILP: all variables are implicitly `>= 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Optimization direction.
+    pub sense: Sense,
+    /// Dense objective coefficients (one per variable).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable integrality flags.
+    pub integer: Vec<bool>,
+    /// Per-variable debug names.
+    pub names: Vec<String>,
+}
+
+impl Problem {
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The objective value of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks a point against every constraint and non-negativity,
+    /// within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v.0]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Renders the model in an LP-file-like text format (for debugging and
+    /// the `cinderella --dump-ilp` flag).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let dir = match self.sense {
+            Sense::Maximize => "maximize",
+            Sense::Minimize => "minimize",
+        };
+        let _ = write!(out, "{dir} ");
+        let mut first = true;
+        for (i, &c) in self.objective.iter().enumerate() {
+            if c != 0.0 {
+                if !first {
+                    let _ = write!(out, " + ");
+                }
+                let _ = write!(out, "{c}*{}", self.names[i]);
+                first = false;
+            }
+        }
+        if first {
+            let _ = write!(out, "0");
+        }
+        let _ = writeln!(out);
+        for con in &self.constraints {
+            let mut firstt = true;
+            for &(v, c) in &con.terms {
+                if !firstt {
+                    let _ = write!(out, " + ");
+                }
+                let _ = write!(out, "{c}*{}", self.names[v.0]);
+                firstt = false;
+            }
+            if firstt {
+                let _ = write!(out, "0");
+            }
+            let _ = writeln!(out, " {} {}", con.relation, con.rhs);
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`Problem`].
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    sense: Sense,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    integer: Vec<bool>,
+    names: Vec<String>,
+}
+
+impl ProblemBuilder {
+    /// Starts an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> ProblemBuilder {
+        ProblemBuilder {
+            sense,
+            objective: Vec::new(),
+            constraints: Vec::new(),
+            integer: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Adds a variable (objective coefficient 0) and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>, integer: bool) -> VarId {
+        self.objective.push(0.0);
+        self.integer.push(integer);
+        self.names.push(name.into());
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Sets the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not created by this builder.
+    pub fn objective(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        self.objective[var.0] = coeff;
+        self
+    }
+
+    /// Adds a constraint row.
+    pub fn constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> &mut Self {
+        self.constraints.push(Constraint { terms, relation, rhs });
+        self
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Finalizes the problem.
+    pub fn build(self) -> Problem {
+        Problem {
+            sense: self.sense,
+            objective: self.objective,
+            constraints: self.constraints,
+            integer: self.integer,
+            names: self.names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Problem {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        let y = b.add_var("y", false);
+        b.objective(x, 1.0);
+        b.objective(y, 2.0);
+        b.constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+        b.constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts() {
+        let p = tiny();
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 2);
+        assert!(p.integer[0]);
+        assert!(!p.integer[1]);
+    }
+
+    #[test]
+    fn feasibility_checks_all_relations() {
+        let p = tiny();
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[0.0, 2.0], 1e-9)); // violates x >= 1
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9)); // violates x+y <= 3
+        assert!(!p.is_feasible(&[1.0, -0.5], 1e-9)); // negativity
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value() {
+        let p = tiny();
+        assert_eq!(p.objective_value(&[1.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn dense_sums_repeated_terms() {
+        let c = Constraint {
+            terms: vec![(VarId(0), 1.0), (VarId(0), 2.0), (VarId(2), -1.0)],
+            relation: Relation::Eq,
+            rhs: 0.0,
+        };
+        assert_eq!(c.dense(3), vec![3.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let p = tiny();
+        let text = p.render();
+        assert!(text.starts_with("maximize 1*x + 2*y"));
+        assert!(text.contains("1*x + 1*y <= 3"));
+        assert!(text.contains("1*x >= 1"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Two-phase primal simplex on a dense tableau, with Bland's anti-cycling
+//! pivot rule.
+//!
+//! The problems produced by IPET are small (tens to a few hundred rows), so
+//! a dense textbook implementation is both fast enough and easy to audit.
+
+use crate::model::{Problem, Relation, Sense};
+
+/// Feasibility tolerance used throughout the solver.
+pub const FEAS_TOL: f64 = 1e-7;
+
+/// Integrality tolerance used by the branch-and-bound layer.
+pub const INT_TOL: f64 = 1e-6;
+
+/// Result of an LP solve (integrality flags are ignored).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal {
+        /// Primal solution, one entry per problem variable.
+        x: Vec<f64>,
+        /// Objective value in the problem's own sense.
+        value: f64,
+    },
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// A dense simplex tableau in equality standard form.
+struct Tableau {
+    /// `rows x cols` coefficient matrix; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    rows: usize,
+    cols: usize, // includes rhs column
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Columns barred from entering the basis (artificials in phase 2).
+    banned: Vec<bool>,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.a[row][self.cols - 1]
+    }
+
+    /// Performs one pivot on (`row`, `col`), updating the basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > FEAS_TOL, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        for j in 0..self.cols {
+            self.a[row][j] *= inv;
+        }
+        for i in 0..self.rows {
+            if i != row {
+                let factor = self.a[i][col];
+                if factor != 0.0 {
+                    for j in 0..self.cols {
+                        self.a[i][j] -= factor * self.a[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex method to optimality for the maximization objective
+    /// `obj` (one coefficient per tableau column except the RHS).
+    ///
+    /// Returns `None` if the objective is unbounded.
+    fn optimize(&mut self, obj: &[f64], max_iters: usize) -> Option<()> {
+        // Reduced-cost row maintained explicitly: z_j = c_B^T B^{-1} A_j - c_j.
+        // Entering columns are those with z_j < -tol (can improve a maximum).
+        for _ in 0..max_iters {
+            let mut zrow = vec![0.0; self.cols - 1];
+            for (j, z) in zrow.iter_mut().enumerate() {
+                let mut acc = -obj[j];
+                for i in 0..self.rows {
+                    let cb = obj[self.basis[i]];
+                    if cb != 0.0 {
+                        acc += cb * self.a[i][j];
+                    }
+                }
+                *z = acc;
+            }
+            // Bland's rule: smallest-index eligible entering column.
+            let entering = (0..self.cols - 1)
+                .find(|&j| !self.banned[j] && zrow[j] < -FEAS_TOL);
+            let Some(col) = entering else {
+                return Some(()); // optimal
+            };
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..self.rows {
+                let aij = self.a[i][col];
+                if aij > FEAS_TOL {
+                    let ratio = self.rhs(i) / aij;
+                    match best {
+                        None => best = Some((i, ratio)),
+                        Some((bi, br)) => {
+                            if ratio < br - FEAS_TOL
+                                || ((ratio - br).abs() <= FEAS_TOL
+                                    && self.basis[i] < self.basis[bi])
+                            {
+                                best = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return None; // unbounded direction
+            };
+            self.pivot(row, col);
+        }
+        // Iteration budget exhausted: treat as unbounded-in-practice; with
+        // Bland's rule this indicates a budget far too small for the model.
+        None
+    }
+}
+
+/// Solves the LP relaxation of `problem` (ignores integrality flags).
+///
+/// Variables are non-negative; rows may be `<=`, `>=` or `=`. The returned
+/// objective value is in the problem's own sense (a `Minimize` problem
+/// reports the minimum).
+pub fn solve_lp(problem: &Problem) -> LpOutcome {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // Internally always maximize; negate the objective for Minimize.
+    let sign = match problem.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+
+    // Count structural + slack/surplus + artificial columns.
+    let mut num_slack = 0usize;
+    for c in &problem.constraints {
+        if matches!(c.relation, Relation::Le | Relation::Ge) {
+            num_slack += 1;
+        }
+    }
+    // Upper bound: one artificial per row (only some rows get one).
+    let cols = n + num_slack + m + 1;
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    let mut next_slack = n;
+    let mut next_artificial = n + num_slack;
+
+    for (i, con) in problem.constraints.iter().enumerate() {
+        let dense = con.dense(n);
+        // Normalize to rhs >= 0 by flipping the row if needed.
+        let flip = con.rhs < 0.0;
+        let (row_coeffs, rhs, rel) = if flip {
+            let rel = match con.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            (dense.iter().map(|&v| -v).collect::<Vec<_>>(), -con.rhs, rel)
+        } else {
+            (dense, con.rhs, con.relation)
+        };
+        a[i][..n].copy_from_slice(&row_coeffs);
+        a[i][cols - 1] = rhs;
+        match rel {
+            Relation::Le => {
+                a[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[i][next_slack] = -1.0;
+                next_slack += 1;
+                a[i][next_artificial] = 1.0;
+                basis[i] = next_artificial;
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+            Relation::Eq => {
+                a[i][next_artificial] = 1.0;
+                basis[i] = next_artificial;
+                artificial_cols.push(next_artificial);
+                next_artificial += 1;
+            }
+        }
+    }
+
+    let total_cols = cols;
+    let mut tab = Tableau {
+        a,
+        rows: m,
+        cols: total_cols,
+        basis,
+        banned: vec![false; total_cols - 1],
+    };
+    // Generous budget: Bland's rule terminates, this is only a hard stop.
+    let budget = 50_000 + 200 * (m + total_cols);
+
+    // Phase 1: maximize -(sum of artificials).
+    if !artificial_cols.is_empty() {
+        let mut phase1 = vec![0.0; total_cols - 1];
+        for &c in &artificial_cols {
+            phase1[c] = -1.0;
+        }
+        if tab.optimize(&phase1, budget).is_none() {
+            // Phase 1 objective is bounded below by construction; reaching
+            // here means the iteration budget blew up.
+            return LpOutcome::Infeasible;
+        }
+        let infeas: f64 = artificial_cols
+            .iter()
+            .map(|&c| {
+                tab.basis
+                    .iter()
+                    .position(|&b| b == c)
+                    .map(|r| tab.rhs(r))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        if infeas > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any degenerate basic artificials out of the basis.
+        for r in 0..tab.rows {
+            if artificial_cols.contains(&tab.basis[r]) {
+                if let Some(col) = (0..n + num_slack).find(|&j| tab.a[r][j].abs() > FEAS_TOL) {
+                    tab.pivot(r, col);
+                }
+                // If the whole row is zero in structural columns the row is
+                // redundant; the artificial stays basic at value 0 and is
+                // banned from pricing, which is harmless.
+            }
+        }
+        for &c in &artificial_cols {
+            tab.banned[c] = true;
+        }
+    }
+
+    // Phase 2: the real objective.
+    let mut obj = vec![0.0; total_cols - 1];
+    for (j, &c) in problem.objective.iter().enumerate() {
+        obj[j] = sign * c;
+    }
+    if tab.optimize(&obj, budget).is_none() {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            x[b] = tab.rhs(r).max(0.0);
+        }
+    }
+    let value = problem.objective_value(&x);
+    LpOutcome::Optimal { x, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemBuilder, Relation, Sense};
+
+    fn build(
+        sense: Sense,
+        obj: &[f64],
+        rows: &[(&[f64], Relation, f64)],
+        ) -> Problem {
+        let mut b = ProblemBuilder::new(sense);
+        let vars: Vec<_> = (0..obj.len())
+            .map(|i| b.add_var(format!("v{i}"), false))
+            .collect();
+        for (i, &c) in obj.iter().enumerate() {
+            b.objective(vars[i], c);
+        }
+        for (coeffs, rel, rhs) in rows {
+            let terms = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0.0)
+                .map(|(i, &c)| (vars[i], c))
+                .collect();
+            b.constraint(terms, *rel, *rhs);
+        }
+        b.build()
+    }
+
+    fn assert_opt(p: &Problem, want: f64) -> Vec<f64> {
+        match solve_lp(p) {
+            LpOutcome::Optimal { x, value } => {
+                assert!((value - want).abs() < 1e-6, "value {value}, want {want}");
+                assert!(p.is_feasible(&x, 1e-6), "solution infeasible: {x:?}");
+                x
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x+5y st x<=4, 2y<=12, 3x+2y<=18 -> 36 at (2,6)
+        let p = build(
+            Sense::Maximize,
+            &[3.0, 5.0],
+            &[
+                (&[1.0, 0.0], Relation::Le, 4.0),
+                (&[0.0, 2.0], Relation::Le, 12.0),
+                (&[3.0, 2.0], Relation::Le, 18.0),
+            ],
+        );
+        let x = assert_opt(&p, 36.0);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_with_ge_rows() {
+        // min 2x+3y st x+y>=4, x>=1 -> 8 at (4,0)? cost 2*4=8 vs (1,3): 2+9=11.
+        let p = build(
+            Sense::Minimize,
+            &[2.0, 3.0],
+            &[
+                (&[1.0, 1.0], Relation::Ge, 4.0),
+                (&[1.0, 0.0], Relation::Ge, 1.0),
+            ],
+        );
+        assert_opt(&p, 8.0);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x+y st x+y = 5, x <= 2 -> 5.
+        let p = build(
+            Sense::Maximize,
+            &[1.0, 1.0],
+            &[
+                (&[1.0, 1.0], Relation::Eq, 5.0),
+                (&[1.0, 0.0], Relation::Le, 2.0),
+            ],
+        );
+        assert_opt(&p, 5.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = build(
+            Sense::Maximize,
+            &[1.0],
+            &[
+                (&[1.0], Relation::Ge, 5.0),
+                (&[1.0], Relation::Le, 2.0),
+            ],
+        );
+        assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = build(Sense::Maximize, &[1.0], &[(&[-1.0], Relation::Le, 1.0)]);
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn minimize_unbounded_below() {
+        // min -x with x unconstrained above is unbounded.
+        let p = build(Sense::Minimize, &[-1.0], &[]);
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2  (i.e. y >= x + 2), max x+y with y <= 5 -> x=3,y=5.
+        let p = build(
+            Sense::Maximize,
+            &[1.0, 1.0],
+            &[
+                (&[1.0, -1.0], Relation::Le, -2.0),
+                (&[0.0, 1.0], Relation::Le, 5.0),
+            ],
+        );
+        assert_opt(&p, 8.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-ish degeneracy: several redundant rows through origin.
+        let p = build(
+            Sense::Maximize,
+            &[1.0, 1.0],
+            &[
+                (&[1.0, 0.0], Relation::Le, 0.0),
+                (&[1.0, 1.0], Relation::Le, 0.0),
+                (&[1.0, 2.0], Relation::Le, 0.0),
+                (&[0.0, 1.0], Relation::Le, 0.0),
+            ],
+        );
+        assert_opt(&p, 0.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice; max x -> 2.
+        let p = build(
+            Sense::Maximize,
+            &[1.0, 0.0],
+            &[
+                (&[1.0, 1.0], Relation::Eq, 2.0),
+                (&[1.0, 1.0], Relation::Eq, 2.0),
+            ],
+        );
+        assert_opt(&p, 2.0);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = build(Sense::Maximize, &[], &[]);
+        match solve_lp(&p) {
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_conservation_shape() {
+        // The structural-constraint shape from the paper's Fig. 2:
+        // x1 = d1, d1 = 1, x1 = d2 + d3, x2 = d2, x3 = d3, x4 = d2 + d3.
+        // Encoded over [x1,x2,x3,x4,d2,d3]; maximize 2x1+5x2+3x3+x4.
+        // Best: route through x2 -> 2+5+1 = 8.
+        let p = build(
+            Sense::Maximize,
+            &[2.0, 5.0, 3.0, 1.0, 0.0, 0.0],
+            &[
+                (&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0], Relation::Eq, 1.0),
+                (&[1.0, 0.0, 0.0, 0.0, -1.0, -1.0], Relation::Eq, 0.0),
+                (&[0.0, 1.0, 0.0, 0.0, -1.0, 0.0], Relation::Eq, 0.0),
+                (&[0.0, 0.0, 1.0, 0.0, 0.0, -1.0], Relation::Eq, 0.0),
+                (&[0.0, 0.0, 0.0, 1.0, -1.0, -1.0], Relation::Eq, 0.0),
+            ],
+        );
+        let x = assert_opt(&p, 8.0);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        assert!(x[2].abs() < 1e-6);
+    }
+}

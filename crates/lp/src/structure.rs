@@ -1,0 +1,188 @@
+//! Structural analysis of constraint matrices.
+//!
+//! The paper's §III-D argues that with IDL-restricted functionality
+//! constraints the ILP "is equivalent to a network flow problem, which can
+//! be solved in polynomial time" — which is also why the first LP
+//! relaxation keeps coming out integral. This module makes the argument
+//! checkable: [`is_network_matrix`] recognises matrices that are totally
+//! unimodular by the classical two-nonzero column criterion.
+//!
+//! A `{0, ±1}` matrix in which every column has at most two nonzeros is
+//! totally unimodular iff its rows can be split into two classes such
+//! that, per column, two nonzeros of the *same* sign fall in different
+//! classes and two of *opposite* sign fall in the same class
+//! (Heller–Tompkins). IPET's structural constraints satisfy this with
+//! "inflow rows" and "outflow rows" as the two classes; the check below
+//! discovers the classes by graph 2-colouring, so it works on any row
+//! ordering.
+
+use crate::model::Problem;
+
+/// Per-column nonzero summary: `(row, sign)` pairs.
+fn column_nonzeros(problem: &Problem) -> Option<Vec<Vec<(usize, i8)>>> {
+    let mut cols: Vec<Vec<(usize, i8)>> = vec![Vec::new(); problem.num_vars()];
+    for (r, con) in problem.constraints.iter().enumerate() {
+        for (v, c) in con
+            .terms
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut acc, &(v, c)| {
+                *acc.entry(v).or_insert(0.0) += c;
+                acc
+            })
+        {
+            if c == 0.0 {
+                continue;
+            }
+            let sign = if c == 1.0 {
+                1i8
+            } else if c == -1.0 {
+                -1i8
+            } else {
+                return None; // entry outside {0, +1, -1}
+            };
+            cols[v.0].push((r, sign));
+            if cols[v.0].len() > 2 {
+                return None; // more than two nonzeros in a column
+            }
+        }
+    }
+    Some(cols)
+}
+
+/// True when the constraint matrix is a network(-like) matrix in the
+/// Heller–Tompkins sense, which guarantees total unimodularity: with
+/// integral right-hand sides every vertex of the LP relaxation is
+/// integral, so branch & bound terminates at the first LP call.
+///
+/// Conservative: returns `false` for matrices that are TU for other
+/// reasons. Right-hand sides are not inspected (IPET's are integers by
+/// construction).
+pub fn is_network_matrix(problem: &Problem) -> bool {
+    let Some(cols) = column_nonzeros(problem) else {
+        return false;
+    };
+    // 2-colour rows: same-sign pairs want different colours (edge weight
+    // "different"), opposite-sign pairs want the same colour ("same").
+    // Union-find with parity.
+    let n = problem.num_constraints();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut parity: Vec<u8> = vec![0; n]; // parity to parent
+
+    fn find(parent: &mut Vec<usize>, parity: &mut Vec<u8>, x: usize) -> (usize, u8) {
+        if parent[x] == x {
+            return (x, 0);
+        }
+        let (root, p) = find(parent, parity, parent[x]);
+        parent[x] = root;
+        parity[x] ^= p;
+        (root, parity[x])
+    }
+
+    for col in &cols {
+        if col.len() != 2 {
+            continue;
+        }
+        let (r1, s1) = col[0];
+        let (r2, s2) = col[1];
+        // same sign -> rows in different classes (parity 1);
+        // opposite sign -> same class (parity 0).
+        let want = u8::from(s1 == s2);
+        let (root1, p1) = find(&mut parent, &mut parity, r1);
+        let (root2, p2) = find(&mut parent, &mut parity, r2);
+        if root1 == root2 {
+            if p1 ^ p2 != want {
+                return false;
+            }
+        } else {
+            parent[root1] = root2;
+            parity[root1] = p1 ^ p2 ^ want;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemBuilder, Relation, Sense};
+
+    #[test]
+    fn flow_conservation_matrix_is_network() {
+        // The paper's Fig. 2 structural system in full: one inflow row and
+        // one outflow row per block (x1..x4 over edges d1..d6). Every
+        // column then has at most two entries, all in {0,±1}, and the
+        // in/out row split is the Heller-Tompkins 2-colouring.
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x: Vec<_> = (1..=4).map(|i| b.add_var(format!("x{i}"), true)).collect();
+        let d: Vec<_> = (1..=6).map(|i| b.add_var(format!("d{i}"), true)).collect();
+        let rows: [(usize, &[usize]); 8] = [
+            (0, &[0]),    // x1 = d1
+            (0, &[1, 2]), // x1 = d2 + d3
+            (1, &[1]),    // x2 = d2
+            (1, &[3]),    // x2 = d4
+            (2, &[2]),    // x3 = d3
+            (2, &[4]),    // x3 = d5
+            (3, &[3, 4]), // x4 = d4 + d5
+            (3, &[5]),    // x4 = d6
+        ];
+        for (xi, ds) in rows {
+            let mut terms = vec![(x[xi], 1.0)];
+            for &j in ds {
+                terms.push((d[j], -1.0));
+            }
+            b.constraint(terms, Relation::Eq, 0.0);
+        }
+        b.constraint(vec![(d[0], 1.0)], Relation::Eq, 1.0); // d1 = 1
+        assert!(is_network_matrix(&b.build()));
+    }
+
+    #[test]
+    fn non_unit_coefficients_disqualify() {
+        // A loop bound `x2 <= 10*x1` has a 10 in the matrix.
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x1 = b.add_var("x1", true);
+        let x2 = b.add_var("x2", true);
+        b.constraint(vec![(x2, 1.0), (x1, -10.0)], Relation::Le, 0.0);
+        assert!(!is_network_matrix(&b.build()));
+    }
+
+    #[test]
+    fn three_nonzeros_in_a_column_disqualify() {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        for _ in 0..3 {
+            b.constraint(vec![(x, 1.0)], Relation::Le, 5.0);
+        }
+        assert!(!is_network_matrix(&b.build()));
+    }
+
+    #[test]
+    fn odd_cycle_of_same_sign_pairs_disqualifies() {
+        // Three rows pairwise sharing same-sign columns cannot be
+        // 2-coloured.
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let ab = b.add_var("ab", true);
+        let bc = b.add_var("bc", true);
+        let ca = b.add_var("ca", true);
+        b.constraint(vec![(ab, 1.0), (ca, 1.0)], Relation::Le, 1.0); // row a
+        b.constraint(vec![(ab, 1.0), (bc, 1.0)], Relation::Le, 1.0); // row b
+        b.constraint(vec![(bc, 1.0), (ca, 1.0)], Relation::Le, 1.0); // row c
+        assert!(!is_network_matrix(&b.build()));
+    }
+
+    #[test]
+    fn repeated_terms_are_summed_before_the_check() {
+        // +1 and -1 on the same variable in one row cancel to zero.
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        let y = b.add_var("y", true);
+        b.constraint(vec![(x, 1.0), (x, -1.0), (y, 1.0)], Relation::Eq, 0.0);
+        assert!(is_network_matrix(&b.build()));
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_network() {
+        let b = ProblemBuilder::new(Sense::Minimize);
+        assert!(is_network_matrix(&b.build()));
+    }
+}

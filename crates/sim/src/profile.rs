@@ -1,0 +1,96 @@
+//! Measurement protocol helpers mirroring the paper's Experiment 2.
+
+use crate::exec::{SimConfig, SimError, SimResult, Simulator};
+use ipet_arch::{FuncId, Program};
+use ipet_cfg::BlockId;
+use ipet_hw::Machine;
+use std::collections::BTreeMap;
+
+/// Per-(function, block) execution counters from one run.
+pub type BlockCounts = BTreeMap<(FuncId, BlockId), u64>;
+
+/// One measured run under the paper's protocol.
+///
+/// * `cold = true` — worst-case protocol: globals seeded, cache flushed,
+///   one timed run.
+/// * `cold = false` — best-case protocol: a warm-up run primes the cache
+///   (globals re-seeded between runs), then the timed run executes with a
+///   warm cache, like the paper's repeated-loop measurement without a
+///   flush.
+///
+/// `seeds` assigns input data to globals by name; `args` are the entry
+/// function's register arguments.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from seeding or execution.
+pub fn measure(
+    program: &Program,
+    machine: Machine,
+    seeds: &[(&str, Vec<i32>)],
+    args: &[i32],
+    cold: bool,
+) -> Result<SimResult, SimError> {
+    let config = SimConfig { flush_cache: false, ..SimConfig::default() };
+    let mut sim = Simulator::new(program, machine, config);
+    sim.flush_icache();
+    if !cold {
+        sim.reset_data();
+        for (name, data) in seeds {
+            sim.seed_global(name, data)?;
+        }
+        sim.run(args)?; // warm-up
+    }
+    sim.reset_data();
+    for (name, data) in seeds {
+        sim.seed_global(name, data)?;
+    }
+    sim.run(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipet_arch::{AluOp, AsmBuilder, Cond, Global, Reg};
+
+    fn summing_program() -> Program {
+        // rv = sum(data[0..8])
+        let g = Global { name: "data".into(), addr: 0, words: 8, init: vec![1; 8] };
+        let mut b = AsmBuilder::new("main");
+        let head = b.fresh_label();
+        let out = b.fresh_label();
+        b.ldc(Reg::RV, 0);
+        b.ldc(Reg::T0, 0);
+        b.bind(head);
+        b.br(Cond::Ge, Reg::T0, 8, out);
+        b.ld(Reg::temp(1), Reg::T0, 0);
+        b.alu(AluOp::Add, Reg::RV, Reg::RV, Reg::temp(1));
+        b.alu(AluOp::Add, Reg::T0, Reg::T0, 1);
+        b.jmp(head);
+        b.bind(out);
+        b.ret();
+        Program::new(vec![b.finish().unwrap()], vec![g], FuncId(0)).unwrap()
+    }
+
+    #[test]
+    fn cold_run_slower_than_warm_run() {
+        let p = summing_program();
+        let m = Machine::i960kb();
+        let cold = measure(&p, m, &[("data", vec![2; 8])], &[], true).unwrap();
+        let warm = measure(&p, m, &[("data", vec![2; 8])], &[], false).unwrap();
+        assert_eq!(cold.return_value, 16);
+        assert_eq!(warm.return_value, 16);
+        assert!(cold.cycles > warm.cycles);
+        assert_eq!(warm.icache_misses, 0);
+    }
+
+    #[test]
+    fn seeds_are_reapplied_after_warmup() {
+        let p = summing_program();
+        let m = Machine::i960kb();
+        // If the warm-up consumed the seed without re-seeding, the timed
+        // run would see zeroed data and return 0.
+        let warm = measure(&p, m, &[("data", vec![3; 8])], &[], false).unwrap();
+        assert_eq!(warm.return_value, 24);
+    }
+}

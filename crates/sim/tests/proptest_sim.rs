@@ -1,0 +1,114 @@
+//! Property tests on the timing simulator: cache monotonicity,
+//! determinism, and miss accounting, over randomly generated programs.
+
+use ipet_sim::{Machine, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// Random straight-line-with-loops mini-C source: assignments to `t` and
+/// counted loops with constant bounds.
+fn arb_source() -> impl Strategy<Value = String> {
+    let op = prop_oneof![Just("+"), Just("-"), Just("*"), Just("/"), Just("^")];
+    let assign = (op, 1i64..40).prop_map(|(op, n)| format!("t = t {op} {n};"));
+    let line = prop_oneof![
+        assign.clone(),
+        (1i64..6, prop::collection::vec(assign, 1..3)).prop_map(|(trips, body)| {
+            format!(
+                "for (k = 0; k < {trips}; k = k + 1) {{ {} }}",
+                body.join(" ")
+            )
+        }),
+    ];
+    prop::collection::vec(line, 1..8).prop_map(|lines| {
+        format!(
+            "int main(int a) {{ int t; int k; t = a; {} return t; }}",
+            lines.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A warm-cache run never takes longer than a cold-cache run of the
+    /// same program on the same input, and executes the same instructions.
+    #[test]
+    fn warm_run_is_never_slower(src in arb_source(), a in -50i32..50) {
+        let program = ipet_lang::compile(&src, "main").expect("compiles");
+        let machine = Machine::i960kb();
+        let mut sim = Simulator::new(
+            &program,
+            machine,
+            SimConfig { flush_cache: false, ..SimConfig::default() },
+        );
+        sim.flush_icache();
+        let cold = sim.run(&[a]).unwrap();
+        sim.reset_data();
+        let warm = sim.run(&[a]).unwrap();
+        prop_assert_eq!(warm.steps, cold.steps);
+        prop_assert_eq!(warm.return_value, cold.return_value);
+        prop_assert!(warm.cycles <= cold.cycles);
+        prop_assert!(warm.icache_misses <= cold.icache_misses);
+    }
+
+    /// Simulation is deterministic: same program, same input, same result.
+    #[test]
+    fn simulation_is_deterministic(src in arb_source(), a in -50i32..50) {
+        let program = ipet_lang::compile(&src, "main").expect("compiles");
+        let machine = Machine::i960kb();
+        let mut s1 = Simulator::new(&program, machine, SimConfig::default());
+        let mut s2 = Simulator::new(&program, machine, SimConfig::default());
+        let r1 = s1.run(&[a]).unwrap();
+        let r2 = s2.run(&[a]).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Cold-run cache misses never exceed instruction fetches, and cycles
+    /// are bounded below by steps (every instruction costs >= 1 cycle) and
+    /// above by the static worst case per instruction.
+    #[test]
+    fn cycle_and_miss_accounting(src in arb_source(), a in -50i32..50) {
+        let program = ipet_lang::compile(&src, "main").expect("compiles");
+        let machine = Machine::i960kb();
+        let mut sim = Simulator::new(&program, machine, SimConfig::default());
+        let r = sim.run(&[a]).unwrap();
+        prop_assert!(r.icache_misses <= r.steps);
+        prop_assert!(r.cycles >= r.steps);
+        // Loose static ceiling: worst per-instruction cost.
+        let per_instr_max = machine.int_div_cycles
+            + machine.miss_penalty
+            + machine.branch_taken_penalty
+            + machine.load_use_stall;
+        prop_assert!(r.cycles <= r.steps * per_instr_max);
+    }
+
+    /// Block counts are flow-consistent: the entry block of the entry
+    /// function executes exactly once.
+    #[test]
+    fn entry_block_runs_once(src in arb_source(), a in -50i32..50) {
+        let program = ipet_lang::compile(&src, "main").expect("compiles");
+        let machine = Machine::i960kb();
+        let mut sim = Simulator::new(&program, machine, SimConfig::default());
+        let r = sim.run(&[a]).unwrap();
+        let entry_count = r
+            .block_counts
+            .get(&(program.entry, ipet_cfg::BlockId(0)))
+            .copied()
+            .unwrap_or(0);
+        prop_assert_eq!(entry_count, 1);
+    }
+
+    /// A doubled miss penalty can only increase the cold-run cycle count,
+    /// and leaves a fully-warm run unchanged.
+    #[test]
+    fn miss_penalty_monotonicity(src in arb_source(), a in -50i32..50) {
+        let program = ipet_lang::compile(&src, "main").expect("compiles");
+        let cheap = Machine::i960kb();
+        let pricey = Machine { miss_penalty: cheap.miss_penalty * 2, ..cheap };
+        let mut s1 = Simulator::new(&program, cheap, SimConfig::default());
+        let mut s2 = Simulator::new(&program, pricey, SimConfig::default());
+        let r1 = s1.run(&[a]).unwrap();
+        let r2 = s2.run(&[a]).unwrap();
+        prop_assert!(r2.cycles >= r1.cycles);
+        prop_assert_eq!(r1.icache_misses, r2.icache_misses);
+    }
+}

@@ -1,0 +1,507 @@
+//! The DSP / media benchmarks: `fft`, `jpeg_fdct_islow`,
+//! `jpeg_idct_islow`, `recon`, `fullsearch`.
+
+use crate::{Benchmark, PaperRow, Seeds};
+
+fn fft_input_worst() -> Seeds {
+    vec![("re", (0..32).map(|i| (i * 37) % 101 - 50).collect()), ("im", vec![0; 32])]
+}
+
+fn fft_input_best() -> Seeds {
+    vec![("re", vec![0; 32]), ("im", vec![0; 32])]
+}
+
+/// A 32-point integer radix-2 FFT.
+///
+/// The butterfly passes are written with constant trip counts (5 stages of
+/// 16 butterflies), as DSP codes are; only the bit-reversal carry loop is
+/// data-dependent, which leaves the small residual pessimism the paper
+/// also reports for `fft` (0.01).
+pub fn fft() -> Benchmark {
+    Benchmark {
+        name: "fft",
+        description: "Fast Fourier Transform",
+        source: r#"
+const N = 32;
+const LOGN = 5;
+int re[N];
+int im[N];
+int costab[16] = {1024, 1004, 946, 851, 724, 569, 392, 200,
+                  0, -200, -392, -569, -724, -851, -946, -1004};
+int sintab[16] = {0, 200, 392, 569, 724, 851, 946, 1004,
+                  1024, 1004, 946, 851, 724, 569, 392, 200};
+
+int bitrev() {
+    int i;
+    int j;
+    int k;
+    int t;
+    j = 0;
+    for (i = 0; i < N; i = i + 1) {
+        if (i < j) {
+            t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+        k = N / 2;
+        while (k >= 1 && j >= k) {
+            j = j - k;
+            k = k / 2;
+        }
+        j = j + k;
+    }
+    return 0;
+}
+
+int fft() {
+    int s;
+    int p;
+    int half;
+    int group;
+    int pos;
+    int k;
+    int tw;
+    int wr;
+    int wi;
+    int tr;
+    int ti;
+    bitrev();
+    for (s = 0; s < LOGN; s = s + 1) {
+        half = 1 << s;
+        for (p = 0; p < N / 2; p = p + 1) {
+            group = p / half;
+            pos = p % half;
+            k = group * 2 * half + pos;
+            tw = pos * (N / (2 * half));
+            wr = costab[tw];
+            wi = 0 - sintab[tw];
+            tr = (wr * re[k + half] - wi * im[k + half]) / 1024;
+            ti = (wr * im[k + half] + wi * re[k + half]) / 1024;
+            re[k + half] = re[k] - tr;
+            im[k + half] = im[k] - ti;
+            re[k] = re[k] + tr;
+            im[k] = im[k] + ti;
+        }
+    }
+    return re[0];
+}
+"#,
+        entry: "fft",
+        loop_bounds: &[
+            ("bitrev", &[(32, 32), (0, 5)]),
+            ("fft", &[(5, 5), (16, 16)]),
+        ],
+        // Bit reversal is data-independent: exactly 12 swaps (x6), 31
+        // carry-loop iterations (x12) and one k-exhausted exit (x9) for
+        // N = 32, regardless of input.
+        extra_annotations: "fn bitrev { x6 = 12; x12 = 31; x9 = 1; }\n",
+        worst_seeds: fft_input_worst,
+        best_seeds: fft_input_best,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 56, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+fn dct_block_worst() -> Seeds {
+    vec![("block", (0..64).map(|i| ((i * 29) % 255) - 128).collect())]
+}
+
+fn dct_block_best() -> Seeds {
+    vec![("block", vec![0; 64])]
+}
+
+/// The JPEG "islow" forward DCT: two passes (rows then columns) of
+/// Loeffler-style integer butterflies over an 8x8 block. Control flow is
+/// data-independent.
+pub fn jpeg_fdct_islow() -> Benchmark {
+    Benchmark {
+        name: "jpeg_fdct_islow",
+        description: "JPEG forward discrete cosine transform",
+        source: r#"
+const F_0_298 = 2446;
+const F_0_390 = 3196;
+const F_0_541 = 4433;
+const F_0_765 = 6270;
+const F_0_899 = 7373;
+const F_1_175 = 9633;
+const F_1_501 = 12299;
+const F_1_847 = 15137;
+const F_1_961 = 16069;
+const F_2_053 = 16819;
+const F_2_562 = 20995;
+const F_3_072 = 25172;
+int block[64];
+
+int jpeg_fdct_islow() {
+    int ctr;
+    int tmp0; int tmp1; int tmp2; int tmp3;
+    int tmp4; int tmp5; int tmp6; int tmp7;
+    int tmp10; int tmp11; int tmp12; int tmp13;
+    int z1; int z2; int z3; int z4; int z5;
+    int base;
+    for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+        base = ctr * 8;
+        tmp0 = block[base + 0] + block[base + 7];
+        tmp7 = block[base + 0] - block[base + 7];
+        tmp1 = block[base + 1] + block[base + 6];
+        tmp6 = block[base + 1] - block[base + 6];
+        tmp2 = block[base + 2] + block[base + 5];
+        tmp5 = block[base + 2] - block[base + 5];
+        tmp3 = block[base + 3] + block[base + 4];
+        tmp4 = block[base + 3] - block[base + 4];
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+        block[base + 0] = (tmp10 + tmp11) << 2;
+        block[base + 4] = (tmp10 - tmp11) << 2;
+        z1 = (tmp12 + tmp13) * F_0_541;
+        block[base + 2] = (z1 + tmp13 * F_0_765) >> 11;
+        block[base + 6] = (z1 - tmp12 * F_1_847) >> 11;
+        z1 = tmp4 + tmp7;
+        z2 = tmp5 + tmp6;
+        z3 = tmp4 + tmp6;
+        z4 = tmp5 + tmp7;
+        z5 = (z3 + z4) * F_1_175;
+        tmp4 = tmp4 * F_0_298;
+        tmp5 = tmp5 * F_2_053;
+        tmp6 = tmp6 * F_3_072;
+        tmp7 = tmp7 * F_1_501;
+        z1 = 0 - z1 * F_0_899;
+        z2 = 0 - z2 * F_2_562;
+        z3 = z5 - z3 * F_1_961;
+        z4 = z5 - z4 * F_0_390;
+        block[base + 7] = (tmp4 + z1 + z3) >> 11;
+        block[base + 5] = (tmp5 + z2 + z4) >> 11;
+        block[base + 3] = (tmp6 + z2 + z3) >> 11;
+        block[base + 1] = (tmp7 + z1 + z4) >> 11;
+    }
+    for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+        tmp0 = block[ctr + 0] + block[ctr + 56];
+        tmp7 = block[ctr + 0] - block[ctr + 56];
+        tmp1 = block[ctr + 8] + block[ctr + 48];
+        tmp6 = block[ctr + 8] - block[ctr + 48];
+        tmp2 = block[ctr + 16] + block[ctr + 40];
+        tmp5 = block[ctr + 16] - block[ctr + 40];
+        tmp3 = block[ctr + 24] + block[ctr + 32];
+        tmp4 = block[ctr + 24] - block[ctr + 32];
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+        block[ctr + 0] = (tmp10 + tmp11) >> 2;
+        block[ctr + 32] = (tmp10 - tmp11) >> 2;
+        z1 = (tmp12 + tmp13) * F_0_541;
+        block[ctr + 16] = (z1 + tmp13 * F_0_765) >> 13;
+        block[ctr + 48] = (z1 - tmp12 * F_1_847) >> 13;
+        z1 = tmp4 + tmp7;
+        z2 = tmp5 + tmp6;
+        z3 = tmp4 + tmp6;
+        z4 = tmp5 + tmp7;
+        z5 = (z3 + z4) * F_1_175;
+        tmp4 = tmp4 * F_0_298;
+        tmp5 = tmp5 * F_2_053;
+        tmp6 = tmp6 * F_3_072;
+        tmp7 = tmp7 * F_1_501;
+        z1 = 0 - z1 * F_0_899;
+        z2 = 0 - z2 * F_2_562;
+        z3 = z5 - z3 * F_1_961;
+        z4 = z5 - z4 * F_0_390;
+        block[ctr + 56] = (tmp4 + z1 + z3) >> 13;
+        block[ctr + 40] = (tmp5 + z2 + z4) >> 13;
+        block[ctr + 24] = (tmp6 + z2 + z3) >> 13;
+        block[ctr + 8] = (tmp7 + z1 + z4) >> 13;
+    }
+    return block[0];
+}
+"#,
+        entry: "jpeg_fdct_islow",
+        loop_bounds: &[("jpeg_fdct_islow", &[(8, 8), (8, 8)])],
+        extra_annotations: "",
+        worst_seeds: dct_block_worst,
+        best_seeds: dct_block_best,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 134, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+/// The JPEG "islow" inverse DCT with its famous all-zero-AC column
+/// shortcut — the reason the paper's best and worst cases differ by more
+/// than a factor of ten for this routine.
+pub fn jpeg_idct_islow() -> Benchmark {
+    Benchmark {
+        name: "jpeg_idct_islow",
+        description: "JPEG inverse discrete cosine transform",
+        source: r#"
+const F_0_298 = 2446;
+const F_0_390 = 3196;
+const F_0_541 = 4433;
+const F_0_765 = 6270;
+const F_0_899 = 7373;
+const F_1_175 = 9633;
+const F_1_501 = 12299;
+const F_1_847 = 15137;
+const F_1_961 = 16069;
+const F_2_053 = 16819;
+const F_2_562 = 20995;
+const F_3_072 = 25172;
+int coef[64];
+int ws[64];
+
+int jpeg_idct_islow() {
+    int ctr;
+    int dc;
+    int tmp0; int tmp1; int tmp2; int tmp3;
+    int tmp10; int tmp11; int tmp12; int tmp13;
+    int z1; int z2; int z3; int z4;
+    for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+        if (coef[ctr + 8] == 0 && coef[ctr + 16] == 0 && coef[ctr + 24] == 0 &&
+            coef[ctr + 32] == 0 && coef[ctr + 40] == 0 && coef[ctr + 48] == 0 &&
+            coef[ctr + 56] == 0) {
+            dc = coef[ctr] << 2;
+            ws[ctr + 0] = dc;
+            ws[ctr + 8] = dc;
+            ws[ctr + 16] = dc;
+            ws[ctr + 24] = dc;
+            ws[ctr + 32] = dc;
+            ws[ctr + 40] = dc;
+            ws[ctr + 48] = dc;
+            ws[ctr + 56] = dc;
+        } else {
+            z2 = coef[ctr + 16];
+            z3 = coef[ctr + 48];
+            z1 = (z2 + z3) * F_0_541;
+            tmp2 = z1 + z3 * (0 - F_1_847);
+            tmp3 = z1 + z2 * F_0_765;
+            z2 = coef[ctr];
+            z3 = coef[ctr + 32];
+            tmp0 = (z2 + z3) << 13;
+            tmp1 = (z2 - z3) << 13;
+            tmp10 = tmp0 + tmp3;
+            tmp13 = tmp0 - tmp3;
+            tmp11 = tmp1 + tmp2;
+            tmp12 = tmp1 - tmp2;
+            tmp0 = coef[ctr + 56];
+            tmp1 = coef[ctr + 40];
+            tmp2 = coef[ctr + 24];
+            tmp3 = coef[ctr + 8];
+            z1 = tmp0 + tmp3;
+            z2 = tmp1 + tmp2;
+            z3 = tmp0 + tmp2;
+            z4 = tmp1 + tmp3;
+            tmp0 = tmp0 * F_0_298;
+            tmp1 = tmp1 * F_2_053;
+            tmp2 = tmp2 * F_3_072;
+            tmp3 = tmp3 * F_1_501;
+            z1 = 0 - z1 * F_0_899;
+            z2 = 0 - z2 * F_2_562;
+            z3 = (z3 + z4) * F_1_175 - z3 * F_1_961;
+            z4 = (z3 / 1024) - z4 * F_0_390;
+            tmp0 = tmp0 + z1 + z3;
+            tmp1 = tmp1 + z2 + z4;
+            tmp2 = tmp2 + z2 + z3;
+            tmp3 = tmp3 + z1 + z4;
+            ws[ctr + 0] = (tmp10 + tmp3) >> 11;
+            ws[ctr + 56] = (tmp10 - tmp3) >> 11;
+            ws[ctr + 8] = (tmp11 + tmp2) >> 11;
+            ws[ctr + 48] = (tmp11 - tmp2) >> 11;
+            ws[ctr + 16] = (tmp12 + tmp1) >> 11;
+            ws[ctr + 40] = (tmp12 - tmp1) >> 11;
+            ws[ctr + 24] = (tmp13 + tmp0) >> 11;
+            ws[ctr + 32] = (tmp13 - tmp0) >> 11;
+        }
+    }
+    for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+        z2 = ws[ctr * 8 + 2];
+        z3 = ws[ctr * 8 + 6];
+        z1 = (z2 + z3) * F_0_541;
+        tmp2 = z1 + z3 * (0 - F_1_847);
+        tmp3 = z1 + z2 * F_0_765;
+        tmp0 = (ws[ctr * 8 + 0] + ws[ctr * 8 + 4]) << 13;
+        tmp1 = (ws[ctr * 8 + 0] - ws[ctr * 8 + 4]) << 13;
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+        tmp0 = ws[ctr * 8 + 7];
+        tmp1 = ws[ctr * 8 + 5];
+        tmp2 = ws[ctr * 8 + 3];
+        tmp3 = ws[ctr * 8 + 1];
+        z1 = tmp0 + tmp3;
+        z2 = tmp1 + tmp2;
+        z3 = tmp0 + tmp2;
+        z4 = tmp1 + tmp3;
+        tmp0 = tmp0 * F_0_298;
+        tmp1 = tmp1 * F_2_053;
+        tmp2 = tmp2 * F_3_072;
+        tmp3 = tmp3 * F_1_501;
+        z1 = 0 - z1 * F_0_899;
+        z2 = 0 - z2 * F_2_562;
+        z3 = (z3 + z4) * F_1_175 - z3 * F_1_961;
+        z4 = (z3 / 1024) - z4 * F_0_390;
+        ws[ctr * 8 + 0] = (tmp10 + tmp0 + z1 + z3) >> 18;
+        ws[ctr * 8 + 7] = (tmp10 - tmp0 - z1 - z3) >> 18;
+        ws[ctr * 8 + 1] = (tmp11 + tmp1 + z2 + z4) >> 18;
+        ws[ctr * 8 + 6] = (tmp11 - tmp1 - z2 - z4) >> 18;
+        ws[ctr * 8 + 2] = (tmp12 + tmp2) >> 18;
+        ws[ctr * 8 + 5] = (tmp12 - tmp2) >> 18;
+        ws[ctr * 8 + 3] = (tmp13 + tmp3) >> 18;
+        ws[ctr * 8 + 4] = (tmp13 - tmp3) >> 18;
+    }
+    return ws[0];
+}
+"#,
+        entry: "jpeg_idct_islow",
+        loop_bounds: &[("jpeg_idct_islow", &[(8, 8), (8, 8)])],
+        extra_annotations: "",
+        worst_seeds: dct_block_worst_coef,
+        best_seeds: dct_block_best_coef,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 160, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+fn dct_block_worst_coef() -> Seeds {
+    // DC and the last AC row non-zero, middle rows zero: every column
+    // evaluates the full zero-test chain and still takes the long arm —
+    // the true worst-case input for the shortcut structure.
+    vec![(
+        "coef",
+        (0..64)
+            .map(|i| {
+                let row = i / 8;
+                if row == 0 || row == 7 {
+                    (i * 17) % 63 + 1
+                } else {
+                    0
+                }
+            })
+            .collect(),
+    )]
+}
+
+fn dct_block_best_coef() -> Seeds {
+    vec![("coef", vec![0; 64])]
+}
+
+fn recon_seeds() -> Seeds {
+    vec![("src", (0..324).map(|i| (i * 13) % 256).collect())]
+}
+
+/// The MPEG-2 decoder's block reconstruction: copies a 16x16 prediction
+/// with optional horizontal/vertical half-pel averaging (four forms).
+/// The form is selected by the half-pel flags, constant over the loops.
+pub fn recon() -> Benchmark {
+    Benchmark {
+        name: "recon",
+        description: "MPEG2 decoder reconstruction routine",
+        source: r#"
+const W = 18;
+int src[324];
+int dst[256];
+
+int recon(int xh, int yh) {
+    int i;
+    int j;
+    int s;
+    for (j = 0; j < 16; j = j + 1) {
+        for (i = 0; i < 16; i = i + 1) {
+            s = j * W + i;
+            if (xh == 0) {
+                if (yh == 0) {
+                    dst[j * 16 + i] = src[s];
+                } else {
+                    dst[j * 16 + i] = (src[s] + src[s + W] + 1) / 2;
+                }
+            } else {
+                if (yh == 0) {
+                    dst[j * 16 + i] = (src[s] + src[s + 1] + 1) / 2;
+                } else {
+                    dst[j * 16 + i] = (src[s] + src[s + 1] + src[s + W] + src[s + W + 1] + 2) / 4;
+                }
+            }
+        }
+    }
+    return dst[0];
+}
+"#,
+        entry: "recon",
+        loop_bounds: &[("recon", &[(16, 16), (16, 16)])],
+        extra_annotations: "",
+        worst_seeds: recon_seeds,
+        best_seeds: recon_seeds,
+        args_worst: &[1, 1],
+        args_best: &[0, 0],
+        paper: PaperRow { lines: 95, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+fn fullsearch_seeds_worst() -> Seeds {
+    // Reference much larger than current everywhere: |d| computation takes
+    // the negate arm every time, and SADs keep improving along the scan.
+    vec![
+        ("ref", (0..1024).map(|i| 200 + (i % 7)).collect()),
+        ("cur", vec![0; 64]),
+    ]
+}
+
+fn fullsearch_seeds_best() -> Seeds {
+    vec![("ref", vec![0; 1024]), ("cur", vec![0; 64])]
+}
+
+/// The MPEG-2 encoder's full-search motion estimation: an exhaustive scan
+/// of a +-4 search window, 8x8 SAD per candidate.
+pub fn fullsearch() -> Benchmark {
+    Benchmark {
+        name: "fullsearch",
+        description: "MPEG2 encoder frame search routine",
+        source: r#"
+const RW = 32;
+int ref[1024];
+int cur[64];
+int bestx;
+int besty;
+
+int fullsearch(int cx, int cy) {
+    int mx;
+    int my;
+    int i;
+    int j;
+    int sad;
+    int best;
+    int d;
+    best = 1 << 30;
+    for (my = 0 - 4; my <= 4; my = my + 1) {
+        for (mx = 0 - 4; mx <= 4; mx = mx + 1) {
+            sad = 0;
+            for (j = 0; j < 8; j = j + 1) {
+                for (i = 0; i < 8; i = i + 1) {
+                    d = cur[j * 8 + i] - ref[(cy + my + j) * RW + cx + mx + i];
+                    if (d < 0) {
+                        d = 0 - d;
+                    }
+                    sad = sad + d;
+                }
+            }
+            if (sad < best) {
+                best = sad;
+                bestx = mx;
+                besty = my;
+            }
+        }
+    }
+    return best;
+}
+"#,
+        entry: "fullsearch",
+        loop_bounds: &[("fullsearch", &[(9, 9), (9, 9), (8, 8), (8, 8)])],
+        extra_annotations: "",
+        worst_seeds: fullsearch_seeds_worst,
+        best_seeds: fullsearch_seeds_best,
+        args_worst: &[12, 12],
+        args_best: &[12, 12],
+        paper: PaperRow { lines: 121, sets: 1, sets_after_prune: 1 },
+    }
+}

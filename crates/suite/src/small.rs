@@ -1,0 +1,277 @@
+//! The small benchmarks: `check_data`, `piksrt`, `line`, `circle`,
+//! `matgen`.
+
+use crate::{Benchmark, PaperRow};
+
+/// Park's thesis example, the paper's running example (Fig. 5).
+///
+/// Scans `data[]` for a negative element; returns 0 when one is found.
+/// Worst case: no negative element (full scan). Best case: `data[0]` is
+/// negative.
+pub fn check_data() -> Benchmark {
+    Benchmark {
+        name: "check_data",
+        description: "Example from Park's thesis",
+        source: r#"
+const DATASIZE = 10;
+int data[DATASIZE];
+
+int check_data() {
+    int i;
+    int morecheck;
+    int wrongone;
+    morecheck = 1; i = 0; wrongone = -1;
+    while (morecheck) {
+        if (data[i] < 0) {
+            wrongone = i; morecheck = 0;
+        } else {
+            i = i + 1;
+            if (i >= DATASIZE) morecheck = 0;
+        }
+    }
+    if (wrongone >= 0)
+        return 0;
+    else
+        return 1;
+}
+"#,
+        entry: "check_data",
+        loop_bounds: &[("check_data", &[(1, 10)])],
+        // The paper's eq. (16): inside the loop, the found-negative block
+        // and the stop-scanning block are mutually exclusive over the whole
+        // run, and eq. (17): the found-negative block and `return 0` always
+        // execute together. Block numbers refer to the compiled CFG (see
+        // the cinderella listing for this routine).
+        extra_annotations: CHECK_DATA_EXTRA,
+        worst_seeds: || vec![("data", vec![5; 10])],
+        best_seeds: || vec![("data", vec![-1, 5, 5, 5, 5, 5, 5, 5, 5, 5])],
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 17, sets: 2, sets_after_prune: 2 },
+    }
+}
+
+/// The paper's eqs. (16) and (17) transcribed onto the compiled CFG:
+/// block `x6` is the found-negative arm (paper `x3`), `x8` the
+/// stop-scanning arm (paper `x5`), and `x13` the `return 0` block
+/// (paper `x8`).
+const CHECK_DATA_EXTRA: &str = "
+fn check_data {
+    (x6 = 0 & x8 = 1) | (x6 = 1 & x8 = 0);
+    x6 = x13;
+}
+";
+
+/// Insertion sort (Numerical Recipes' `piksrt`) over 10 elements.
+///
+/// Worst case: reverse-sorted input (the inner while runs `j` times per
+/// outer iteration). Best case: already sorted (inner while never runs).
+pub fn piksrt() -> Benchmark {
+    Benchmark {
+        name: "piksrt",
+        description: "Insertion Sort",
+        source: r#"
+const N = 10;
+int arr[N];
+
+int piksrt() {
+    int i;
+    int j;
+    int a;
+    for (j = 1; j < N; j = j + 1) {
+        a = arr[j];
+        i = j - 1;
+        while (i >= 0 && arr[i] > a) {
+            arr[i + 1] = arr[i];
+            i = i - 1;
+        }
+        arr[i + 1] = a;
+    }
+    return arr[0];
+}
+"#,
+        entry: "piksrt",
+        loop_bounds: &[("piksrt", &[(9, 9), (0, 9)])],
+        extra_annotations: PIKSRT_EXTRA,
+        worst_seeds: || vec![("arr", (0..10).rev().collect())],
+        best_seeds: || vec![("arr", (0..10).collect())],
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 15, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+/// Tightening constraints in the paper's "additional information" style:
+/// the inner-loop body (`x9`) runs at most 1+2+...+9 = 45 times in total
+/// (triangular, not 9 per outer iteration), and the second half of the
+/// short-circuit test (`x7`) is reached at least once per outer iteration
+/// (`i = j-1 >= 0` always holds on entry).
+const PIKSRT_EXTRA: &str = "
+fn piksrt {
+    x9 <= 45;
+    x7 >= 9;
+}
+";
+
+/// Bresenham-style line rasteriser (the line-drawing routine from Gupta's
+/// thesis is the model).
+///
+/// Arguments are the two endpoints. Worst case: a full-diagonal line
+/// (maximum steps); best case: a single point.
+pub fn line() -> Benchmark {
+    Benchmark {
+        name: "line",
+        description: "Line drawing routine in Gupta's thesis",
+        source: r#"
+const XSIZE = 64;
+int screen[4096];
+
+int absval(int v) {
+    if (v < 0) return -v;
+    return v;
+}
+
+int line(int x0, int y0, int x1, int y1) {
+    int dx;
+    int dy;
+    int sx;
+    int sy;
+    int err;
+    int e2;
+    int steps;
+    int k;
+    int x;
+    int y;
+    dx = absval(x1 - x0);
+    dy = absval(y1 - y0);
+    if (x0 < x1) sx = 1; else sx = -1;
+    if (y0 < y1) sy = 1; else sy = -1;
+    err = dx - dy;
+    steps = dx;
+    if (dy > dx) steps = dy;
+    x = x0;
+    y = y0;
+    for (k = 0; k <= steps; k = k + 1) {
+        screen[y * XSIZE + x] = 1;
+        e2 = 2 * err;
+        if (e2 > 0 - dy) {
+            err = err - dy;
+            x = x + sx;
+        }
+        if (e2 < dx) {
+            err = err + dx;
+            y = y + sy;
+        }
+    }
+    return steps;
+}
+"#,
+        entry: "line",
+        loop_bounds: &[("line", &[(1, 64)])],
+        // Every line is either x-major or y-major: the x-step arm (x19)
+        // and the y-step arm (x22) counts are ordered one way or the
+        // other. A disjunctive path fact in the paper's style (two sets).
+        extra_annotations: "fn line { (x19 >= x22) | (x22 >= x19); }\n",
+        worst_seeds: Vec::new,
+        best_seeds: Vec::new,
+        args_worst: &[0, 0, 63, 63],
+        args_best: &[5, 5, 5, 5],
+        paper: PaperRow { lines: 165, sets: 2, sets_after_prune: 2 },
+    }
+}
+
+/// Midpoint circle rasteriser (the circle-drawing routine from Gupta's
+/// thesis is the model).
+///
+/// Worst case: the largest radius; best case: radius 0.
+pub fn circle() -> Benchmark {
+    Benchmark {
+        name: "circle",
+        description: "Circle drawing routine in Gupta's thesis",
+        source: r#"
+const XSIZE = 64;
+int screen[4096];
+
+int plot8(int cx, int cy, int x, int y) {
+    screen[(cy + y) * XSIZE + cx + x] = 1;
+    screen[(cy + y) * XSIZE + cx - x] = 1;
+    screen[(cy - y) * XSIZE + cx + x] = 1;
+    screen[(cy - y) * XSIZE + cx - x] = 1;
+    screen[(cy + x) * XSIZE + cx + y] = 1;
+    screen[(cy + x) * XSIZE + cx - y] = 1;
+    screen[(cy - x) * XSIZE + cx + y] = 1;
+    screen[(cy - x) * XSIZE + cx - y] = 1;
+    return 0;
+}
+
+int circle(int cx, int cy, int r) {
+    int x;
+    int y;
+    int d;
+    x = 0;
+    y = r;
+    d = 3 - 2 * r;
+    while (x <= y) {
+        plot8(cx, cy, x, y);
+        if (d < 0) {
+            d = d + 4 * x + 6;
+        } else {
+            d = d + 4 * (x - y) + 10;
+            y = y - 1;
+        }
+        x = x + 1;
+    }
+    return x;
+}
+"#,
+        entry: "circle",
+        loop_bounds: &[("circle", &[(1, 16)])],
+        // For radii up to 20 the midpoint walk makes at most 7 y-steps
+        // (the else arm, x8): r - ceil(r/sqrt(2)) <= 7.
+        extra_annotations: "fn circle { x8 <= 7; }\n",
+        worst_seeds: Vec::new,
+        best_seeds: Vec::new,
+        args_worst: &[31, 31, 20],
+        args_best: &[31, 31, 0],
+        paper: PaperRow { lines: 88, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+/// The matrix-generation routine of the Linpack benchmark: fills an
+/// `N x N` matrix from a multiplicative congruential generator.
+/// Control flow is data-independent.
+pub fn matgen() -> Benchmark {
+    Benchmark {
+        name: "matgen",
+        description: "Matrix routine in Linpack benchmark",
+        source: r#"
+const N = 20;
+int a[400];
+int norma;
+
+int matgen() {
+    int i;
+    int j;
+    int seed;
+    seed = 1325;
+    norma = 0;
+    for (i = 0; i < N; i = i + 1) {
+        for (j = 0; j < N; j = j + 1) {
+            seed = (3125 * seed) % 65536;
+            a[j * N + i] = seed - 32768;
+            norma = norma + (a[j * N + i] >> 8);
+        }
+    }
+    return norma;
+}
+"#,
+        entry: "matgen",
+        loop_bounds: &[("matgen", &[(20, 20), (20, 20)])],
+        extra_annotations: "",
+        worst_seeds: Vec::new,
+        best_seeds: Vec::new,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 50, sets: 1, sets_after_prune: 1 },
+    }
+}

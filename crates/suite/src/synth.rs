@@ -1,0 +1,522 @@
+//! The synthetic / systems benchmarks: `des`, `whetstone`, `dhry`.
+
+use crate::{Benchmark, PaperRow, Seeds};
+
+fn des_seeds() -> Seeds {
+    vec![
+        ("subkeys", (0..32).map(|i| (i * 2654435761u32 as i64 % 65521) as i32).collect()),
+        (
+            "sbox",
+            (0..256)
+                .map(|i| {
+                    // A fixed pseudo-random substitution table.
+                    let x = (i as u32).wrapping_mul(2246822519).rotate_left(13);
+                    (x % 251) as i32
+                })
+                .collect(),
+        ),
+    ]
+}
+
+/// A 16-round Feistel cipher in the structural mould of DES: per-round
+/// expansion, S-box substitution and permutation, plus an up-front parity
+/// scan of the input block. The parity scan's two arms are annotated as
+/// mutually exclusive per round, which gives the routine its two
+/// constraint sets.
+pub fn des() -> Benchmark {
+    Benchmark {
+        name: "des",
+        description: "Data Encryption Standard",
+        source: r#"
+const ROUNDS = 16;
+int key[8];
+int subkeys[32];
+int sbox[256];
+int inblock[16];
+int ip[32] = {57, 49, 41, 33, 25, 17, 9, 1,
+              59, 51, 43, 35, 27, 19, 11, 3,
+              61, 53, 45, 37, 29, 21, 13, 5,
+              63, 55, 47, 39, 31, 23, 15, 7};
+int fp[32] = {39, 7, 47, 15, 55, 23, 63, 31,
+              38, 6, 46, 14, 54, 22, 62, 30,
+              37, 5, 45, 13, 53, 21, 61, 29,
+              36, 4, 44, 12, 52, 20, 60, 28};
+int parity;
+
+int feistel(int r, int k1, int k2) {
+    int e1;
+    int e2;
+    int s;
+    e1 = r ^ k1;
+    e2 = ((r >> 4) ^ (r << 28)) ^ k2;
+    s = sbox[e1 & 63] ^ sbox[((e1 >> 8) & 63) + 64];
+    s = s ^ sbox[((e2 >> 16) & 63) + 128];
+    s = s ^ sbox[((e2 >> 24) & 63) + 192];
+    return (s << 3) ^ (s >> 5);
+}
+
+int keysched() {
+    int r;
+    int c;
+    int d;
+    c = key[0] ^ (key[1] << 4);
+    d = key[2] ^ (key[3] << 4);
+    for (r = 0; r < ROUNDS; r = r + 1) {
+        c = ((c << 1) ^ (c >> 27)) & 268435455;
+        d = ((d << 2) ^ (d >> 26)) & 268435455;
+        subkeys[2 * r] = c ^ key[4 + r % 4];
+        subkeys[2 * r + 1] = d ^ key[r % 8];
+    }
+    return subkeys[0];
+}
+
+int permute(int v, int table) {
+    int i;
+    int out;
+    int bit;
+    out = 0;
+    for (i = 0; i < 32; i = i + 1) {
+        if (table == 0) {
+            bit = (v >> (ip[i] % 32)) & 1;
+        } else {
+            bit = (v >> (fp[i] % 32)) & 1;
+        }
+        out = (out << 1) ^ bit;
+    }
+    return out;
+}
+
+int checkparity() {
+    int i;
+    int p;
+    p = 0;
+    for (i = 0; i < 16; i = i + 1) {
+        if (inblock[i] < 0) {
+            p = p + 1;
+        } else {
+            p = p - 1;
+        }
+    }
+    parity = p;
+    return p;
+}
+
+int des(int l, int r) {
+    int round;
+    int f;
+    int t;
+    keysched();
+    checkparity();
+    l = permute(l, 0);
+    r = permute(r, 0);
+    for (round = 0; round < ROUNDS; round = round + 1) {
+        f = feistel(r, subkeys[2 * round], subkeys[2 * round + 1]);
+        t = l ^ f;
+        l = r;
+        r = t;
+    }
+    return permute(l ^ r, 1);
+}
+"#,
+        entry: "des",
+        loop_bounds: &[
+            ("keysched", &[(16, 16)]),
+            ("permute", &[(32, 32)]),
+            ("checkparity", &[(16, 16)]),
+            ("des", &[(16, 16)]),
+        ],
+        extra_annotations: DES_EXTRA,
+        worst_seeds: || {
+            let mut s = des_seeds();
+            s.push(("inblock", vec![-1; 16]));
+            s.push(("key", (1..=8).map(|i| i * 0x1f3).collect()));
+            s
+        },
+        best_seeds: || {
+            let mut s = des_seeds();
+            s.push(("inblock", vec![1; 16]));
+            s.push(("key", (1..=8).map(|i| i * 0x1f3).collect()));
+            s
+        },
+        args_worst: &[0x1234, 0x5678],
+        args_best: &[0x1234, 0x5678],
+        paper: PaperRow { lines: 192, sets: 2, sets_after_prune: 2 },
+    }
+}
+
+/// Sign-uniform input blocks: the parity scan takes the same arm in all
+/// sixteen iterations — the increment arm (x6) or the decrement arm (x7),
+/// never a mix. A disjunctive path fact in the paper's eq. (16) style.
+const DES_EXTRA: &str = "
+fn checkparity {
+    (x6 = 16 & x7 = 0) | (x6 = 0 & x7 = 16);
+}
+";
+
+/// An integer Whetstone: the classic module structure (array arithmetic,
+/// procedure-call modules, conditional-jump module, integer arithmetic
+/// module) with fixed module repetition counts. Control flow is
+/// data-independent.
+pub fn whetstone() -> Benchmark {
+    Benchmark {
+        name: "whetstone",
+        description: "Whetstone benchmark",
+        source: r#"
+const N1 = 40;
+const N2 = 30;
+const N3 = 50;
+const N4 = 60;
+int e1[4];
+int t;
+int t2;
+int j_global;
+
+int pa(int slot) {
+    int k;
+    k = 0;
+    while (k < 6) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t / 1000;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t / 1000;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t / 1000;
+        e1[3] = (0 - e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+        k = k + 1;
+    }
+    return e1[slot];
+}
+
+int p3(int x, int y) {
+    int xt;
+    int yt;
+    xt = t * (x + y) / 1000;
+    yt = t * (xt + y) / 1000;
+    return (xt + yt) / t2;
+}
+
+int p0() {
+    e1[j_global] = e1[0];
+    e1[1] = e1[j_global];
+    e1[2] = e1[1];
+    return e1[2];
+}
+
+int mod1() {
+    int i;
+    int x1; int x2; int x3; int x4;
+    x1 = 1000; x2 = -1000; x3 = -1000; x4 = -1000;
+    for (i = 0; i < N1; i = i + 1) {
+        x1 = (x1 + x2 + x3 - x4) * t / 1000;
+        x2 = (x1 + x2 - x3 + x4) * t / 1000;
+        x3 = (x1 - x2 + x3 + x4) * t / 1000;
+        x4 = (0 - x1 + x2 + x3 + x4) * t / 1000;
+    }
+    return x1 + x2 + x3 + x4;
+}
+
+int mod2() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < N2; i = i + 1) {
+        e1[0] = 1000;
+        e1[1] = -1000;
+        e1[2] = -1000;
+        e1[3] = -1000;
+        acc = acc + pa(0);
+    }
+    return acc;
+}
+
+int mod3() {
+    int i;
+    int j;
+    j = 1;
+    for (i = 0; i < N3; i = i + 1) {
+        if (j == 1) {
+            j = 2;
+        } else {
+            j = 3;
+        }
+        if (j > 2) {
+            j = 0;
+        } else {
+            j = 1;
+        }
+        if (j < 1) {
+            j = 1;
+        } else {
+            j = 0;
+        }
+    }
+    return j;
+}
+
+int mod4() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < N4; i = i + 1) {
+        acc = acc + p3(i, i + 1);
+    }
+    return acc;
+}
+
+int poly(int x) {
+    int acc;
+    acc = x;
+    acc = (acc * x) / 1000 + 500;
+    acc = (acc * x) / 1000 - 250;
+    acc = (acc * acc) / 4096 + x;
+    return acc;
+}
+
+int mod6() {
+    int i;
+    int v;
+    v = 100;
+    for (i = 0; i < 30; i = i + 1) {
+        v = poly(v) + poly(v / 2);
+        v = v % 100000;
+    }
+    return v;
+}
+
+int mod8() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 25; i = i + 1) {
+        acc = acc + p3(acc, i);
+        e1[i % 4] = acc;
+    }
+    return acc;
+}
+
+int whetstone() {
+    int s;
+    t = 499;
+    t2 = 2;
+    j_global = 1;
+    s = mod1();
+    s = s + mod2();
+    s = s + mod3();
+    s = s + mod4();
+    s = s + mod6();
+    s = s + mod8();
+    s = s + p0();
+    return s;
+}
+"#,
+        entry: "whetstone",
+        loop_bounds: &[
+            ("pa", &[(6, 6)]),
+            ("mod1", &[(40, 40)]),
+            ("mod2", &[(30, 30)]),
+            ("mod3", &[(50, 50)]),
+            ("mod4", &[(60, 60)]),
+            ("mod6", &[(30, 30)]),
+            ("mod8", &[(25, 25)]),
+        ],
+        extra_annotations: "",
+        worst_seeds: Vec::new,
+        best_seeds: Vec::new,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 245, sets: 1, sets_after_prune: 1 },
+    }
+}
+
+fn dhry_seeds() -> Seeds {
+    vec![("arr1", (0..50).collect()), ("str1", vec![7; 30]), ("str2", vec![7; 30])]
+}
+
+fn dhry_seeds_best() -> Seeds {
+    vec![("arr1", vec![0; 50]), ("str1", vec![7; 30]), ("str2", vec![8; 30])]
+}
+
+/// A Dhrystone-flavoured integer mix: record-ish array manipulation,
+/// string comparison, procedure calls and a driver loop. Carries the
+/// paper's hallmark annotation load: three disjunctive functionality
+/// constraints whose DNF expands to eight constraint sets, five of which
+/// are provably null and pruned ("8)3" in Table I).
+pub fn dhry() -> Benchmark {
+    Benchmark {
+        name: "dhry",
+        description: "Dhrystone benchmark",
+        source: r#"
+const LOOPS = 20;
+const STRLEN = 30;
+int arr1[50];
+int arr2[50];
+int str1[30];
+int str2[30];
+int intglob;
+int boolglob;
+int chglob;
+
+int proc7(int a, int b) {
+    return a + b + 2;
+}
+
+int proc8(int base, int loc) {
+    int idx;
+    int i;
+    idx = loc + 5;
+    arr1[idx] = base;
+    arr1[idx + 1] = arr1[idx];
+    arr1[idx + 30] = loc;
+    for (i = idx; i < idx + 2; i = i + 1) {
+        arr2[i] = i;
+    }
+    arr2[idx + 25] = loc;
+    intglob = 5;
+    return idx;
+}
+
+int func1(int a, int b) {
+    if (a == b) {
+        return 1;
+    }
+    return 0;
+}
+
+int func2() {
+    int i;
+    int cmp;
+    cmp = 1;
+    i = 0;
+    while (i < STRLEN) {
+        if (str1[i] != str2[i]) {
+            cmp = 0;
+            i = STRLEN;
+        } else {
+            i = i + 1;
+        }
+    }
+    return cmp;
+}
+
+int proc6(int sel) {
+    int out;
+    if (sel == 0) {
+        out = 2;
+    } else {
+        if (sel == 1) {
+            if (intglob > 100) {
+                out = 0;
+            } else {
+                out = 3;
+            }
+        } else {
+            out = 1;
+        }
+    }
+    return out;
+}
+
+int proc1(int depth) {
+    int next;
+    next = proc7(depth, 10);
+    intglob = next;
+    boolglob = func1(depth, next);
+    return next;
+}
+
+int proc2(int x) {
+    int loc;
+    loc = x + 10;
+    do {
+        loc = loc - 1;
+    } while (loc > x);
+    return loc;
+}
+
+int proc3(int idx) {
+    arr2[idx % 50] = intglob;
+    return arr2[idx % 50];
+}
+
+int proc4() {
+    boolglob = boolglob | (chglob == 66);
+    chglob = 66;
+    return boolglob;
+}
+
+int proc5() {
+    boolglob = 0;
+    return 0;
+}
+
+int func3(int enumval) {
+    if (enumval == 2) {
+        return 1;
+    }
+    return 0;
+}
+
+int dhry() {
+    int run;
+    int a;
+    int b;
+    int sum;
+    int warm;
+    sum = 0;
+    chglob = 65;
+    if (chglob == 65) {
+        chglob = 66;
+    }
+    for (warm = 0; warm < 2; warm = warm + 1) {
+        arr2[warm] = 0;
+    }
+    proc5();
+    for (run = 0; run < LOOPS; run = run + 1) {
+        a = proc1(run);
+        b = proc6(run % 3);
+        sum = sum + proc8(a, b);
+        sum = sum + proc2(run);
+        proc3(run);
+        proc4();
+        if (func2() == 1) {
+            sum = sum + 1;
+        } else {
+            sum = sum - 1;
+        }
+        if (func3(run % 4) == 1) {
+            sum = sum + 2;
+        }
+        if (arr1[run] > 40) {
+            boolglob = 1;
+        }
+    }
+    return sum;
+}
+"#,
+        entry: "dhry",
+        loop_bounds: &[
+            ("proc8", &[(2, 2)]),
+            // do-while: the bound counts back-edge traversals, which is
+            // iterations - 1 for a bottom-tested loop (10 body runs).
+            ("proc2", &[(9, 9)]),
+            ("func2", &[(1, 30)]),
+            ("dhry", &[(2, 3), (20, 20)]),
+        ],
+        extra_annotations: DHRY_EXTRA,
+        worst_seeds: dhry_seeds,
+        best_seeds: dhry_seeds_best,
+        args_worst: &[],
+        args_best: &[],
+        paper: PaperRow { lines: 480, sets: 8, sets_after_prune: 3 },
+    }
+}
+
+/// Three disjunctive annotations expanding to 2x2x2 = 8 constraint sets,
+/// five of which contain a single-variable contradiction (e.g. `x3 = 0`
+/// intersected with `x3 = 1`) and are pruned as null — reproducing
+/// Table I's "8)3" for dhry. Block x3 is the one-shot initialisation arm;
+/// block x7 the warm-up loop body (2..3 iterations).
+const DHRY_EXTRA: &str = "
+fn dhry {
+    (x3 = 0) | (x3 = 1);
+    (x3 = 1) | (x7 = 2);
+    (x7 = 2) | (x3 = 0 & x7 = 3);
+}
+";

@@ -1,0 +1,46 @@
+//! End-to-end: every benchmark analyses, simulates, and the estimated
+//! bound encloses both the calculated and the measured bound.
+
+use ipet_core::{Analyzer, TimeBound};
+use ipet_sim::Machine;
+use ipet_sim::measure;
+
+#[test]
+fn estimated_bound_encloses_measured_bound_for_every_benchmark() {
+    for b in ipet_suite::all() {
+        let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let machine = Machine::i960kb();
+        let analyzer = Analyzer::new(&program, machine).unwrap();
+        let ann = b.annotations(&program);
+        let est = analyzer
+            .analyze(&ann)
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e}\n{ann}", b.name));
+
+        let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true)
+            .unwrap_or_else(|e| panic!("{}: worst-case run failed: {e}", b.name));
+        let best = measure(&program, machine, &(b.best_seeds)(), b.args_best, false)
+            .unwrap_or_else(|e| panic!("{}: best-case run failed: {e}", b.name));
+        let measured = TimeBound { lower: best.cycles, upper: worst.cycles };
+        assert!(
+            est.bound.encloses(measured),
+            "{}: estimated {:?} does not enclose measured {:?}",
+            b.name,
+            est.bound,
+            measured
+        );
+
+        let calculated = analyzer.calculated_bound(&best.block_counts, &worst.block_counts);
+        assert!(
+            est.bound.encloses(calculated),
+            "{}: estimated {:?} does not enclose calculated {:?}",
+            b.name,
+            est.bound,
+            calculated
+        );
+        println!(
+            "{:16} est=[{}, {}] calc=[{}, {}] meas=[{}, {}] sets={}/{}",
+            b.name, est.bound.lower, est.bound.upper, calculated.lower, calculated.upper,
+            measured.lower, measured.upper, est.sets_total - est.sets_pruned, est.sets_total,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The §IV refinement: treating the first loop iteration as its own
+//! virtual block with cold-cache cost, and later iterations with warm
+//! costs — "this pessimism can easily be avoided in the path analysis
+//! stage by considering the first iteration of the loop as a separate
+//! basic block".
+//!
+//! ```text
+//! cargo run --example cache_split
+//! ```
+
+use ipet_core::{Analyzer, CacheMode};
+use ipet_hw::Machine;
+use ipet_sim::measure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::i960kb();
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>10}",
+        "function", "all-miss", "split", "measured", "tightened"
+    );
+    for bench in ipet_suite::all() {
+        let program = bench.program()?;
+        let annotations = bench.annotations(&program);
+
+        let baseline = Analyzer::new(&program, machine)?;
+        let est_all_miss = baseline.analyze(&annotations)?;
+
+        let refined =
+            Analyzer::new(&program, machine)?.with_cache_mode(CacheMode::FirstIterSplit);
+        let est_split = refined.analyze(&annotations)?;
+
+        let worst = measure(
+            &program,
+            machine,
+            &(bench.worst_seeds)(),
+            bench.args_worst,
+            true,
+        )?;
+
+        // The refinement must tighten, and must stay safe.
+        assert!(est_split.bound.upper <= est_all_miss.bound.upper);
+        assert!(worst.cycles <= est_split.bound.upper);
+
+        let gain = 100.0 * (est_all_miss.bound.upper - est_split.bound.upper) as f64
+            / est_all_miss.bound.upper as f64;
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>9.1}%",
+            bench.name, est_all_miss.bound.upper, est_split.bound.upper, worst.cycles, gain
+        );
+    }
+    println!("\nsplitting never loosens a bound and never undercuts the measurement.");
+    Ok(())
+}

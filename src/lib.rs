@@ -1,0 +1,3 @@
+//! Workspace root package: see crate-level docs of the member crates.
+//! Re-exports the high-level API for examples and integration tests.
+pub use ipet_core as core_api;
