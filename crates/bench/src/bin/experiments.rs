@@ -48,6 +48,7 @@ fn main() {
         "exhaustive" => exhaustive(),
         "sensitivity" => sensitivity(),
         "stress" => stress(),
+        "budget" => budget(),
         "all" => {
             let data = all();
             figures();
@@ -66,6 +67,7 @@ fn main() {
             exhaustive();
             sensitivity();
             stress();
+            budget();
         }
         other => {
             eprintln!("unknown experiment {other}");
@@ -289,6 +291,32 @@ fn sensitivity() {
     for (bench, loop_id, hi, delta) in sensitivity_rows() {
         println!("{bench:<16} {loop_id:<22} {hi:>8} {delta:>14}");
         assert!(delta >= 0, "widening a bound can never shrink the WCET");
+    }
+    println!();
+}
+
+fn budget() {
+    println!("== budget: bound quality under shrinking tick deadlines ==");
+    println!(
+        "{:<12} {:>10} {:>24} {:>8} {:>8} {:>8}  safe",
+        "function", "deadline", "bound", "quality", "skipped", "relaxed"
+    );
+    let rows = budget_rows(&[100_000, 1_000, 100, 10, 0], &["check_data", "piksrt", "des"]);
+    for r in &rows {
+        let deadline = r
+            .deadline_ticks
+            .map(group_digits)
+            .unwrap_or_else(|| "unlimited".into());
+        println!(
+            "{:<12} {:>10} {:>24} {:>8} {:>8} {:>8}  {}",
+            r.name,
+            deadline,
+            fmt_bound(r.bound),
+            r.quality.to_string(),
+            r.sets_skipped,
+            r.degraded_sets,
+            r.safe
+        );
     }
     println!();
 }

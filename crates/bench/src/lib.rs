@@ -471,6 +471,24 @@ mod tests {
         assert!(d.estimate.bound.encloses(d.measured));
         assert_eq!(d.estimate.sets_total, 2);
     }
+
+    #[test]
+    fn budget_sweep_degrades_safely() {
+        // From unlimited down to a zero-tick deadline, the bound may widen
+        // and the quality may drop, but it must never stop enclosing the
+        // exact answer.
+        let rows = budget_rows(&[10_000, 50, 0], &["check_data"]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].quality.is_exact());
+        for r in &rows {
+            assert!(r.safe, "{r:?}");
+        }
+        // The zero-tick point cannot possibly be exact.
+        let starved = rows.last().unwrap();
+        assert_eq!(starved.deadline_ticks, Some(0));
+        assert!(!starved.quality.is_exact());
+        assert!(starved.sets_skipped > 0);
+    }
 }
 
 /// One point of the miss-penalty sensitivity sweep.
@@ -503,6 +521,68 @@ pub fn sweep_miss_penalty(penalties: &[u64], names: &[&str]) -> Vec<SweepPoint> 
             SweepPoint { miss_penalty: mp, wcet }
         })
         .collect()
+}
+
+/// One point of the budget-degradation sweep: what bound (and of what
+/// quality) a benchmark yields when the solver is limited to
+/// `deadline_ticks` simplex pivots.
+#[derive(Debug, Clone)]
+pub struct BudgetRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Tick deadline applied (`None` = unlimited, the reference point).
+    pub deadline_ticks: Option<u64>,
+    /// The (possibly degraded) estimate.
+    pub bound: TimeBound,
+    /// How trustworthy the bound is at this budget.
+    pub quality: ipet_core::BoundQuality,
+    /// Constraint sets skipped outright at this budget.
+    pub sets_skipped: usize,
+    /// Constraint sets reported from an LP-relaxation bound.
+    pub degraded_sets: usize,
+    /// Whether the degraded bound still encloses the unlimited bound.
+    pub safe: bool,
+}
+
+/// Budget sweep: each benchmark analysed under a descending series of tick
+/// deadlines, showing the graceful-degradation cascade (exact → relaxed /
+/// partial) and checking that every degraded bound stays an enclosure of
+/// the exact one.
+pub fn budget_rows(deadlines: &[u64], names: &[&str]) -> Vec<BudgetRow> {
+    use ipet_core::AnalysisBudget;
+    let machine = Machine::i960kb();
+    let mut rows = Vec::new();
+    for name in names {
+        let b = ipet_suite::by_name(name).expect("bundled benchmark");
+        let program = b.program().unwrap();
+        let analyzer = Analyzer::new(&program, machine).unwrap();
+        let ann = b.annotations(&program);
+        let exact = analyzer.analyze(&ann).unwrap();
+        rows.push(BudgetRow {
+            name: name.to_string(),
+            deadline_ticks: None,
+            bound: exact.bound,
+            quality: exact.quality,
+            sets_skipped: exact.sets_skipped,
+            degraded_sets: exact.degraded_sets.len(),
+            safe: true,
+        });
+        for &ticks in deadlines {
+            let mut budget = AnalysisBudget::unlimited();
+            budget.solve.deadline_ticks = Some(ticks);
+            let est = analyzer.analyze_with(&ann, &budget).unwrap();
+            rows.push(BudgetRow {
+                name: name.to_string(),
+                deadline_ticks: Some(ticks),
+                bound: est.bound,
+                quality: est.quality,
+                sets_skipped: est.sets_skipped,
+                degraded_sets: est.degraded_sets.len(),
+                safe: est.bound.encloses(exact.bound),
+            });
+        }
+    }
+    rows
 }
 
 /// Cross-machine comparison (the §VII DSP3210 port): estimated and

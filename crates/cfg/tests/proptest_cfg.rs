@@ -187,13 +187,13 @@ proptest! {
         };
         for a in 0..cfg.num_blocks() {
             let reach = reachable_without(BlockId(a));
-            for b in 0..cfg.num_blocks() {
+            for (b, &reached) in reach.iter().enumerate() {
                 if a == b {
                     continue;
                 }
                 prop_assert_eq!(
                     dom.dominates(BlockId(a), BlockId(b)),
-                    !reach[b],
+                    !reached,
                     "a=B{} b=B{}", a + 1, b + 1
                 );
             }

@@ -22,15 +22,28 @@
 //! annotations; `--machine dsp3210` selects the paper's §VII port target.
 
 use ipet_cfg::InstanceId;
-use ipet_core::{structural_text, Analyzer, CacheMode, ContextMode, TimeBound};
+use ipet_core::{
+    structural_text, AnalysisBudget, Analyzer, CacheMode, ContextMode, TimeBound,
+};
 use ipet_hw::Machine;
 use ipet_sim::measure;
 use std::process::ExitCode;
 
+/// What a successful run proved: `Degraded` means every reported bound is
+/// still *safe*, but at least one came from a relaxation or a skipped
+/// constraint set rather than an exact solve.
+enum RunStatus {
+    Exact,
+    Degraded,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Exit-code contract: 0 = exact result, 2 = safe but degraded bound,
+    // 1 = hard error (no usable bound at all).
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(RunStatus::Exact) => ExitCode::SUCCESS,
+        Ok(RunStatus::Degraded) => ExitCode::from(2),
         Err(e) => {
             eprintln!("cinderella: {e}");
             ExitCode::FAILURE
@@ -47,7 +60,9 @@ fn usage() -> String {
      \x20 trace <bench>                print the worst-case block trace\n\
      \x20 analyze <bench|file.mc>      estimate [t_min, t_max]\n\
      options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
-     \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure"
+     \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
+     budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
+     exit status: 0 exact, 2 safe-but-degraded bound, 1 error"
         .to_string()
 }
 
@@ -103,7 +118,7 @@ fn load_target(
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut cmd = None;
     let mut target = None;
     let mut entry = None;
@@ -116,6 +131,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut do_infer = false;
     let mut optimize = false;
     let mut shared = false;
+    let mut budget = AnalysisBudget::default();
+
+    let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse::<u64>().map_err(|_| format!("{flag}: `{v}` is not a non-negative integer"))
+    };
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +155,16 @@ fn run(args: &[String]) -> Result<(), String> {
             "--cache-split" => cache_split = true,
             "--dump-structural" => dump_structural = true,
             "--measure" => do_measure = true,
+            "--deadline" => {
+                budget.solve.deadline_ticks = Some(parse_num("--deadline", it.next())?)
+            }
+            "--max-nodes" => {
+                budget.solve.max_nodes = parse_num("--max-nodes", it.next())? as usize
+            }
+            "--max-sets" => {
+                budget.solve.max_sets = parse_num("--max-sets", it.next())? as usize
+            }
+            "--no-degrade" => budget.degrade = false,
             _ if cmd.is_none() => cmd = Some(a.to_string()),
             _ if target.is_none() => target = Some(a.to_string()),
             other => return Err(format!("unexpected argument {other}\n{}", usage())),
@@ -146,7 +177,7 @@ fn run(args: &[String]) -> Result<(), String> {
             for b in ipet_suite::all() {
                 println!("{:<16} {:>5}  {}", b.name, b.source_lines(), b.description);
             }
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         Some("cfg") => {
             let t = load_target(
@@ -156,7 +187,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 idl_file.as_deref(),
                 optimize,
             )?;
-            print_cfg(&t.program, &machine_name)
+            print_cfg(&t.program, &machine_name).map(|()| RunStatus::Exact)
         }
         Some("trace") => {
             let t = load_target(
@@ -194,7 +225,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             println!("total: {} cycles, {} instructions", result.cycles, result.steps);
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         Some("dot") => {
             let t = load_target(
@@ -213,7 +244,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("{}", cfg.to_dot());
                 }
             }
-            Ok(())
+            Ok(RunStatus::Exact)
         }
         Some("listing") => {
             let t = load_target(
@@ -223,7 +254,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 idl_file.as_deref(),
                 optimize,
             )?;
-            listing(&t)
+            listing(&t).map(|()| RunStatus::Exact)
         }
         Some("analyze") => {
             let t = load_target(
@@ -233,7 +264,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 idl_file.as_deref(),
                 optimize,
             )?;
-            analyze(&t, &machine_name, cache_split, dump_structural, do_measure, do_infer, shared)
+            analyze(
+                &t,
+                &machine_name,
+                cache_split,
+                dump_structural,
+                do_measure,
+                do_infer,
+                shared,
+                &budget,
+            )
         }
         _ => Err(usage()),
     }
@@ -326,6 +366,7 @@ fn listing(t: &Target) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze(
     t: &Target,
     machine_name: &str,
@@ -334,7 +375,8 @@ fn analyze(
     do_measure: bool,
     do_infer: bool,
     shared: bool,
-) -> Result<(), String> {
+    budget: &AnalysisBudget,
+) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
     let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
     let context = if shared { ContextMode::Shared } else { ContextMode::PerCallSite };
@@ -354,7 +396,7 @@ fn analyze(
     if !annotations.is_empty() {
         println!("functionality constraints:\n{}", annotations.trim_end());
     }
-    let est = analyzer.analyze(&annotations).map_err(|e| e.to_string())?;
+    let est = analyzer.analyze_with(&annotations, budget).map_err(|e| e.to_string())?;
     print!("{}", est.render());
 
     if dump_structural {
@@ -383,5 +425,18 @@ fn analyze(
             return Err("estimated bound does not enclose the measured bound".into());
         }
     }
-    Ok(())
+
+    if est.quality.is_exact() {
+        Ok(RunStatus::Exact)
+    } else {
+        // Diagnostics on stderr so scripted callers parsing stdout see
+        // only the report; the exit status (2) carries the same signal.
+        eprintln!(
+            "cinderella: bound is safe but degraded (quality: {}; {} sets skipped, {} relaxed)",
+            est.quality,
+            est.sets_skipped,
+            est.degraded_sets.len()
+        );
+        Ok(RunStatus::Degraded)
+    }
 }

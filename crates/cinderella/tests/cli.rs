@@ -261,3 +261,114 @@ fn shared_formulation_gives_the_same_bound() {
     let shared = bound(&["analyze", "whetstone", "--shared"]);
     assert_eq!(per_site, shared);
 }
+
+// -- resource budgets and graceful degradation ------------------------------
+
+/// Like [`cinderella`] but preserving the raw exit code, for the
+/// 0 = exact / 2 = degraded / 1 = error contract.
+fn cinderella_code(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cinderella"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().expect("not killed by a signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Writes a fixture whose WCET ILP has a *fractional* LP root
+/// (`2*x4 <= 7` caps the loop body at 3.5 executions), so branch-and-bound
+/// genuinely has to branch — the lever the budget flags then squeeze.
+fn fractional_fixture() -> (String, String) {
+    let dir = std::env::temp_dir().join("cinderella-budget-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("frac.mc");
+    std::fs::write(
+        &src,
+        "int main() { int i; int s; s = 0; for (i = 0; i < 8; i = i + 1) { s = s + i; } return s; }",
+    )
+    .unwrap();
+    let ann = dir.join("frac.ann");
+    std::fs::write(&ann, "fn main { loop x2 in [0, 8]; 2*x4 <= 7; }").unwrap();
+    (src.to_str().unwrap().to_string(), ann.to_str().unwrap().to_string())
+}
+
+fn bound_upper(stdout: &str) -> u64 {
+    let line = stdout.lines().find(|l| l.starts_with("estimated bound")).unwrap();
+    let inner = line.split('[').nth(1).unwrap().split(']').next().unwrap();
+    inner.split(',').nth(1).unwrap().trim().parse().unwrap()
+}
+
+#[test]
+fn node_budget_degrades_to_relaxed_bound_with_exit_code_2() {
+    let (src, ann) = fractional_fixture();
+    let (code, exact_out, stderr) =
+        cinderella_code(&["analyze", &src, "--annotations", &ann]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(exact_out.contains("bound quality: exact"));
+
+    let (code, degraded_out, stderr) =
+        cinderella_code(&["analyze", &src, "--annotations", &ann, "--max-nodes", "1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(degraded_out.contains("bound quality: relaxed"), "{degraded_out}");
+    assert!(degraded_out.contains("degraded sets (LP-relaxation bound)"));
+    assert!(stderr.contains("safe but degraded"));
+    // Degradation must never shrink the safe envelope.
+    assert!(bound_upper(&degraded_out) >= bound_upper(&exact_out));
+}
+
+#[test]
+fn zero_deadline_reports_partial_bound_with_exit_code_2() {
+    let (src, ann) = fractional_fixture();
+    let (code, stdout, stderr) =
+        cinderella_code(&["analyze", &src, "--annotations", &ann, "--deadline", "0"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stdout.contains("bound quality: partial"), "{stdout}");
+    assert!(stdout.contains("sets skipped on budget exhaustion"));
+    assert!(stdout.contains("estimated bound: ["));
+}
+
+#[test]
+fn no_degrade_turns_budget_exhaustion_into_a_hard_error() {
+    let (src, ann) = fractional_fixture();
+    let (code, _, stderr) = cinderella_code(&[
+        "analyze",
+        &src,
+        "--annotations",
+        &ann,
+        "--max-nodes",
+        "1",
+        "--no-degrade",
+    ]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("node limit"), "{stderr}");
+}
+
+#[test]
+fn budget_flags_reject_garbage_values() {
+    let (code, _, stderr) = cinderella_code(&["analyze", "check_data", "--deadline", "soon"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("not a non-negative integer"));
+    let (code, _, stderr) = cinderella_code(&["analyze", "check_data", "--max-nodes"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--max-nodes needs a value"));
+}
+
+#[test]
+fn roomy_budget_flags_leave_results_exact() {
+    let (code, stdout, stderr) = cinderella_code(&[
+        "analyze",
+        "check_data",
+        "--deadline",
+        "100000000",
+        "--max-nodes",
+        "100000",
+        "--max-sets",
+        "1000",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("bound quality: exact"));
+    assert!(stdout.contains("constraint sets: 2 total"));
+}

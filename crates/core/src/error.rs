@@ -25,6 +25,11 @@ pub enum AnalysisError {
     AllSetsInfeasible { total: usize },
     /// The ILP solver gave up (node limit).
     SolverLimit,
+    /// The solver met NaN/non-finite arithmetic it could not recover from.
+    Numerical,
+    /// The solve budget ran out before any safe bound could be proven
+    /// (degradation was disabled or there was nothing to degrade to).
+    BudgetExhausted,
 }
 
 impl fmt::Display for AnalysisError {
@@ -57,6 +62,14 @@ impl fmt::Display for AnalysisError {
                 write!(f, "all {total} functionality constraint sets are infeasible")
             }
             AnalysisError::SolverLimit => write!(f, "ILP solver hit its node limit"),
+            AnalysisError::Numerical => {
+                write!(f, "solver failed numerically (non-finite arithmetic in the model)")
+            }
+            AnalysisError::BudgetExhausted => write!(
+                f,
+                "solve budget exhausted before any safe bound was proven; raise the \
+                 deadline/node budget or allow degradation"
+            ),
         }
     }
 }

@@ -10,9 +10,40 @@ use ipet_arch::{FuncId, Program};
 use ipet_cfg::{BlockId, InstanceId, Instances, LoopInfo};
 use ipet_hw::{block_cost, BlockCost, Machine};
 use ipet_lp::{
-    solve_ilp, IlpOutcome, IlpStats, Problem, ProblemBuilder, Relation, Sense, VarId,
+    solve_ilp_budgeted, solve_lp_metered, BoundQuality, BudgetMeter, IlpResolution, IlpStats,
+    LpOutcome, Problem, ProblemBuilder, Relation, Sense, SolveBudget, SolverFaults, VarId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Resource budget and degradation policy for one analysis run.
+///
+/// The [`SolveBudget`] is shared across every ILP the analysis solves: the
+/// tick deadline caps the *sum* of solver work over all constraint sets and
+/// both senses, which is what a wall-clock deadline means for the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisBudget {
+    /// Solver resource limits (tick deadline, LP iterations, B&B nodes,
+    /// DNF set cap).
+    pub solve: SolveBudget,
+    /// When `true` (the default), budget exhaustion degrades to a safe but
+    /// looser bound tagged [`BoundQuality::Relaxed`] /
+    /// [`BoundQuality::Partial`]; when `false` it becomes a hard
+    /// [`AnalysisError`].
+    pub degrade: bool,
+}
+
+impl AnalysisBudget {
+    /// The default policy: effectively unlimited budget, degradation on.
+    pub fn unlimited() -> AnalysisBudget {
+        AnalysisBudget { solve: SolveBudget::unlimited(), degrade: true }
+    }
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> AnalysisBudget {
+        AnalysisBudget::unlimited()
+    }
+}
 
 /// How call contexts are modelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +122,10 @@ pub struct SetReport {
     pub wcet_stats: IlpStats,
     /// Solver statistics of the BCET ILP.
     pub bcet_stats: IlpStats,
+    /// How this set's contribution was obtained: [`BoundQuality::Exact`]
+    /// when both solves completed, [`BoundQuality::Relaxed`] when either
+    /// fell back to its LP-relaxation bound.
+    pub quality: BoundQuality,
 }
 
 /// Result of one full IPET analysis.
@@ -111,9 +146,20 @@ pub struct Estimate {
     /// Basic-block counts of the best-case solution.
     pub bcet_counts: BTreeMap<String, i64>,
     /// Cycles each CFG instance contributes to the WCET (instance label →
-    /// cycles), summing to `bound.upper`. The per-function breakdown every
-    /// production WCET tool offers.
+    /// cycles), summing to `bound.upper` for an [`BoundQuality::Exact`]
+    /// analysis. For a degraded analysis the breakdown reflects the best
+    /// *witnessed* solution, which the degraded bound only covers.
     pub wcet_contributions: BTreeMap<String, u64>,
+    /// Trust level of `bound`: exact, relaxed (budget exhaustion fell back
+    /// to LP-relaxation bounds), or partial (constraint sets were skipped
+    /// or disjunctions dropped, covered by a common-constraint relaxation).
+    pub quality: BoundQuality,
+    /// Surviving constraint sets the solver never reached before the budget
+    /// ran out. Their contribution to `bound` comes from the
+    /// common-constraint cover relaxation, not a per-set solve.
+    pub sets_skipped: usize,
+    /// Indices (into `sets`) of the reports whose bound is degraded.
+    pub degraded_sets: Vec<usize>,
 }
 
 impl Estimate {
@@ -128,6 +174,7 @@ impl Estimate {
             "estimated bound: [{}, {}] cycles",
             self.bound.lower, self.bound.upper
         );
+        let _ = writeln!(out, "bound quality: {}", self.quality);
         let _ = writeln!(
             out,
             "constraint sets: {} total, {} pruned as null, {} solved",
@@ -135,6 +182,23 @@ impl Estimate {
             self.sets_pruned,
             self.sets.len()
         );
+        if self.sets_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "  {} sets skipped on budget exhaustion (covered by the \
+                 common-constraint relaxation)",
+                self.sets_skipped
+            );
+        }
+        if !self.degraded_sets.is_empty() {
+            let list: Vec<String> =
+                self.degraded_sets.iter().map(|i| i.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  degraded sets (LP-relaxation bound): {}",
+                list.join(", ")
+            );
+        }
         let stats = self.total_stats();
         let _ = writeln!(
             out,
@@ -328,8 +392,21 @@ impl<'p> Analyzer<'p> {
     ///
     /// See [`AnalysisError`].
     pub fn analyze(&self, annotations: &str) -> Result<Estimate, AnalysisError> {
+        self.analyze_with(annotations, &AnalysisBudget::default())
+    }
+
+    /// Runs the full analysis with annotation source text under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_with(
+        &self,
+        annotations: &str,
+        budget: &AnalysisBudget,
+    ) -> Result<Estimate, AnalysisError> {
         let anns = parse_annotations(annotations)?;
-        self.analyze_parsed(&anns)
+        self.analyze_parsed_with(&anns, budget)
     }
 
     /// Runs the full analysis with pre-parsed annotations.
@@ -338,6 +415,35 @@ impl<'p> Analyzer<'p> {
     ///
     /// See [`AnalysisError`].
     pub fn analyze_parsed(&self, anns: &Annotations) -> Result<Estimate, AnalysisError> {
+        self.analyze_parsed_with(anns, &AnalysisBudget::default())
+    }
+
+    /// Runs the full analysis with pre-parsed annotations under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_parsed_with(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+    ) -> Result<Estimate, AnalysisError> {
+        self.analyze_parsed_with_faults(anns, budget, &mut SolverFaults::none())
+    }
+
+    /// [`Analyzer::analyze_parsed_with`] plus deterministic fault injection:
+    /// `faults` is threaded into every LP/ILP call of the analysis, letting
+    /// tests force each budget-exhaustion path at an exact call index.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_parsed_with_faults(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Result<Estimate, AnalysisError> {
         // Validate function names early.
         for (name, _) in &anns.functions {
             if self.program.function_by_name(name).is_none() {
@@ -381,9 +487,18 @@ impl<'p> Analyzer<'p> {
         // constraint sets" ("the size of the constraint sets is doubled
         // every time a functionality constraint with | is added").
         let sets_total: usize = statements.iter().map(|s| s.len()).product::<usize>().max(1);
-        const MAX_SETS: usize = 65_536;
-        if sets_total > MAX_SETS {
-            return Err(AnalysisError::SolverLimit);
+        let mut quality = BoundQuality::Exact;
+        if sets_total > budget.solve.max_sets {
+            if !budget.degrade {
+                return Err(AnalysisError::SolverLimit);
+            }
+            // DNF blow-up past the cap: drop the disjunctive statements and
+            // keep only the conjunctive ones. Every real constraint set
+            // implies the kept rows, so the single surviving set is a
+            // relaxation of all of them — safe for both WCET (feasible
+            // region grows, max grows) and BCET (min shrinks).
+            statements.retain(|s| s.len() == 1);
+            quality = BoundQuality::Partial;
         }
 
         let mut functionality_sets: Vec<Vec<LinCon>> = vec![Vec::new()];
@@ -411,12 +526,43 @@ impl<'p> Analyzer<'p> {
         let structural = structural_constraints(&self.instances);
         let (split_rows, split_objective) = self.build_split(&mut space);
 
-        // Solve every surviving set for both senses.
-        let mut reports = Vec::new();
-        let mut best_overall: Option<(u64, Vec<f64>)> = None;
-        let mut worst_overall: Option<(u64, Vec<f64>)> = None;
+        // Constraints common to *every* set (the non-disjunctive
+        // statements): the cover relaxation bounding any set the budget
+        // forces us to skip.
+        let common: Vec<LinCon> = statements
+            .iter()
+            .filter(|s| s.len() == 1)
+            .flat_map(|s| s[0].iter().cloned())
+            .collect();
 
-        for (idx, set) in functionality_sets.iter().enumerate() {
+        // Solve every surviving set for both senses under one shared meter:
+        // the tick deadline caps the whole analysis, not each subproblem.
+        let mut meter = BudgetMeter::new();
+        let mut reports: Vec<SetReport> = Vec::new();
+        let mut degraded_sets: Vec<usize> = Vec::new();
+        // Degraded bounds have no witness vector, so the running bound and
+        // the best *witnessed* solution (for counts/contributions) are
+        // tracked separately.
+        let mut worst_bound: Option<u64> = None;
+        let mut worst_witness: Option<(u64, Vec<f64>)> = None;
+        let mut best_bound: Option<u64> = None;
+        let mut best_witness: Option<(u64, Vec<f64>)> = None;
+        let mut solved = 0usize;
+
+        let to_cycles = |value: f64| -> Result<u64, AnalysisError> {
+            if !value.is_finite() {
+                return Err(AnalysisError::Numerical);
+            }
+            Ok(value.round().max(0.0) as u64)
+        };
+
+        'sets: for (idx, set) in functionality_sets.iter().enumerate() {
+            if meter.deadline_hit(&budget.solve) {
+                if !budget.degrade {
+                    return Err(AnalysisError::BudgetExhausted);
+                }
+                break 'sets; // this set and everything after it is skipped
+            }
             let worst_problem = self.assemble(
                 &space,
                 Sense::Maximize,
@@ -425,55 +571,175 @@ impl<'p> Analyzer<'p> {
                 &split_rows,
                 &split_objective,
             );
-            let (w_out, w_stats) = solve_ilp(&worst_problem);
-            let wcet = match w_out {
-                IlpOutcome::Optimal { x, value } => {
-                    let v = value.round() as u64;
-                    if worst_overall.as_ref().map(|(b, _)| v > *b).unwrap_or(true) {
-                        worst_overall = Some((v, x));
+            let (w_res, w_stats) =
+                solve_ilp_budgeted(&worst_problem, &budget.solve, &mut meter, faults);
+            let mut set_quality = BoundQuality::Exact;
+            let wcet = match w_res {
+                IlpResolution::Exact { x, value } => {
+                    let v = to_cycles(value)?;
+                    if worst_witness.as_ref().map(|(b, _)| v > *b).unwrap_or(true) {
+                        worst_witness = Some((v, x));
                     }
                     Some(v)
                 }
-                IlpOutcome::Infeasible => None,
-                IlpOutcome::Unbounded => {
+                IlpResolution::Relaxed { bound, incumbent } => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::SolverLimit);
+                    }
+                    // The relaxation value safely over-covers this set's
+                    // true maximum; ceil keeps it safe in integer cycles.
+                    let v = to_cycles(bound.ceil())?;
+                    set_quality = set_quality.combine(BoundQuality::Relaxed);
+                    if let Some((x, value)) = incumbent {
+                        let w = to_cycles(value)?;
+                        if worst_witness.as_ref().map(|(b, _)| w > *b).unwrap_or(true) {
+                            worst_witness = Some((w, x));
+                        }
+                    }
+                    Some(v)
+                }
+                IlpResolution::Infeasible => None,
+                IlpResolution::Unbounded => {
                     return Err(AnalysisError::Unbounded {
                         unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
                     })
                 }
-                IlpOutcome::LimitReached => return Err(AnalysisError::SolverLimit),
+                IlpResolution::Numerical => return Err(AnalysisError::Numerical),
+                IlpResolution::Exhausted => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::BudgetExhausted);
+                    }
+                    break 'sets;
+                }
             };
+            if let Some(v) = wcet {
+                worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
+            }
 
             let best_problem =
                 self.assemble(&space, Sense::Minimize, &structural, set, &[], &HashMap::new());
-            let (b_out, b_stats) = solve_ilp(&best_problem);
-            let bcet = match b_out {
-                IlpOutcome::Optimal { x, value } => {
-                    let v = value.round() as u64;
-                    if best_overall.as_ref().map(|(b, _)| v < *b).unwrap_or(true) {
-                        best_overall = Some((v, x));
+            let (b_res, b_stats) =
+                solve_ilp_budgeted(&best_problem, &budget.solve, &mut meter, faults);
+            let bcet = match b_res {
+                IlpResolution::Exact { x, value } => {
+                    let v = to_cycles(value)?;
+                    if best_witness.as_ref().map(|(b, _)| v < *b).unwrap_or(true) {
+                        best_witness = Some((v, x));
                     }
                     Some(v)
                 }
-                IlpOutcome::Infeasible => None,
-                IlpOutcome::Unbounded => unreachable!("minimizing a non-negative objective"),
-                IlpOutcome::LimitReached => return Err(AnalysisError::SolverLimit),
+                IlpResolution::Relaxed { bound, incumbent } => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::SolverLimit);
+                    }
+                    // The relaxation value safely under-covers this set's
+                    // true minimum; floor keeps it safe in integer cycles.
+                    let v = to_cycles(bound.floor())?;
+                    set_quality = set_quality.combine(BoundQuality::Relaxed);
+                    if let Some((x, value)) = incumbent {
+                        let w = to_cycles(value)?;
+                        if best_witness.as_ref().map(|(b, _)| w < *b).unwrap_or(true) {
+                            best_witness = Some((w, x));
+                        }
+                    }
+                    Some(v)
+                }
+                IlpResolution::Infeasible => None,
+                // Minimizing a non-negative objective cannot be unbounded;
+                // a solver verdict to the contrary is numerical breakdown.
+                IlpResolution::Unbounded | IlpResolution::Numerical => {
+                    return Err(AnalysisError::Numerical)
+                }
+                IlpResolution::Exhausted => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::BudgetExhausted);
+                    }
+                    // WCET may already have fed the running bound; counting
+                    // the whole set as skipped keeps the BCET side covered.
+                    break 'sets;
+                }
             };
+            if let Some(v) = bcet {
+                best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
+            }
 
+            if set_quality != BoundQuality::Exact {
+                degraded_sets.push(reports.len());
+            }
             reports.push(SetReport {
                 index: idx,
                 wcet,
                 bcet,
                 wcet_stats: w_stats,
                 bcet_stats: b_stats,
+                quality: set_quality,
             });
+            solved += 1;
         }
 
-        let (upper, worst_x) = worst_overall.ok_or(AnalysisError::AllSetsInfeasible {
-            total: before,
-        })?;
-        let (lower, best_x) = best_overall.ok_or(AnalysisError::AllSetsInfeasible {
-            total: before,
-        })?;
+        // Sets the deadline never reached are covered by the LP relaxation
+        // of the common constraints: its feasible region contains every
+        // skipped set, so its max/min bound whatever they could attain.
+        // One LP per sense, on a fresh meter — Bland's rule terminates.
+        let sets_skipped = functionality_sets.len() - solved;
+        if sets_skipped > 0 {
+            quality = quality.combine(BoundQuality::Partial);
+            let worst_cover = self.assemble(
+                &space,
+                Sense::Maximize,
+                &structural,
+                &common,
+                &split_rows,
+                &split_objective,
+            );
+            match solve_lp_metered(
+                &worst_cover,
+                &SolveBudget::unlimited(),
+                &mut BudgetMeter::new(),
+                &mut SolverFaults::none(),
+            ) {
+                LpOutcome::Optimal { value, .. } => {
+                    let v = to_cycles(value.ceil())?;
+                    worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
+                }
+                // An infeasible cover means every skipped set is infeasible
+                // too; they contribute nothing to the bound.
+                LpOutcome::Infeasible => {}
+                LpOutcome::Unbounded => {
+                    return Err(AnalysisError::Unbounded {
+                        unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
+                    })
+                }
+                LpOutcome::Numerical => return Err(AnalysisError::Numerical),
+                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
+            }
+            let best_cover =
+                self.assemble(&space, Sense::Minimize, &structural, &common, &[], &HashMap::new());
+            match solve_lp_metered(
+                &best_cover,
+                &SolveBudget::unlimited(),
+                &mut BudgetMeter::new(),
+                &mut SolverFaults::none(),
+            ) {
+                LpOutcome::Optimal { value, .. } => {
+                    let v = to_cycles(value.floor())?;
+                    best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
+                }
+                LpOutcome::Infeasible => {}
+                LpOutcome::Unbounded | LpOutcome::Numerical => {
+                    return Err(AnalysisError::Numerical)
+                }
+                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
+            }
+        }
+        if !degraded_sets.is_empty() {
+            quality = quality.combine(BoundQuality::Relaxed);
+        }
+
+        let upper = worst_bound.ok_or(AnalysisError::AllSetsInfeasible { total: before })?;
+        let lower = best_bound.ok_or(AnalysisError::AllSetsInfeasible { total: before })?;
+        let worst_x = worst_witness.map(|(_, x)| x).unwrap_or_default();
+        let best_x = best_witness.map(|(_, x)| x).unwrap_or_default();
 
         let counts = |x: &[f64]| -> BTreeMap<String, i64> {
             let mut out = BTreeMap::new();
@@ -526,6 +792,9 @@ impl<'p> Analyzer<'p> {
             wcet_counts: counts(&worst_x),
             bcet_counts: counts(&best_x),
             wcet_contributions: contributions,
+            quality,
+            sets_skipped,
+            degraded_sets,
         })
     }
 
@@ -1144,5 +1413,148 @@ mod tests {
         let (lo, hi) = outer.pessimism_against(inner);
         assert!((lo - 0.5).abs() < 1e-9);
         assert!((hi - 0.25).abs() < 1e-9);
+    }
+
+    // -- budgets, degradation, fault injection ------------------------------
+
+    #[test]
+    fn roomy_budget_matches_default_analysis_exactly() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let ann = "fn main { loop x2 in [0, 10]; }";
+        let plain = a.analyze(ann).unwrap();
+        let budgeted = a.analyze_with(ann, &AnalysisBudget::unlimited()).unwrap();
+        assert_eq!(plain.bound, budgeted.bound);
+        assert_eq!(budgeted.quality, BoundQuality::Exact);
+        assert_eq!(budgeted.sets_skipped, 0);
+        assert!(budgeted.degraded_sets.is_empty());
+    }
+
+    #[test]
+    fn fractional_root_under_node_budget_degrades_to_relaxed() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        // `2*x3 <= 7` puts the LP optimum at x3 = 3.5, forcing real
+        // branching; one node is not enough to close the tree.
+        let ann = "fn main { loop x2 in [0, 10]; 2*x3 <= 7; }";
+        let exact = a.analyze(ann).unwrap();
+        assert_eq!(exact.quality, BoundQuality::Exact);
+
+        let mut budget = AnalysisBudget::unlimited();
+        budget.solve.max_nodes = 1;
+        let degraded = a.analyze_with(ann, &budget).unwrap();
+        assert_eq!(degraded.quality, BoundQuality::Relaxed);
+        assert!(!degraded.degraded_sets.is_empty());
+        // The relaxed bound must stay safe: at least as wide as the truth.
+        assert!(degraded.bound.upper >= exact.bound.upper);
+        assert!(degraded.bound.lower <= exact.bound.lower);
+        assert!(degraded.render().contains("bound quality: relaxed"));
+    }
+
+    #[test]
+    fn zero_tick_deadline_skips_sets_but_still_bounds_safely() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let ann = "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); }";
+        let exact = a.analyze(ann).unwrap();
+
+        let mut budget = AnalysisBudget::unlimited();
+        budget.solve.deadline_ticks = Some(0);
+        let partial = a.analyze_with(ann, &budget).unwrap();
+        assert_eq!(partial.quality, BoundQuality::Partial);
+        assert!(partial.sets_skipped > 0);
+        // The cover relaxation (structural + loop bound) encloses every
+        // skipped set's attainable range.
+        assert!(partial.bound.encloses(exact.bound));
+        assert!(partial.render().contains("sets skipped on budget exhaustion"));
+    }
+
+    #[test]
+    fn no_degrade_surfaces_budget_exhausted() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let mut budget = AnalysisBudget::unlimited();
+        budget.solve.deadline_ticks = Some(0);
+        budget.degrade = false;
+        match a.analyze_with("fn main { loop x2 in [0, 10]; }", &budget) {
+            Err(AnalysisError::BudgetExhausted) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_degrade_rejects_relaxed_set_bounds_too() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let mut budget = AnalysisBudget::unlimited();
+        budget.solve.max_nodes = 1;
+        budget.degrade = false;
+        match a.analyze_with("fn main { loop x2 in [0, 10]; 2*x3 <= 7; }", &budget) {
+            Err(AnalysisError::SolverLimit) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_node_fault_cascades_to_a_safe_partial_bound() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let anns = parse_annotations("fn main { loop x2 in [0, 10]; }").unwrap();
+        let exact = a.analyze_parsed(&anns).unwrap();
+
+        // Kill the very first branch-and-bound expansion: the WCET solve
+        // comes back `Exhausted`, the set is skipped, and the cover
+        // relaxation must still produce an enclosing bound.
+        let mut faults = SolverFaults::limit_at(0);
+        let est = a
+            .analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults)
+            .unwrap();
+        assert_eq!(est.quality, BoundQuality::Partial);
+        assert_eq!(est.sets_skipped, 1);
+        assert!(est.bound.encloses(exact.bound));
+    }
+
+    #[test]
+    fn injected_lp_infeasibility_never_panics() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let anns = parse_annotations("fn main { loop x2 in [0, 10]; }").unwrap();
+        // Forcing "infeasible" on an actually-feasible set silently drops
+        // it from the max/min — every set gone means AllSetsInfeasible,
+        // never a panic.
+        for idx in 0..4 {
+            let mut faults = SolverFaults::infeasible_at(idx);
+            let _ =
+                a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults);
+        }
+        // Forcing a numerical LP failure at the root surfaces as the
+        // typed Numerical error.
+        let mut faults = SolverFaults::numerical_at(0);
+        match a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults) {
+            Err(AnalysisError::Numerical) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dnf_cap_drops_disjunctions_and_reports_partial() {
+        let p = while_loop_program(10);
+        let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+        let ann = "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); }";
+        let exact = a.analyze(ann).unwrap();
+        assert_eq!(exact.sets_total, 2);
+
+        let mut budget = AnalysisBudget::unlimited();
+        budget.solve.max_sets = 1; // 2 sets blow the cap
+        let partial = a.analyze_with(ann, &budget).unwrap();
+        assert_eq!(partial.quality, BoundQuality::Partial);
+        // Dropping the disjunction relaxes the model in both senses.
+        assert!(partial.bound.encloses(exact.bound));
+
+        budget.degrade = false;
+        match a.analyze_with(ann, &budget) {
+            Err(AnalysisError::SolverLimit) => {}
+            other => panic!("{other:?}"),
+        }
     }
 }

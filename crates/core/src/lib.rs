@@ -59,7 +59,12 @@ pub use dsl::{parse_annotations, Annotations, LinExpr, OrExpr, Ref, RefKind, Stm
 pub use error::AnalysisError;
 pub use idl::{compile_idl, idl_to_dsl, parse_idl, IdlAnnotations, IdlStmt};
 pub use infer::{infer_loop_bounds, inferred_annotations, InferredBound};
-pub use estimate::{Analyzer, CacheMode, ContextMode, Estimate, SetReport, TimeBound};
+pub use estimate::{
+    AnalysisBudget, Analyzer, CacheMode, ContextMode, Estimate, SetReport, TimeBound,
+};
+// Budget vocabulary shared with the solver layer, re-exported so CLI and
+// bench consumers need only depend on ipet-core.
+pub use ipet_lp::{BoundQuality, BudgetMeter, SolveBudget, SolverFaults};
 pub use lincon::{set_is_null, LinCon};
 pub use structural::{structural_constraints, structural_text};
 pub use vars::{VarRef, VarSpace};

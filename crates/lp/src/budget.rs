@@ -1,0 +1,277 @@
+//! Resource budgets, consumption metering, and deterministic fault
+//! injection for the solve pipeline.
+//!
+//! The analyzer must never hang and never abort: every solver entry point
+//! accepts a [`SolveBudget`] describing how much work it may do, charges its
+//! actual work to a shared [`BudgetMeter`], and degrades to a *safe but
+//! looser* bound (tagged with a [`BoundQuality`]) when the budget runs out.
+//! [`SolverFaults`] lets tests force each exhaustion path at an exact,
+//! reproducible call index, so the whole degradation cascade is testable
+//! without constructing adversarial ILPs.
+//!
+//! Time is counted in **ticks**, where one tick is one simplex pivot. Pivot
+//! count is a deterministic, machine-independent proxy for wall-clock time:
+//! a deadline expressed in ticks yields the same answer on every run and in
+//! every environment, which a literal clock would not.
+
+use std::fmt;
+
+/// How trustworthy a reported bound is.
+///
+/// Every quality is *safe* — a WCET bound is never below the true worst
+/// case and a BCET bound never above the true best case — but only
+/// [`Exact`](BoundQuality::Exact) is tight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundQuality {
+    /// Proven optimal by complete branch & bound on every constraint set.
+    Exact,
+    /// At least one solve fell back to its LP-relaxation bound (rounded
+    /// outward) after exhausting the exact-solve budget.
+    Relaxed,
+    /// Part of the problem was simplified before solving — e.g. disjunctive
+    /// constraints were dropped because DNF expansion exceeded the set cap —
+    /// so the bound covers a superset of the real feasible paths.
+    Partial,
+}
+
+impl BoundQuality {
+    /// The quality of a result combining two sub-results: the weaker of the
+    /// two dominates (`Partial` < `Relaxed` < `Exact`).
+    pub fn combine(self, other: BoundQuality) -> BoundQuality {
+        self.max(other)
+    }
+
+    /// True when the bound is proven optimal.
+    pub fn is_exact(self) -> bool {
+        self == BoundQuality::Exact
+    }
+}
+
+impl fmt::Display for BoundQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BoundQuality::Exact => "exact",
+            BoundQuality::Relaxed => "relaxed",
+            BoundQuality::Partial => "partial",
+        })
+    }
+}
+
+/// Resource limits for a solve pipeline run.
+///
+/// The budget is *shared* across everything charged to one [`BudgetMeter`]:
+/// an analysis solving many constraint sets draws all of them from the same
+/// tick pool, so a deadline caps the whole analysis, not each subproblem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Deadline in ticks (simplex pivots) for the whole run; `None` means no
+    /// deadline. This is the deterministic stand-in for wall-clock time.
+    pub deadline_ticks: Option<u64>,
+    /// Cap on iterations of a single LP solve; `None` uses the solver's own
+    /// size-derived budget.
+    pub max_lp_iters: Option<usize>,
+    /// Cap on branch-and-bound nodes per ILP solve.
+    pub max_nodes: usize,
+    /// Cap on DNF constraint sets per analysis (enforced by `ipet-core`).
+    pub max_sets: usize,
+}
+
+impl SolveBudget {
+    /// The maximum node count used when no explicit budget is given.
+    pub const DEFAULT_MAX_NODES: usize = 200_000;
+    /// The maximum DNF set count used when no explicit budget is given.
+    pub const DEFAULT_MAX_SETS: usize = 65_536;
+
+    /// An effectively unlimited budget (the defaults).
+    pub fn unlimited() -> SolveBudget {
+        SolveBudget::default()
+    }
+
+    /// A budget with a tick deadline and defaults elsewhere.
+    pub fn with_deadline(ticks: u64) -> SolveBudget {
+        SolveBudget { deadline_ticks: Some(ticks), ..SolveBudget::default() }
+    }
+}
+
+impl Default for SolveBudget {
+    fn default() -> SolveBudget {
+        SolveBudget {
+            deadline_ticks: None,
+            max_lp_iters: None,
+            max_nodes: SolveBudget::DEFAULT_MAX_NODES,
+            max_sets: SolveBudget::DEFAULT_MAX_SETS,
+        }
+    }
+}
+
+/// Accumulated solver work, shared across all solves of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetMeter {
+    /// Ticks consumed (one tick = one simplex pivot).
+    pub ticks: u64,
+    /// LP relaxations solved.
+    pub lp_calls: u64,
+    /// Branch-and-bound nodes expanded.
+    pub nodes: u64,
+}
+
+impl BudgetMeter {
+    /// A fresh meter with nothing consumed.
+    pub fn new() -> BudgetMeter {
+        BudgetMeter::default()
+    }
+
+    /// Charges `ticks` pivots to the meter.
+    pub fn charge_ticks(&mut self, ticks: u64) {
+        self.ticks = self.ticks.saturating_add(ticks);
+    }
+
+    /// Ticks still available under `budget`, or `None` when no deadline is
+    /// set. `Some(0)` means the deadline has passed.
+    pub fn ticks_left(&self, budget: &SolveBudget) -> Option<u64> {
+        budget.deadline_ticks.map(|d| d.saturating_sub(self.ticks))
+    }
+
+    /// True when `budget`'s deadline has been reached.
+    pub fn deadline_hit(&self, budget: &SolveBudget) -> bool {
+        matches!(self.ticks_left(budget), Some(0))
+    }
+}
+
+/// Deterministic fault injection for the solver stack.
+///
+/// Each `force_*_at` field names a zero-based call index at which the
+/// corresponding failure is forced, regardless of the actual problem:
+///
+/// * [`limit_at`](SolverFaults::limit_at) — the N-th branch-and-bound node
+///   expansion acts as if the node budget were exhausted (`LimitReached`);
+/// * [`infeasible_at`](SolverFaults::infeasible_at) — the N-th LP call
+///   reports `Infeasible`;
+/// * [`numerical_at`](SolverFaults::numerical_at) — the N-th LP call
+///   reports `Numerical` (as if pivoting had met a NaN).
+///
+/// Call counters live in the struct, so one `SolverFaults` value tracks
+/// indices across every solve it is threaded through. The default value
+/// injects nothing and is free to pass everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct SolverFaults {
+    force_limit_at: Option<u64>,
+    force_infeasible_at: Option<u64>,
+    force_numerical_at: Option<u64>,
+    nodes_seen: u64,
+    lps_seen: u64,
+}
+
+impl SolverFaults {
+    /// No injected faults.
+    pub fn none() -> SolverFaults {
+        SolverFaults::default()
+    }
+
+    /// Forces budget exhaustion at the `index`-th branch-and-bound node.
+    pub fn limit_at(index: u64) -> SolverFaults {
+        SolverFaults { force_limit_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th LP call to report infeasibility.
+    pub fn infeasible_at(index: u64) -> SolverFaults {
+        SolverFaults { force_infeasible_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th LP call to report a numerical failure.
+    pub fn numerical_at(index: u64) -> SolverFaults {
+        SolverFaults { force_numerical_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// True when any fault is armed (used to skip bookkeeping on the
+    /// default value in hot paths).
+    pub fn armed(&self) -> bool {
+        self.force_limit_at.is_some()
+            || self.force_infeasible_at.is_some()
+            || self.force_numerical_at.is_some()
+    }
+
+    /// Records one branch-and-bound node expansion; true when the node-limit
+    /// fault fires here.
+    pub fn node_fault(&mut self) -> bool {
+        let here = self.nodes_seen;
+        self.nodes_seen += 1;
+        self.force_limit_at == Some(here)
+    }
+
+    /// Records one LP call; returns the fault forced at this index, if any.
+    pub fn lp_fault(&mut self) -> Option<LpFault> {
+        let here = self.lps_seen;
+        self.lps_seen += 1;
+        if self.force_infeasible_at == Some(here) {
+            Some(LpFault::Infeasible)
+        } else if self.force_numerical_at == Some(here) {
+            Some(LpFault::Numerical)
+        } else {
+            None
+        }
+    }
+}
+
+/// A failure forced into an LP call by [`SolverFaults::lp_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpFault {
+    /// Report the system as infeasible.
+    Infeasible,
+    /// Report a numerical breakdown.
+    Numerical,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_combines_to_the_weaker() {
+        use BoundQuality::*;
+        assert_eq!(Exact.combine(Exact), Exact);
+        assert_eq!(Exact.combine(Relaxed), Relaxed);
+        assert_eq!(Relaxed.combine(Partial), Partial);
+        assert_eq!(Partial.combine(Exact), Partial);
+        assert!(Exact.is_exact() && !Relaxed.is_exact());
+    }
+
+    #[test]
+    fn meter_tracks_deadline() {
+        let budget = SolveBudget::with_deadline(10);
+        let mut meter = BudgetMeter::new();
+        assert_eq!(meter.ticks_left(&budget), Some(10));
+        assert!(!meter.deadline_hit(&budget));
+        meter.charge_ticks(10);
+        assert!(meter.deadline_hit(&budget));
+        meter.charge_ticks(u64::MAX); // saturates, no overflow
+        assert_eq!(meter.ticks_left(&budget), Some(0));
+
+        let unlimited = SolveBudget::unlimited();
+        assert_eq!(meter.ticks_left(&unlimited), None);
+        assert!(!meter.deadline_hit(&unlimited));
+    }
+
+    #[test]
+    fn faults_fire_at_exact_indices() {
+        let mut faults = SolverFaults::limit_at(2);
+        assert!(faults.armed());
+        assert!(!faults.node_fault());
+        assert!(!faults.node_fault());
+        assert!(faults.node_fault());
+        assert!(!faults.node_fault());
+
+        let mut faults = SolverFaults::infeasible_at(1);
+        assert_eq!(faults.lp_fault(), None);
+        assert_eq!(faults.lp_fault(), Some(LpFault::Infeasible));
+        assert_eq!(faults.lp_fault(), None);
+
+        let mut faults = SolverFaults::numerical_at(0);
+        assert_eq!(faults.lp_fault(), Some(LpFault::Numerical));
+
+        let mut none = SolverFaults::none();
+        assert!(!none.armed());
+        assert!(!none.node_fault());
+        assert_eq!(none.lp_fault(), None);
+    }
+}

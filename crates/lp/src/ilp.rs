@@ -1,7 +1,8 @@
 //! Branch & bound over the LP relaxation.
 
+use crate::budget::{BudgetMeter, SolveBudget, SolverFaults};
 use crate::model::{Problem, Relation, Sense, VarId};
-use crate::simplex::{solve_lp, LpOutcome, INT_TOL};
+use crate::simplex::{solve_lp_metered, LpOutcome, INT_TOL};
 
 /// Result of an ILP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +46,46 @@ pub struct IlpLimits {
 
 impl Default for IlpLimits {
     fn default() -> IlpLimits {
-        IlpLimits { max_nodes: 200_000 }
+        IlpLimits { max_nodes: SolveBudget::DEFAULT_MAX_NODES }
     }
+}
+
+/// Result of a budget-aware ILP solve ([`solve_ilp_budgeted`]).
+///
+/// Unlike [`IlpOutcome`], budget exhaustion is not a dead end: whenever the
+/// search has proven *any* outer bound, the solve degrades to
+/// [`Relaxed`](IlpResolution::Relaxed) instead of failing, because an LP
+/// relaxation value is always safe — subproblems only ever add constraints,
+/// so no integral point can beat its ancestors' relaxation bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpResolution {
+    /// Proven optimal integral solution.
+    Exact {
+        /// Primal solution (integer variables are integral within [`INT_TOL`]).
+        x: Vec<f64>,
+        /// Objective value in the problem's own sense.
+        value: f64,
+    },
+    /// The budget ran out (or a subtree was lost to a numerical failure)
+    /// before optimality was proven; `bound` is a safe outer bound.
+    Relaxed {
+        /// Safe outer bound in the problem's own sense: `>=` the true
+        /// optimum when maximizing, `<=` when minimizing.
+        bound: f64,
+        /// Best integral solution found so far, if any. Together with
+        /// `bound` it brackets the true optimum.
+        incumbent: Option<(Vec<f64>, f64)>,
+    },
+    /// No integral feasible point exists.
+    Infeasible,
+    /// The relaxation is unbounded (for IPET this means a loop bound is
+    /// missing, and the caller reports it as such).
+    Unbounded,
+    /// The root relaxation failed numerically; no bound is available.
+    Numerical,
+    /// The budget ran out before even the root relaxation produced a bound;
+    /// nothing safe can be reported.
+    Exhausted,
 }
 
 /// Finds the integer variable whose relaxation value is most fractional.
@@ -76,9 +115,53 @@ pub fn solve_ilp(problem: &Problem) -> (IlpOutcome, IlpStats) {
 
 /// Solves a mixed ILP by depth-first branch & bound on the LP relaxation.
 ///
+/// Compatibility wrapper around [`solve_ilp_budgeted`]: runs with an
+/// unlimited budget except for `limits.max_nodes` and collapses the richer
+/// [`IlpResolution`] to the classic [`IlpOutcome`] (a truncated search that
+/// found an incumbent reports it as `Optimal`, like the original solver).
+pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcome, IlpStats) {
+    let budget = SolveBudget { max_nodes: limits.max_nodes, ..SolveBudget::unlimited() };
+    let (resolution, stats) = solve_ilp_budgeted(
+        problem,
+        &budget,
+        &mut BudgetMeter::new(),
+        &mut SolverFaults::none(),
+    );
+    let outcome = match resolution {
+        IlpResolution::Exact { x, value }
+        | IlpResolution::Relaxed { incumbent: Some((x, value)), .. } => {
+            IlpOutcome::Optimal { x, value }
+        }
+        IlpResolution::Infeasible => IlpOutcome::Infeasible,
+        IlpResolution::Unbounded => IlpOutcome::Unbounded,
+        IlpResolution::Relaxed { incumbent: None, .. }
+        | IlpResolution::Numerical
+        | IlpResolution::Exhausted => IlpOutcome::LimitReached,
+    };
+    (outcome, stats)
+}
+
+/// Solves a mixed ILP by depth-first branch & bound under `budget`,
+/// degrading gracefully instead of failing when resources run out.
+///
 /// Branching adds `x <= floor(v)` / `x >= ceil(v)` bound rows on the most
 /// fractional integer variable; nodes are pruned against the incumbent.
-pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcome, IlpStats) {
+/// Work is charged to `meter` (shared across solves: the deadline in
+/// `budget.deadline_ticks` caps the *sum* of work metered through it), and
+/// `faults` can force any exhaustion path at a chosen call index.
+///
+/// On budget exhaustion the search stops and reports
+/// [`IlpResolution::Relaxed`] whose `bound` is the tightest safe outer
+/// bound proven so far: the best incumbent or the largest (in score) LP
+/// relaxation value over all subtrees left open. A subtree lost to a
+/// numerical failure is treated as open under its parent's bound, so one
+/// bad pivot degrades the answer instead of destroying it.
+pub fn solve_ilp_budgeted(
+    problem: &Problem,
+    budget: &SolveBudget,
+    meter: &mut BudgetMeter,
+    faults: &mut SolverFaults,
+) -> (IlpResolution, IlpStats) {
     let mut stats = IlpStats::default();
     // For comparison in a unified direction, track everything as "maximize":
     // score(v) = v for Maximize, -v for Minimize.
@@ -86,18 +169,38 @@ pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcom
         Sense::Maximize => v,
         Sense::Minimize => -v,
     };
+    let unscore = |s: f64| match problem.sense {
+        Sense::Maximize => s,
+        Sense::Minimize => -s,
+    };
 
-    // A node is a list of extra bound rows (var, relation, rhs).
-    let mut stack: Vec<Vec<(usize, Relation, f64)>> = vec![Vec::new()];
+    // A node is a list of extra bound rows plus its parent's LP relaxation
+    // value — the bound that still covers the node if it is never solved.
+    // The root has no parent bound: if the search dies before the root LP
+    // completes there is nothing safe to report.
+    struct Node {
+        extra: Vec<(usize, Relation, f64)>,
+        parent_bound: Option<f64>,
+    }
+    let mut stack: Vec<Node> = vec![Node { extra: Vec::new(), parent_bound: None }];
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    // Scores of bounds covering subtrees abandoned mid-search (LP budget
+    // blow or numerical loss below the root).
+    let mut lost_bound_scores: Vec<f64> = Vec::new();
     let mut truncated = false;
+    let mut root_failure: Option<IlpResolution> = None;
 
-    while let Some(extra) = stack.pop() {
-        if stats.nodes >= limits.max_nodes {
+    while !stack.is_empty() {
+        // `faults.node_fault()` is evaluated last so the injected index
+        // counts actual node expansions.
+        if stats.nodes >= budget.max_nodes || meter.deadline_hit(budget) || faults.node_fault()
+        {
             truncated = true;
             break;
         }
+        let Node { extra, parent_bound } = stack.pop().expect("stack checked non-empty");
         stats.nodes += 1;
+        meter.nodes += 1;
 
         let mut sub = problem.clone();
         for &(var, rel, rhs) in &extra {
@@ -108,16 +211,35 @@ pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcom
             });
         }
         stats.lp_calls += 1;
-        match solve_lp(&sub) {
+        let at_root = extra.is_empty();
+        match solve_lp_metered(&sub, budget, meter, faults) {
             LpOutcome::Infeasible => continue,
             LpOutcome::Unbounded => {
-                if extra.is_empty() {
-                    return (IlpOutcome::Unbounded, stats);
-                }
                 // A bounded root cannot become unbounded by adding rows;
                 // an unbounded child of a bounded root still means the whole
                 // integer problem is unbounded along that ray.
-                return (IlpOutcome::Unbounded, stats);
+                return (IlpResolution::Unbounded, stats);
+            }
+            LpOutcome::Numerical => {
+                if at_root {
+                    root_failure = Some(IlpResolution::Numerical);
+                    break;
+                }
+                // The subtree is lost but its parent's relaxation still
+                // covers every integral point inside it.
+                lost_bound_scores.extend(parent_bound.map(score));
+                continue;
+            }
+            LpOutcome::LimitReached => {
+                if at_root {
+                    root_failure = Some(IlpResolution::Exhausted);
+                    break;
+                }
+                lost_bound_scores.extend(parent_bound.map(score));
+                // The deadline check at the top of the loop stops the whole
+                // search once ticks are gone; a per-LP iteration cap alone
+                // only loses this subtree.
+                continue;
             }
             LpOutcome::Optimal { x, value } => {
                 if let Some((_, best)) = &incumbent {
@@ -145,28 +267,63 @@ pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcom
                         // DFS: explore the "floor" child first (pushed last).
                         let mut up = extra.clone();
                         up.push((var, Relation::Ge, hi));
-                        stack.push(up);
+                        stack.push(Node { extra: up, parent_bound: Some(value) });
                         let mut down = extra;
                         down.push((var, Relation::Le, lo));
-                        stack.push(down);
+                        stack.push(Node { extra: down, parent_bound: Some(value) });
                     }
                 }
             }
         }
     }
 
-    match incumbent {
-        Some((mut x, value)) => {
-            // Snap integer variables to exact integers for downstream users.
-            for (i, xi) in x.iter_mut().enumerate() {
-                if problem.integer[i] {
-                    *xi = xi.round();
-                }
+    if let Some(failure) = root_failure {
+        return (failure, stats);
+    }
+
+    let snap = |mut x: Vec<f64>, value: f64| {
+        // Snap integer variables to exact integers for downstream users.
+        for (i, xi) in x.iter_mut().enumerate() {
+            if problem.integer[i] {
+                *xi = xi.round();
             }
-            (IlpOutcome::Optimal { x, value }, stats)
         }
-        None if truncated => (IlpOutcome::LimitReached, stats),
-        None => (IlpOutcome::Infeasible, stats),
+        (x, value)
+    };
+
+    if !truncated && lost_bound_scores.is_empty() {
+        // Complete search: the classic trichotomy.
+        return match incumbent {
+            Some((x, value)) => {
+                let (x, value) = snap(x, value);
+                (IlpResolution::Exact { x, value }, stats)
+            }
+            None => (IlpResolution::Infeasible, stats),
+        };
+    }
+
+    // Degraded: the safe outer bound is the best score any unexplored part
+    // of the tree could still attain — open nodes are covered by their
+    // parents' relaxation values, lost subtrees by the recorded bounds, and
+    // the incumbent is a lower witness that can only tighten the answer.
+    let mut bound_score = incumbent.as_ref().map(|(_, v)| score(*v));
+    let open_scores = stack
+        .iter()
+        .filter_map(|node| node.parent_bound.map(score))
+        .chain(lost_bound_scores.iter().copied());
+    for s in open_scores {
+        bound_score = Some(match bound_score {
+            None => s,
+            Some(b) => b.max(s),
+        });
+    }
+    match bound_score {
+        // Truncated before the root LP finished: nothing safe to report.
+        None => (IlpResolution::Exhausted, stats),
+        Some(s) => {
+            let incumbent = incumbent.map(|(x, v)| snap(x, v));
+            (IlpResolution::Relaxed { bound: unscore(s), incumbent }, stats)
+        }
     }
 }
 
@@ -293,6 +450,158 @@ mod tests {
         } else {
             assert_eq!(out, IlpOutcome::LimitReached);
         }
+    }
+
+    fn exact_value(p: &Problem) -> f64 {
+        match solve_ilp(p).0 {
+            IlpOutcome::Optimal { value, .. } => value,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_exact_matches_classic() {
+        let p = knapsack(&[10.0, 6.0, 4.0], &[5.0, 4.0, 3.0], 7.0);
+        let (res, stats) = solve_ilp_budgeted(
+            &p,
+            &SolveBudget::unlimited(),
+            &mut BudgetMeter::new(),
+            &mut SolverFaults::none(),
+        );
+        match res {
+            IlpResolution::Exact { value, .. } => assert_eq!(value.round() as i64, 10),
+            other => panic!("{other:?}"),
+        }
+        assert!(stats.lp_calls > 1);
+    }
+
+    #[test]
+    fn node_budget_degrades_to_safe_relaxed_bound() {
+        let p = knapsack(
+            &[9.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let exact = exact_value(&p);
+        for max_nodes in 1..6 {
+            let budget = SolveBudget { max_nodes, ..SolveBudget::unlimited() };
+            let mut meter = BudgetMeter::new();
+            let (res, stats) =
+                solve_ilp_budgeted(&p, &budget, &mut meter, &mut SolverFaults::none());
+            assert!(stats.nodes <= max_nodes);
+            match res {
+                IlpResolution::Exact { value, .. } => {
+                    assert!((value - exact).abs() < 1e-6);
+                }
+                IlpResolution::Relaxed { bound, incumbent } => {
+                    // Maximization: the degraded bound must cover the true
+                    // optimum, and any incumbent must be dominated by it.
+                    assert!(bound >= exact - 1e-6, "bound {bound} < exact {exact}");
+                    if let Some((x, value)) = incumbent {
+                        assert!(p.is_feasible(&x, 1e-6));
+                        assert!(value <= exact + 1e-6);
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_node_budget_is_exhausted() {
+        let p = knapsack(&[3.0, 2.0], &[2.0, 1.0], 2.0);
+        let budget = SolveBudget { max_nodes: 0, ..SolveBudget::unlimited() };
+        let (res, stats) = solve_ilp_budgeted(
+            &p,
+            &budget,
+            &mut BudgetMeter::new(),
+            &mut SolverFaults::none(),
+        );
+        assert_eq!(res, IlpResolution::Exhausted);
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn tick_deadline_stops_the_search() {
+        let p = knapsack(
+            &[9.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let exact = exact_value(&p);
+        // A handful of pivots: enough for the root LP, not the whole tree.
+        let budget = SolveBudget::with_deadline(12);
+        let mut meter = BudgetMeter::new();
+        let (res, _) = solve_ilp_budgeted(&p, &budget, &mut meter, &mut SolverFaults::none());
+        match res {
+            IlpResolution::Relaxed { bound, .. } => assert!(bound >= exact - 1e-6),
+            IlpResolution::Exact { value, .. } => assert!((value - exact).abs() < 1e-6),
+            IlpResolution::Exhausted => {} // deadline died inside the root LP
+            other => panic!("{other:?}"),
+        }
+        assert!(meter.ticks <= 12 + 12, "runaway ticks: {}", meter.ticks);
+    }
+
+    #[test]
+    fn injected_node_fault_yields_safe_bound_at_every_index() {
+        let p = knapsack(
+            &[9.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let exact = exact_value(&p);
+        let total_nodes = solve_ilp(&p).1.nodes as u64;
+        for at in 0..total_nodes {
+            let mut faults = SolverFaults::limit_at(at);
+            let (res, _) = solve_ilp_budgeted(
+                &p,
+                &SolveBudget::unlimited(),
+                &mut BudgetMeter::new(),
+                &mut faults,
+            );
+            match res {
+                IlpResolution::Exact { value, .. } => {
+                    assert!((value - exact).abs() < 1e-6);
+                }
+                IlpResolution::Relaxed { bound, .. } => {
+                    assert!(bound >= exact - 1e-6, "at={at}: bound {bound} < {exact}");
+                }
+                IlpResolution::Exhausted => assert_eq!(at, 0),
+                other => panic!("at={at}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_numerical_fault_below_root_degrades() {
+        let p = knapsack(
+            &[9.0, 7.0, 6.0, 5.0, 4.0],
+            &[5.0, 4.0, 3.0, 3.0, 2.0],
+            9.0,
+        );
+        let exact = exact_value(&p);
+        // LP call 1 is the first child of the root: the subtree is lost but
+        // the root relaxation still bounds it.
+        let mut faults = SolverFaults::numerical_at(1);
+        let (res, _) = solve_ilp_budgeted(
+            &p,
+            &SolveBudget::unlimited(),
+            &mut BudgetMeter::new(),
+            &mut faults,
+        );
+        match res {
+            IlpResolution::Relaxed { bound, .. } => assert!(bound >= exact - 1e-6),
+            other => panic!("{other:?}"),
+        }
+        // At the root there is no covering bound: the solve fails hard.
+        let mut faults = SolverFaults::numerical_at(0);
+        let (res, _) = solve_ilp_budgeted(
+            &p,
+            &SolveBudget::unlimited(),
+            &mut BudgetMeter::new(),
+            &mut faults,
+        );
+        assert_eq!(res, IlpResolution::Numerical);
     }
 
     #[test]

@@ -39,12 +39,30 @@
 //! assert!(stats.lp_calls >= 1);
 //! ```
 
+//!
+//! ## Budgets and graceful degradation
+//!
+//! The budget-aware entry points never hang and never guess: work is
+//! charged to a [`BudgetMeter`] in deterministic *ticks* (one tick = one
+//! simplex pivot), a [`SolveBudget`] caps ticks, LP iterations,
+//! branch-and-bound nodes and DNF sets, and [`solve_ilp_budgeted`] degrades
+//! to a safe LP-relaxation bound ([`IlpResolution::Relaxed`]) instead of
+//! erroring when a budget runs out. [`SolverFaults`] injects each
+//! exhaustion path deterministically for testing, and [`BoundQuality`] is
+//! the vocabulary downstream layers use to label how trustworthy a
+//! reported bound is.
+
+mod budget;
 mod ilp;
 mod model;
 mod simplex;
 mod structure;
 
-pub use ilp::{solve_ilp, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpStats};
+pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolverFaults};
+pub use ilp::{
+    solve_ilp, solve_ilp_budgeted, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpResolution,
+    IlpStats,
+};
 pub use model::{Constraint, Problem, ProblemBuilder, Relation, Sense, VarId};
-pub use simplex::{solve_lp, LpOutcome, FEAS_TOL, INT_TOL};
+pub use simplex::{solve_lp, solve_lp_metered, LpOutcome, FEAS_TOL, INT_TOL};
 pub use structure::is_network_matrix;

@@ -92,6 +92,17 @@ impl Problem {
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
+    /// True when any objective coefficient, constraint coefficient, or
+    /// right-hand side is NaN or infinite. The simplex solver rejects such
+    /// models up front ([`LpOutcome::Numerical`](crate::LpOutcome)) rather
+    /// than letting NaN poison the pivot selection.
+    pub fn has_non_finite(&self) -> bool {
+        self.objective.iter().any(|c| !c.is_finite())
+            || self.constraints.iter().any(|con| {
+                !con.rhs.is_finite() || con.terms.iter().any(|(_, c)| !c.is_finite())
+            })
+    }
+
     /// Checks a point against every constraint and non-negativity,
     /// within tolerance `tol`.
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
@@ -269,6 +280,21 @@ mod tests {
             rhs: 0.0,
         };
         assert_eq!(c.dense(3), vec![3.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn non_finite_data_is_detected() {
+        let p = tiny();
+        assert!(!p.has_non_finite());
+        let mut bad_obj = p.clone();
+        bad_obj.objective[0] = f64::NAN;
+        assert!(bad_obj.has_non_finite());
+        let mut bad_coeff = p.clone();
+        bad_coeff.constraints[0].terms[0].1 = f64::INFINITY;
+        assert!(bad_coeff.has_non_finite());
+        let mut bad_rhs = p;
+        bad_rhs.constraints[1].rhs = f64::NEG_INFINITY;
+        assert!(bad_rhs.has_non_finite());
     }
 
     #[test]

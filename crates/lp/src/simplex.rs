@@ -4,6 +4,7 @@
 //! The problems produced by IPET are small (tens to a few hundred rows), so
 //! a dense textbook implementation is both fast enough and easy to audit.
 
+use crate::budget::{BudgetMeter, LpFault, SolveBudget, SolverFaults};
 use crate::model::{Problem, Relation, Sense};
 
 /// Feasibility tolerance used throughout the solver.
@@ -26,6 +27,26 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// Pivoting met NaN/non-finite data (or the input model contained
+    /// non-finite coefficients); no conclusion about the model is implied.
+    Numerical,
+    /// The iteration or tick budget ran out before the solve concluded;
+    /// no conclusion about the model is implied.
+    LimitReached,
+}
+
+/// How one run of [`Tableau::optimize`] ended (internal; disambiguates the
+/// conditions the caller must treat differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimplexEnd {
+    /// Reached an optimal basis.
+    Optimal,
+    /// Found an unbounded improving ray.
+    Unbounded,
+    /// Ran out of pivot iterations.
+    IterLimit,
+    /// Met a NaN/non-finite reduced cost, ratio, or pivot element.
+    Numerical,
 }
 
 /// A dense simplex tableau in equality standard form.
@@ -46,9 +67,15 @@ impl Tableau {
     }
 
     /// Performs one pivot on (`row`, `col`), updating the basis.
-    fn pivot(&mut self, row: usize, col: usize) {
+    ///
+    /// Returns `false` without touching the tableau when the pivot element
+    /// is non-finite or too close to zero to divide by safely.
+    #[must_use]
+    fn pivot(&mut self, row: usize, col: usize) -> bool {
         let piv = self.a[row][col];
-        debug_assert!(piv.abs() > FEAS_TOL, "pivot on (near-)zero element");
+        if !piv.is_finite() || piv.abs() <= FEAS_TOL {
+            return false;
+        }
         let inv = 1.0 / piv;
         for j in 0..self.cols {
             self.a[row][j] *= inv;
@@ -64,13 +91,13 @@ impl Tableau {
             }
         }
         self.basis[row] = col;
+        true
     }
 
     /// Runs the simplex method to optimality for the maximization objective
-    /// `obj` (one coefficient per tableau column except the RHS).
-    ///
-    /// Returns `None` if the objective is unbounded.
-    fn optimize(&mut self, obj: &[f64], max_iters: usize) -> Option<()> {
+    /// `obj` (one coefficient per tableau column except the RHS), charging
+    /// one pivot per iteration to `pivots`.
+    fn optimize(&mut self, obj: &[f64], max_iters: usize, pivots: &mut u64) -> SimplexEnd {
         // Reduced-cost row maintained explicitly: z_j = c_B^T B^{-1} A_j - c_j.
         // Entering columns are those with z_j < -tol (can improve a maximum).
         for _ in 0..max_iters {
@@ -85,16 +112,25 @@ impl Tableau {
                 }
                 *z = acc;
             }
+            if zrow.iter().any(|z| z.is_nan()) {
+                return SimplexEnd::Numerical;
+            }
             // Bland's rule: smallest-index eligible entering column.
             let entering = (0..self.cols - 1)
                 .find(|&j| !self.banned[j] && zrow[j] < -FEAS_TOL);
             let Some(col) = entering else {
-                return Some(()); // optimal
+                return SimplexEnd::Optimal;
             };
             // Ratio test; Bland tie-break on smallest basis variable index.
+            // NaN anywhere in the candidate column or RHS voids the test: a
+            // NaN ratio compares false against everything, which would let a
+            // poisoned row win or lose arbitrarily.
             let mut best: Option<(usize, f64)> = None;
             for i in 0..self.rows {
                 let aij = self.a[i][col];
+                if aij.is_nan() || self.rhs(i).is_nan() {
+                    return SimplexEnd::Numerical;
+                }
                 if aij > FEAS_TOL {
                     let ratio = self.rhs(i) / aij;
                     match best {
@@ -111,13 +147,14 @@ impl Tableau {
                 }
             }
             let Some((row, _)) = best else {
-                return None; // unbounded direction
+                return SimplexEnd::Unbounded;
             };
-            self.pivot(row, col);
+            *pivots += 1;
+            if !self.pivot(row, col) {
+                return SimplexEnd::Numerical;
+            }
         }
-        // Iteration budget exhausted: treat as unbounded-in-practice; with
-        // Bland's rule this indicates a budget far too small for the model.
-        None
+        SimplexEnd::IterLimit
     }
 }
 
@@ -127,6 +164,40 @@ impl Tableau {
 /// objective value is in the problem's own sense (a `Minimize` problem
 /// reports the minimum).
 pub fn solve_lp(problem: &Problem) -> LpOutcome {
+    solve_lp_metered(
+        problem,
+        &SolveBudget::unlimited(),
+        &mut BudgetMeter::new(),
+        &mut SolverFaults::none(),
+    )
+}
+
+/// Solves the LP relaxation under `budget`, charging pivots and the call
+/// itself to `meter` and honouring injected `faults`.
+///
+/// Differences from the unmetered [`solve_lp`]:
+/// * returns [`LpOutcome::LimitReached`] when the tick deadline or the
+///   per-call iteration cap runs out mid-solve (never a bogus
+///   `Infeasible`/`Unbounded`);
+/// * returns [`LpOutcome::Numerical`] for models containing NaN/infinite
+///   data or when pivoting breaks down numerically.
+pub fn solve_lp_metered(
+    problem: &Problem,
+    budget: &SolveBudget,
+    meter: &mut BudgetMeter,
+    faults: &mut SolverFaults,
+) -> LpOutcome {
+    meter.lp_calls += 1;
+    if let Some(fault) = faults.lp_fault() {
+        return match fault {
+            LpFault::Infeasible => LpOutcome::Infeasible,
+            LpFault::Numerical => LpOutcome::Numerical,
+        };
+    }
+    if problem.has_non_finite() {
+        return LpOutcome::Numerical;
+    }
+
     let n = problem.num_vars();
     let m = problem.num_constraints();
 
@@ -199,20 +270,46 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
         basis,
         banned: vec![false; total_cols - 1],
     };
-    // Generous budget: Bland's rule terminates, this is only a hard stop.
-    let budget = 50_000 + 200 * (m + total_cols);
+    // Per-call iteration cap: the solver's own generous size-derived stop
+    // (Bland's rule terminates, so this only catches pathologies), tightened
+    // by any explicit per-LP cap and by the ticks left before the deadline.
+    let mut max_iters = 50_000 + 200 * (m + total_cols);
+    if let Some(cap) = budget.max_lp_iters {
+        max_iters = max_iters.min(cap);
+    }
+    if let Some(left) = meter.ticks_left(budget) {
+        if left == 0 {
+            return LpOutcome::LimitReached;
+        }
+        max_iters = max_iters.min(usize::try_from(left).unwrap_or(usize::MAX));
+    }
+    let mut pivots = 0u64;
 
     // Phase 1: maximize -(sum of artificials).
-    if !artificial_cols.is_empty() {
+    let phase1_end = if artificial_cols.is_empty() {
+        SimplexEnd::Optimal
+    } else {
         let mut phase1 = vec![0.0; total_cols - 1];
         for &c in &artificial_cols {
             phase1[c] = -1.0;
         }
-        if tab.optimize(&phase1, budget).is_none() {
-            // Phase 1 objective is bounded below by construction; reaching
-            // here means the iteration budget blew up.
-            return LpOutcome::Infeasible;
+        tab.optimize(&phase1, max_iters, &mut pivots)
+    };
+    match phase1_end {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::IterLimit => {
+            meter.charge_ticks(pivots);
+            return LpOutcome::LimitReached;
         }
+        // Phase 1 maximizes a sum of negated non-negative variables, which
+        // is bounded above by 0 — an "unbounded" verdict can only mean the
+        // arithmetic broke down.
+        SimplexEnd::Unbounded | SimplexEnd::Numerical => {
+            meter.charge_ticks(pivots);
+            return LpOutcome::Numerical;
+        }
+    }
+    if !artificial_cols.is_empty() {
         let infeas: f64 = artificial_cols
             .iter()
             .map(|&c| {
@@ -223,14 +320,23 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
                     .unwrap_or(0.0)
             })
             .sum();
+        if !infeas.is_finite() {
+            meter.charge_ticks(pivots);
+            return LpOutcome::Numerical;
+        }
         if infeas > 1e-6 {
+            meter.charge_ticks(pivots);
             return LpOutcome::Infeasible;
         }
         // Drive any degenerate basic artificials out of the basis.
         for r in 0..tab.rows {
             if artificial_cols.contains(&tab.basis[r]) {
                 if let Some(col) = (0..n + num_slack).find(|&j| tab.a[r][j].abs() > FEAS_TOL) {
-                    tab.pivot(r, col);
+                    pivots += 1;
+                    if !tab.pivot(r, col) {
+                        meter.charge_ticks(pivots);
+                        return LpOutcome::Numerical;
+                    }
                 }
                 // If the whole row is zero in structural columns the row is
                 // redundant; the artificial stays basic at value 0 and is
@@ -247,8 +353,13 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
     for (j, &c) in problem.objective.iter().enumerate() {
         obj[j] = sign * c;
     }
-    if tab.optimize(&obj, budget).is_none() {
-        return LpOutcome::Unbounded;
+    let end = tab.optimize(&obj, max_iters, &mut pivots);
+    meter.charge_ticks(pivots);
+    match end {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+        SimplexEnd::IterLimit => return LpOutcome::LimitReached,
+        SimplexEnd::Numerical => return LpOutcome::Numerical,
     }
 
     let mut x = vec![0.0; n];
@@ -258,6 +369,9 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
         }
     }
     let value = problem.objective_value(&x);
+    if !value.is_finite() || x.iter().any(|v| !v.is_finite()) {
+        return LpOutcome::Numerical;
+    }
     LpOutcome::Optimal { x, value }
 }
 
@@ -422,6 +536,96 @@ mod tests {
             LpOutcome::Optimal { value, .. } => assert_eq!(value, 0.0),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn nan_objective_reports_numerical() {
+        let p = build(
+            Sense::Maximize,
+            &[f64::NAN, 1.0],
+            &[(&[1.0, 1.0], Relation::Le, 4.0)],
+        );
+        assert_eq!(solve_lp(&p), LpOutcome::Numerical);
+    }
+
+    #[test]
+    fn infinite_coefficient_reports_numerical() {
+        let p = build(
+            Sense::Minimize,
+            &[1.0],
+            &[(&[f64::INFINITY], Relation::Ge, 2.0)],
+        );
+        assert_eq!(solve_lp(&p), LpOutcome::Numerical);
+    }
+
+    #[test]
+    fn deadline_exhaustion_reports_limit() {
+        let p = build(
+            Sense::Maximize,
+            &[3.0, 5.0],
+            &[
+                (&[1.0, 0.0], Relation::Le, 4.0),
+                (&[0.0, 2.0], Relation::Le, 12.0),
+                (&[3.0, 2.0], Relation::Le, 18.0),
+            ],
+        );
+        // Zero ticks left: the solve must refuse immediately, not guess.
+        let budget = SolveBudget::with_deadline(0);
+        let mut meter = BudgetMeter::new();
+        let out = solve_lp_metered(&p, &budget, &mut meter, &mut SolverFaults::none());
+        assert_eq!(out, LpOutcome::LimitReached);
+        assert_eq!(meter.lp_calls, 1);
+        // With budget to spare the same problem solves and charges pivots.
+        let budget = SolveBudget::with_deadline(10_000);
+        let mut meter = BudgetMeter::new();
+        let out = solve_lp_metered(&p, &budget, &mut meter, &mut SolverFaults::none());
+        assert!(matches!(out, LpOutcome::Optimal { .. }));
+        assert!(meter.ticks > 0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_limit_not_unbounded() {
+        let p = build(
+            Sense::Maximize,
+            &[3.0, 5.0],
+            &[
+                (&[1.0, 0.0], Relation::Le, 4.0),
+                (&[0.0, 2.0], Relation::Le, 12.0),
+                (&[3.0, 2.0], Relation::Le, 18.0),
+            ],
+        );
+        let budget = SolveBudget { max_lp_iters: Some(1), ..SolveBudget::unlimited() };
+        let out = solve_lp_metered(
+            &p,
+            &budget,
+            &mut BudgetMeter::new(),
+            &mut SolverFaults::none(),
+        );
+        assert_eq!(out, LpOutcome::LimitReached);
+    }
+
+    #[test]
+    fn injected_lp_faults_fire() {
+        let p = build(Sense::Maximize, &[1.0], &[(&[1.0], Relation::Le, 3.0)]);
+        let budget = SolveBudget::unlimited();
+
+        let mut faults = SolverFaults::infeasible_at(0);
+        let mut meter = BudgetMeter::new();
+        assert_eq!(
+            solve_lp_metered(&p, &budget, &mut meter, &mut faults),
+            LpOutcome::Infeasible
+        );
+        // The next call is past the fault index and solves normally.
+        assert!(matches!(
+            solve_lp_metered(&p, &budget, &mut meter, &mut faults),
+            LpOutcome::Optimal { .. }
+        ));
+
+        let mut faults = SolverFaults::numerical_at(0);
+        assert_eq!(
+            solve_lp_metered(&p, &budget, &mut BudgetMeter::new(), &mut faults),
+            LpOutcome::Numerical
+        );
     }
 
     #[test]
