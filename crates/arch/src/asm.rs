@@ -87,24 +87,19 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
         .ok_or_else(|| syntax(line, format!("bad memory operand {tok}")))?;
-    let split = inner
-        .find(['+', '-'])
-        .ok_or_else(|| syntax(line, format!("bad memory operand {tok}")))?;
+    let split =
+        inner.find(['+', '-']).ok_or_else(|| syntax(line, format!("bad memory operand {tok}")))?;
     let base = parse_reg(&inner[..split], line)?;
-    let offset: i32 = inner[split..]
-        .parse()
-        .map_err(|_| syntax(line, format!("bad offset in {tok}")))?;
+    let offset: i32 =
+        inner[split..].parse().map_err(|_| syntax(line, format!("bad offset in {tok}")))?;
     Ok((base, offset))
 }
 
 /// Splits an instruction line into mnemonic + comma/space-separated
 /// operand tokens, dropping an optional leading `N:` index.
 fn instruction_tokens(text: &str) -> Vec<String> {
-    let mut toks: Vec<String> = text
-        .replace(',', " ")
-        .split_whitespace()
-        .map(str::to_string)
-        .collect();
+    let mut toks: Vec<String> =
+        text.replace(',', " ").split_whitespace().map(str::to_string).collect();
     if toks
         .first()
         .map(|t| t.ends_with(':') && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit()))
@@ -137,11 +132,8 @@ pub fn parse_program(text: &str) -> Result<Program, AsmError> {
             }
         }
     }
-    let ids: HashMap<&str, FuncId> = names
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.as_str(), FuncId(i)))
-        .collect();
+    let ids: HashMap<&str, FuncId> =
+        names.iter().enumerate().map(|(i, n)| (n.as_str(), FuncId(i))).collect();
 
     // Pass 2: build everything.
     let mut globals: Vec<Global> = Vec::new();
@@ -209,13 +201,11 @@ pub fn parse_program(text: &str) -> Result<Program, AsmError> {
                 let mut f = Function::new(name);
                 for t in text.split_whitespace().skip(1) {
                     if let Some(v) = t.strip_prefix("frame=") {
-                        f.frame_words = v
-                            .parse()
-                            .map_err(|_| syntax(line, format!("bad frame size {v}")))?;
+                        f.frame_words =
+                            v.parse().map_err(|_| syntax(line, format!("bad frame size {v}")))?;
                     } else if let Some(v) = t.strip_prefix("params=") {
-                        f.num_params = v
-                            .parse()
-                            .map_err(|_| syntax(line, format!("bad param count {v}")))?;
+                        f.num_params =
+                            v.parse().map_err(|_| syntax(line, format!("bad param count {v}")))?;
                     } else {
                         return Err(syntax(line, format!("unexpected token {t}")));
                     }
@@ -226,9 +216,7 @@ pub fn parse_program(text: &str) -> Result<Program, AsmError> {
         }
 
         // An instruction line.
-        let f = current
-            .as_mut()
-            .ok_or_else(|| syntax(line, "instruction outside a function"))?;
+        let f = current.as_mut().ok_or_else(|| syntax(line, "instruction outside a function"))?;
         let toks = instruction_tokens(text);
         if toks.is_empty() {
             continue;
@@ -357,13 +345,10 @@ mod tests {
 
     #[test]
     fn memory_operands() {
-        let p = parse_program("f:\n ld r8, [fp+4]\n st r8, [sp-2]\n ld r9, [zero+7]\n ret\n")
-            .unwrap();
+        let p =
+            parse_program("f:\n ld r8, [fp+4]\n st r8, [sp-2]\n ld r9, [zero+7]\n ret\n").unwrap();
         assert_eq!(p.functions[0].instrs[0], Instr::Ld { dst: Reg::T0, base: Reg::FP, offset: 4 });
-        assert_eq!(
-            p.functions[0].instrs[1],
-            Instr::St { src: Reg::T0, base: Reg::SP, offset: -2 }
-        );
+        assert_eq!(p.functions[0].instrs[1], Instr::St { src: Reg::T0, base: Reg::SP, offset: -2 });
         assert_eq!(
             p.functions[0].instrs[2],
             Instr::Ld { dst: Reg::temp(1), base: Reg::ZERO, offset: 7 }

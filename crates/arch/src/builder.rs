@@ -92,10 +92,7 @@ impl AsmBuilder {
     ///
     /// Panics if the label id is foreign to this builder.
     pub fn bind(&mut self, label: Label) -> &mut Self {
-        let slot = self
-            .bindings
-            .get_mut(label.0)
-            .expect("label from a different builder");
+        let slot = self.bindings.get_mut(label.0).expect("label from a different builder");
         // Rebinding is deferred to finish() so builders stay panic-free in
         // normal operation; remember only the first binding here.
         if slot.is_none() {

@@ -288,10 +288,7 @@ impl Instr {
     /// leaves the call block, flows through the callee's CFG and re-enters
     /// at the following block.
     pub fn is_terminator(self) -> bool {
-        matches!(
-            self,
-            Instr::Br { .. } | Instr::Jmp { .. } | Instr::Ret | Instr::Call { .. }
-        )
+        matches!(self, Instr::Br { .. } | Instr::Jmp { .. } | Instr::Ret | Instr::Call { .. })
     }
 
     /// The intra-function branch target, if any.
@@ -318,7 +315,11 @@ impl Instr {
         let mut out = Vec::with_capacity(3);
         match self {
             Instr::Mov { src, .. } => out.push(src),
-            Instr::Ldc { .. } | Instr::Jmp { .. } | Instr::Call { .. } | Instr::Ret | Instr::Nop => {}
+            Instr::Ldc { .. }
+            | Instr::Jmp { .. }
+            | Instr::Call { .. }
+            | Instr::Ret
+            | Instr::Nop => {}
             Instr::Alu { a, b, .. } => {
                 out.push(a);
                 if let Operand::Reg(r) = b {
@@ -392,14 +393,8 @@ mod tests {
         use InstrClass::*;
         let r = Reg::T0;
         assert_eq!(Instr::Mov { dst: r, src: r }.class(), IntSimple);
-        assert_eq!(
-            Instr::Alu { op: AluOp::Mul, dst: r, a: r, b: Operand::Imm(2) }.class(),
-            IntMul
-        );
-        assert_eq!(
-            Instr::Alu { op: AluOp::Rem, dst: r, a: r, b: Operand::Imm(2) }.class(),
-            IntDiv
-        );
+        assert_eq!(Instr::Alu { op: AluOp::Mul, dst: r, a: r, b: Operand::Imm(2) }.class(), IntMul);
+        assert_eq!(Instr::Alu { op: AluOp::Rem, dst: r, a: r, b: Operand::Imm(2) }.class(), IntDiv);
         assert_eq!(Instr::Ld { dst: r, base: r, offset: 0 }.class(), Load);
         assert_eq!(Instr::St { src: r, base: r, offset: 0 }.class(), Store);
         assert_eq!(Instr::Ret.class(), Ret);

@@ -36,9 +36,9 @@ mod program;
 mod reg;
 mod text;
 
+pub use asm::{parse_program, AsmError};
 pub use builder::{AsmBuilder, BuildError, Label};
 pub use instr::{AluOp, Cond, Instr, InstrClass, Operand};
 pub use program::{FuncId, Function, Global, Program, ValidateError, INSTR_BYTES};
 pub use reg::Reg;
-pub use asm::{parse_program, AsmError};
 pub use text::{disassemble_function, disassemble_program};

@@ -163,19 +163,12 @@ impl Program {
 
     /// Total size of the text segment in bytes (after layout).
     pub fn text_bytes(&self) -> u32 {
-        self.functions
-            .iter()
-            .map(|f| f.instrs.len() as u32 * INSTR_BYTES)
-            .sum()
+        self.functions.iter().map(|f| f.instrs.len() as u32 * INSTR_BYTES).sum()
     }
 
     /// Looks up a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
-        self.functions
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
-            .map(|(i, f)| (FuncId(i), f))
+        self.functions.iter().enumerate().find(|(_, f)| f.name == name).map(|(i, f)| (FuncId(i), f))
     }
 
     /// Looks up a global by name.
@@ -312,12 +305,7 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_branch() {
         let mut f = Function::new("f");
-        f.instrs.push(Instr::Br {
-            cond: Cond::Eq,
-            a: Reg::RV,
-            b: Operand::Imm(0),
-            target: 9,
-        });
+        f.instrs.push(Instr::Br { cond: Cond::Eq, a: Reg::RV, b: Operand::Imm(0), target: 9 });
         f.instrs.push(Instr::Ret);
         let err = Program::new(vec![f], vec![], FuncId(0)).unwrap_err();
         assert!(matches!(err, ValidateError::BranchOutOfRange { .. }));

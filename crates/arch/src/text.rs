@@ -17,10 +17,7 @@ fn render(ins: &Instr, func_names: &[String]) -> String {
         }
         Instr::Jmp { target } => format!("jmp   @{target}"),
         Instr::Call { func } => {
-            let name = func_names
-                .get(func.0)
-                .map(String::as_str)
-                .unwrap_or("<bad>");
+            let name = func_names.get(func.0).map(String::as_str).unwrap_or("<bad>");
             format!("call  {name}")
         }
         Instr::Ret => "ret".to_string(),

@@ -3,8 +3,8 @@
 //! disassembler does not carry).
 
 use ipet_arch::{
-    parse_program, disassemble_program, AluOp, AsmBuilder, Cond, FuncId, Global, Operand,
-    Program, Reg,
+    disassemble_program, parse_program, AluOp, AsmBuilder, Cond, FuncId, Global, Operand, Program,
+    Reg,
 };
 use proptest::prelude::*;
 
@@ -88,19 +88,10 @@ fn arb_program() -> impl Strategy<Value = Program> {
             let globals = if init.is_empty() {
                 vec![]
             } else {
-                vec![Global {
-                    name: "data".into(),
-                    addr: 0,
-                    words: init.len() as u32 + 1,
-                    init,
-                }]
+                vec![Global { name: "data".into(), addr: 0, words: init.len() as u32 + 1, init }]
             };
-            Program::new(
-                vec![helper.finish().unwrap(), main.finish().unwrap()],
-                globals,
-                FuncId(1),
-            )
-            .expect("generated program valid")
+            Program::new(vec![helper.finish().unwrap(), main.finish().unwrap()], globals, FuncId(1))
+                .expect("generated program valid")
         })
 }
 

@@ -120,13 +120,7 @@ impl<'a> PathEnumerator<'a> {
                 return Err(EnumError::MissingLoopBound(l.header));
             }
         }
-        Ok(PathEnumerator {
-            cfg,
-            costs,
-            bounds: loop_bounds.clone(),
-            loops,
-            max_paths,
-        })
+        Ok(PathEnumerator { cfg, costs, bounds: loop_bounds.clone(), loops, max_paths })
     }
 
     /// Walks every feasible path (within the budget) and returns the
@@ -149,10 +143,7 @@ impl<'a> PathEnumerator<'a> {
     }
 
     fn back_edge_header(&self, edge: EdgeId) -> Option<BlockId> {
-        self.loops
-            .iter()
-            .find(|l| l.back_edges.contains(&edge))
-            .map(|l| l.header)
+        self.loops.iter().find(|l| l.back_edges.contains(&edge)).map(|l| l.header)
     }
 }
 
@@ -247,10 +238,7 @@ mod tests {
 
     fn costs_of(p: &Program, cfg: &Cfg) -> Vec<BlockCost> {
         let m = Machine::i960kb();
-        cfg.blocks
-            .iter()
-            .map(|b| block_cost(&m, &p.functions[cfg.func.0], b))
-            .collect()
+        cfg.blocks.iter().map(|b| block_cost(&m, &p.functions[cfg.func.0], b)).collect()
     }
 
     #[test]
@@ -359,14 +347,9 @@ mod path_tests {
         let p = diamond_chain_program(5);
         let cfg = Cfg::build(FuncId(0), p.entry_function());
         let m = Machine::i960kb();
-        let costs: Vec<_> = cfg
-            .blocks
-            .iter()
-            .map(|b| block_cost(&m, p.entry_function(), b))
-            .collect();
-        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), u64::MAX)
-            .unwrap()
-            .enumerate();
+        let costs: Vec<_> =
+            cfg.blocks.iter().map(|b| block_cost(&m, p.entry_function(), b)).collect();
+        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), u64::MAX).unwrap().enumerate();
         let path = &r.worst_path;
         assert_eq!(path.first(), Some(&cfg.entry));
         for w in path.windows(2) {
@@ -387,14 +370,9 @@ mod path_tests {
         let p = diamond_chain_program(2);
         let cfg = Cfg::build(FuncId(0), p.entry_function());
         let m = Machine::i960kb();
-        let costs: Vec<_> = cfg
-            .blocks
-            .iter()
-            .map(|b| block_cost(&m, p.entry_function(), b))
-            .collect();
-        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), 0)
-            .unwrap()
-            .enumerate();
+        let costs: Vec<_> =
+            cfg.blocks.iter().map(|b| block_cost(&m, p.entry_function(), b)).collect();
+        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), 0).unwrap().enumerate();
         assert!(r.truncated);
         assert_eq!(r.paths_explored, 0);
         assert_eq!(r.worst, None);

@@ -13,33 +13,59 @@
 //! experiments exhaustive          # actual bound by full input sweep
 //! experiments sensitivity         # WCET price of each loop bound
 //! experiments stress              # random-program soundness sweep
+//! experiments tables              # Tables I-III via the solve pool, timing-free
+//! experiments benchjson           # BENCH json: wall-clock, cache, worker ticks
 //! experiments csv [DIR]           # dump every table as CSV (default ./results)
 //! ```
+//!
+//! `--jobs N` (default 1) sets the `ipet-pool` worker count for the
+//! pool-routed experiments (`all`, `table2`, `table3`, `tables`,
+//! `benchjson`, `fig1`, `table1`). Table output is bit-for-bit identical
+//! for any `N`; only wall-clock changes.
 
 use ipet_bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
-    let all = || run_all();
+    // `--jobs N` may appear anywhere; everything else is positional.
+    let mut jobs = 1usize;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--jobs needs a value");
+                std::process::exit(1);
+            });
+            jobs = v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--jobs: `{v}` is not a positive integer");
+                std::process::exit(1);
+            });
+            jobs = jobs.max(1);
+        } else {
+            rest.push(a);
+        }
+    }
+    let which = rest.first().cloned().unwrap_or_else(|| "all".to_string());
+    // The Table I-III data now always flows through the solve pool; at the
+    // default `--jobs 1` it degenerates to a serial run with identical
+    // results (the pool-level tests pin this down).
+    let pooled = || run_all_pooled(jobs);
     // `experiments csv <dir>` dumps every table as CSV for plotting.
     if which == "csv" {
-        let dir = std::path::PathBuf::from(
-            args.get(1).map(String::as_str).unwrap_or("results"),
-        );
-        write_csvs(&dir, &all()).expect("writing CSVs");
+        let dir = std::path::PathBuf::from(rest.get(1).map(String::as_str).unwrap_or("results"));
+        write_csvs(&dir, &pooled().data).expect("writing CSVs");
         println!("wrote CSVs to {}", dir.display());
         return;
     }
     match which.as_str() {
-        "fig1" => fig1(&all()),
+        "fig1" => fig1(&pooled().data),
         "fig2" | "fig3" | "fig4" => figures(),
         "fig5" => println!("{}", fig5_text()),
         "fig6" => fig6(),
-        "table1" => table1(&all()),
-        "table2" => table23(&all(), false),
-        "table3" => table23(&all(), true),
-        "ilpstats" => ilpstats(&all()),
+        "table1" => table1(&pooled().data),
+        "table2" => table23(&pooled().data, false),
+        "table3" => table23(&pooled().data, true),
+        "ilpstats" => ilpstats(&run_all()),
         "blowup" => blowup(),
         "ablation-split" => ablation(),
         "sweep" => sweep(),
@@ -49,19 +75,28 @@ fn main() {
         "sensitivity" => sensitivity(),
         "stress" => stress(),
         "budget" => budget(),
+        "tables" => tables(jobs),
+        "benchjson" => benchjson(jobs),
         "all" => {
-            let data = all();
+            // One pool for the whole run: the miss-penalty sweep's point at
+            // the default penalty (8) replays the Table II/III solves from
+            // the shared cache instead of repeating them.
+            let pool = ipet_pool::SolvePool::new(jobs);
+            let run = run_all_pooled_with(&pool);
             figures();
             println!("{}", fig5_text());
             fig6();
-            fig1(&data);
-            table1(&data);
-            table23(&data, false);
-            table23(&data, true);
-            ilpstats(&data);
+            fig1(&run.data);
+            table1(&run.data);
+            table23(&run.data, false);
+            table23(&run.data, true);
+            // Per-benchmark solve timing needs the serial path (pooled
+            // solves interleave across benchmarks).
+            ilpstats(&run_all());
             blowup();
             ablation();
-            sweep();
+            sweep_pooled(&pool);
+            pool_summary(&pool, &run);
             dsp3210();
             dcache();
             exhaustive();
@@ -74,6 +109,108 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+const SWEEP_PENALTIES: [u64; 6] = [0, 2, 4, 8, 16, 32];
+const SWEEP_NAMES: [&str; 3] = ["check_data", "fft", "matgen"];
+
+/// Tables I-III plus the miss-penalty sweep through one shared solve pool,
+/// printing only deterministic data: no wall-clock, no per-worker figures.
+/// `tables --jobs 1` and `tables --jobs 8` must produce byte-identical
+/// output (CI diffs them).
+fn tables(jobs: usize) {
+    let pool = ipet_pool::SolvePool::new(jobs);
+    let run = run_all_pooled_with(&pool);
+    table1(&run.data);
+    table23(&run.data, false);
+    table23(&run.data, true);
+    let (points, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+    print_sweep(&points);
+    let stats = pool.cache_stats();
+    println!(
+        "pool: {} solved, {} replayed, {} rejected near-hits, {} simplex ticks",
+        stats.misses,
+        stats.hits,
+        stats.rejected,
+        run.total_ticks + sweep_report.total_ticks
+    );
+}
+
+fn pool_summary(pool: &ipet_pool::SolvePool, run: &PooledRun) {
+    let stats = pool.cache_stats();
+    println!("== solve pool: {} worker(s) ==", run.jobs);
+    println!(
+        "cache: {} solved, {} replayed, {} rejected near-hits",
+        stats.misses, stats.hits, stats.rejected
+    );
+    println!(
+        "table batch: {} ticks across workers {:?}; solve wall-clock {:.2?}",
+        run.total_ticks, run.worker_ticks, run.solve_wall
+    );
+    println!();
+}
+
+/// Machine-readable run summary for tracking solve performance over time:
+/// one `BENCH` JSON line with wall-clock, cache traffic, per-worker tick
+/// spend and every benchmark's bound. Covers the Table I-III batch plus
+/// the miss-penalty sweep on a shared pool (so `cache_hits` reflects real
+/// cross-experiment replays).
+fn benchjson(jobs: usize) {
+    let pool = ipet_pool::SolvePool::new(jobs);
+    let run = run_all_pooled_with(&pool);
+    let (_, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+    // Solve-phase wall only: compile/simulate/planning are serial and
+    // identical across `--jobs`, so including them would bury the signal.
+    let solve_wall = run.solve_wall + sweep_report.wall;
+    let stats = pool.cache_stats();
+    let worker_ticks: Vec<u64> =
+        run.worker_ticks.iter().zip(&sweep_report.worker_ticks).map(|(a, b)| a + b).collect();
+    let ticks: Vec<String> = worker_ticks.iter().map(u64::to_string).collect();
+    let benches: Vec<String> = run
+        .data
+        .iter()
+        .map(|d| {
+            format!(
+                r#"{{"name":"{}","lower":{},"upper":{}}}"#,
+                d.name, d.estimate.bound.lower, d.estimate.bound.upper
+            )
+        })
+        .collect();
+    println!(
+        r#"BENCH {{"jobs":{},"solve_wall_ms":{:.3},"cache_hits":{},"cache_misses":{},"cache_rejected":{},"total_ticks":{},"per_worker_ticks":[{}],"benchmarks":[{}]}}"#,
+        run.jobs,
+        solve_wall.as_secs_f64() * 1e3,
+        stats.hits,
+        stats.misses,
+        stats.rejected,
+        run.total_ticks + sweep_report.total_ticks,
+        ticks.join(","),
+        benches.join(",")
+    );
+}
+
+/// The miss-penalty sweep rendered from pooled points (same table as
+/// [`sweep`], but solved through the shared pool).
+fn sweep_pooled(pool: &ipet_pool::SolvePool) {
+    let (points, _) = sweep_miss_penalty_pooled(pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+    print_sweep(&points);
+}
+
+fn print_sweep(points: &[SweepPoint]) {
+    println!("== sensitivity: estimated WCET vs i-cache miss penalty ==");
+    print!("{:<10}", "penalty");
+    for n in SWEEP_NAMES {
+        print!(" {n:>16}");
+    }
+    println!();
+    for p in points {
+        print!("{:<10}", p.miss_penalty);
+        for (_, w) in &p.wcet {
+            print!(" {:>16}", group_digits(*w));
+        }
+        println!();
+    }
+    println!();
 }
 
 fn fig1(data: &[BenchData]) {
@@ -114,11 +251,7 @@ fn table1(data: &[BenchData]) {
         "function", "paper-lines", "our-lines", "paper-sets", "our-sets"
     );
     for (name, plines, lines, psets, sets, after) in table1_rows(data) {
-        let our = if sets == after {
-            format!("{sets}")
-        } else {
-            format!("{sets})-{after}")
-        };
+        let our = if sets == after { format!("{sets}") } else { format!("{sets})-{after}") };
         println!("{name:<16} {plines:>11} {lines:>10} {psets:>10} {our:>12}");
     }
     println!();
@@ -131,10 +264,7 @@ fn table23(data: &[BenchData], measured: bool) {
         println!("== Table II: pessimism in path analysis (estimated vs calculated) ==");
     }
     let reference = if measured { "measured" } else { "calculated" };
-    println!(
-        "{:<16} {:>24} {:>24} {:>16}",
-        "function", "estimated", reference, "pessimism"
-    );
+    println!("{:<16} {:>24} {:>24} {:>16}", "function", "estimated", reference, "pessimism");
     for (name, est, refb, (pl, pu)) in table23_rows(data, measured) {
         println!(
             "{name:<16} {:>24} {:>24}    [{pl:5.2}, {pu:5.2}]",
@@ -159,9 +289,7 @@ fn ilpstats(data: &[BenchData]) {
             stats.lp_calls, stats.nodes, stats.first_relaxation_integral, time
         );
     }
-    println!(
-        "=> every first LP relaxation integral: {all_integral} (the paper's observation)\n"
-    );
+    println!("=> every first LP relaxation integral: {all_integral} (the paper's observation)\n");
 }
 
 fn blowup() {
@@ -204,22 +332,7 @@ fn ablation() {
 }
 
 fn sweep() {
-    println!("== sensitivity: estimated WCET vs i-cache miss penalty ==");
-    let names = ["check_data", "fft", "matgen"];
-    let points = sweep_miss_penalty(&[0, 2, 4, 8, 16, 32], &names);
-    print!("{:<10}", "penalty");
-    for n in names {
-        print!(" {n:>16}");
-    }
-    println!();
-    for p in points {
-        print!("{:<10}", p.miss_penalty);
-        for (_, w) in &p.wcet {
-            print!(" {:>16}", group_digits(*w));
-        }
-        println!();
-    }
-    println!();
+    print_sweep(&sweep_miss_penalty(&SWEEP_PENALTIES, &SWEEP_NAMES));
 }
 
 fn dsp3210() {
@@ -245,12 +358,7 @@ fn stress() {
         rows.iter().map(|r| r.loops).sum::<usize>()
     );
     for r in rows.iter().take(5) {
-        println!(
-            "  seed {:>3}: {} loops, bound {}",
-            r.seed,
-            r.loops,
-            fmt_bound(r.bound)
-        );
+        println!("  seed {:>3}: {} loops, bound {}", r.seed, r.loops, fmt_bound(r.bound));
     }
     println!();
 }
@@ -303,10 +411,7 @@ fn budget() {
     );
     let rows = budget_rows(&[100_000, 1_000, 100, 10, 0], &["check_data", "piksrt", "des"]);
     for r in &rows {
-        let deadline = r
-            .deadline_ticks
-            .map(group_digits)
-            .unwrap_or_else(|| "unlimited".into());
+        let deadline = r.deadline_ticks.map(group_digits).unwrap_or_else(|| "unlimited".into());
         println!(
             "{:<12} {:>10} {:>24} {:>8} {:>8} {:>8}  {}",
             r.name,

@@ -65,9 +65,7 @@ pub fn run_benchmark(b: &Benchmark) -> BenchData {
     let analyzer = Analyzer::new(&program, machine).unwrap();
     let ann = b.annotations(&program);
     let start = Instant::now();
-    let estimate = analyzer
-        .analyze(&ann)
-        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let estimate = analyzer.analyze(&ann).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let solve_time = start.elapsed();
 
     let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true)
@@ -95,18 +93,119 @@ pub fn run_all() -> Vec<BenchData> {
     ipet_suite::all().iter().map(run_benchmark).collect()
 }
 
+/// A [`run_all`] equivalent that batches every benchmark's ILPs through
+/// one `ipet-pool` [`SolvePool`](ipet_pool::SolvePool).
+#[derive(Debug)]
+pub struct PooledRun {
+    /// Per-benchmark data, Table I row order. `solve_time` is zero here —
+    /// solves interleave across benchmarks, so per-benchmark wall-clock
+    /// attribution would be fiction; use [`PooledRun::solve_wall`] instead.
+    pub data: Vec<BenchData>,
+    /// Worker count the pool ran with.
+    pub jobs: usize,
+    /// Cache statistics of the batch (deterministic for any `jobs`).
+    pub cache: ipet_pool::CacheStats,
+    /// Ticks spent per worker (scheduling-dependent; sums deterministically).
+    pub worker_ticks: Vec<u64>,
+    /// Total simplex ticks of the batch (deterministic for any `jobs`).
+    pub total_ticks: u64,
+    /// Wall-clock time of the batched solve phase.
+    pub solve_wall: Duration,
+}
+
+/// Runs every benchmark with the ILP solves batched through a `jobs`-wide
+/// work-stealing pool. Estimates, set reports and cache hit/miss counts
+/// are bit-for-bit identical for any `jobs` value (and identical to
+/// [`run_all`]'s); only wall-clock changes.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to compile, analyse or simulate — the test
+/// suite keeps all of these green.
+pub fn run_all_pooled(jobs: usize) -> PooledRun {
+    run_all_pooled_with(&ipet_pool::SolvePool::new(jobs))
+}
+
+/// [`run_all_pooled`] against a caller-supplied pool, so several
+/// experiments can share one solve cache: a later batch that re-analyzes a
+/// benchmark under an overlapping configuration (e.g. the miss-penalty
+/// sweep's point at the default penalty) replays instead of re-solving.
+///
+/// # Panics
+///
+/// See [`run_all_pooled`].
+pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool) -> PooledRun {
+    let machine = Machine::i960kb();
+    let budget = ipet_core::AnalysisBudget::default();
+    // Phase 1 (serial): compile, plan, and gather the simulation
+    // references. Plans own their jobs, so nothing borrows the programs
+    // once this loop ends.
+    struct Prepared {
+        bench: Benchmark,
+        lines: u32,
+        calculated: TimeBound,
+        measured: TimeBound,
+        plan: ipet_core::AnalysisPlan,
+    }
+    let prepared: Vec<Prepared> = ipet_suite::all()
+        .into_iter()
+        .map(|b| {
+            let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let anns = ipet_core::parse_annotations(&b.annotations(&program))
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let plan = analyzer.plan(&anns, &budget).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let best = measure(&program, machine, &(b.best_seeds)(), b.args_best, false)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let calculated = analyzer.calculated_bound(&best.block_counts, &worst.block_counts);
+            let measured = TimeBound { lower: best.cycles, upper: worst.cycles };
+            let lines = b.source_lines();
+            Prepared { bench: b, lines, calculated, measured, plan }
+        })
+        .collect();
+
+    // Phase 2 (parallel): one batch across all benchmarks, so structurally
+    // identical ILPs are solved once even across benchmarks.
+    let plans: Vec<ipet_core::AnalysisPlan> = prepared.iter().map(|p| p.plan.clone()).collect();
+    let t0 = Instant::now();
+    let batch = pool.run_plans(&plans, &budget.solve);
+    let solve_wall = t0.elapsed();
+
+    let data = prepared
+        .iter()
+        .zip(batch.estimates)
+        .map(|(p, est)| BenchData {
+            name: p.bench.name.to_string(),
+            lines: p.lines,
+            paper_lines: p.bench.paper.lines,
+            paper_sets: p.bench.paper.sets,
+            paper_sets_after: p.bench.paper.sets_after_prune,
+            estimate: est.unwrap_or_else(|e| panic!("{}: {e}", p.bench.name)),
+            calculated: p.calculated,
+            measured: p.measured,
+            solve_time: Duration::ZERO,
+        })
+        .collect();
+
+    PooledRun {
+        data,
+        jobs: pool.workers(),
+        cache: pool.cache_stats(),
+        worker_ticks: batch.report.worker_ticks,
+        total_ticks: batch.report.total_ticks,
+        solve_wall,
+    }
+}
+
 /// Fig. 1 rows: per benchmark, the containment
 /// `t_min <= T_min <= T_max <= t_max` with the measured bound standing in
 /// for the actual bound.
 pub fn fig1_rows(data: &[BenchData]) -> Vec<(String, TimeBound, TimeBound, bool)> {
     data.iter()
         .map(|d| {
-            (
-                d.name.clone(),
-                d.estimate.bound,
-                d.measured,
-                d.estimate.bound.encloses(d.measured),
-            )
+            (d.name.clone(), d.estimate.bound, d.measured, d.estimate.bound.encloses(d.measured))
         })
         .collect()
 }
@@ -155,14 +254,15 @@ pub fn figure_cfgs() -> Vec<(&'static str, ipet_arch::Program)> {
     main.alu(AluOp::Mul, Reg::A0, Reg::A0, 2);
     main.call(FuncId(0));
     main.ret();
-    let fig4 = Program::new(
-        vec![store.finish().unwrap(), main.finish().unwrap()],
-        vec![],
-        FuncId(1),
-    )
-    .unwrap();
+    let fig4 =
+        Program::new(vec![store.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+            .unwrap();
 
-    vec![("Fig. 2 (if-then-else)", fig2), ("Fig. 3 (while-loop)", fig3), ("Fig. 4 (function calls)", fig4)]
+    vec![
+        ("Fig. 2 (if-then-else)", fig2),
+        ("Fig. 3 (while-loop)", fig3),
+        ("Fig. 4 (function calls)", fig4),
+    ]
 }
 
 /// Renders the structural constraints of every instance of a program.
@@ -181,12 +281,7 @@ pub fn fig5_text() -> String {
     let b = ipet_suite::by_name("check_data").expect("bundled benchmark");
     let program = b.program().unwrap();
     let ann = b.annotations(&program);
-    format!(
-        "{}\n{}\nfunctionality constraints:\n{}",
-        b.source,
-        structural_dump(&program),
-        ann
-    )
+    format!("{}\n{}\nfunctionality constraints:\n{}", b.source, structural_dump(&program), ann)
 }
 
 /// Fig. 6: a `task` calling `check_data` then conditionally `clear_data`,
@@ -290,9 +385,7 @@ pub fn table23_rows(
 
 /// §III-D rows: per benchmark, the aggregate ILP statistics and solve time.
 pub fn ilp_stat_rows(data: &[BenchData]) -> Vec<(String, IlpStats, Duration)> {
-    data.iter()
-        .map(|d| (d.name.clone(), d.estimate.total_stats(), d.solve_time))
-        .collect()
+    data.iter().map(|d| (d.name.clone(), d.estimate.total_stats(), d.solve_time)).collect()
 }
 
 /// One row of the explicit-vs-implicit comparison.
@@ -331,8 +424,7 @@ pub fn blowup_rows(ks: &[usize], budget: u64) -> Vec<BlowupRow> {
                 .collect();
 
             let t0 = Instant::now();
-            let enumerator =
-                PathEnumerator::new(&cfg, &costs, &HashMap::new(), budget).unwrap();
+            let enumerator = PathEnumerator::new(&cfg, &costs, &HashMap::new(), budget).unwrap();
             let r = enumerator.enumerate();
             let explicit_time = t0.elapsed();
 
@@ -376,18 +468,13 @@ pub fn ablation_split_rows() -> Vec<(String, u64, u64, u64)> {
                 .with_cache_mode(CacheMode::FirstIterSplit);
             let e_base = base.analyze(&ann).unwrap();
             let e_split = split.analyze(&ann).unwrap();
-            let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true)
-                .unwrap();
+            let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
             assert!(
                 e_split.bound.upper <= e_base.bound.upper,
                 "{}: splitting must never loosen the bound",
                 b.name
             );
-            assert!(
-                worst.cycles <= e_split.bound.upper,
-                "{}: split bound must stay safe",
-                b.name
-            );
+            assert!(worst.cycles <= e_split.bound.upper, "{}: split bound must stay safe", b.name);
             (b.name.to_string(), e_base.bound.upper, e_split.bound.upper, worst.cycles)
         })
         .collect()
@@ -523,6 +610,55 @@ pub fn sweep_miss_penalty(penalties: &[u64], names: &[&str]) -> Vec<SweepPoint> 
         .collect()
 }
 
+/// [`sweep_miss_penalty`] with every point's ILPs batched through `pool`.
+///
+/// Sharing the pool with an earlier [`run_all_pooled_with`] batch makes
+/// the sweep point at the default i960KB penalty (8 cycles) a pure cache
+/// replay: its problems are bit-identical to the Table II/III ones, so
+/// the pool validates and reuses those solves instead of repeating them.
+/// Returns the points plus the batch report (for replay accounting).
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to compile or analyse.
+pub fn sweep_miss_penalty_pooled(
+    pool: &ipet_pool::SolvePool,
+    penalties: &[u64],
+    names: &[&str],
+) -> (Vec<SweepPoint>, ipet_pool::BatchReport) {
+    let budget = ipet_core::AnalysisBudget::default();
+    let mut plans = Vec::new();
+    for &mp in penalties {
+        let machine = Machine { miss_penalty: mp, ..Machine::i960kb() };
+        for name in names {
+            let b = ipet_suite::by_name(name).expect("bundled benchmark");
+            let program = b.program().unwrap();
+            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let anns = ipet_core::parse_annotations(&b.annotations(&program)).unwrap();
+            plans.push(analyzer.plan(&anns, &budget).unwrap());
+        }
+    }
+    let batch = pool.run_plans(&plans, &budget.solve);
+    let points = penalties
+        .iter()
+        .enumerate()
+        .map(|(pi, &mp)| SweepPoint {
+            miss_penalty: mp,
+            wcet: names
+                .iter()
+                .enumerate()
+                .map(|(ni, name)| {
+                    let est = batch.estimates[pi * names.len() + ni]
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{name}: {e}"));
+                    (name.to_string(), est.bound.upper)
+                })
+                .collect(),
+        })
+        .collect();
+    (points, batch.report)
+}
+
 /// One point of the budget-degradation sweep: what bound (and of what
 /// quality) a benchmark yields when the solver is limited to
 /// `deadline_ticks` simplex pivots.
@@ -594,10 +730,8 @@ pub fn machine_rows(machine: Machine) -> Vec<(String, TimeBound, TimeBound, bool
             let program = b.program().unwrap();
             let analyzer = Analyzer::new(&program, machine).unwrap();
             let est = analyzer.analyze(&b.annotations(&program)).unwrap();
-            let worst =
-                measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
-            let best =
-                measure(&program, machine, &(b.best_seeds)(), b.args_best, false).unwrap();
+            let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
+            let best = measure(&program, machine, &(b.best_seeds)(), b.args_best, false).unwrap();
             let measured = TimeBound { lower: best.cycles, upper: worst.cycles };
             (b.name.to_string(), est.bound, measured, est.bound.encloses(measured))
         })
@@ -679,8 +813,7 @@ pub fn exhaustive_rows() -> Vec<ExhaustiveRow> {
         let mut hi = 0u64;
         let mut runs = 0u64;
         for mask in 0u32..(1 << 10) {
-            let data: Vec<i32> =
-                (0..10).map(|i| if mask >> i & 1 == 1 { -1 } else { 5 }).collect();
+            let data: Vec<i32> = (0..10).map(|i| if mask >> i & 1 == 1 { -1 } else { 5 }).collect();
             let mut sim = Simulator::new(&program, machine, SimConfig::default());
             sim.seed_global("data", &data).unwrap();
             let r = sim.run(&[]).unwrap();
@@ -688,8 +821,7 @@ pub fn exhaustive_rows() -> Vec<ExhaustiveRow> {
             hi = hi.max(r.cycles);
             runs += 1;
         }
-        let worst =
-            measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
+        let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true).unwrap();
         // Best-case protocol uses a warm cache; the exhaustive sweep runs
         // cold, so compare like with like: the cold-run minimum must be
         // attained by the identified best-case data under the same protocol.
@@ -803,10 +935,7 @@ pub fn write_csvs(dir: &std::path::Path, data: &[BenchData]) -> std::io::Result<
             table23_rows(data, measured)
                 .into_iter()
                 .map(|(n, e, r, (pl, pu))| {
-                    format!(
-                        "{n},{},{},{},{},{pl:.4},{pu:.4}",
-                        e.lower, e.upper, r.lower, r.upper
-                    )
+                    format!("{n},{},{},{},{},{pl:.4},{pu:.4}", e.lower, e.upper, r.lower, r.upper)
                 })
                 .collect(),
         )?;
@@ -848,10 +977,7 @@ pub fn write_csvs(dir: &std::path::Path, data: &[BenchData]) -> std::io::Result<
     w(
         "ablation.csv",
         "function,all_miss_wcet,split_wcet,measured_worst",
-        ablation_split_rows()
-            .into_iter()
-            .map(|(n, b, s, m)| format!("{n},{b},{s},{m}"))
-            .collect(),
+        ablation_split_rows().into_iter().map(|(n, b, s, m)| format!("{n},{b},{s},{m}")).collect(),
     )?;
     let sweep = sweep_miss_penalty(&[0, 2, 4, 8, 16, 32], &["check_data", "fft", "matgen"]);
     w(
@@ -860,9 +986,7 @@ pub fn write_csvs(dir: &std::path::Path, data: &[BenchData]) -> std::io::Result<
         sweep
             .into_iter()
             .flat_map(|p| {
-                p.wcet
-                    .into_iter()
-                    .map(move |(n, wcet)| format!("{},{n},{wcet}", p.miss_penalty))
+                p.wcet.into_iter().map(move |(n, wcet)| format!("{},{n},{wcet}", p.miss_penalty))
             })
             .collect(),
     )?;

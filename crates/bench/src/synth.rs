@@ -68,9 +68,7 @@ pub fn generate(seed: u64, config: SynthConfig) -> SynthProgram {
         loop_var: &mut usize,
     ) -> Vec<Stmt> {
         let n = rng.gen_range(1..=config.max_block);
-        (0..n)
-            .map(|_| gen_stmt(rng, config, depth, num_loops, loop_var))
-            .collect()
+        (0..n).map(|_| gen_stmt(rng, config, depth, num_loops, loop_var)).collect()
     }
 
     fn gen_stmt(
@@ -185,11 +183,7 @@ mod tests {
             let analyzer = Analyzer::new(&s.program, machine).unwrap();
             let loops = analyzer.loops_needing_bounds();
             let inferred = infer_loop_bounds(&analyzer);
-            assert_eq!(
-                inferred.len(),
-                loops.len(),
-                "seed {seed}: all counted loops inferable"
-            );
+            assert_eq!(inferred.len(), loops.len(), "seed {seed}: all counted loops inferable");
             let est = analyzer.analyze(&inferred_annotations(&inferred)).unwrap();
             // Soundness spot-check on a few inputs.
             for a in [-5, 0, 7] {

@@ -202,12 +202,8 @@ impl Instances {
         let cg = CallGraph::build(program);
         cg.check_acyclic(entry)?;
 
-        let cfgs: Vec<Cfg> = program
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| Cfg::build(FuncId(i), f))
-            .collect();
+        let cfgs: Vec<Cfg> =
+            program.functions.iter().enumerate().map(|(i, f)| Cfg::build(FuncId(i), f)).collect();
 
         let mut instances = vec![Instance {
             func: entry,
@@ -225,11 +221,7 @@ impl Instances {
                     site + 1,
                     program.functions[callee.0].name
                 );
-                instances.push(Instance {
-                    func: callee,
-                    parent: Some((inst, site)),
-                    label,
-                });
+                instances.push(Instance { func: callee, parent: Some((inst, site)), label });
                 if instances.len() > Self::MAX_INSTANCES {
                     return Err(CallGraphError::TooManyInstances(Self::MAX_INSTANCES));
                 }
@@ -252,20 +244,12 @@ impl Instances {
     pub fn expand_shared(program: &Program, entry: FuncId) -> Result<Instances, CallGraphError> {
         let cg = CallGraph::build(program);
         cg.check_acyclic(entry)?;
-        let cfgs: Vec<Cfg> = program
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| Cfg::build(FuncId(i), f))
-            .collect();
+        let cfgs: Vec<Cfg> =
+            program.functions.iter().enumerate().map(|(i, f)| Cfg::build(FuncId(i), f)).collect();
         let instances = cg
             .reachable(entry)
             .into_iter()
-            .map(|f| Instance {
-                func: f,
-                parent: None,
-                label: program.functions[f.0].name.clone(),
-            })
+            .map(|f| Instance { func: f, parent: None, label: program.functions[f.0].name.clone() })
             .collect();
         Ok(Instances { cfgs, instances, shared: true })
     }
@@ -302,10 +286,7 @@ impl Instances {
             let callee = self.cfg(parent).call_sites().get(site)?.3;
             return self.instance_of_func(callee);
         }
-        self.instances
-            .iter()
-            .position(|i| i.parent == Some((parent, site)))
-            .map(InstanceId)
+        self.instances.iter().position(|i| i.parent == Some((parent, site))).map(InstanceId)
     }
 
     /// All instances of a given function.
@@ -394,12 +375,8 @@ mod tests {
         let mut b = AsmBuilder::new("b");
         b.call(FuncId(0));
         b.ret();
-        let p = Program::new(
-            vec![a.finish().unwrap(), b.finish().unwrap()],
-            vec![],
-            FuncId(0),
-        )
-        .unwrap();
+        let p = Program::new(vec![a.finish().unwrap(), b.finish().unwrap()], vec![], FuncId(0))
+            .unwrap();
         let err = CallGraph::build(&p).check_acyclic(FuncId(0)).unwrap_err();
         match err {
             CallGraphError::Recursion(cycle) => assert!(cycle.len() >= 3),

@@ -59,12 +59,7 @@ impl Dominators {
 
     /// The set of blocks dominating `b`, in index order.
     pub fn dominators_of(&self, b: BlockId) -> Vec<BlockId> {
-        self.sets[b.0]
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d)
-            .map(|(i, _)| BlockId(i))
-            .collect()
+        self.sets[b.0].iter().enumerate().filter(|(_, &d)| d).map(|(i, _)| BlockId(i)).collect()
     }
 }
 

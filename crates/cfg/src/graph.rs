@@ -139,9 +139,7 @@ impl Cfg {
             let mut exit = false;
             match last {
                 Instr::Ret => exit = true,
-                Instr::Jmp { target } => {
-                    succs.push((start_to_block[&target], EdgeKind::Internal))
-                }
+                Instr::Jmp { target } => succs.push((start_to_block[&target], EdgeKind::Internal)),
                 Instr::Br { target, .. } => {
                     // Fall-through first, branch-taken second (the order is
                     // irrelevant to the flow equations).
@@ -188,11 +186,7 @@ impl Cfg {
                 blocks.push(b.clone());
             }
         }
-        let mut edges = vec![Edge {
-            from: None,
-            to: Some(BlockId(0)),
-            kind: EdgeKind::Entry,
-        }];
+        let mut edges = vec![Edge { from: None, to: Some(BlockId(0)), kind: EdgeKind::Entry }];
         for (i, raw) in raw_blocks.iter().enumerate() {
             if !reachable[i] {
                 continue;
@@ -204,21 +198,11 @@ impl Cfg {
             }
             for (s, kind) in succs {
                 debug_assert!(reachable[s], "successor of reachable block is reachable");
-                edges.push(Edge {
-                    from: Some(from),
-                    to: Some(BlockId(remap[s])),
-                    kind,
-                });
+                edges.push(Edge { from: Some(from), to: Some(BlockId(remap[s])), kind });
             }
         }
 
-        Cfg {
-            func,
-            func_name: function.name.clone(),
-            blocks,
-            edges,
-            entry: BlockId(0),
-        }
+        Cfg { func, func_name: function.name.clone(), blocks, edges, entry: BlockId(0) }
     }
 
     /// Number of basic blocks.
@@ -253,37 +237,22 @@ impl Cfg {
 
     /// Successor blocks of `block` (exit edges excluded).
     pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
-        self.edges
-            .iter()
-            .filter(|e| e.from == Some(block))
-            .filter_map(|e| e.to)
-            .collect()
+        self.edges.iter().filter(|e| e.from == Some(block)).filter_map(|e| e.to).collect()
     }
 
     /// Predecessor blocks of `block` (the entry edge excluded).
     pub fn predecessors(&self, block: BlockId) -> Vec<BlockId> {
-        self.edges
-            .iter()
-            .filter(|e| e.to == Some(block))
-            .filter_map(|e| e.from)
-            .collect()
+        self.edges.iter().filter(|e| e.to == Some(block)).filter_map(|e| e.from).collect()
     }
 
     /// Blocks ending in `ret`.
     pub fn exit_blocks(&self) -> Vec<BlockId> {
-        self.edges
-            .iter()
-            .filter(|e| e.kind == EdgeKind::Exit)
-            .filter_map(|e| e.from)
-            .collect()
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Exit).filter_map(|e| e.from).collect()
     }
 
     /// The block containing instruction index `instr`, if any.
     pub fn block_of_instr(&self, instr: usize) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .position(|b| b.start <= instr && instr < b.end)
-            .map(BlockId)
+        self.blocks.iter().position(|b| b.start <= instr && instr < b.end).map(BlockId)
     }
 
     /// All `f`-edges (call sites) in this CFG, in instruction order:
@@ -298,11 +267,7 @@ impl Cfg {
             }
         }
         sites.sort_by_key(|&(_, instr, _)| instr);
-        sites
-            .into_iter()
-            .enumerate()
-            .map(|(i, (b, instr, callee))| (i, b, instr, callee))
-            .collect()
+        sites.into_iter().enumerate().map(|(i, (b, instr, callee))| (i, b, instr, callee)).collect()
     }
 
     /// The `f`-edge leaving the block of call-site `site`, paired with its
@@ -343,20 +308,14 @@ impl Cfg {
                     let site = self
                         .call_sites()
                         .iter()
-                        .position(|&(s, _, _, _)| {
-                            self.call_edge(s).map(|(ce, _)| ce.0) == Some(i)
-                        })
+                        .position(|&(s, _, _, _)| self.call_edge(s).map(|(ce, _)| ce.0) == Some(i))
                         .map(|s| format!("f{}", s + 1))
                         .unwrap_or_else(|| format!("d{}", i + 1));
                     site
                 }
                 _ => format!("d{}", i + 1),
             };
-            let style = if matches!(e.kind, EdgeKind::Call(_)) {
-                ", style=dashed"
-            } else {
-                ""
-            };
+            let style = if matches!(e.kind, EdgeKind::Call(_)) { ", style=dashed" } else { "" };
             let _ = writeln!(out, "  {from} -> {to} [label=\"{label}\"{style}];");
         }
         let _ = writeln!(out, "}}");
@@ -367,14 +326,21 @@ impl Cfg {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "cfg {} ({} blocks, {} edges)", self.func_name, self.num_blocks(), self.num_edges());
+        let _ = writeln!(
+            out,
+            "cfg {} ({} blocks, {} edges)",
+            self.func_name,
+            self.num_blocks(),
+            self.num_edges()
+        );
         for (i, b) in self.blocks.iter().enumerate() {
-            let succs: Vec<String> = self
-                .successors(BlockId(i))
+            let succs: Vec<String> =
+                self.successors(BlockId(i)).iter().map(|s| s.to_string()).collect();
+            let exit = if self
+                .out_edges(BlockId(i))
                 .iter()
-                .map(|s| s.to_string())
-                .collect();
-            let exit = if self.out_edges(BlockId(i)).iter().any(|&e| self.edges[e.0].kind == EdgeKind::Exit) {
+                .any(|&e| self.edges[e.0].kind == EdgeKind::Exit)
+            {
                 " exit"
             } else {
                 ""

@@ -59,11 +59,8 @@ impl Cfg {
             // without passing through the header.
             let mut body: BTreeSet<BlockId> = BTreeSet::new();
             body.insert(h);
-            let mut stack: Vec<BlockId> = back
-                .iter()
-                .filter(|&&(_, _, to)| to == h)
-                .map(|&(_, from, _)| from)
-                .collect();
+            let mut stack: Vec<BlockId> =
+                back.iter().filter(|&&(_, _, to)| to == h).map(|&(_, from, _)| from).collect();
             while let Some(b) = stack.pop() {
                 if body.insert(b) {
                     for p in self.predecessors(b) {
@@ -73,16 +70,10 @@ impl Cfg {
                     }
                 }
             }
-            let back_edges: Vec<EdgeId> = back
-                .iter()
-                .filter(|&&(_, _, to)| to == h)
-                .map(|&(e, _, _)| e)
-                .collect();
-            let entry_edges: Vec<EdgeId> = self
-                .in_edges(h)
-                .into_iter()
-                .filter(|e| !back_edges.contains(e))
-                .collect();
+            let back_edges: Vec<EdgeId> =
+                back.iter().filter(|&&(_, _, to)| to == h).map(|&(e, _, _)| e).collect();
+            let entry_edges: Vec<EdgeId> =
+                self.in_edges(h).into_iter().filter(|e| !back_edges.contains(e)).collect();
             loops.push(LoopInfo {
                 header: h,
                 body: body.into_iter().collect(),

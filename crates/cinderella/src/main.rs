@@ -20,12 +20,17 @@
 //! counts — the outputs the paper describes in §V. `--infer` derives loop
 //! bounds for counted loops automatically; `--idl` accepts Park-style IDL
 //! annotations; `--machine dsp3210` selects the paper's §VII port target.
+//!
+//! `analyze` accepts **multiple targets** in one invocation and a
+//! `--jobs N` worker count: all targets' ILPs are batched through the
+//! `ipet-pool` work-stealing pool with its content-addressed solve cache,
+//! and the per-target reports are printed in argument order. Output is
+//! bit-for-bit identical for any `--jobs` value.
 
 use ipet_cfg::InstanceId;
-use ipet_core::{
-    structural_text, AnalysisBudget, Analyzer, CacheMode, ContextMode, TimeBound,
-};
+use ipet_core::{structural_text, AnalysisBudget, Analyzer, CacheMode, ContextMode, TimeBound};
 use ipet_hw::Machine;
+use ipet_pool::SolvePool;
 use ipet_sim::measure;
 use std::process::ExitCode;
 
@@ -58,15 +63,17 @@ fn usage() -> String {
      \x20 listing <bench|file.mc>      print the Fig.-5-style annotated source\n\
      \x20 dot <bench|file.mc>          print the CFGs in Graphviz DOT syntax\n\
      \x20 trace <bench>                print the worst-case block trace\n\
-     \x20 analyze <bench|file.mc>      estimate [t_min, t_max]\n\
+     \x20 analyze <bench|file.mc>...   estimate [t_min, t_max] (one or more targets)\n\
      options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
+     \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
      budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
      exit status: 0 exact, 2 safe-but-degraded bound, 1 error"
         .to_string()
 }
 
 struct Target {
+    name: String,
     program: ipet_arch::Program,
     annotations: String,
     source: Option<String>,
@@ -98,18 +105,19 @@ fn load_target(
         let program =
             ipet_lang::compile_with(&src, entry, level).map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(String::new())?;
-        Ok(Target { program, annotations, source: Some(src), bench: None })
+        Ok(Target { name: name.to_string(), program, annotations, source: Some(src), bench: None })
     } else if name.ends_with(".s") {
         let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
         let program = ipet_arch::parse_program(&src).map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(String::new())?;
-        Ok(Target { program, annotations, source: Some(src), bench: None })
+        Ok(Target { name: name.to_string(), program, annotations, source: Some(src), bench: None })
     } else {
         let bench = ipet_suite::by_name(name)
             .ok_or_else(|| format!("no benchmark named {name}; try `cinderella list`"))?;
         let program = bench.program().map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(bench.annotations(&program))?;
         Ok(Target {
+            name: name.to_string(),
             program,
             annotations,
             source: Some(bench.source.to_string()),
@@ -120,7 +128,7 @@ fn load_target(
 
 fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut cmd = None;
-    let mut target = None;
+    let mut targets: Vec<String> = Vec::new();
     let mut entry = None;
     let mut ann_file = None;
     let mut idl_file = None;
@@ -131,6 +139,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut do_infer = false;
     let mut optimize = false;
     let mut shared = false;
+    let mut jobs = 1usize;
     let mut budget = AnalysisBudget::default();
 
     let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
@@ -146,28 +155,25 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 ann_file = Some(it.next().ok_or("--annotations needs a value")?.to_string())
             }
             "--idl" => idl_file = Some(it.next().ok_or("--idl needs a value")?.to_string()),
-            "--machine" => {
-                machine_name = it.next().ok_or("--machine needs a value")?.to_string()
-            }
+            "--machine" => machine_name = it.next().ok_or("--machine needs a value")?.to_string(),
             "--infer" => do_infer = true,
             "--shared" => shared = true,
             "-O1" => optimize = true,
             "--cache-split" => cache_split = true,
             "--dump-structural" => dump_structural = true,
             "--measure" => do_measure = true,
-            "--deadline" => {
-                budget.solve.deadline_ticks = Some(parse_num("--deadline", it.next())?)
-            }
-            "--max-nodes" => {
-                budget.solve.max_nodes = parse_num("--max-nodes", it.next())? as usize
-            }
-            "--max-sets" => {
-                budget.solve.max_sets = parse_num("--max-sets", it.next())? as usize
-            }
+            "--deadline" => budget.solve.deadline_ticks = Some(parse_num("--deadline", it.next())?),
+            "--max-nodes" => budget.solve.max_nodes = parse_num("--max-nodes", it.next())? as usize,
+            "--max-sets" => budget.solve.max_sets = parse_num("--max-sets", it.next())? as usize,
             "--no-degrade" => budget.degrade = false,
+            "--jobs" => {
+                jobs = parse_num("--jobs", it.next())?.max(1) as usize;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unexpected argument {other}\n{}", usage()))
+            }
             _ if cmd.is_none() => cmd = Some(a.to_string()),
-            _ if target.is_none() => target = Some(a.to_string()),
-            other => return Err(format!("unexpected argument {other}\n{}", usage())),
+            _ => targets.push(a.to_string()),
         }
     }
 
@@ -181,7 +187,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         }
         Some("cfg") => {
             let t = load_target(
-                target.as_deref().ok_or_else(usage)?,
+                single_target(&targets)?,
                 entry.as_deref(),
                 ann_file.as_deref(),
                 idl_file.as_deref(),
@@ -191,7 +197,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         }
         Some("trace") => {
             let t = load_target(
-                target.as_deref().ok_or_else(usage)?,
+                single_target(&targets)?,
                 entry.as_deref(),
                 ann_file.as_deref(),
                 idl_file.as_deref(),
@@ -202,20 +208,17 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 .as_ref()
                 .ok_or("trace requires a bundled benchmark (it carries the data sets)")?;
             let machine = machine_by_name(&machine_name)?;
-            let mut sim = ipet_sim::Simulator::new(
-                &t.program,
-                machine,
-                ipet_sim::SimConfig::default(),
-            );
+            let mut sim =
+                ipet_sim::Simulator::new(&t.program, machine, ipet_sim::SimConfig::default());
             for (name, data) in (b.worst_seeds)() {
                 sim.seed_global(name, &data).map_err(|e| e.to_string())?;
             }
-            let (result, trace) = sim
-                .run_traced(b.args_worst, 100)
-                .map_err(|e| e.to_string())?;
-            println!("worst-case block trace (first {} of {} block entries):",
+            let (result, trace) = sim.run_traced(b.args_worst, 100).map_err(|e| e.to_string())?;
+            println!(
+                "worst-case block trace (first {} of {} block entries):",
                 trace.len(),
-                result.block_counts.values().sum::<u64>());
+                result.block_counts.values().sum::<u64>()
+            );
             for ev in &trace {
                 println!(
                     "  cycle {:>8}  {}  x{}",
@@ -229,7 +232,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         }
         Some("dot") => {
             let t = load_target(
-                target.as_deref().ok_or_else(usage)?,
+                single_target(&targets)?,
                 entry.as_deref(),
                 ann_file.as_deref(),
                 idl_file.as_deref(),
@@ -248,7 +251,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         }
         Some("listing") => {
             let t = load_target(
-                target.as_deref().ok_or_else(usage)?,
+                single_target(&targets)?,
                 entry.as_deref(),
                 ann_file.as_deref(),
                 idl_file.as_deref(),
@@ -257,25 +260,52 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             listing(&t).map(|()| RunStatus::Exact)
         }
         Some("analyze") => {
-            let t = load_target(
-                target.as_deref().ok_or_else(usage)?,
-                entry.as_deref(),
-                ann_file.as_deref(),
-                idl_file.as_deref(),
-                optimize,
-            )?;
-            analyze(
-                &t,
-                &machine_name,
-                cache_split,
-                dump_structural,
-                do_measure,
-                do_infer,
-                shared,
-                &budget,
-            )
+            if targets.is_empty() {
+                return Err(usage());
+            }
+            let loaded: Vec<Target> = targets
+                .iter()
+                .map(|name| {
+                    load_target(
+                        name,
+                        entry.as_deref(),
+                        ann_file.as_deref(),
+                        idl_file.as_deref(),
+                        optimize,
+                    )
+                })
+                .collect::<Result<_, _>>()?;
+            if loaded.len() == 1 && jobs == 1 {
+                // The single-target serial path keeps the full feature set
+                // (`--measure`, `--dump-structural`, fault-free budgets).
+                analyze(
+                    &loaded[0],
+                    &machine_name,
+                    cache_split,
+                    dump_structural,
+                    do_measure,
+                    do_infer,
+                    shared,
+                    &budget,
+                )
+            } else {
+                if do_measure || dump_structural {
+                    return Err("--measure and --dump-structural need the serial path \
+                         (one target, --jobs 1)"
+                        .into());
+                }
+                analyze_pooled(&loaded, &machine_name, cache_split, do_infer, shared, jobs, &budget)
+            }
         }
         _ => Err(usage()),
+    }
+}
+
+fn single_target(targets: &[String]) -> Result<&str, String> {
+    match targets {
+        [one] => Ok(one),
+        [] => Err(usage()),
+        _ => Err("this command takes exactly one target".into()),
     }
 }
 
@@ -348,19 +378,13 @@ fn listing(t: &Target) -> Result<(), String> {
         let function = &t.program.functions[cfg.func.0];
         for (bi, blk) in cfg.blocks.iter().enumerate() {
             if let Some(line) = function.src_line(blk.start) {
-                marks
-                    .entry(line)
-                    .or_default()
-                    .push(format!("{}:x{}", cfg.func_name, bi + 1));
+                marks.entry(line).or_default().push(format!("{}:x{}", cfg.func_name, bi + 1));
             }
         }
     }
     for (n, text) in source.lines().enumerate() {
         let line = n as u32 + 1;
-        let mark = marks
-            .get(&line)
-            .map(|m| m.join(","))
-            .unwrap_or_default();
+        let mark = marks.get(&line).map(|m| m.join(",")).unwrap_or_default();
         println!("{mark:>24} | {text}");
     }
     Ok(())
@@ -439,4 +463,90 @@ fn analyze(
         );
         Ok(RunStatus::Degraded)
     }
+}
+
+/// Multi-target / parallel `analyze`: builds every target's job graph
+/// ([`Analyzer::plan`]), batches all ILPs through one `ipet-pool`
+/// [`SolvePool`], and prints the per-target reports in argument order.
+///
+/// Everything printed on stdout is deterministic — bounds, qualities, and
+/// the pool summary (solve/replay counts and total ticks are pure
+/// functions of the job list and budget) — so the output is bit-for-bit
+/// identical for any `--jobs` value.
+#[allow(clippy::too_many_arguments)]
+fn analyze_pooled(
+    targets: &[Target],
+    machine_name: &str,
+    cache_split: bool,
+    do_infer: bool,
+    shared: bool,
+    jobs: usize,
+    budget: &AnalysisBudget,
+) -> Result<RunStatus, String> {
+    let machine = machine_by_name(machine_name)?;
+    let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
+    let context = if shared { ContextMode::Shared } else { ContextMode::PerCallSite };
+
+    // Planning borrows each target's program only transiently: the plans
+    // own their jobs, so the analyzers are dropped before solving starts.
+    let mut plans = Vec::with_capacity(targets.len());
+    let mut shown_annotations = Vec::with_capacity(targets.len());
+    for t in targets {
+        let analyzer = Analyzer::new_with_context(&t.program, machine, context)
+            .map_err(|e| format!("{}: {e}", t.name))?
+            .with_cache_mode(mode);
+        let mut annotations = t.annotations.clone();
+        if do_infer {
+            let inferred = ipet_core::infer_loop_bounds(&analyzer);
+            if !inferred.is_empty() {
+                annotations.push_str(&ipet_core::inferred_annotations(&inferred));
+            }
+        }
+        let anns =
+            ipet_core::parse_annotations(&annotations).map_err(|e| format!("{}: {e}", t.name))?;
+        plans.push(analyzer.plan(&anns, budget).map_err(|e| format!("{}: {e}", t.name))?);
+        shown_annotations.push(annotations);
+    }
+
+    let pool = SolvePool::new(jobs);
+    let batch = pool.run_plans(&plans, &budget.solve);
+
+    let mut degraded = false;
+    let mut failures = Vec::new();
+    for (t, (est, annotations)) in
+        targets.iter().zip(batch.estimates.iter().zip(&shown_annotations))
+    {
+        if targets.len() > 1 {
+            println!("=== {} ===", t.name);
+        }
+        if !annotations.is_empty() {
+            println!("functionality constraints:\n{}", annotations.trim_end());
+        }
+        match est {
+            Ok(est) => {
+                print!("{}", est.render());
+                if !est.quality.is_exact() {
+                    degraded = true;
+                    eprintln!(
+                        "cinderella: {}: bound is safe but degraded \
+                         (quality: {}; {} sets skipped, {} relaxed)",
+                        t.name,
+                        est.quality,
+                        est.sets_skipped,
+                        est.degraded_sets.len()
+                    );
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", t.name)),
+        }
+    }
+    let stats = pool.cache_stats();
+    println!(
+        "pool: {jobs} worker(s), {} solved, {} replayed ({} rejected near-hits), {} ticks",
+        stats.misses, stats.hits, stats.rejected, batch.report.total_ticks
+    );
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(if degraded { RunStatus::Degraded } else { RunStatus::Exact })
 }

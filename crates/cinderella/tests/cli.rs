@@ -3,10 +3,8 @@
 use std::process::Command;
 
 fn cinderella(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_cinderella"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_cinderella")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -80,12 +78,8 @@ fn compiles_and_analyzes_a_source_file() {
     .unwrap();
     let ann = dir.join("prog.ann");
     std::fs::write(&ann, "fn main { loop x2 in [8, 8]; }").unwrap();
-    let (ok, stdout, stderr) = cinderella(&[
-        "analyze",
-        src.to_str().unwrap(),
-        "--annotations",
-        ann.to_str().unwrap(),
-    ]);
+    let (ok, stdout, stderr) =
+        cinderella(&["analyze", src.to_str().unwrap(), "--annotations", ann.to_str().unwrap()]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("estimated bound"));
 }
@@ -168,11 +162,7 @@ fn assembly_files_are_accepted() {
     let dir = std::env::temp_dir().join("cinderella-cli-test5");
     std::fs::create_dir_all(&dir).unwrap();
     let asm = dir.join("prog.s");
-    std::fs::write(
-        &asm,
-        ".entry main\nmain:\n ldc r8, 3\n mul rv, r8, 7\n ret\n",
-    )
-    .unwrap();
+    std::fs::write(&asm, ".entry main\nmain:\n ldc r8, 3\n mul rv, r8, 7\n ret\n").unwrap();
     let (ok, stdout, stderr) = cinderella(&["analyze", asm.to_str().unwrap()]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("estimated bound"));
@@ -251,11 +241,7 @@ fn shared_formulation_gives_the_same_bound() {
     let bound = |args: &[&str]| -> String {
         let (ok, stdout, stderr) = cinderella(args);
         assert!(ok, "{stderr}");
-        stdout
-            .lines()
-            .find(|l| l.starts_with("estimated bound"))
-            .unwrap()
-            .to_string()
+        stdout.lines().find(|l| l.starts_with("estimated bound")).unwrap().to_string()
     };
     let per_site = bound(&["analyze", "whetstone"]);
     let shared = bound(&["analyze", "whetstone", "--shared"]);
@@ -267,10 +253,8 @@ fn shared_formulation_gives_the_same_bound() {
 /// Like [`cinderella`] but preserving the raw exit code, for the
 /// 0 = exact / 2 = degraded / 1 = error contract.
 fn cinderella_code(args: &[&str]) -> (i32, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_cinderella"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_cinderella")).args(args).output().expect("binary runs");
     (
         out.status.code().expect("not killed by a signal"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -304,8 +288,7 @@ fn bound_upper(stdout: &str) -> u64 {
 #[test]
 fn node_budget_degrades_to_relaxed_bound_with_exit_code_2() {
     let (src, ann) = fractional_fixture();
-    let (code, exact_out, stderr) =
-        cinderella_code(&["analyze", &src, "--annotations", &ann]);
+    let (code, exact_out, stderr) = cinderella_code(&["analyze", &src, "--annotations", &ann]);
     assert_eq!(code, 0, "{stderr}");
     assert!(exact_out.contains("bound quality: exact"));
 
@@ -371,4 +354,52 @@ fn roomy_budget_flags_leave_results_exact() {
     assert_eq!(code, 0, "{stderr}");
     assert!(stdout.contains("bound quality: exact"));
     assert!(stdout.contains("constraint sets: 2 total"));
+}
+
+#[test]
+fn multi_target_analyze_reports_each_target_in_order() {
+    let (ok, stdout, stderr) = cinderella(&["analyze", "piksrt", "check_data"]);
+    assert!(ok, "{stderr}");
+    let piksrt = stdout.find("=== piksrt ===").expect("piksrt header");
+    let check = stdout.find("=== check_data ===").expect("check_data header");
+    assert!(piksrt < check, "reports must follow argument order");
+    assert!(stdout.contains("pool:"), "pool summary expected:\n{stdout}");
+    assert_eq!(stdout.matches("estimated bound: [").count(), 2);
+}
+
+#[test]
+fn jobs_flag_output_is_identical_across_worker_counts() {
+    let strip_pool_line = |s: &str| -> String {
+        // The summary line names the worker count by design; everything
+        // else must be byte-identical.
+        s.lines().filter(|l| !l.starts_with("pool:")).collect::<Vec<_>>().join("\n")
+    };
+    let (ok1, out1, _) = cinderella(&["analyze", "piksrt", "dhry", "--jobs", "1"]);
+    let (ok8, out8, _) = cinderella(&["analyze", "piksrt", "dhry", "--jobs", "8"]);
+    assert!(ok1 && ok8);
+    assert_eq!(strip_pool_line(&out1), strip_pool_line(&out8));
+    // Solve/replay counts are part of the pool line and must also agree.
+    let pool1: Vec<&str> = out1.lines().filter(|l| l.starts_with("pool:")).collect();
+    let pool8: Vec<&str> = out8.lines().filter(|l| l.starts_with("pool:")).collect();
+    assert_eq!(pool1.len(), 1);
+    assert_eq!(
+        pool1[0].split_once("worker(s), ").map(|x| x.1),
+        pool8[0].split_once("worker(s), ").map(|x| x.1),
+        "cache and tick accounting must be deterministic"
+    );
+}
+
+#[test]
+fn duplicate_targets_are_served_from_the_solve_cache() {
+    let (ok, stdout, stderr) = cinderella(&["analyze", "piksrt", "piksrt", "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+    let pool = stdout.lines().find(|l| l.starts_with("pool:")).expect("pool summary");
+    assert!(pool.contains("2 solved, 2 replayed"), "{pool}");
+}
+
+#[test]
+fn pooled_path_rejects_serial_only_flags() {
+    let (code_ok, _, stderr) = cinderella(&["analyze", "piksrt", "check_data", "--measure"]);
+    assert!(!code_ok);
+    assert!(stderr.contains("serial path"), "{stderr}");
 }

@@ -149,11 +149,7 @@ pub struct Annotations {
 impl Annotations {
     /// Statements attached to `func`, across all `fn` items naming it.
     pub fn for_function(&self, func: &str) -> Vec<&Stmt> {
-        self.functions
-            .iter()
-            .filter(|(n, _)| n == func)
-            .flat_map(|(_, s)| s.iter())
-            .collect()
+        self.functions.iter().filter(|(n, _)| n == func).flat_map(|(_, s)| s.iter()).collect()
     }
 }
 
@@ -390,10 +386,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(_, l)| *l).unwrap_or(0)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -687,10 +680,13 @@ mod tests {
             let dnf = or.to_dnf();
             let (lhs, rel, rhs) = &dnf[0][0];
             assert_eq!(*rel, Relation::Le);
-            assert_eq!(lhs.terms, vec![
-                (2, Ref { kind: RefKind::X, index: 1, path: vec![] }),
-                (-3, Ref { kind: RefKind::X, index: 2, path: vec![] }),
-            ]);
+            assert_eq!(
+                lhs.terms,
+                vec![
+                    (2, Ref { kind: RefKind::X, index: 1, path: vec![] }),
+                    (-3, Ref { kind: RefKind::X, index: 2, path: vec![] }),
+                ]
+            );
             assert_eq!(lhs.constant, 5);
             assert_eq!(rhs.terms, vec![(10, Ref { kind: RefKind::X, index: 3, path: vec![] })]);
         } else {

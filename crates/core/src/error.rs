@@ -52,11 +52,7 @@ impl fmt::Display for AnalysisError {
                 write!(f, "loop bound [{lo}, {hi}] in fn {func} is not a valid interval")
             }
             AnalysisError::Unbounded { unbounded_loops } => {
-                write!(
-                    f,
-                    "WCET is unbounded; add loop bounds for: {}",
-                    unbounded_loops.join(", ")
-                )
+                write!(f, "WCET is unbounded; add loop bounds for: {}", unbounded_loops.join(", "))
             }
             AnalysisError::AllSetsInfeasible { total } => {
                 write!(f, "all {total} functionality constraint sets are infeasible")
@@ -88,9 +84,8 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = AnalysisError::Unbounded {
-            unbounded_loops: vec!["main(B2)".into(), "fft(B4)".into()],
-        };
+        let e =
+            AnalysisError::Unbounded { unbounded_loops: vec!["main(B2)".into(), "fft(B4)".into()] };
         let s = e.to_string();
         assert!(s.contains("main(B2)"));
         assert!(s.contains("fft(B4)"));

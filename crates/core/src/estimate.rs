@@ -169,11 +169,8 @@ impl Estimate {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "estimated bound: [{}, {}] cycles",
-            self.bound.lower, self.bound.upper
-        );
+        let _ =
+            writeln!(out, "estimated bound: [{}, {}] cycles", self.bound.lower, self.bound.upper);
         let _ = writeln!(out, "bound quality: {}", self.quality);
         let _ = writeln!(
             out,
@@ -191,13 +188,8 @@ impl Estimate {
             );
         }
         if !self.degraded_sets.is_empty() {
-            let list: Vec<String> =
-                self.degraded_sets.iter().map(|i| i.to_string()).collect();
-            let _ = writeln!(
-                out,
-                "  degraded sets (LP-relaxation bound): {}",
-                list.join(", ")
-            );
+            let list: Vec<String> = self.degraded_sets.iter().map(|i| i.to_string()).collect();
+            let _ = writeln!(out, "  degraded sets (LP-relaxation bound): {}", list.join(", "));
         }
         let stats = self.total_stats();
         let _ = writeln!(
@@ -228,6 +220,370 @@ impl Estimate {
             }
         }
         acc
+    }
+}
+
+/// One ILP the analysis needs solved: a surviving constraint set paired
+/// with an optimization sense.
+///
+/// Jobs are emitted by [`Analyzer::plan`] in the canonical order
+/// `set 0 × Maximize, set 0 × Minimize, set 1 × Maximize, ...` — job `i`
+/// belongs to set `i / 2` with sense `Maximize` when `i` is even. The
+/// problems are fully assembled (structural + functionality + cache-split
+/// rows), self-contained, and independent of each other: any executor —
+/// serial, threaded, or cached — may solve them in any order.
+#[derive(Debug, Clone)]
+pub struct IlpJob {
+    /// Index of the constraint set among the surviving (post-prune,
+    /// canonically ordered) sets.
+    pub set: usize,
+    /// `Maximize` for the WCET side, `Minimize` for the BCET side.
+    pub sense: Sense,
+    /// The assembled ILP.
+    pub problem: Problem,
+}
+
+/// Outcome of one [`IlpJob`], fed back to [`AnalysisPlan::complete`].
+#[derive(Debug, Clone)]
+pub enum JobVerdict {
+    /// The job ran (possibly degrading) and produced a resolution.
+    Solved(IlpResolution, IlpStats),
+    /// The job was never attempted — the budget ran out before dispatch.
+    /// Its constraint set is covered by the common-constraint relaxation.
+    Skipped,
+}
+
+/// Per-variable metadata an [`AnalysisPlan`] keeps so the verdict fold can
+/// rebuild counts and contribution attribution without the analyzer.
+#[derive(Debug, Clone)]
+struct VarMeta {
+    /// Display label (`x<k>@<instance>`).
+    label: String,
+    /// True for basic-block count variables (the ones reported in counts).
+    is_block: bool,
+    /// Label of the owning CFG instance (empty for edge variables).
+    instance_label: String,
+    /// Worst-case cycles this variable contributes per unit count
+    /// (0 for edges and for block variables whose cost the cache split
+    /// moved onto virtual cold/warm variables).
+    contrib_cost: u64,
+}
+
+/// The job graph of one analysis: every ILP to solve plus everything needed
+/// to fold the verdicts back into an [`Estimate`].
+///
+/// Produced by [`Analyzer::plan`]. The plan is fully owned — it borrows
+/// neither the analyzer nor the program — so plans from many programs can
+/// be collected and their jobs batched through one solve pool.
+///
+/// [`AnalysisPlan::complete`] is a pure, order-independent fold: each
+/// verdict contributes to the running max/min and `BoundQuality::combine`
+/// is commutative and associative, so executors may finish jobs in any
+/// order (work stealing, caching, replay) and the resulting `Estimate` is
+/// identical to the serial one, bit for bit.
+#[derive(Debug, Clone)]
+pub struct AnalysisPlan {
+    jobs: Vec<IlpJob>,
+    budget: AnalysisBudget,
+    /// Cartesian-product set count before the cap and pruning (Table I).
+    sets_total: usize,
+    sets_pruned: usize,
+    /// Set count before null pruning (for the all-infeasible error).
+    sets_before_prune: usize,
+    /// Surviving sets; `jobs.len() == 2 * num_sets`.
+    num_sets: usize,
+    /// `Partial` when the DNF cap dropped disjunctive statements.
+    quality_floor: BoundQuality,
+    /// LP relaxation over the constraints common to every set, used to
+    /// cover sets whose jobs were skipped (worst/best sense).
+    cover_worst: Problem,
+    cover_best: Problem,
+    /// Loop labels reported if a solve comes back unbounded.
+    unbounded_loops: Vec<String>,
+    vars: Vec<VarMeta>,
+}
+
+impl AnalysisPlan {
+    /// The ILP jobs, in canonical order (see [`IlpJob`]).
+    pub fn jobs(&self) -> &[IlpJob] {
+        &self.jobs
+    }
+
+    /// The budget the plan was built under.
+    pub fn budget(&self) -> &AnalysisBudget {
+        &self.budget
+    }
+
+    /// Number of surviving constraint sets (`jobs().len() / 2`).
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Folds job verdicts into the final [`Estimate`].
+    ///
+    /// `verdicts[i]` answers `jobs()[i]`; missing trailing entries count as
+    /// [`JobVerdict::Skipped`]. Sets with a skipped or exhausted job are
+    /// covered by the common-constraint LP relaxation and degrade the
+    /// overall quality to `Partial`, exactly like the serial pipeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`] — the same failures the serial path surfaces
+    /// (unbounded loops, numerical breakdown, budget exhaustion with
+    /// degradation disabled), reported in canonical job order regardless of
+    /// the order the executor finished them in.
+    pub fn complete(&self, verdicts: &[JobVerdict]) -> Result<Estimate, AnalysisError> {
+        let budget = &self.budget;
+        let mut quality = self.quality_floor;
+        let mut reports: Vec<SetReport> = Vec::new();
+        let mut degraded_sets: Vec<usize> = Vec::new();
+        // Degraded bounds have no witness vector, so the running bound and
+        // the best *witnessed* solution (for counts/contributions) are
+        // tracked separately.
+        let mut worst_bound: Option<u64> = None;
+        let mut worst_witness: Option<(u64, Vec<f64>)> = None;
+        let mut best_bound: Option<u64> = None;
+        let mut best_witness: Option<(u64, Vec<f64>)> = None;
+        let mut solved = 0usize;
+
+        let to_cycles = |value: f64| -> Result<u64, AnalysisError> {
+            if !value.is_finite() {
+                return Err(AnalysisError::Numerical);
+            }
+            Ok(value.round().max(0.0) as u64)
+        };
+
+        for set in 0..self.num_sets {
+            let w_verdict = verdicts.get(2 * set).unwrap_or(&JobVerdict::Skipped);
+            let b_verdict = verdicts.get(2 * set + 1).unwrap_or(&JobVerdict::Skipped);
+            let mut set_quality = BoundQuality::Exact;
+            let mut set_skipped = false;
+
+            let (wcet, w_stats) = match w_verdict {
+                JobVerdict::Solved(res, stats) => {
+                    let wcet = match res {
+                        IlpResolution::Exact { x, value } => {
+                            let v = to_cycles(*value)?;
+                            if worst_witness.as_ref().map(|(b, _)| v > *b).unwrap_or(true) {
+                                worst_witness = Some((v, x.clone()));
+                            }
+                            Some(v)
+                        }
+                        IlpResolution::Relaxed { bound, incumbent } => {
+                            if !budget.degrade {
+                                return Err(AnalysisError::SolverLimit);
+                            }
+                            // The relaxation value safely over-covers this
+                            // set's true maximum; ceil keeps it safe in
+                            // integer cycles.
+                            let v = to_cycles(bound.ceil())?;
+                            set_quality = set_quality.combine(BoundQuality::Relaxed);
+                            if let Some((x, value)) = incumbent {
+                                let w = to_cycles(*value)?;
+                                if worst_witness.as_ref().map(|(b, _)| w > *b).unwrap_or(true) {
+                                    worst_witness = Some((w, x.clone()));
+                                }
+                            }
+                            Some(v)
+                        }
+                        IlpResolution::Infeasible => None,
+                        IlpResolution::Unbounded => {
+                            return Err(AnalysisError::Unbounded {
+                                unbounded_loops: self.unbounded_loops.clone(),
+                            })
+                        }
+                        IlpResolution::Numerical => return Err(AnalysisError::Numerical),
+                        IlpResolution::Exhausted => {
+                            if !budget.degrade {
+                                return Err(AnalysisError::BudgetExhausted);
+                            }
+                            set_skipped = true;
+                            None
+                        }
+                    };
+                    (wcet, *stats)
+                }
+                JobVerdict::Skipped => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::BudgetExhausted);
+                    }
+                    set_skipped = true;
+                    (None, IlpStats::default())
+                }
+            };
+            if let Some(v) = wcet {
+                worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
+            }
+
+            // The BCET side only counts when the WCET side was attempted:
+            // a set whose WCET job exhausted is covered whole.
+            let (bcet, b_stats) = match (set_skipped, b_verdict) {
+                (true, _) => (None, IlpStats::default()),
+                (false, JobVerdict::Solved(res, stats)) => {
+                    let bcet = match res {
+                        IlpResolution::Exact { x, value } => {
+                            let v = to_cycles(*value)?;
+                            if best_witness.as_ref().map(|(b, _)| v < *b).unwrap_or(true) {
+                                best_witness = Some((v, x.clone()));
+                            }
+                            Some(v)
+                        }
+                        IlpResolution::Relaxed { bound, incumbent } => {
+                            if !budget.degrade {
+                                return Err(AnalysisError::SolverLimit);
+                            }
+                            // The relaxation value safely under-covers this
+                            // set's true minimum; floor keeps it safe in
+                            // integer cycles.
+                            let v = to_cycles(bound.floor())?;
+                            set_quality = set_quality.combine(BoundQuality::Relaxed);
+                            if let Some((x, value)) = incumbent {
+                                let w = to_cycles(*value)?;
+                                if best_witness.as_ref().map(|(b, _)| w < *b).unwrap_or(true) {
+                                    best_witness = Some((w, x.clone()));
+                                }
+                            }
+                            Some(v)
+                        }
+                        IlpResolution::Infeasible => None,
+                        // Minimizing a non-negative objective cannot be
+                        // unbounded; a solver verdict to the contrary is
+                        // numerical breakdown.
+                        IlpResolution::Unbounded | IlpResolution::Numerical => {
+                            return Err(AnalysisError::Numerical)
+                        }
+                        IlpResolution::Exhausted => {
+                            if !budget.degrade {
+                                return Err(AnalysisError::BudgetExhausted);
+                            }
+                            set_skipped = true;
+                            None
+                        }
+                    };
+                    (bcet, *stats)
+                }
+                (false, JobVerdict::Skipped) => {
+                    if !budget.degrade {
+                        return Err(AnalysisError::BudgetExhausted);
+                    }
+                    set_skipped = true;
+                    (None, IlpStats::default())
+                }
+            };
+            if let Some(v) = bcet {
+                best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
+            }
+
+            if set_skipped {
+                continue;
+            }
+            if set_quality != BoundQuality::Exact {
+                degraded_sets.push(reports.len());
+            }
+            reports.push(SetReport {
+                index: set,
+                wcet,
+                bcet,
+                wcet_stats: w_stats,
+                bcet_stats: b_stats,
+                quality: set_quality,
+            });
+            solved += 1;
+        }
+
+        // Sets whose jobs never ran are covered by the LP relaxation of the
+        // common constraints: its feasible region contains every skipped
+        // set, so its max/min bound whatever they could attain. One LP per
+        // sense, on a fresh meter — Bland's rule terminates.
+        let sets_skipped = self.num_sets - solved;
+        if sets_skipped > 0 {
+            quality = quality.combine(BoundQuality::Partial);
+            match solve_lp_metered(
+                &self.cover_worst,
+                &SolveBudget::unlimited(),
+                &BudgetMeter::new(),
+                &mut SolverFaults::none(),
+            ) {
+                LpOutcome::Optimal { value, .. } => {
+                    let v = to_cycles(value.ceil())?;
+                    worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
+                }
+                // An infeasible cover means every skipped set is infeasible
+                // too; they contribute nothing to the bound.
+                LpOutcome::Infeasible => {}
+                LpOutcome::Unbounded => {
+                    return Err(AnalysisError::Unbounded {
+                        unbounded_loops: self.unbounded_loops.clone(),
+                    })
+                }
+                LpOutcome::Numerical => return Err(AnalysisError::Numerical),
+                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
+            }
+            match solve_lp_metered(
+                &self.cover_best,
+                &SolveBudget::unlimited(),
+                &BudgetMeter::new(),
+                &mut SolverFaults::none(),
+            ) {
+                LpOutcome::Optimal { value, .. } => {
+                    let v = to_cycles(value.floor())?;
+                    best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
+                }
+                LpOutcome::Infeasible => {}
+                LpOutcome::Unbounded | LpOutcome::Numerical => {
+                    return Err(AnalysisError::Numerical)
+                }
+                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
+            }
+        }
+        if !degraded_sets.is_empty() {
+            quality = quality.combine(BoundQuality::Relaxed);
+        }
+
+        let upper = worst_bound
+            .ok_or(AnalysisError::AllSetsInfeasible { total: self.sets_before_prune })?;
+        let lower =
+            best_bound.ok_or(AnalysisError::AllSetsInfeasible { total: self.sets_before_prune })?;
+        let worst_x = worst_witness.map(|(_, x)| x).unwrap_or_default();
+        let best_x = best_witness.map(|(_, x)| x).unwrap_or_default();
+
+        let counts = |x: &[f64]| -> BTreeMap<String, i64> {
+            let mut out = BTreeMap::new();
+            for (id, m) in self.vars.iter().enumerate() {
+                if m.is_block {
+                    let v = x.get(id).copied().unwrap_or(0.0).round() as i64;
+                    if v != 0 {
+                        out.insert(m.label.clone(), v);
+                    }
+                }
+            }
+            out
+        };
+
+        // Attribute the WCET objective to instances: block variables carry
+        // their worst-cold cost unless the cache split moved the cost onto
+        // the cold/warm virtual variables.
+        let mut contributions: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, m) in self.vars.iter().enumerate() {
+            let value = worst_x.get(id).copied().unwrap_or(0.0).round() as u64;
+            if value == 0 || m.contrib_cost == 0 {
+                continue;
+            }
+            *contributions.entry(m.instance_label.clone()).or_insert(0) += value * m.contrib_cost;
+        }
+
+        Ok(Estimate {
+            bound: TimeBound { lower, upper },
+            sets_total: self.sets_total,
+            sets_pruned: self.sets_pruned,
+            sets: reports,
+            wcet_counts: counts(&worst_x),
+            bcet_counts: counts(&best_x),
+            wcet_contributions: contributions,
+            quality,
+            sets_skipped,
+            degraded_sets,
+        })
     }
 }
 
@@ -274,10 +630,7 @@ impl<'p> Analyzer<'p> {
             .iter()
             .enumerate()
             .map(|(f, cfg)| {
-                cfg.blocks
-                    .iter()
-                    .map(|b| block_cost(&machine, &program.functions[f], b))
-                    .collect()
+                cfg.blocks.iter().map(|b| block_cost(&machine, &program.functions[f], b)).collect()
             })
             .collect();
         Ok(Analyzer { program, machine, instances, costs, cache_mode: CacheMode::AllMiss })
@@ -335,14 +688,9 @@ impl<'p> Analyzer<'p> {
         best_counts: &BTreeMap<(FuncId, BlockId), u64>,
         worst_counts: &BTreeMap<(FuncId, BlockId), u64>,
     ) -> TimeBound {
-        let lower = best_counts
-            .iter()
-            .map(|(&(f, b), &c)| c * self.costs[f.0][b.0].best)
-            .sum();
-        let upper = worst_counts
-            .iter()
-            .map(|(&(f, b), &c)| c * self.costs[f.0][b.0].worst_cold)
-            .sum();
+        let lower = best_counts.iter().map(|(&(f, b), &c)| c * self.costs[f.0][b.0].best).sum();
+        let upper =
+            worst_counts.iter().map(|(&(f, b), &c)| c * self.costs[f.0][b.0].worst_cold).sum();
         TimeBound { lower, upper }
     }
 
@@ -444,6 +792,55 @@ impl<'p> Analyzer<'p> {
         budget: &AnalysisBudget,
         faults: &mut SolverFaults,
     ) -> Result<Estimate, AnalysisError> {
+        let plan = self.plan(anns, budget)?;
+        // The serial executor: one shared meter, jobs in canonical order,
+        // the run stopping at the first exhaustion (every later job is
+        // skipped and its set covered by the common-constraint relaxation).
+        // The deadline is checked at each set boundary — a set's BCET job
+        // still runs after its WCET job spent the deadline, and reports
+        // `Exhausted` through the solver's own top-of-search check.
+        let meter = BudgetMeter::new();
+        let mut verdicts: Vec<JobVerdict> = Vec::with_capacity(plan.jobs().len());
+        for job in plan.jobs() {
+            if job.sense == Sense::Maximize && meter.deadline_hit(&budget.solve) {
+                break;
+            }
+            let (res, stats) = solve_ilp_budgeted(&job.problem, &budget.solve, &meter, faults);
+            let exhausted = matches!(res, IlpResolution::Exhausted);
+            verdicts.push(JobVerdict::Solved(res, stats));
+            if exhausted {
+                break;
+            }
+        }
+        plan.complete(&verdicts)
+    }
+
+    /// Builds the analysis **job graph**: resolves annotations, expands the
+    /// DNF constraint sets, prunes null sets, orders the survivors
+    /// canonically, and assembles one ILP per surviving set and sense —
+    /// without solving anything.
+    ///
+    /// The returned [`AnalysisPlan`] owns everything (no borrow of the
+    /// analyzer), exposes the jobs for any executor, and folds the verdicts
+    /// back into an [`Estimate`] via [`AnalysisPlan::complete`].
+    ///
+    /// **Canonical set order:** surviving sets are stable-sorted by the
+    /// rendered text of their constraints (each set's constraints in
+    /// statement order, compared lexicographically). The order is therefore
+    /// a pure function of the constraint content — independent of executor,
+    /// thread count, and hash-map iteration — which is what makes reports
+    /// and exit codes reproducible across `--jobs` values.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`] for the planning-time failures (unknown
+    /// functions, bad references, DNF blow-up with degradation disabled,
+    /// all sets null).
+    pub fn plan(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+    ) -> Result<AnalysisPlan, AnalysisError> {
         // Validate function names early.
         for (name, _) in &anns.functions {
             if self.program.function_by_name(name).is_none() {
@@ -465,7 +862,8 @@ impl<'p> Analyzer<'p> {
             for stmt in anns.for_function(&func_name) {
                 match stmt {
                     Stmt::Loop { header, lo, hi } => {
-                        let cons = self.resolve_loop(inst, header, *lo, *hi, &mut bounded_headers)?;
+                        let cons =
+                            self.resolve_loop(inst, header, *lo, *hi, &mut bounded_headers)?;
                         statements.push(vec![cons]);
                     }
                     Stmt::Cons(or) => {
@@ -487,7 +885,7 @@ impl<'p> Analyzer<'p> {
         // constraint sets" ("the size of the constraint sets is doubled
         // every time a functionality constraint with | is added").
         let sets_total: usize = statements.iter().map(|s| s.len()).product::<usize>().max(1);
-        let mut quality = BoundQuality::Exact;
+        let mut quality_floor = BoundQuality::Exact;
         if sets_total > budget.solve.max_sets {
             if !budget.degrade {
                 return Err(AnalysisError::SolverLimit);
@@ -498,7 +896,7 @@ impl<'p> Analyzer<'p> {
             // relaxation of all of them — safe for both WCET (feasible
             // region grows, max grows) and BCET (min shrinks).
             statements.retain(|s| s.len() == 1);
-            quality = BoundQuality::Partial;
+            quality_floor = BoundQuality::Partial;
         }
 
         let mut functionality_sets: Vec<Vec<LinCon>> = vec![Vec::new()];
@@ -522,6 +920,18 @@ impl<'p> Analyzer<'p> {
             return Err(AnalysisError::AllSetsInfeasible { total: before });
         }
 
+        // Canonical deterministic set order: stable-sort the survivors by
+        // their rendered constraint text. `LinCon`'s display normalizes
+        // terms (merged, zero-dropped, sorted by variable), so the key is a
+        // pure function of constraint content and the resulting job order
+        // is reproducible across executors and `--jobs` values.
+        let mut keyed: Vec<(Vec<String>, Vec<LinCon>)> = functionality_sets
+            .into_iter()
+            .map(|s| (s.iter().map(|c| c.to_string()).collect(), s))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let functionality_sets: Vec<Vec<LinCon>> = keyed.into_iter().map(|(_, s)| s).collect();
+
         // Shared structural rows and (for the worst case) split rows.
         let structural = structural_constraints(&self.instances);
         let (split_rows, split_objective) = self.build_split(&mut space);
@@ -529,272 +939,87 @@ impl<'p> Analyzer<'p> {
         // Constraints common to *every* set (the non-disjunctive
         // statements): the cover relaxation bounding any set the budget
         // forces us to skip.
-        let common: Vec<LinCon> = statements
+        let common: Vec<LinCon> =
+            statements.iter().filter(|s| s.len() == 1).flat_map(|s| s[0].iter().cloned()).collect();
+
+        let mut jobs = Vec::with_capacity(functionality_sets.len() * 2);
+        for (idx, set) in functionality_sets.iter().enumerate() {
+            jobs.push(IlpJob {
+                set: idx,
+                sense: Sense::Maximize,
+                problem: self.assemble(
+                    &space,
+                    Sense::Maximize,
+                    &structural,
+                    set,
+                    &split_rows,
+                    &split_objective,
+                ),
+            });
+            jobs.push(IlpJob {
+                set: idx,
+                sense: Sense::Minimize,
+                problem: self.assemble(
+                    &space,
+                    Sense::Minimize,
+                    &structural,
+                    set,
+                    &[],
+                    &HashMap::new(),
+                ),
+            });
+        }
+        let cover_worst = self.assemble(
+            &space,
+            Sense::Maximize,
+            &structural,
+            &common,
+            &split_rows,
+            &split_objective,
+        );
+        let cover_best =
+            self.assemble(&space, Sense::Minimize, &structural, &common, &[], &HashMap::new());
+
+        let vars: Vec<VarMeta> = space
             .iter()
-            .filter(|s| s.len() == 1)
-            .flat_map(|s| s[0].iter().cloned())
+            .map(|(id, r)| {
+                let (is_block, instance_label, contrib_cost) = match r {
+                    VarRef::Block(inst, blk) => {
+                        let func = self.instances.cfg(inst).func;
+                        let cost = match split_objective.get(&r) {
+                            Some(&c) => c as u64,
+                            None => self.costs[func.0][blk.0].worst_cold,
+                        };
+                        (true, self.instances.instances[inst.0].label.clone(), cost)
+                    }
+                    VarRef::SplitCold(inst, _) | VarRef::SplitWarm(inst, _) => (
+                        false,
+                        self.instances.instances[inst.0].label.clone(),
+                        split_objective.get(&r).copied().unwrap_or(0.0) as u64,
+                    ),
+                    VarRef::Edge(_, _) => (false, String::new(), 0),
+                };
+                VarMeta {
+                    label: space.label(id).to_string(),
+                    is_block,
+                    instance_label,
+                    contrib_cost,
+                }
+            })
             .collect();
 
-        // Solve every surviving set for both senses under one shared meter:
-        // the tick deadline caps the whole analysis, not each subproblem.
-        let mut meter = BudgetMeter::new();
-        let mut reports: Vec<SetReport> = Vec::new();
-        let mut degraded_sets: Vec<usize> = Vec::new();
-        // Degraded bounds have no witness vector, so the running bound and
-        // the best *witnessed* solution (for counts/contributions) are
-        // tracked separately.
-        let mut worst_bound: Option<u64> = None;
-        let mut worst_witness: Option<(u64, Vec<f64>)> = None;
-        let mut best_bound: Option<u64> = None;
-        let mut best_witness: Option<(u64, Vec<f64>)> = None;
-        let mut solved = 0usize;
-
-        let to_cycles = |value: f64| -> Result<u64, AnalysisError> {
-            if !value.is_finite() {
-                return Err(AnalysisError::Numerical);
-            }
-            Ok(value.round().max(0.0) as u64)
-        };
-
-        'sets: for (idx, set) in functionality_sets.iter().enumerate() {
-            if meter.deadline_hit(&budget.solve) {
-                if !budget.degrade {
-                    return Err(AnalysisError::BudgetExhausted);
-                }
-                break 'sets; // this set and everything after it is skipped
-            }
-            let worst_problem = self.assemble(
-                &space,
-                Sense::Maximize,
-                &structural,
-                set,
-                &split_rows,
-                &split_objective,
-            );
-            let (w_res, w_stats) =
-                solve_ilp_budgeted(&worst_problem, &budget.solve, &mut meter, faults);
-            let mut set_quality = BoundQuality::Exact;
-            let wcet = match w_res {
-                IlpResolution::Exact { x, value } => {
-                    let v = to_cycles(value)?;
-                    if worst_witness.as_ref().map(|(b, _)| v > *b).unwrap_or(true) {
-                        worst_witness = Some((v, x));
-                    }
-                    Some(v)
-                }
-                IlpResolution::Relaxed { bound, incumbent } => {
-                    if !budget.degrade {
-                        return Err(AnalysisError::SolverLimit);
-                    }
-                    // The relaxation value safely over-covers this set's
-                    // true maximum; ceil keeps it safe in integer cycles.
-                    let v = to_cycles(bound.ceil())?;
-                    set_quality = set_quality.combine(BoundQuality::Relaxed);
-                    if let Some((x, value)) = incumbent {
-                        let w = to_cycles(value)?;
-                        if worst_witness.as_ref().map(|(b, _)| w > *b).unwrap_or(true) {
-                            worst_witness = Some((w, x));
-                        }
-                    }
-                    Some(v)
-                }
-                IlpResolution::Infeasible => None,
-                IlpResolution::Unbounded => {
-                    return Err(AnalysisError::Unbounded {
-                        unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
-                    })
-                }
-                IlpResolution::Numerical => return Err(AnalysisError::Numerical),
-                IlpResolution::Exhausted => {
-                    if !budget.degrade {
-                        return Err(AnalysisError::BudgetExhausted);
-                    }
-                    break 'sets;
-                }
-            };
-            if let Some(v) = wcet {
-                worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
-            }
-
-            let best_problem =
-                self.assemble(&space, Sense::Minimize, &structural, set, &[], &HashMap::new());
-            let (b_res, b_stats) =
-                solve_ilp_budgeted(&best_problem, &budget.solve, &mut meter, faults);
-            let bcet = match b_res {
-                IlpResolution::Exact { x, value } => {
-                    let v = to_cycles(value)?;
-                    if best_witness.as_ref().map(|(b, _)| v < *b).unwrap_or(true) {
-                        best_witness = Some((v, x));
-                    }
-                    Some(v)
-                }
-                IlpResolution::Relaxed { bound, incumbent } => {
-                    if !budget.degrade {
-                        return Err(AnalysisError::SolverLimit);
-                    }
-                    // The relaxation value safely under-covers this set's
-                    // true minimum; floor keeps it safe in integer cycles.
-                    let v = to_cycles(bound.floor())?;
-                    set_quality = set_quality.combine(BoundQuality::Relaxed);
-                    if let Some((x, value)) = incumbent {
-                        let w = to_cycles(value)?;
-                        if best_witness.as_ref().map(|(b, _)| w < *b).unwrap_or(true) {
-                            best_witness = Some((w, x));
-                        }
-                    }
-                    Some(v)
-                }
-                IlpResolution::Infeasible => None,
-                // Minimizing a non-negative objective cannot be unbounded;
-                // a solver verdict to the contrary is numerical breakdown.
-                IlpResolution::Unbounded | IlpResolution::Numerical => {
-                    return Err(AnalysisError::Numerical)
-                }
-                IlpResolution::Exhausted => {
-                    if !budget.degrade {
-                        return Err(AnalysisError::BudgetExhausted);
-                    }
-                    // WCET may already have fed the running bound; counting
-                    // the whole set as skipped keeps the BCET side covered.
-                    break 'sets;
-                }
-            };
-            if let Some(v) = bcet {
-                best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
-            }
-
-            if set_quality != BoundQuality::Exact {
-                degraded_sets.push(reports.len());
-            }
-            reports.push(SetReport {
-                index: idx,
-                wcet,
-                bcet,
-                wcet_stats: w_stats,
-                bcet_stats: b_stats,
-                quality: set_quality,
-            });
-            solved += 1;
-        }
-
-        // Sets the deadline never reached are covered by the LP relaxation
-        // of the common constraints: its feasible region contains every
-        // skipped set, so its max/min bound whatever they could attain.
-        // One LP per sense, on a fresh meter — Bland's rule terminates.
-        let sets_skipped = functionality_sets.len() - solved;
-        if sets_skipped > 0 {
-            quality = quality.combine(BoundQuality::Partial);
-            let worst_cover = self.assemble(
-                &space,
-                Sense::Maximize,
-                &structural,
-                &common,
-                &split_rows,
-                &split_objective,
-            );
-            match solve_lp_metered(
-                &worst_cover,
-                &SolveBudget::unlimited(),
-                &mut BudgetMeter::new(),
-                &mut SolverFaults::none(),
-            ) {
-                LpOutcome::Optimal { value, .. } => {
-                    let v = to_cycles(value.ceil())?;
-                    worst_bound = Some(worst_bound.map_or(v, |b| b.max(v)));
-                }
-                // An infeasible cover means every skipped set is infeasible
-                // too; they contribute nothing to the bound.
-                LpOutcome::Infeasible => {}
-                LpOutcome::Unbounded => {
-                    return Err(AnalysisError::Unbounded {
-                        unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
-                    })
-                }
-                LpOutcome::Numerical => return Err(AnalysisError::Numerical),
-                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
-            }
-            let best_cover =
-                self.assemble(&space, Sense::Minimize, &structural, &common, &[], &HashMap::new());
-            match solve_lp_metered(
-                &best_cover,
-                &SolveBudget::unlimited(),
-                &mut BudgetMeter::new(),
-                &mut SolverFaults::none(),
-            ) {
-                LpOutcome::Optimal { value, .. } => {
-                    let v = to_cycles(value.floor())?;
-                    best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
-                }
-                LpOutcome::Infeasible => {}
-                LpOutcome::Unbounded | LpOutcome::Numerical => {
-                    return Err(AnalysisError::Numerical)
-                }
-                LpOutcome::LimitReached => return Err(AnalysisError::BudgetExhausted),
-            }
-        }
-        if !degraded_sets.is_empty() {
-            quality = quality.combine(BoundQuality::Relaxed);
-        }
-
-        let upper = worst_bound.ok_or(AnalysisError::AllSetsInfeasible { total: before })?;
-        let lower = best_bound.ok_or(AnalysisError::AllSetsInfeasible { total: before })?;
-        let worst_x = worst_witness.map(|(_, x)| x).unwrap_or_default();
-        let best_x = best_witness.map(|(_, x)| x).unwrap_or_default();
-
-        let counts = |x: &[f64]| -> BTreeMap<String, i64> {
-            let mut out = BTreeMap::new();
-            for (id, r) in space.iter() {
-                if let VarRef::Block(_, _) = r {
-                    let v = x.get(id.0).copied().unwrap_or(0.0).round() as i64;
-                    if v != 0 {
-                        out.insert(space.label(id).to_string(), v);
-                    }
-                }
-            }
-            out
-        };
-
-        // Attribute the WCET objective to instances: block variables carry
-        // their worst-cold cost unless the cache split moved the cost onto
-        // the cold/warm virtual variables.
-        let mut contributions: BTreeMap<String, u64> = BTreeMap::new();
-        for (id, r) in space.iter() {
-            let value = worst_x.get(id.0).copied().unwrap_or(0.0).round() as u64;
-            if value == 0 {
-                continue;
-            }
-            let (inst, cost) = match r {
-                VarRef::Block(inst, blk) => {
-                    let func = self.instances.cfg(inst).func;
-                    let cost = match split_objective.get(&r) {
-                        Some(&c) => c as u64,
-                        None => self.costs[func.0][blk.0].worst_cold,
-                    };
-                    (inst, cost)
-                }
-                VarRef::SplitCold(inst, _) | VarRef::SplitWarm(inst, _) => {
-                    (inst, split_objective.get(&r).copied().unwrap_or(0.0) as u64)
-                }
-                VarRef::Edge(_, _) => continue,
-            };
-            if cost == 0 {
-                continue;
-            }
-            let label = self.instances.instances[inst.0].label.clone();
-            *contributions.entry(label).or_insert(0) += value * cost;
-        }
-
-        Ok(Estimate {
-            bound: TimeBound { lower, upper },
+        Ok(AnalysisPlan {
+            num_sets: functionality_sets.len(),
+            jobs,
+            budget: *budget,
             sets_total,
             sets_pruned,
-            sets: reports,
-            wcet_counts: counts(&worst_x),
-            bcet_counts: counts(&best_x),
-            wcet_contributions: contributions,
-            quality,
-            sets_skipped,
-            degraded_sets,
+            sets_before_prune: before,
+            quality_floor,
+            cover_worst,
+            cover_best,
+            unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
+            vars,
         })
     }
 
@@ -844,9 +1069,9 @@ impl<'p> Analyzer<'p> {
                 Ok(VarRef::Edge(target, ipet_cfg::EdgeId(r.index - 1)))
             }
             RefKind::F => {
-                let (edge, _) = cfg
-                    .call_edge(r.index - 1)
-                    .ok_or_else(|| bad(format!("function {} has no call site f{}", cfg.func_name, r.index)))?;
+                let (edge, _) = cfg.call_edge(r.index - 1).ok_or_else(|| {
+                    bad(format!("function {} has no call site f{}", cfg.func_name, r.index))
+                })?;
                 Ok(VarRef::Edge(target, edge))
             }
         }
@@ -901,14 +1126,9 @@ impl<'p> Analyzer<'p> {
         let target = self.follow_path(inst, header)?;
         let cfg = self.instances.cfg(target);
         let block = BlockId(header.index - 1);
-        let lp = cfg
-            .loops()
-            .into_iter()
-            .find(|l| l.header == block)
-            .ok_or_else(|| AnalysisError::NotALoopHeader {
-                func: cfg.func_name.clone(),
-                block: block.to_string(),
-            })?;
+        let lp = cfg.loops().into_iter().find(|l| l.header == block).ok_or_else(|| {
+            AnalysisError::NotALoopHeader { func: cfg.func_name.clone(), block: block.to_string() }
+        })?;
         bounded.insert((target, block));
 
         // The paper's eqs. (14)-(15) relate the count of the block inside
@@ -918,11 +1138,8 @@ impl<'p> Analyzer<'p> {
         // *iterations per entry*: with E = Σ d over entry edges and
         // B = Σ d over back edges,  lo·E <= B <= hi·E.
         let back_terms = |scale: f64| -> Vec<(VarRef, f64)> {
-            let mut t: Vec<(VarRef, f64)> = lp
-                .back_edges
-                .iter()
-                .map(|e| (VarRef::Edge(target, *e), 1.0))
-                .collect();
+            let mut t: Vec<(VarRef, f64)> =
+                lp.back_edges.iter().map(|e| (VarRef::Edge(target, *e), 1.0)).collect();
             for e in &lp.entry_edges {
                 t.push((VarRef::Edge(target, *e), scale));
             }
@@ -954,10 +1171,7 @@ impl<'p> Analyzer<'p> {
 
     /// Builds the split rows and split objective coefficients for
     /// [`CacheMode::FirstIterSplit`] (empty under [`CacheMode::AllMiss`]).
-    fn build_split(
-        &self,
-        space: &mut VarSpace,
-    ) -> (Vec<LinCon>, HashMap<VarRef, f64>) {
+    fn build_split(&self, space: &mut VarSpace) -> (Vec<LinCon>, HashMap<VarRef, f64>) {
         let mut rows = Vec::new();
         let mut obj: HashMap<VarRef, f64> = HashMap::new();
         if self.cache_mode != CacheMode::FirstIterSplit {
@@ -1019,12 +1233,8 @@ impl<'p> Analyzer<'p> {
         if l.body.iter().any(|&b| cfg.blocks[b.0].call.is_some()) {
             return false;
         }
-        let start = l
-            .body
-            .iter()
-            .map(|&b| function.instr_addr(cfg.blocks[b.0].start))
-            .min()
-            .unwrap_or(0);
+        let start =
+            l.body.iter().map(|&b| function.instr_addr(cfg.blocks[b.0].start)).min().unwrap_or(0);
         let end = l
             .body
             .iter()
@@ -1168,11 +1378,8 @@ mod tests {
         let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
         // x3 (the body) = 0 | x3 = 5, combined with x3 >= 1 makes the first
         // branch null.
-        let est = a
-            .analyze(
-                "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); x3 >= 1; }",
-            )
-            .unwrap();
+        let est =
+            a.analyze("fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); x3 >= 1; }").unwrap();
         assert_eq!(est.sets_total, 2);
         assert_eq!(est.sets_pruned, 1);
         assert_eq!(est.sets.len(), 1);
@@ -1241,20 +1448,15 @@ mod tests {
         let mut main = AsmBuilder::new("main");
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![leaf.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
         let est = a.analyze("").unwrap();
         // Callee blocks must appear with count 1 in the worst case.
         assert!(est.wcet_counts.keys().any(|k| k.contains("f1:leaf")));
         // And the bound exceeds the cost of main's two blocks alone.
-        let main_only: u64 = (0..2)
-            .map(|b| a.block_cost(FuncId(1), BlockId(b)).worst_cold)
-            .sum();
+        let main_only: u64 = (0..2).map(|b| a.block_cost(FuncId(1), BlockId(b)).worst_cold).sum();
         assert!(est.bound.upper > main_only);
     }
 
@@ -1274,12 +1476,9 @@ mod tests {
         let mut main = AsmBuilder::new("main");
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![leaf.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
         // Force the cheap arm via x-of-callee-at-site syntax.
         let est = a.analyze("fn main { x2.f1 = 0; }").unwrap();
@@ -1318,12 +1517,9 @@ mod tests {
         let mut main = AsmBuilder::new("main");
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![leaf.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
         let est = a.analyze("").unwrap();
         let total: u64 = est.wcet_contributions.values().sum();
@@ -1369,14 +1565,7 @@ mod tests {
         let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
         let space = VarSpace::new(&a.instances);
         let structural = structural_constraints(&a.instances);
-        let problem = a.assemble(
-            &space,
-            Sense::Maximize,
-            &structural,
-            &[],
-            &[],
-            &HashMap::new(),
-        );
+        let problem = a.assemble(&space, Sense::Maximize, &structural, &[], &[], &HashMap::new());
         assert!(ipet_lp::is_network_matrix(&problem));
 
         // A loop bound introduces a 10-coefficient and breaks the network
@@ -1391,14 +1580,8 @@ mod tests {
                 &mut HashSet::new(),
             )
             .unwrap();
-        let with_bound = a.assemble(
-            &space,
-            Sense::Maximize,
-            &structural,
-            &bound,
-            &[],
-            &HashMap::new(),
-        );
+        let with_bound =
+            a.assemble(&space, Sense::Maximize, &structural, &bound, &[], &HashMap::new());
         assert!(!ipet_lp::is_network_matrix(&with_bound));
         let (_, stats) = ipet_lp::solve_ilp(&with_bound);
         assert!(stats.first_relaxation_integral);
@@ -1506,9 +1689,8 @@ mod tests {
         // comes back `Exhausted`, the set is skipped, and the cover
         // relaxation must still produce an enclosing bound.
         let mut faults = SolverFaults::limit_at(0);
-        let est = a
-            .analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults)
-            .unwrap();
+        let est =
+            a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults).unwrap();
         assert_eq!(est.quality, BoundQuality::Partial);
         assert_eq!(est.sets_skipped, 1);
         assert!(est.bound.encloses(exact.bound));
@@ -1524,8 +1706,7 @@ mod tests {
         // never a panic.
         for idx in 0..4 {
             let mut faults = SolverFaults::infeasible_at(idx);
-            let _ =
-                a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults);
+            let _ = a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults);
         }
         // Forcing a numerical LP failure at the root surfaces as the
         // typed Numerical error.

@@ -67,13 +67,9 @@ fn parse_block_ref(tok: &str, line: usize) -> Result<usize, AnalysisError> {
 fn parse_range(toks: &[&str], line: usize) -> Result<(i64, i64), AnalysisError> {
     // Accept the forms "[lo, hi]" possibly split across tokens.
     let joined: String = toks.concat();
-    let inner = joined
-        .strip_prefix('[')
-        .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| AnalysisError::Parse {
-            line,
-            message: format!("expected [lo, hi], found {joined}"),
-        })?;
+    let inner = joined.strip_prefix('[').and_then(|s| s.strip_suffix(']')).ok_or_else(|| {
+        AnalysisError::Parse { line, message: format!("expected [lo, hi], found {joined}") }
+    })?;
     let mut parts = inner.split(',');
     let parse = |p: Option<&str>| -> Result<i64, AnalysisError> {
         p.and_then(|s| s.trim().parse().ok()).ok_or(AnalysisError::Parse {
@@ -219,10 +215,7 @@ pub fn idl_to_dsl(idl: &IdlAnnotations) -> String {
                     let _ = writeln!(out, "    (x{a} = 0) | (x{b} = 0);");
                 }
                 IdlStmt::ExactlyOne { a, b } => {
-                    let _ = writeln!(
-                        out,
-                        "    (x{a} = 0 & x{b} >= 1) | (x{a} >= 1 & x{b} = 0);"
-                    );
+                    let _ = writeln!(out, "    (x{a} = 0 & x{b} >= 1) | (x{a} >= 1 & x{b} = 0);");
                 }
                 IdlStmt::Implies { a, b } => {
                     // "if A executes, B executes": A = 0 or B >= 1.

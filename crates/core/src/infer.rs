@@ -161,9 +161,7 @@ fn trace_add_constant(prefix: &[Instr], reg: Reg, slot: i32) -> Option<i64> {
         Instr::Ld { dst, base, offset } if dst == a && base == Reg::FP && offset == slot => {
             Some(true)
         }
-        Instr::Alu { dst, .. } | Instr::Mov { dst, .. } | Instr::Ldc { dst, .. }
-            if dst == a =>
-        {
+        Instr::Alu { dst, .. } | Instr::Mov { dst, .. } | Instr::Ldc { dst, .. } if dst == a => {
             Some(false)
         }
         _ => None,

@@ -48,20 +48,21 @@
 
 mod dsl;
 mod error;
+mod estimate;
 mod idl;
 mod infer;
-mod estimate;
 mod lincon;
 mod structural;
 mod vars;
 
 pub use dsl::{parse_annotations, Annotations, LinExpr, OrExpr, Ref, RefKind, Stmt};
 pub use error::AnalysisError;
+pub use estimate::{
+    AnalysisBudget, AnalysisPlan, Analyzer, CacheMode, ContextMode, Estimate, IlpJob, JobVerdict,
+    SetReport, TimeBound,
+};
 pub use idl::{compile_idl, idl_to_dsl, parse_idl, IdlAnnotations, IdlStmt};
 pub use infer::{infer_loop_bounds, inferred_annotations, InferredBound};
-pub use estimate::{
-    AnalysisBudget, Analyzer, CacheMode, ContextMode, Estimate, SetReport, TimeBound,
-};
 // Budget vocabulary shared with the solver layer, re-exported so CLI and
 // bench consumers need only depend on ipet-core.
 pub use ipet_lp::{BoundQuality, BudgetMeter, SolveBudget, SolverFaults};

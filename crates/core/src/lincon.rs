@@ -190,10 +190,7 @@ mod tests {
     #[test]
     fn negative_coefficient_flips_relation() {
         // -x <= -2  ->  x >= 2; with x = 1 -> null.
-        let set = vec![
-            LinCon::le(vec![(x(0), -1.0)], -2.0),
-            LinCon::eq(vec![(x(0), 1.0)], 1.0),
-        ];
+        let set = vec![LinCon::le(vec![(x(0), -1.0)], -2.0), LinCon::eq(vec![(x(0), 1.0)], 1.0)];
         assert!(set_is_null(&set));
     }
 

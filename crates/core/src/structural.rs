@@ -132,12 +132,8 @@ pub fn structural_text(instances: &Instances, inst: InstanceId) -> String {
             let _ = writeln!(out, "  d1 = 1");
         }
         Some((parent, site)) => {
-            let _ = writeln!(
-                out,
-                "  d1 = f{} of {}",
-                site + 1,
-                instances.instances[parent.0].label
-            );
+            let _ =
+                writeln!(out, "  d1 = f{} of {}", site + 1, instances.instances[parent.0].label);
         }
     }
     out
@@ -186,7 +182,10 @@ mod tests {
                 // one +1 block term, rest -1 edge terms
                 let pos: Vec<_> = c.terms.iter().filter(|&&(_, v)| v > 0.0).collect();
                 assert_eq!(pos.len(), 1);
-                assert!(matches!(pos[0].0, VarRef::Block(_, _)) || matches!(pos[0].0, VarRef::Edge(_, _)));
+                assert!(
+                    matches!(pos[0].0, VarRef::Block(_, _))
+                        || matches!(pos[0].0, VarRef::Edge(_, _))
+                );
             }
         }
     }
@@ -201,12 +200,9 @@ mod tests {
         main.ldc(Reg::A0, 20);
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![store.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![store.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         let inst = Instances::expand(&p, FuncId(1)).unwrap();
         assert_eq!(inst.len(), 3);
         let cons = structural_constraints(&inst);
@@ -240,12 +236,9 @@ mod tests {
         let mut main = AsmBuilder::new("main");
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![store.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![store.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         let inst = Instances::expand(&p, FuncId(1)).unwrap();
         let root_text = structural_text(&inst, inst.root());
         assert!(root_text.contains("f1"), "{root_text}");
@@ -294,12 +287,8 @@ mod shared_tests {
         main.ldc(Reg::A0, 20);
         main.call(FuncId(0));
         main.ret();
-        Program::new(
-            vec![store.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap()
+        Program::new(vec![store.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+            .unwrap()
     }
 
     #[test]
@@ -312,8 +301,7 @@ mod shared_tests {
         let text = structural_text(&inst, store);
         assert!(text.contains("d1 = f1 of main + f2 of main"), "{text}");
         // And the ILP gives store's entry block a count of 2.
-        let a = Analyzer::new_with_context(&p, Machine::i960kb(), ContextMode::Shared)
-            .unwrap();
+        let a = Analyzer::new_with_context(&p, Machine::i960kb(), ContextMode::Shared).unwrap();
         let est = a.analyze("").unwrap();
         assert_eq!(est.wcet_counts.get("x1@store"), Some(&2));
     }

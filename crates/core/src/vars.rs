@@ -117,12 +117,9 @@ mod tests {
         let mut main = AsmBuilder::new("main");
         main.call(FuncId(0));
         main.ret();
-        let p = Program::new(
-            vec![leaf.finish().unwrap(), main.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p =
+            Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+                .unwrap();
         Instances::expand(&p, FuncId(1)).unwrap()
     }
 

@@ -9,29 +9,25 @@ use ipet_hw::Machine;
 fn inference_covers_exactly_the_counted_loops() {
     // (benchmark, total loops, automatically inferable loops)
     let expected = [
-        ("check_data", 1, 0),      // data-dependent scan
-        ("fft", 4, 2),             // bitrev outer + stage loops counted
-        ("piksrt", 2, 1),          // inner while is data-dependent
-        ("des", 4, 4),             // fully counted
-        ("line", 1, 0),            // trip count depends on the endpoints
-        ("circle", 1, 0),          // depends on the radius
+        ("check_data", 1, 0), // data-dependent scan
+        ("fft", 4, 2),        // bitrev outer + stage loops counted
+        ("piksrt", 2, 1),     // inner while is data-dependent
+        ("des", 4, 4),        // fully counted
+        ("line", 1, 0),       // trip count depends on the endpoints
+        ("circle", 1, 0),     // depends on the radius
         ("jpeg_fdct_islow", 2, 2),
         ("jpeg_idct_islow", 2, 2),
         ("recon", 2, 2),
-        ("fullsearch", 4, 2),      // outer loops start below zero via 0-4
+        ("fullsearch", 4, 2), // outer loops start below zero via 0-4
         ("whetstone", 7, 7),
-        ("dhry", 5, 2),            // func2, proc2 do-while, proc8 bound left out
+        ("dhry", 5, 2), // func2, proc2 do-while, proc8 bound left out
         ("matgen", 2, 2),
     ];
     for (name, total, inferable) in expected {
         let b = ipet_suite::by_name(name).unwrap();
         let program = b.program().unwrap();
         let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
-        assert_eq!(
-            analyzer.loops_needing_bounds().len(),
-            total,
-            "{name}: total loops"
-        );
+        assert_eq!(analyzer.loops_needing_bounds().len(), total, "{name}: total loops");
         let inferred = infer_loop_bounds(&analyzer);
         assert_eq!(inferred.len(), inferable, "{name}: inferable loops");
     }

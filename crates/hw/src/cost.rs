@@ -70,11 +70,7 @@ pub fn block_cost(machine: &Machine, function: &Function, block: &BasicBlock) ->
     let end_addr = function.instr_addr(block.end - 1) + ipet_arch::INSTR_BYTES;
     let lines = machine.icache.lines_in_range(start_addr, end_addr) as u64;
 
-    BlockCost {
-        best: base,
-        worst_cold: worst + lines * machine.miss_penalty,
-        worst_warm: worst,
-    }
+    BlockCost { best: base, worst_cold: worst + lines * machine.miss_penalty, worst_warm: worst }
 }
 
 #[cfg(test)]
@@ -99,7 +95,7 @@ mod tests {
         let c = block_cost(&m, &p.functions[0], &cfg.blocks[0]);
         assert_eq!(c.best, 1 + 5 + 9);
         assert_eq!(c.worst_warm, c.best); // no conditional branch
-        // 3 instructions at addresses 0..12 -> 1 line of 16 bytes.
+                                          // 3 instructions at addresses 0..12 -> 1 line of 16 bytes.
         assert_eq!(c.worst_cold, c.best + m.miss_penalty);
     }
 
@@ -182,12 +178,8 @@ mod tests {
             f1.nop();
         }
         f1.ret();
-        let p = Program::new(
-            vec![f0.finish().unwrap(), f1.finish().unwrap()],
-            vec![],
-            FuncId(1),
-        )
-        .unwrap();
+        let p = Program::new(vec![f0.finish().unwrap(), f1.finish().unwrap()], vec![], FuncId(1))
+            .unwrap();
         let cfg = Cfg::build(FuncId(1), &p.functions[1]);
         let c = block_cost(&m, &p.functions[1], &cfg.blocks[0]);
         // f starts at byte 16 (line 1), 5 instrs end at byte 36 -> lines 1,2 = 2 lines.

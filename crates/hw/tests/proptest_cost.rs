@@ -9,11 +9,11 @@ use proptest::prelude::*;
 /// optional trailing conditional branch), returned as a finished program.
 fn arb_program() -> impl Strategy<Value = (Program, bool)> {
     let instr = prop_oneof![
-        (0u8..4, 0u8..4).prop_map(|(d, s)| (0u8, d, s, 0i32)),       // mov
+        (0u8..4, 0u8..4).prop_map(|(d, s)| (0u8, d, s, 0i32)), // mov
         (0u8..4, -100i32..100).prop_map(|(d, imm)| (1u8, d, 0, imm)), // ldc
         (0u8..4, 0u8..4, 0u8..10).prop_map(|(d, a, op)| (2u8, d, a, op as i32)), // alu
-        (0u8..4, -4i32..8).prop_map(|(d, off)| (3u8, d, 0, off)),    // ld
-        (0u8..4, -4i32..8).prop_map(|(s, off)| (4u8, s, 0, off)),    // st
+        (0u8..4, -4i32..8).prop_map(|(d, off)| (3u8, d, 0, off)), // ld
+        (0u8..4, -4i32..8).prop_map(|(s, off)| (4u8, s, 0, off)), // st
     ];
     (prop::collection::vec(instr, 1..20), any::<bool>()).prop_map(|(body, branch)| {
         let mut b = AsmBuilder::new("f");

@@ -66,8 +66,7 @@ pub fn compile_module(module: &Module, entry: &str) -> Result<Program, CompileEr
                 if ctx.globals.contains_key(name) {
                     return Err(CompileError::new(*line, format!("duplicate global {name}")));
                 }
-                ctx.globals
-                    .insert(name.clone(), GlobalInfo { addr: next_addr, words: *words });
+                ctx.globals.insert(name.clone(), GlobalInfo { addr: next_addr, words: *words });
                 globals.push(Global {
                     name: name.clone(),
                     addr: next_addr,
@@ -149,9 +148,7 @@ impl<'a> FnCg<'a> {
         cg.b.ret();
 
         cg.b.frame_words(cg.n_locals + cg.max_spill);
-        cg.b
-            .finish()
-            .map_err(|e| CompileError::new(f.line, format!("internal label error: {e}")))
+        cg.b.finish().map_err(|e| CompileError::new(f.line, format!("internal label error: {e}")))
     }
 
     // -- expression stack helpers ------------------------------------------
@@ -221,9 +218,10 @@ impl<'a> FnCg<'a> {
                 }
             }
             ExprKind::Index(name, idx) => {
-                let g = *self.ctx.globals.get(name).ok_or_else(|| {
-                    CompileError::new(e.line, format!("unknown array {name}"))
-                })?;
+                let g =
+                    *self.ctx.globals.get(name).ok_or_else(|| {
+                        CompileError::new(e.line, format!("unknown array {name}"))
+                    })?;
                 self.eval(idx)?;
                 let t = self.top();
                 self.b.ld(t, t, g.addr as i32);
@@ -242,8 +240,14 @@ impl<'a> FnCg<'a> {
                 }
             },
             ExprKind::Binary(op, lhs, rhs) => match op {
-                BinOp::LAnd | BinOp::LOr | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                | BinOp::Eq | BinOp::Ne => {
+                BinOp::LAnd
+                | BinOp::LOr
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne => {
                     self.boolean_value(e)?;
                 }
                 _ => {
@@ -632,11 +636,8 @@ mod tests {
 
     #[test]
     fn frame_sizes_cover_locals() {
-        let p = compile(
-            "int f(int a, int b) { int c; int d = 1; return a + b + d; }",
-            "f",
-        )
-        .unwrap();
+        let p =
+            compile("int f(int a, int b) { int c; int d = 1; return a + b + d; }", "f").unwrap();
         assert!(p.functions[0].frame_words >= 4);
         assert_eq!(p.functions[0].num_params, 2);
     }

@@ -374,12 +374,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("int x while whilex"),
-            vec![
-                Tok::Int,
-                Tok::Ident("x".into()),
-                Tok::While,
-                Tok::Ident("whilex".into())
-            ]
+            vec![Tok::Int, Tok::Ident("x".into()), Tok::While, Tok::Ident("whilex".into())]
         );
     }
 

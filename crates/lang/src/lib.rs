@@ -47,8 +47,8 @@ mod parser;
 
 pub use ast::{BinOp, Expr, ExprKind, FuncDecl, Item, Module, Stmt, UnOp};
 pub use codegen::compile_module;
-pub use opt::{optimize_function, optimize_program, OptLevel};
 pub use lexer::CompileError;
+pub use opt::{optimize_function, optimize_program, OptLevel};
 pub use parser::parse_module;
 
 use ipet_arch::Program;

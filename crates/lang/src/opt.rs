@@ -56,10 +56,9 @@ fn peephole_pass(f: &mut Function) -> bool {
         }
         match (f.instrs[i], f.instrs[j]) {
             // st r,[fp+s]; ld r',[fp+s]  ->  forward the stored value.
-            (
-                Instr::St { src, base: b1, offset: o1 },
-                Instr::Ld { dst, base: b2, offset: o2 },
-            ) if b1 == Reg::FP && b2 == Reg::FP && o1 == o2 => {
+            (Instr::St { src, base: b1, offset: o1 }, Instr::Ld { dst, base: b2, offset: o2 })
+                if b1 == Reg::FP && b2 == Reg::FP && o1 == o2 =>
+            {
                 if dst == src {
                     keep[j] = false;
                 } else {

@@ -31,10 +31,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(_, l)| *l).unwrap_or(0)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -131,12 +128,7 @@ impl Parser {
                             if init.len() as i64 > words {
                                 return Err(self.err("more initializers than array elements"));
                             }
-                            items.push(Item::GlobalArray {
-                                name,
-                                words: words as u32,
-                                init,
-                                line,
-                            });
+                            items.push(Item::GlobalArray { name, words: words as u32, init, line });
                         }
                         _ => {
                             let mut init = 0i64;
@@ -259,11 +251,7 @@ impl Parser {
                     let s = self.simple_stmt()?; // consumes the `;`
                     Some(Box::new(s))
                 };
-                let cond = if self.peek() == Some(&Tok::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let cond = if self.peek() == Some(&Tok::Semi) { None } else { Some(self.expr()?) };
                 self.expect(Tok::Semi)?;
                 let step = if self.peek() == Some(&Tok::RParen) {
                     None
@@ -276,11 +264,7 @@ impl Parser {
             }
             Some(Tok::Return) => {
                 self.bump();
-                let value = if self.peek() == Some(&Tok::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if self.peek() == Some(&Tok::Semi) { None } else { Some(self.expr()?) };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -445,10 +429,7 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.binary(prec + 1)?;
-            lhs = Expr {
-                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
-                line,
-            };
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line };
         }
         Ok(lhs)
     }
@@ -545,13 +526,9 @@ mod tests {
     fn precedence_is_c_like() {
         let m = parse_module("int f() { return 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
         let f = m.functions().next().unwrap();
-        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
-            panic!()
-        };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else { panic!() };
         // && at the top
-        let ExprKind::Binary(BinOp::LAnd, l, r) = &e.kind else {
-            panic!("{e:?}")
-        };
+        let ExprKind::Binary(BinOp::LAnd, l, r) = &e.kind else { panic!("{e:?}") };
         assert!(matches!(l.kind, ExprKind::Binary(BinOp::Lt, _, _)));
         assert!(matches!(r.kind, ExprKind::Binary(BinOp::Eq, _, _)));
     }
@@ -583,11 +560,10 @@ mod tests {
 
     #[test]
     fn for_with_decl_init() {
-        let m = parse_module("int f() { for (int i = 0; i < 3; i = i + 1) { } return 0; }").unwrap();
+        let m =
+            parse_module("int f() { for (int i = 0; i < 3; i = i + 1) { } return 0; }").unwrap();
         let f = m.functions().next().unwrap();
-        let Stmt::For { init: Some(init), .. } = &f.body[0] else {
-            panic!()
-        };
+        let Stmt::For { init: Some(init), .. } = &f.body[0] else { panic!() };
         assert!(matches!(**init, Stmt::Decl { .. }));
     }
 
@@ -616,8 +592,8 @@ mod tests {
         assert_eq!(err.line, 2);
         let err = parse_module("int a[0];").unwrap_err();
         assert!(err.message.contains("positive"));
-        let err = parse_module("int f(int a, int b, int c, int d, int e) { return 0; }")
-            .unwrap_err();
+        let err =
+            parse_module("int f(int a, int b, int c, int d, int e) { return 0; }").unwrap_err();
         assert!(err.message.contains("four parameters"));
         let err = parse_module("int a[2] = {1,2,3};").unwrap_err();
         assert!(err.message.contains("initializers"));
@@ -663,7 +639,9 @@ mod sugar_tests {
 
     #[test]
     fn for_step_accepts_sugar() {
-        let body = body_of("int f() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s += i; } return s; }");
+        let body = body_of(
+            "int f() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s += i; } return s; }",
+        );
         assert!(matches!(body[3], Stmt::For { .. }), "{body:?}");
     }
 

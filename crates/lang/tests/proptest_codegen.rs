@@ -97,10 +97,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 kind: ExprKind::Binary(op, Box::new(l), Box::new(r)),
                 line: 1,
             }),
-            (unop, inner).prop_map(|(op, e)| Expr {
-                kind: ExprKind::Unary(op, Box::new(e)),
-                line: 1,
-            }),
+            (unop, inner)
+                .prop_map(|(op, e)| Expr { kind: ExprKind::Unary(op, Box::new(e)), line: 1 }),
         ]
     })
 }

@@ -15,6 +15,7 @@
 //! every environment, which a literal clock would not.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How trustworthy a reported bound is.
 ///
@@ -105,14 +106,21 @@ impl Default for SolveBudget {
 }
 
 /// Accumulated solver work, shared across all solves of one pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// The meter is `Send + Sync`: counters are atomics, so several workers can
+/// charge one meter concurrently and a shared deadline holds globally.
+/// Workers check `deadline_hit` *before* charging, so a worker can overshoot
+/// a deadline by at most the one charge it had already committed to — with
+/// `w` workers the pool as a whole never over-spends by more than one charge
+/// per worker.
+#[derive(Debug, Default)]
 pub struct BudgetMeter {
     /// Ticks consumed (one tick = one simplex pivot).
-    pub ticks: u64,
+    ticks: AtomicU64,
     /// LP relaxations solved.
-    pub lp_calls: u64,
+    lp_calls: AtomicU64,
     /// Branch-and-bound nodes expanded.
-    pub nodes: u64,
+    nodes: AtomicU64,
 }
 
 impl BudgetMeter {
@@ -121,20 +129,65 @@ impl BudgetMeter {
         BudgetMeter::default()
     }
 
-    /// Charges `ticks` pivots to the meter.
-    pub fn charge_ticks(&mut self, ticks: u64) {
-        self.ticks = self.ticks.saturating_add(ticks);
+    /// Charges `ticks` pivots to the meter (saturating, never wraps).
+    pub fn charge_ticks(&self, ticks: u64) {
+        // `fetch_update` instead of `fetch_add` so the count saturates at
+        // `u64::MAX` rather than wrapping back below a deadline.
+        let _ = self
+            .ticks
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| Some(t.saturating_add(ticks)));
+    }
+
+    /// Records one LP relaxation solved.
+    pub fn add_lp_call(&self) {
+        self.lp_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one branch-and-bound node expanded.
+    pub fn add_node(&self) {
+        self.nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ticks consumed so far (one tick = one simplex pivot).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// LP relaxations solved so far.
+    pub fn lp_calls(&self) -> u64 {
+        self.lp_calls.load(Ordering::Relaxed)
+    }
+
+    /// Branch-and-bound nodes expanded so far.
+    pub fn nodes(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Folds another meter's consumption into this one (used when a pool
+    /// aggregates per-worker meters into a batch total).
+    pub fn absorb(&self, other: &BudgetMeter) {
+        self.charge_ticks(other.ticks());
+        self.lp_calls.fetch_add(other.lp_calls(), Ordering::Relaxed);
+        self.nodes.fetch_add(other.nodes(), Ordering::Relaxed);
     }
 
     /// Ticks still available under `budget`, or `None` when no deadline is
     /// set. `Some(0)` means the deadline has passed.
     pub fn ticks_left(&self, budget: &SolveBudget) -> Option<u64> {
-        budget.deadline_ticks.map(|d| d.saturating_sub(self.ticks))
+        budget.deadline_ticks.map(|d| d.saturating_sub(self.ticks()))
     }
 
     /// True when `budget`'s deadline has been reached.
     pub fn deadline_hit(&self, budget: &SolveBudget) -> bool {
         matches!(self.ticks_left(budget), Some(0))
+    }
+}
+
+impl Clone for BudgetMeter {
+    fn clone(&self) -> BudgetMeter {
+        let m = BudgetMeter::new();
+        m.absorb(self);
+        m
     }
 }
 
@@ -239,7 +292,7 @@ mod tests {
     #[test]
     fn meter_tracks_deadline() {
         let budget = SolveBudget::with_deadline(10);
-        let mut meter = BudgetMeter::new();
+        let meter = BudgetMeter::new();
         assert_eq!(meter.ticks_left(&budget), Some(10));
         assert!(!meter.deadline_hit(&budget));
         meter.charge_ticks(10);
@@ -250,6 +303,48 @@ mod tests {
         let unlimited = SolveBudget::unlimited();
         assert_eq!(meter.ticks_left(&unlimited), None);
         assert!(!meter.deadline_hit(&unlimited));
+    }
+
+    #[test]
+    fn meter_is_shareable_and_absorbs() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BudgetMeter>();
+
+        let a = BudgetMeter::new();
+        a.charge_ticks(3);
+        a.add_lp_call();
+        a.add_node();
+        let b = a.clone();
+        b.absorb(&a);
+        assert_eq!((b.ticks(), b.lp_calls(), b.nodes()), (6, 2, 2));
+        assert_eq!((a.ticks(), a.lp_calls(), a.nodes()), (3, 1, 1));
+    }
+
+    /// Two workers sharing one meter under a common deadline: each worker
+    /// checks `deadline_hit` before committing a one-tick charge, so the
+    /// pool can overshoot the deadline by at most one tick per worker.
+    #[test]
+    fn shared_meter_overshoots_at_most_one_tick_per_worker() {
+        const DEADLINE: u64 = 1_000;
+        const WORKERS: u64 = 2;
+        let budget = SolveBudget::with_deadline(DEADLINE);
+        let meter = BudgetMeter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                scope.spawn(|| loop {
+                    if meter.deadline_hit(&budget) {
+                        break;
+                    }
+                    meter.charge_ticks(1);
+                });
+            }
+        });
+        assert!(meter.ticks() >= DEADLINE, "workers stopped early: {} ticks", meter.ticks());
+        assert!(
+            meter.ticks() <= DEADLINE + WORKERS,
+            "over-spent by more than one tick per worker: {} ticks",
+            meter.ticks()
+        );
     }
 
     #[test]

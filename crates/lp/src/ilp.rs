@@ -121,12 +121,8 @@ pub fn solve_ilp(problem: &Problem) -> (IlpOutcome, IlpStats) {
 /// found an incumbent reports it as `Optimal`, like the original solver).
 pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcome, IlpStats) {
     let budget = SolveBudget { max_nodes: limits.max_nodes, ..SolveBudget::unlimited() };
-    let (resolution, stats) = solve_ilp_budgeted(
-        problem,
-        &budget,
-        &mut BudgetMeter::new(),
-        &mut SolverFaults::none(),
-    );
+    let (resolution, stats) =
+        solve_ilp_budgeted(problem, &budget, &BudgetMeter::new(), &mut SolverFaults::none());
     let outcome = match resolution {
         IlpResolution::Exact { x, value }
         | IlpResolution::Relaxed { incumbent: Some((x, value)), .. } => {
@@ -159,7 +155,7 @@ pub fn solve_ilp_with_limits(problem: &Problem, limits: IlpLimits) -> (IlpOutcom
 pub fn solve_ilp_budgeted(
     problem: &Problem,
     budget: &SolveBudget,
-    meter: &mut BudgetMeter,
+    meter: &BudgetMeter,
     faults: &mut SolverFaults,
 ) -> (IlpResolution, IlpStats) {
     let mut stats = IlpStats::default();
@@ -193,14 +189,13 @@ pub fn solve_ilp_budgeted(
     while !stack.is_empty() {
         // `faults.node_fault()` is evaluated last so the injected index
         // counts actual node expansions.
-        if stats.nodes >= budget.max_nodes || meter.deadline_hit(budget) || faults.node_fault()
-        {
+        if stats.nodes >= budget.max_nodes || meter.deadline_hit(budget) || faults.node_fault() {
             truncated = true;
             break;
         }
         let Node { extra, parent_bound } = stack.pop().expect("stack checked non-empty");
         stats.nodes += 1;
-        meter.nodes += 1;
+        meter.add_node();
 
         let mut sub = problem.clone();
         for &(var, rel, rhs) in &extra {
@@ -334,9 +329,7 @@ mod tests {
 
     fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Problem {
         let mut b = ProblemBuilder::new(Sense::Maximize);
-        let vars: Vec<_> = (0..values.len())
-            .map(|i| b.add_var(format!("x{i}"), true))
-            .collect();
+        let vars: Vec<_> = (0..values.len()).map(|i| b.add_var(format!("x{i}"), true)).collect();
         for (i, &v) in values.iter().enumerate() {
             b.objective(vars[i], v);
             b.constraint(vec![(vars[i], 1.0)], Relation::Le, 1.0);
@@ -438,11 +431,7 @@ mod tests {
 
     #[test]
     fn node_limit_reported() {
-        let p = knapsack(
-            &[9.0, 7.0, 6.0, 5.0, 4.0],
-            &[5.0, 4.0, 3.0, 3.0, 2.0],
-            9.0,
-        );
+        let p = knapsack(&[9.0, 7.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 3.0, 2.0], 9.0);
         let (out, stats) = solve_ilp_with_limits(&p, IlpLimits { max_nodes: 1 });
         // One node is the root; if it is fractional we cannot conclude.
         if stats.first_relaxation_integral {
@@ -465,7 +454,7 @@ mod tests {
         let (res, stats) = solve_ilp_budgeted(
             &p,
             &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
+            &BudgetMeter::new(),
             &mut SolverFaults::none(),
         );
         match res {
@@ -477,17 +466,12 @@ mod tests {
 
     #[test]
     fn node_budget_degrades_to_safe_relaxed_bound() {
-        let p = knapsack(
-            &[9.0, 7.0, 6.0, 5.0, 4.0],
-            &[5.0, 4.0, 3.0, 3.0, 2.0],
-            9.0,
-        );
+        let p = knapsack(&[9.0, 7.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 3.0, 2.0], 9.0);
         let exact = exact_value(&p);
         for max_nodes in 1..6 {
             let budget = SolveBudget { max_nodes, ..SolveBudget::unlimited() };
-            let mut meter = BudgetMeter::new();
-            let (res, stats) =
-                solve_ilp_budgeted(&p, &budget, &mut meter, &mut SolverFaults::none());
+            let meter = BudgetMeter::new();
+            let (res, stats) = solve_ilp_budgeted(&p, &budget, &meter, &mut SolverFaults::none());
             assert!(stats.nodes <= max_nodes);
             match res {
                 IlpResolution::Exact { value, .. } => {
@@ -511,54 +495,38 @@ mod tests {
     fn zero_node_budget_is_exhausted() {
         let p = knapsack(&[3.0, 2.0], &[2.0, 1.0], 2.0);
         let budget = SolveBudget { max_nodes: 0, ..SolveBudget::unlimited() };
-        let (res, stats) = solve_ilp_budgeted(
-            &p,
-            &budget,
-            &mut BudgetMeter::new(),
-            &mut SolverFaults::none(),
-        );
+        let (res, stats) =
+            solve_ilp_budgeted(&p, &budget, &BudgetMeter::new(), &mut SolverFaults::none());
         assert_eq!(res, IlpResolution::Exhausted);
         assert_eq!(stats.nodes, 0);
     }
 
     #[test]
     fn tick_deadline_stops_the_search() {
-        let p = knapsack(
-            &[9.0, 7.0, 6.0, 5.0, 4.0],
-            &[5.0, 4.0, 3.0, 3.0, 2.0],
-            9.0,
-        );
+        let p = knapsack(&[9.0, 7.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 3.0, 2.0], 9.0);
         let exact = exact_value(&p);
         // A handful of pivots: enough for the root LP, not the whole tree.
         let budget = SolveBudget::with_deadline(12);
-        let mut meter = BudgetMeter::new();
-        let (res, _) = solve_ilp_budgeted(&p, &budget, &mut meter, &mut SolverFaults::none());
+        let meter = BudgetMeter::new();
+        let (res, _) = solve_ilp_budgeted(&p, &budget, &meter, &mut SolverFaults::none());
         match res {
             IlpResolution::Relaxed { bound, .. } => assert!(bound >= exact - 1e-6),
             IlpResolution::Exact { value, .. } => assert!((value - exact).abs() < 1e-6),
             IlpResolution::Exhausted => {} // deadline died inside the root LP
             other => panic!("{other:?}"),
         }
-        assert!(meter.ticks <= 12 + 12, "runaway ticks: {}", meter.ticks);
+        assert!(meter.ticks() <= 12 + 12, "runaway ticks: {}", meter.ticks());
     }
 
     #[test]
     fn injected_node_fault_yields_safe_bound_at_every_index() {
-        let p = knapsack(
-            &[9.0, 7.0, 6.0, 5.0, 4.0],
-            &[5.0, 4.0, 3.0, 3.0, 2.0],
-            9.0,
-        );
+        let p = knapsack(&[9.0, 7.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 3.0, 2.0], 9.0);
         let exact = exact_value(&p);
         let total_nodes = solve_ilp(&p).1.nodes as u64;
         for at in 0..total_nodes {
             let mut faults = SolverFaults::limit_at(at);
-            let (res, _) = solve_ilp_budgeted(
-                &p,
-                &SolveBudget::unlimited(),
-                &mut BudgetMeter::new(),
-                &mut faults,
-            );
+            let (res, _) =
+                solve_ilp_budgeted(&p, &SolveBudget::unlimited(), &BudgetMeter::new(), &mut faults);
             match res {
                 IlpResolution::Exact { value, .. } => {
                     assert!((value - exact).abs() < 1e-6);
@@ -574,33 +542,21 @@ mod tests {
 
     #[test]
     fn injected_numerical_fault_below_root_degrades() {
-        let p = knapsack(
-            &[9.0, 7.0, 6.0, 5.0, 4.0],
-            &[5.0, 4.0, 3.0, 3.0, 2.0],
-            9.0,
-        );
+        let p = knapsack(&[9.0, 7.0, 6.0, 5.0, 4.0], &[5.0, 4.0, 3.0, 3.0, 2.0], 9.0);
         let exact = exact_value(&p);
         // LP call 1 is the first child of the root: the subtree is lost but
         // the root relaxation still bounds it.
         let mut faults = SolverFaults::numerical_at(1);
-        let (res, _) = solve_ilp_budgeted(
-            &p,
-            &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
-            &mut faults,
-        );
+        let (res, _) =
+            solve_ilp_budgeted(&p, &SolveBudget::unlimited(), &BudgetMeter::new(), &mut faults);
         match res {
             IlpResolution::Relaxed { bound, .. } => assert!(bound >= exact - 1e-6),
             other => panic!("{other:?}"),
         }
         // At the root there is no covering bound: the solve fails hard.
         let mut faults = SolverFaults::numerical_at(0);
-        let (res, _) = solve_ilp_budgeted(
-            &p,
-            &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
-            &mut faults,
-        );
+        let (res, _) =
+            solve_ilp_budgeted(&p, &SolveBudget::unlimited(), &BudgetMeter::new(), &mut faults);
         assert_eq!(res, IlpResolution::Numerical);
     }
 

@@ -53,12 +53,14 @@
 //! reported bound is.
 
 mod budget;
+mod fingerprint;
 mod ilp;
 mod model;
 mod simplex;
 mod structure;
 
 pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolverFaults};
+pub use fingerprint::{fingerprint, same_structure, Fingerprint};
 pub use ilp::{
     solve_ilp, solve_ilp_budgeted, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpResolution,
     IlpStats,

@@ -98,9 +98,10 @@ impl Problem {
     /// than letting NaN poison the pivot selection.
     pub fn has_non_finite(&self) -> bool {
         self.objective.iter().any(|c| !c.is_finite())
-            || self.constraints.iter().any(|con| {
-                !con.rhs.is_finite() || con.terms.iter().any(|(_, c)| !c.is_finite())
-            })
+            || self
+                .constraints
+                .iter()
+                .any(|con| !con.rhs.is_finite() || con.terms.iter().any(|(_, c)| !c.is_finite()))
     }
 
     /// Checks a point against every constraint and non-negativity,

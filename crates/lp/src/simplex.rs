@@ -116,8 +116,7 @@ impl Tableau {
                 return SimplexEnd::Numerical;
             }
             // Bland's rule: smallest-index eligible entering column.
-            let entering = (0..self.cols - 1)
-                .find(|&j| !self.banned[j] && zrow[j] < -FEAS_TOL);
+            let entering = (0..self.cols - 1).find(|&j| !self.banned[j] && zrow[j] < -FEAS_TOL);
             let Some(col) = entering else {
                 return SimplexEnd::Optimal;
             };
@@ -167,7 +166,7 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
     solve_lp_metered(
         problem,
         &SolveBudget::unlimited(),
-        &mut BudgetMeter::new(),
+        &BudgetMeter::new(),
         &mut SolverFaults::none(),
     )
 }
@@ -184,10 +183,10 @@ pub fn solve_lp(problem: &Problem) -> LpOutcome {
 pub fn solve_lp_metered(
     problem: &Problem,
     budget: &SolveBudget,
-    meter: &mut BudgetMeter,
+    meter: &BudgetMeter,
     faults: &mut SolverFaults,
 ) -> LpOutcome {
-    meter.lp_calls += 1;
+    meter.add_lp_call();
     if let Some(fault) = faults.lp_fault() {
         return match fault {
             LpFault::Infeasible => LpOutcome::Infeasible,
@@ -263,13 +262,8 @@ pub fn solve_lp_metered(
     }
 
     let total_cols = cols;
-    let mut tab = Tableau {
-        a,
-        rows: m,
-        cols: total_cols,
-        basis,
-        banned: vec![false; total_cols - 1],
-    };
+    let mut tab =
+        Tableau { a, rows: m, cols: total_cols, basis, banned: vec![false; total_cols - 1] };
     // Per-call iteration cap: the solver's own generous size-derived stop
     // (Bland's rule terminates, so this only catches pathologies), tightened
     // by any explicit per-LP cap and by the ticks left before the deadline.
@@ -312,13 +306,7 @@ pub fn solve_lp_metered(
     if !artificial_cols.is_empty() {
         let infeas: f64 = artificial_cols
             .iter()
-            .map(|&c| {
-                tab.basis
-                    .iter()
-                    .position(|&b| b == c)
-                    .map(|r| tab.rhs(r))
-                    .unwrap_or(0.0)
-            })
+            .map(|&c| tab.basis.iter().position(|&b| b == c).map(|r| tab.rhs(r)).unwrap_or(0.0))
             .sum();
         if !infeas.is_finite() {
             meter.charge_ticks(pivots);
@@ -380,15 +368,9 @@ mod tests {
     use super::*;
     use crate::model::{ProblemBuilder, Relation, Sense};
 
-    fn build(
-        sense: Sense,
-        obj: &[f64],
-        rows: &[(&[f64], Relation, f64)],
-        ) -> Problem {
+    fn build(sense: Sense, obj: &[f64], rows: &[(&[f64], Relation, f64)]) -> Problem {
         let mut b = ProblemBuilder::new(sense);
-        let vars: Vec<_> = (0..obj.len())
-            .map(|i| b.add_var(format!("v{i}"), false))
-            .collect();
+        let vars: Vec<_> = (0..obj.len()).map(|i| b.add_var(format!("v{i}"), false)).collect();
         for (i, &c) in obj.iter().enumerate() {
             b.objective(vars[i], c);
         }
@@ -437,10 +419,7 @@ mod tests {
         let p = build(
             Sense::Minimize,
             &[2.0, 3.0],
-            &[
-                (&[1.0, 1.0], Relation::Ge, 4.0),
-                (&[1.0, 0.0], Relation::Ge, 1.0),
-            ],
+            &[(&[1.0, 1.0], Relation::Ge, 4.0), (&[1.0, 0.0], Relation::Ge, 1.0)],
         );
         assert_opt(&p, 8.0);
     }
@@ -451,10 +430,7 @@ mod tests {
         let p = build(
             Sense::Maximize,
             &[1.0, 1.0],
-            &[
-                (&[1.0, 1.0], Relation::Eq, 5.0),
-                (&[1.0, 0.0], Relation::Le, 2.0),
-            ],
+            &[(&[1.0, 1.0], Relation::Eq, 5.0), (&[1.0, 0.0], Relation::Le, 2.0)],
         );
         assert_opt(&p, 5.0);
     }
@@ -464,10 +440,7 @@ mod tests {
         let p = build(
             Sense::Maximize,
             &[1.0],
-            &[
-                (&[1.0], Relation::Ge, 5.0),
-                (&[1.0], Relation::Le, 2.0),
-            ],
+            &[(&[1.0], Relation::Ge, 5.0), (&[1.0], Relation::Le, 2.0)],
         );
         assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
     }
@@ -491,10 +464,7 @@ mod tests {
         let p = build(
             Sense::Maximize,
             &[1.0, 1.0],
-            &[
-                (&[1.0, -1.0], Relation::Le, -2.0),
-                (&[0.0, 1.0], Relation::Le, 5.0),
-            ],
+            &[(&[1.0, -1.0], Relation::Le, -2.0), (&[0.0, 1.0], Relation::Le, 5.0)],
         );
         assert_opt(&p, 8.0);
     }
@@ -521,10 +491,7 @@ mod tests {
         let p = build(
             Sense::Maximize,
             &[1.0, 0.0],
-            &[
-                (&[1.0, 1.0], Relation::Eq, 2.0),
-                (&[1.0, 1.0], Relation::Eq, 2.0),
-            ],
+            &[(&[1.0, 1.0], Relation::Eq, 2.0), (&[1.0, 1.0], Relation::Eq, 2.0)],
         );
         assert_opt(&p, 2.0);
     }
@@ -540,21 +507,13 @@ mod tests {
 
     #[test]
     fn nan_objective_reports_numerical() {
-        let p = build(
-            Sense::Maximize,
-            &[f64::NAN, 1.0],
-            &[(&[1.0, 1.0], Relation::Le, 4.0)],
-        );
+        let p = build(Sense::Maximize, &[f64::NAN, 1.0], &[(&[1.0, 1.0], Relation::Le, 4.0)]);
         assert_eq!(solve_lp(&p), LpOutcome::Numerical);
     }
 
     #[test]
     fn infinite_coefficient_reports_numerical() {
-        let p = build(
-            Sense::Minimize,
-            &[1.0],
-            &[(&[f64::INFINITY], Relation::Ge, 2.0)],
-        );
+        let p = build(Sense::Minimize, &[1.0], &[(&[f64::INFINITY], Relation::Ge, 2.0)]);
         assert_eq!(solve_lp(&p), LpOutcome::Numerical);
     }
 
@@ -571,16 +530,16 @@ mod tests {
         );
         // Zero ticks left: the solve must refuse immediately, not guess.
         let budget = SolveBudget::with_deadline(0);
-        let mut meter = BudgetMeter::new();
-        let out = solve_lp_metered(&p, &budget, &mut meter, &mut SolverFaults::none());
+        let meter = BudgetMeter::new();
+        let out = solve_lp_metered(&p, &budget, &meter, &mut SolverFaults::none());
         assert_eq!(out, LpOutcome::LimitReached);
-        assert_eq!(meter.lp_calls, 1);
+        assert_eq!(meter.lp_calls(), 1);
         // With budget to spare the same problem solves and charges pivots.
         let budget = SolveBudget::with_deadline(10_000);
-        let mut meter = BudgetMeter::new();
-        let out = solve_lp_metered(&p, &budget, &mut meter, &mut SolverFaults::none());
+        let meter = BudgetMeter::new();
+        let out = solve_lp_metered(&p, &budget, &meter, &mut SolverFaults::none());
         assert!(matches!(out, LpOutcome::Optimal { .. }));
-        assert!(meter.ticks > 0);
+        assert!(meter.ticks() > 0);
     }
 
     #[test]
@@ -595,12 +554,7 @@ mod tests {
             ],
         );
         let budget = SolveBudget { max_lp_iters: Some(1), ..SolveBudget::unlimited() };
-        let out = solve_lp_metered(
-            &p,
-            &budget,
-            &mut BudgetMeter::new(),
-            &mut SolverFaults::none(),
-        );
+        let out = solve_lp_metered(&p, &budget, &BudgetMeter::new(), &mut SolverFaults::none());
         assert_eq!(out, LpOutcome::LimitReached);
     }
 
@@ -610,20 +564,17 @@ mod tests {
         let budget = SolveBudget::unlimited();
 
         let mut faults = SolverFaults::infeasible_at(0);
-        let mut meter = BudgetMeter::new();
-        assert_eq!(
-            solve_lp_metered(&p, &budget, &mut meter, &mut faults),
-            LpOutcome::Infeasible
-        );
+        let meter = BudgetMeter::new();
+        assert_eq!(solve_lp_metered(&p, &budget, &meter, &mut faults), LpOutcome::Infeasible);
         // The next call is past the fault index and solves normally.
         assert!(matches!(
-            solve_lp_metered(&p, &budget, &mut meter, &mut faults),
+            solve_lp_metered(&p, &budget, &meter, &mut faults),
             LpOutcome::Optimal { .. }
         ));
 
         let mut faults = SolverFaults::numerical_at(0);
         assert_eq!(
-            solve_lp_metered(&p, &budget, &mut BudgetMeter::new(), &mut faults),
+            solve_lp_metered(&p, &budget, &BudgetMeter::new(), &mut faults),
             LpOutcome::Numerical
         );
     }

@@ -22,14 +22,10 @@ use crate::model::Problem;
 fn column_nonzeros(problem: &Problem) -> Option<Vec<Vec<(usize, i8)>>> {
     let mut cols: Vec<Vec<(usize, i8)>> = vec![Vec::new(); problem.num_vars()];
     for (r, con) in problem.constraints.iter().enumerate() {
-        for (v, c) in con
-            .terms
-            .iter()
-            .fold(std::collections::HashMap::new(), |mut acc, &(v, c)| {
-                *acc.entry(v).or_insert(0.0) += c;
-                acc
-            })
-        {
+        for (v, c) in con.terms.iter().fold(std::collections::HashMap::new(), |mut acc, &(v, c)| {
+            *acc.entry(v).or_insert(0.0) += c;
+            acc
+        }) {
             if c == 0.0 {
                 continue;
             }

@@ -69,7 +69,7 @@ proptest! {
         let (res, _) = solve_ilp_budgeted(
             &p,
             &budget,
-            &mut BudgetMeter::new(),
+            &BudgetMeter::new(),
             &mut SolverFaults::none(),
         );
         match (res, exact) {
@@ -98,7 +98,7 @@ proptest! {
         let (res, _) = solve_ilp_budgeted(
             &p,
             &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
+            &BudgetMeter::new(),
             &mut SolverFaults::limit_at(at),
         );
         match (res, exact) {
@@ -127,7 +127,7 @@ proptest! {
         let (res, _) = solve_ilp_budgeted(
             &p,
             &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
+            &BudgetMeter::new(),
             &mut faults,
         );
         // Any verdict is acceptable — the property is that we got one.
@@ -154,7 +154,7 @@ proptest! {
         let (res, _) = solve_ilp_budgeted(
             &poisoned,
             &SolveBudget::unlimited(),
-            &mut BudgetMeter::new(),
+            &BudgetMeter::new(),
             &mut SolverFaults::none(),
         );
         prop_assert!(matches!(res, IlpResolution::Numerical));
@@ -166,10 +166,10 @@ proptest! {
     fn tick_deadline_caps_total_work((p, ticks) in (arb_problem(), 0u64..64)) {
         let mut budget = SolveBudget::unlimited();
         budget.deadline_ticks = Some(ticks);
-        let mut meter = BudgetMeter::new();
-        let _ = solve_ilp_budgeted(&p, &budget, &mut meter, &mut SolverFaults::none());
+        let meter = BudgetMeter::new();
+        let _ = solve_ilp_budgeted(&p, &budget, &meter, &mut SolverFaults::none());
         // One in-flight LP may overshoot by its own iteration allowance,
         // which is itself capped by the ticks that were left.
-        prop_assert!(meter.ticks <= 2 * ticks.max(1), "{} ticks vs deadline {}", meter.ticks, ticks);
+        prop_assert!(meter.ticks() <= 2 * ticks.max(1), "{} ticks vs deadline {}", meter.ticks(), ticks);
     }
 }

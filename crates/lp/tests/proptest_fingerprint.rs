@@ -1,0 +1,142 @@
+//! Property tests for the content-addressed problem fingerprint: the key the
+//! solve pool caches under must identify a problem up to α-equivalence
+//! (variable renaming, row reordering, term noise) and must separate
+//! problems that differ semantically.
+
+use ipet_lp::{
+    fingerprint, same_structure, Constraint, Problem, ProblemBuilder, Relation, Sense, VarId,
+};
+use proptest::prelude::*;
+
+/// A random small ILP: `n` variables, a few random rows, random sense,
+/// random integrality.
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    let n = 2usize..5;
+    let rows = 1usize..5;
+    (n, rows, any::<bool>()).prop_flat_map(|(n, rows, maximize)| {
+        let obj = prop::collection::vec(-5i32..=5, n);
+        let flags = prop::collection::vec(any::<bool>(), n);
+        let row = (
+            prop::collection::vec(-3i32..=3, n),
+            prop_oneof![Just(Relation::Le), Just(Relation::Ge), Just(Relation::Eq)],
+            -10i32..=10,
+        );
+        let rowvec = prop::collection::vec(row, rows);
+        (obj, flags, rowvec).prop_map(move |(obj, flags, rowvec)| {
+            let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+            let mut b = ProblemBuilder::new(sense);
+            let vars: Vec<_> = (0..n).map(|i| b.add_var(format!("v{i}"), flags[i])).collect();
+            for (i, &c) in obj.iter().enumerate() {
+                b.objective(vars[i], c as f64);
+            }
+            for (coeffs, rel, rhs) in rowvec {
+                let terms: Vec<_> =
+                    coeffs.iter().enumerate().map(|(i, &c)| (vars[i], c as f64)).collect();
+                b.constraint(terms, rel, rhs as f64);
+            }
+            b.build()
+        })
+    })
+}
+
+/// Applies a variable permutation `perm` (new index of old variable `v` is
+/// `perm[v]`) to every part of the problem, producing an α-equivalent model.
+fn permute(p: &Problem, perm: &[usize]) -> Problem {
+    let n = p.num_vars();
+    let mut objective = vec![0.0; n];
+    let mut integer = vec![false; n];
+    let mut names = vec![String::new(); n];
+    for v in 0..n {
+        objective[perm[v]] = p.objective[v];
+        integer[perm[v]] = p.integer[v];
+        names[perm[v]] = p.names[v].clone();
+    }
+    let constraints = p
+        .constraints
+        .iter()
+        .map(|c| Constraint {
+            terms: c.terms.iter().map(|&(v, co)| (VarId(perm[v.0]), co)).collect(),
+            relation: c.relation,
+            rhs: c.rhs,
+        })
+        .collect();
+    Problem { sense: p.sense, objective, constraints, integer, names }
+}
+
+/// Derives a permutation of `0..n` from random ranks (argsort with index
+/// tie-break, so it is a permutation for any input).
+fn perm_from_ranks(ranks: &[u64], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| (ranks.get(i).copied().unwrap_or(0), i));
+    let mut perm = vec![0; n];
+    for (new, &old) in idx.iter().enumerate() {
+        perm[old] = new;
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// α-equivalence: any variable permutation plus any row rotation maps to
+    /// the same fingerprint.
+    #[test]
+    fn alpha_equivalent_problems_share_a_key(
+        (p, ranks, rot) in (
+            arb_problem(),
+            prop::collection::vec(0u64..1_000, 5),
+            0usize..4,
+        )
+    ) {
+        let n = p.num_vars();
+        let perm = perm_from_ranks(&ranks, n);
+        let mut q = permute(&p, &perm);
+        if !q.constraints.is_empty() {
+            let r = rot % q.constraints.len();
+            q.constraints.rotate_left(r);
+        }
+        prop_assert_eq!(fingerprint(&p), fingerprint(&q));
+    }
+
+    /// Term-level noise — splitting a coefficient across repeated terms and
+    /// appending zero terms — never changes the key or structural equality.
+    #[test]
+    fn term_noise_is_normalized_away((p, which) in (arb_problem(), 0usize..8)) {
+        let mut q = p.clone();
+        let i = which % q.constraints.len();
+        let noisy: Vec<(VarId, f64)> = q.constraints[i]
+            .terms
+            .iter()
+            .flat_map(|&(v, c)| vec![(v, c / 2.0), (v, c / 2.0), (v, 0.0)])
+            .collect();
+        q.constraints[i].terms = noisy;
+        prop_assert_eq!(fingerprint(&p), fingerprint(&q));
+        prop_assert!(same_structure(&p, &q));
+    }
+
+    /// Semantic perturbations separate keys: nudging one effective
+    /// coefficient, right-hand side, or the sense yields a different
+    /// fingerprint.
+    #[test]
+    fn semantic_changes_separate_keys((p, which, kind) in (arb_problem(), 0usize..8, 0u8..3)) {
+        let mut q = p.clone();
+        match kind {
+            0 => {
+                let i = which % q.constraints.len();
+                q.constraints[i].rhs += 1.0;
+            }
+            1 => {
+                let v = which % q.num_vars();
+                q.objective[v] += 1.0;
+            }
+            _ => {
+                q.sense = match q.sense {
+                    Sense::Maximize => Sense::Minimize,
+                    Sense::Minimize => Sense::Maximize,
+                };
+            }
+        }
+        prop_assert_ne!(fingerprint(&p), fingerprint(&q));
+        prop_assert!(!same_structure(&p, &q));
+    }
+}

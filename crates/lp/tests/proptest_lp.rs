@@ -1,7 +1,9 @@
 //! Property tests: the simplex + branch & bound solver against brute-force
 //! enumeration on small integer boxes.
 
-use ipet_lp::{solve_ilp, solve_lp, IlpOutcome, LpOutcome, Problem, ProblemBuilder, Relation, Sense};
+use ipet_lp::{
+    solve_ilp, solve_lp, IlpOutcome, LpOutcome, Problem, ProblemBuilder, Relation, Sense,
+};
 use proptest::prelude::*;
 
 /// A random small ILP over `n` variables bounded to `0..=ub` each, with a

@@ -1,0 +1,219 @@
+//! The content-addressed solve cache.
+//!
+//! Solved ILPs are stored under their [`Fingerprint`] — a normalized,
+//! permutation-invariant content hash from `ipet-lp` — so structurally
+//! identical problems across constraint sets, benchmarks and repeated runs
+//! are solved once and replayed.
+//!
+//! ## Soundness: validated replay
+//!
+//! A fingerprint match alone never authorizes a replay. The fingerprint is
+//! the *index*; correctness comes from two gates applied on every probe:
+//!
+//! 1. **Structural equality** — the cached problem must match the probe
+//!    problem row for row ([`same_structure`], which ignores debug names
+//!    and term noise but nothing else). α-equivalent-but-permuted problems
+//!    share a bucket yet are *not* replayed: an `Exact` witness vector is
+//!    indexed by variable order, so replaying it across a permutation would
+//!    corrupt the block counts downstream. Such near-hits are counted as
+//!    [`CacheOutcome::Rejected`] telemetry instead.
+//! 2. **Witness validation** — an `Exact` resolution is replayed only if
+//!    its cached witness still satisfies the probe problem and reproduces
+//!    the cached objective value. This can only fail on a hash-bucket
+//!    collision or an implementation bug; either way the probe is treated
+//!    as a miss and solved fresh, so a cache defect can cost time but never
+//!    an unsound bound.
+
+use ipet_lp::{fingerprint, same_structure, Fingerprint, IlpResolution, IlpStats, Problem};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Feasibility/objective tolerance for witness validation, matching the
+/// solver's own integral-snap tolerance scale.
+const VALIDATE_TOL: f64 = 1e-6;
+
+/// How a job's answer was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Solved fresh (and inserted into the cache).
+    Miss,
+    /// Replayed from the cache (cross-batch) or from a structurally
+    /// identical job solved earlier in the same batch.
+    Hit,
+    /// A fingerprint bucket held only α-equivalent-but-permuted entries (or
+    /// an entry that failed witness validation): solved fresh.
+    Rejected,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Jobs answered by replay.
+    pub hits: u64,
+    /// Jobs solved fresh.
+    pub misses: u64,
+    /// Fingerprint matches refused by the structural/witness gates.
+    pub rejected: u64,
+}
+
+struct CacheEntry {
+    problem: Problem,
+    resolution: IlpResolution,
+    stats: IlpStats,
+}
+
+/// A thread-safe map from problem fingerprints to validated solve results.
+#[derive(Default)]
+pub struct SolveCache {
+    buckets: Mutex<HashMap<u128, Vec<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// Cumulative statistics over the cache's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Computes the cache key of `problem`.
+    pub fn key(problem: &Problem) -> Fingerprint {
+        fingerprint(problem)
+    }
+
+    /// Looks up a validated replay for `problem`, updating hit/reject
+    /// telemetry. Returns `None` (counting nothing — the caller records the
+    /// miss on insert) when no entry passes both gates.
+    pub fn probe(&self, key: Fingerprint, problem: &Problem) -> Option<(IlpResolution, IlpStats)> {
+        let buckets = self.buckets.lock().expect("cache lock");
+        let bucket = buckets.get(&key.0)?;
+        let mut near_hit = false;
+        for entry in bucket {
+            if !same_structure(&entry.problem, problem) {
+                near_hit = true;
+                continue;
+            }
+            if let IlpResolution::Exact { x, value } = &entry.resolution {
+                let valid = problem.is_feasible(x, VALIDATE_TOL)
+                    && (problem.objective_value(x) - value).abs()
+                        <= VALIDATE_TOL * (1.0 + value.abs());
+                if !valid {
+                    near_hit = true;
+                    continue;
+                }
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((entry.resolution.clone(), entry.stats));
+        }
+        if near_hit {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Inserts a fresh solve result and counts the miss that caused it.
+    pub fn insert(
+        &self,
+        key: Fingerprint,
+        problem: &Problem,
+        resolution: &IlpResolution,
+        stats: IlpStats,
+    ) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut buckets = self.buckets.lock().expect("cache lock");
+        buckets.entry(key.0).or_default().push(CacheEntry {
+            problem: problem.clone(),
+            resolution: resolution.clone(),
+            stats,
+        });
+    }
+
+    /// Counts `n` replays served from within-batch deduplication (the
+    /// members of a job group whose representative was solved once).
+    pub fn count_batch_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipet_lp::{ProblemBuilder, Relation, Sense};
+
+    fn toy() -> Problem {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        let y = b.add_var("y", true);
+        b.objective(x, 3.0);
+        b.objective(y, 2.0);
+        b.constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        b.constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let cache = SolveCache::new();
+        let p = toy();
+        let key = SolveCache::key(&p);
+        assert!(cache.probe(key, &p).is_none());
+        let res = IlpResolution::Exact { x: vec![2.0, 2.0], value: 10.0 };
+        cache.insert(key, &p, &res, IlpStats::default());
+        let (replayed, _) = cache.probe(key, &p).expect("hit");
+        assert_eq!(replayed, res);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, rejected: 0 });
+    }
+
+    #[test]
+    fn permuted_entry_is_rejected_not_replayed() {
+        // Same problem with variables swapped: same fingerprint, different
+        // structure — the witness must not transfer.
+        let cache = SolveCache::new();
+        let p = toy();
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let y = b.add_var("y", true);
+        let x = b.add_var("x", true);
+        b.objective(x, 3.0);
+        b.objective(y, 2.0);
+        b.constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        b.constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        let q = b.build();
+        let key = SolveCache::key(&p);
+        assert_eq!(key, SolveCache::key(&q), "test premise: α-equivalent");
+        cache.insert(
+            key,
+            &p,
+            &IlpResolution::Exact { x: vec![2.0, 2.0], value: 10.0 },
+            IlpStats::default(),
+        );
+        assert!(cache.probe(SolveCache::key(&q), &q).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+    }
+
+    #[test]
+    fn corrupt_witness_fails_validation() {
+        let cache = SolveCache::new();
+        let p = toy();
+        let key = SolveCache::key(&p);
+        // Witness violates x <= 2: the gate must refuse the replay.
+        cache.insert(
+            key,
+            &p,
+            &IlpResolution::Exact { x: vec![4.0, 0.0], value: 12.0 },
+            IlpStats::default(),
+        );
+        assert!(cache.probe(key, &p).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+    }
+}

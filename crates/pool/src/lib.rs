@@ -1,0 +1,36 @@
+//! # ipet-pool
+//!
+//! Parallel solve orchestration for the IPET pipeline: a work-stealing
+//! worker pool that takes every independent ILP job produced by an
+//! analysis — one per surviving DNF constraint set and objective sense —
+//! and solves them across a configurable number of threads, backed by a
+//! content-addressed solve cache.
+//!
+//! The subsystem exists because the paper's method is embarrassingly
+//! parallel *between* ILPs but each ILP must stay sequential: one analysis
+//! yields `2 × |sets|` independent solves, and a benchmark table yields
+//! that again per program. [`SolvePool::run_plans`] batches any number of
+//! [`AnalysisPlan`]s (from [`Analyzer::plan`](ipet_core::Analyzer::plan))
+//! into one job list and folds each plan's verdicts back with
+//! [`AnalysisPlan::complete`](ipet_core::AnalysisPlan::complete).
+//!
+//! Three properties are load-bearing and tested:
+//!
+//! * **Determinism** — bounds, qualities, report ordering and cache
+//!   hit/miss counts are bit-for-bit identical for any worker count. With
+//!   no tick deadline the pooled result equals the serial
+//!   `Analyzer::analyze` result exactly; with a deadline the pool shards
+//!   it deterministically, so `--jobs 1` and `--jobs 8` still agree with
+//!   each other.
+//! * **Sound caching** — the cache replays a result only after structural
+//!   equality and witness validation pass ([`cache`] module docs); a cache
+//!   defect can cost time, never an unsound bound.
+//! * **Budget accounting** — per-worker tick spend is reported, and the
+//!   shared [`BudgetMeter`](ipet_lp::BudgetMeter) semantics guarantee at
+//!   most one charge of overshoot per worker.
+
+mod cache;
+mod pool;
+
+pub use cache::{CacheOutcome, CacheStats, SolveCache};
+pub use pool::{BatchReport, JobOutcome, PlanBatch, SolvePool};

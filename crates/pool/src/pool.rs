@@ -1,0 +1,291 @@
+//! The worker pool: deterministic dedup, deadline sharding, work-stealing
+//! execution, and the plan-level driver.
+
+use crate::cache::{CacheOutcome, CacheStats, SolveCache};
+use ipet_core::{AnalysisError, AnalysisPlan, Estimate, JobVerdict};
+use ipet_lp::{
+    solve_ilp_budgeted, BudgetMeter, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget,
+    SolverFaults,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Answer for one job of a batch.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The solver's resolution (replayed verbatim for cache hits).
+    pub resolution: IlpResolution,
+    /// Statistics of the solve that produced the resolution. A replayed
+    /// job reports the original solve's statistics — they describe the
+    /// work the answer *embodies*, not work done again.
+    pub stats: IlpStats,
+    /// Whether the answer was solved fresh, replayed, or solved fresh after
+    /// the cache rejected a fingerprint near-hit.
+    pub cache: CacheOutcome,
+}
+
+/// Everything a batch run reports besides the per-job answers.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job answers, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs answered by replay in this batch (within-batch dedup plus
+    /// cross-batch cache hits). Deterministic for any worker count because
+    /// dedup happens before dispatch.
+    pub hits: u64,
+    /// Jobs solved fresh in this batch.
+    pub misses: u64,
+    /// Ticks spent by each worker (length = configured worker count).
+    pub worker_ticks: Vec<u64>,
+    /// Total ticks committed by the batch (sum of `worker_ticks`).
+    pub total_ticks: u64,
+    /// Wall-clock time of the parallel solve phase (excludes dedup,
+    /// cache probing and result fan-out, which are serial and cheap).
+    pub wall: std::time::Duration,
+}
+
+/// Result of [`SolvePool::run_plans`]: one estimate per plan plus the
+/// batch-level report.
+pub struct PlanBatch {
+    /// Per-plan analysis results, in plan order.
+    pub estimates: Vec<Result<Estimate, AnalysisError>>,
+    /// The underlying batch report (outcomes, hits/misses, worker ticks).
+    pub report: BatchReport,
+}
+
+/// A work-stealing ILP solve pool with a content-addressed solve cache.
+///
+/// ## Determinism
+///
+/// Results are bit-for-bit identical for any worker count:
+///
+/// * **Dedup before dispatch** — jobs are grouped by fingerprint and
+///   structural equality *before* any solver runs, so which jobs are solved
+///   (one representative per group) and which are replayed never depends on
+///   scheduling. Hit/miss counts are deterministic too.
+/// * **Deadline sharding** — a tick deadline is split across the
+///   representative solves up front (`d / n` each, the first `d mod n` of
+///   them getting one extra tick), so each solve sees the same budget at
+///   any worker count and degrades (`IlpResolution::Exhausted` /
+///   `Relaxed`) identically. The pool's meters only *account* for spend;
+///   they never gate a solve on a concurrently updated counter, because
+///   that would make degradation schedule-dependent.
+/// * **Order-independent folding** — callers fold outcomes by job index
+///   ([`AnalysisPlan::complete`] accepts verdicts in canonical job order
+///   regardless of completion order), so work stealing cannot reorder
+///   anything observable.
+pub struct SolvePool {
+    workers: usize,
+    cache: SolveCache,
+}
+
+impl SolvePool {
+    /// A pool with `workers` worker threads (clamped to at least 1) and an
+    /// empty cache.
+    pub fn new(workers: usize) -> SolvePool {
+        SolvePool { workers: workers.max(1), cache: SolveCache::new() }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative cache statistics across every batch this pool ran.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Solves a batch of problems under `budget`, returning per-job
+    /// outcomes in submission order.
+    pub fn solve_batch(&self, problems: &[Problem], budget: &SolveBudget) -> BatchReport {
+        // 1. Deterministic dedup: group jobs by (fingerprint, structure).
+        //    `groups[g]` lists the job indices sharing one representative
+        //    (the first member); first-occurrence order keeps the grouping
+        //    independent of hash-map iteration.
+        let keys: Vec<Fingerprint> = problems.iter().map(SolveCache::key).collect();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_of: Vec<usize> = vec![0; problems.len()];
+        for (j, p) in problems.iter().enumerate() {
+            let found = groups
+                .iter()
+                .position(|g| keys[g[0]] == keys[j] && ipet_lp::same_structure(&problems[g[0]], p));
+            match found {
+                Some(g) => {
+                    groups[g].push(j);
+                    group_of[j] = g;
+                }
+                None => {
+                    group_of[j] = groups.len();
+                    groups.push(vec![j]);
+                }
+            }
+        }
+
+        // 2. Cross-batch cache probe per group representative. Probing is
+        //    serial, so the rejected-counter delta attributes near-hit
+        //    rejections to the group that caused them.
+        let mut answers: Vec<Option<(IlpResolution, IlpStats)>> = Vec::with_capacity(groups.len());
+        let mut group_rejected: Vec<bool> = vec![false; groups.len()];
+        let mut to_solve: Vec<usize> = Vec::new(); // indices into `groups`
+        for (g, members) in groups.iter().enumerate() {
+            let rep = members[0];
+            let rejected_before = self.cache.stats().rejected;
+            match self.cache.probe(keys[rep], &problems[rep]) {
+                Some(hit) => answers.push(Some(hit)),
+                None => {
+                    answers.push(None);
+                    group_rejected[g] = self.cache.stats().rejected > rejected_before;
+                    to_solve.push(g);
+                }
+            }
+        }
+
+        // 3. Deterministic deadline sharding over the representative solves.
+        let shards = shard_deadline(budget.deadline_ticks, to_solve.len());
+
+        // 4. Work-stealing execution: a shared cursor hands representative
+        //    solves to whichever worker frees up first; each solve runs
+        //    under its own sharded budget and a fresh meter, and each
+        //    worker tallies the ticks it spent.
+        let slots: Mutex<Vec<Option<(IlpResolution, IlpStats)>>> =
+            Mutex::new(vec![None; to_solve.len()]);
+        let cursor = AtomicUsize::new(0);
+        let tallies: Mutex<Vec<u64>> = Mutex::new(vec![0; self.workers]);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..self.workers.min(to_solve.len()) {
+                let (slots, cursor, tallies) = (&slots, &cursor, &tallies);
+                let (shards, to_solve, groups) = (&shards, &to_solve, &groups);
+                scope.spawn(move || {
+                    let mut my_ticks = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= to_solve.len() {
+                            break;
+                        }
+                        let rep = groups[to_solve[i]][0];
+                        let job_budget = SolveBudget { deadline_ticks: shards[i], ..*budget };
+                        let meter = BudgetMeter::new();
+                        let (res, stats) = solve_ilp_budgeted(
+                            &problems[rep],
+                            &job_budget,
+                            &meter,
+                            &mut SolverFaults::none(),
+                        );
+                        my_ticks = my_ticks.saturating_add(meter.ticks());
+                        slots.lock().expect("slot lock")[i] = Some((res, stats));
+                    }
+                    tallies.lock().expect("tick lock")[w] = my_ticks;
+                });
+            }
+        });
+        let wall = t0.elapsed();
+        let solved = slots.into_inner().expect("slot lock");
+        let worker_ticks = tallies.into_inner().expect("tick lock");
+
+        // 5. Install the fresh solves (cache misses) and splice them into
+        //    the per-group answers.
+        for (i, g) in to_solve.iter().enumerate() {
+            let rep = groups[*g][0];
+            let (res, stats) = solved[i].clone().expect("every representative solved");
+            self.cache.insert(keys[rep], &problems[rep], &res, stats);
+            answers[*g] = Some((res, stats));
+        }
+
+        // 6. Fan the group answers back out to every member. The fresh
+        //    representatives are the batch's misses; everything else is a
+        //    replay. Within-batch replays (jobs beyond each group's
+        //    representative: `jobs - groups`) weren't seen by probe(), so
+        //    count them into the cache stats here.
+        let fresh: std::collections::HashSet<usize> =
+            to_solve.iter().map(|g| groups[*g][0]).collect();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let outcomes: Vec<JobOutcome> = (0..problems.len())
+            .map(|j| {
+                let g = group_of[j];
+                let (resolution, stats) = answers[g].clone().expect("every group answered");
+                let cache = if fresh.contains(&j) {
+                    misses += 1;
+                    if group_rejected[g] {
+                        CacheOutcome::Rejected
+                    } else {
+                        CacheOutcome::Miss
+                    }
+                } else {
+                    hits += 1;
+                    CacheOutcome::Hit
+                };
+                JobOutcome { resolution, stats, cache }
+            })
+            .collect();
+        self.cache.count_batch_hits((problems.len() - groups.len()) as u64);
+
+        let total_ticks = worker_ticks.iter().sum();
+        BatchReport { outcomes, hits, misses, worker_ticks, total_ticks, wall }
+    }
+
+    /// Runs every job of every plan through the pool as one batch and folds
+    /// the verdicts back per plan.
+    ///
+    /// Jobs are concatenated in plan order (each plan's jobs in their
+    /// canonical order), so the batch — and with it the dedup grouping, the
+    /// shard assignment and every outcome — is a pure function of the plans
+    /// and the budget, independent of the worker count.
+    pub fn run_plans(&self, plans: &[AnalysisPlan], budget: &SolveBudget) -> PlanBatch {
+        let problems: Vec<Problem> = plans
+            .iter()
+            .flat_map(|plan| plan.jobs().iter().map(|job| job.problem.clone()))
+            .collect();
+        let report = self.solve_batch(&problems, budget);
+        let mut offset = 0usize;
+        let estimates = plans
+            .iter()
+            .map(|plan| {
+                let n = plan.jobs().len();
+                let verdicts: Vec<JobVerdict> = report.outcomes[offset..offset + n]
+                    .iter()
+                    .map(|o| JobVerdict::Solved(o.resolution.clone(), o.stats))
+                    .collect();
+                offset += n;
+                plan.complete(&verdicts)
+            })
+            .collect();
+        PlanBatch { estimates, report }
+    }
+}
+
+/// Splits a tick deadline across `n` solves: `d / n` each, the first
+/// `d mod n` solves getting one extra tick, so the shards sum to exactly
+/// `d` and depend only on `(d, n)` — never on scheduling or worker count.
+fn shard_deadline(deadline: Option<u64>, n: usize) -> Vec<Option<u64>> {
+    let Some(d) = deadline else {
+        return vec![None; n];
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    let n64 = n as u64;
+    (0..n64).map(|i| Some(d / n64 + u64::from(i < d % n64))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_sum_to_deadline_and_differ_by_at_most_one() {
+        for d in [0u64, 1, 7, 100, 1001] {
+            for n in 1..=9usize {
+                let shards = shard_deadline(Some(d), n);
+                assert_eq!(shards.len(), n);
+                let vals: Vec<u64> = shards.iter().map(|s| s.unwrap()).collect();
+                assert_eq!(vals.iter().sum::<u64>(), d);
+                let (min, max) = (vals.iter().min().unwrap(), vals.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+        assert_eq!(shard_deadline(None, 3), vec![None, None, None]);
+    }
+}

@@ -109,20 +109,12 @@ pub struct Simulator<'p> {
 impl<'p> Simulator<'p> {
     /// Creates a simulator for `program`.
     pub fn new(program: &'p Program, machine: Machine, config: SimConfig) -> Simulator<'p> {
-        let cfgs: Vec<Cfg> = program
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| Cfg::build(FuncId(i), f))
-            .collect();
+        let cfgs: Vec<Cfg> =
+            program.functions.iter().enumerate().map(|(i, f)| Cfg::build(FuncId(i), f)).collect();
         let leader_block = cfgs
             .iter()
             .map(|cfg| {
-                cfg.blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(b, blk)| (blk.start, BlockId(b)))
-                    .collect()
+                cfg.blocks.iter().enumerate().map(|(b, blk)| (blk.start, BlockId(b))).collect()
             })
             .collect();
         let mem_words = (program.data_words() + config.stack_words) as usize;
@@ -345,11 +337,7 @@ impl<'p> Simulator<'p> {
                 Instr::Ld { dst, base, offset } => {
                     let addr = rd(&regs, base) as i64 + offset as i64;
                     if addr < 0 || addr as usize >= self.mem.len() {
-                        return Err(SimError::MemOutOfBounds {
-                            func: f.name.clone(),
-                            pc,
-                            addr,
-                        });
+                        return Err(SimError::MemOutOfBounds { func: f.name.clone(), pc, addr });
                     }
                     cycles += self.daccess(addr as u32);
                     if dst != Reg::ZERO {
@@ -359,11 +347,7 @@ impl<'p> Simulator<'p> {
                 Instr::St { src, base, offset } => {
                     let addr = rd(&regs, base) as i64 + offset as i64;
                     if addr < 0 || addr as usize >= self.mem.len() {
-                        return Err(SimError::MemOutOfBounds {
-                            func: f.name.clone(),
-                            pc,
-                            addr,
-                        });
+                        return Err(SimError::MemOutOfBounds { func: f.name.clone(), pc, addr });
                     }
                     self.mem[addr as usize] = rd(&regs, src);
                 }
@@ -380,9 +364,7 @@ impl<'p> Simulator<'p> {
                 }
                 Instr::Call { func: callee } => {
                     if calls.len() >= self.max_call_depth {
-                        return Err(SimError::CallDepthExceeded {
-                            depth: self.max_call_depth,
-                        });
+                        return Err(SimError::CallDepthExceeded { depth: self.max_call_depth });
                     }
                     calls.push((func, pc + 1, regs[Reg::SP.index()], regs[Reg::FP.index()]));
                     let frame = self.program.functions[callee.0].frame_words as i32;
@@ -523,10 +505,7 @@ mod tests {
         let mut sim = Simulator::new(&p, Machine::i960kb(), SimConfig::default());
         sim.seed_global("x", &[7, 8]).unwrap();
         assert_eq!(sim.run(&[]).unwrap().return_value, 8);
-        assert!(matches!(
-            sim.seed_global("x", &[1, 2, 3]),
-            Err(SimError::SeedTooLong { .. })
-        ));
+        assert!(matches!(sim.seed_global("x", &[1, 2, 3]), Err(SimError::SeedTooLong { .. })));
         assert!(matches!(sim.seed_global("nope", &[]), Err(SimError::NoSuchGlobal(_))));
     }
 

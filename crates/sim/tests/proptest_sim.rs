@@ -12,17 +12,11 @@ fn arb_source() -> impl Strategy<Value = String> {
     let line = prop_oneof![
         assign.clone(),
         (1i64..6, prop::collection::vec(assign, 1..3)).prop_map(|(trips, body)| {
-            format!(
-                "for (k = 0; k < {trips}; k = k + 1) {{ {} }}",
-                body.join(" ")
-            )
+            format!("for (k = 0; k < {trips}; k = k + 1) {{ {} }}", body.join(" "))
         }),
     ];
     prop::collection::vec(line, 1..8).prop_map(|lines| {
-        format!(
-            "int main(int a) {{ int t; int k; t = a; {} return t; }}",
-            lines.join("\n")
-        )
+        format!("int main(int a) {{ int t; int k; t = a; {} return t; }}", lines.join("\n"))
     })
 }
 

@@ -86,10 +86,7 @@ int fft() {
 }
 "#,
         entry: "fft",
-        loop_bounds: &[
-            ("bitrev", &[(32, 32), (0, 5)]),
-            ("fft", &[(5, 5), (16, 16)]),
-        ],
+        loop_bounds: &[("bitrev", &[(32, 32), (0, 5)]), ("fft", &[(5, 5), (16, 16)])],
         // Bit reversal is data-independent: exactly 12 swaps (x6), 31
         // carry-loop iterations (x12) and one k-exhausted exit (x9) for
         // N = 32, regardless of input.
@@ -441,10 +438,7 @@ int recon(int xh, int yh) {
 fn fullsearch_seeds_worst() -> Seeds {
     // Reference much larger than current everywhere: |d| computation takes
     // the negate arm every time, and SADs keep improving along the scan.
-    vec![
-        ("ref", (0..1024).map(|i| 200 + (i % 7)).collect()),
-        ("cur", vec![0; 64]),
-    ]
+    vec![("ref", (0..1024).map(|i| 200 + (i % 7)).collect()), ("cur", vec![0; 64])]
 }
 
 fn fullsearch_seeds_best() -> Seeds {

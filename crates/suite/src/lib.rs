@@ -208,11 +208,7 @@ mod tests {
         for b in all() {
             let p = b.program().unwrap();
             let text = b.annotations(&p);
-            assert!(
-                b.loop_bounds.is_empty() || text.contains("loop"),
-                "{}: {text}",
-                b.name
-            );
+            assert!(b.loop_bounds.is_empty() || text.contains("loop"), "{}: {text}", b.name);
         }
     }
 

@@ -2,8 +2,8 @@
 //! bound encloses both the calculated and the measured bound.
 
 use ipet_core::{Analyzer, TimeBound};
-use ipet_sim::Machine;
 use ipet_sim::measure;
+use ipet_sim::Machine;
 
 #[test]
 fn estimated_bound_encloses_measured_bound_for_every_benchmark() {
@@ -39,8 +39,15 @@ fn estimated_bound_encloses_measured_bound_for_every_benchmark() {
         );
         println!(
             "{:16} est=[{}, {}] calc=[{}, {}] meas=[{}, {}] sets={}/{}",
-            b.name, est.bound.lower, est.bound.upper, calculated.lower, calculated.upper,
-            measured.lower, measured.upper, est.sets_total - est.sets_pruned, est.sets_total,
+            b.name,
+            est.bound.lower,
+            est.bound.upper,
+            calculated.lower,
+            calculated.upper,
+            measured.lower,
+            measured.upper,
+            est.sets_total - est.sets_pruned,
+            est.sets_total,
         );
     }
 }

@@ -25,17 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let baseline = Analyzer::new(&program, machine)?;
         let est_all_miss = baseline.analyze(&annotations)?;
 
-        let refined =
-            Analyzer::new(&program, machine)?.with_cache_mode(CacheMode::FirstIterSplit);
+        let refined = Analyzer::new(&program, machine)?.with_cache_mode(CacheMode::FirstIterSplit);
         let est_split = refined.analyze(&annotations)?;
 
-        let worst = measure(
-            &program,
-            machine,
-            &(bench.worst_seeds)(),
-            bench.args_worst,
-            true,
-        )?;
+        let worst = measure(&program, machine, &(bench.worst_seeds)(), bench.args_worst, true)?;
 
         // The refinement must tighten, and must stay safe.
         assert!(est_split.bound.upper <= est_all_miss.bound.upper);

@@ -21,35 +21,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut budget_cycles = 0u64;
     let mut observed_cycles = 0u64;
-    println!(
-        "{:<18} {:>12} {:>12} {:>10}",
-        "stage", "wcet(cyc)", "observed", "margin"
-    );
+    println!("{:<18} {:>12} {:>12} {:>10}", "stage", "wcet(cyc)", "observed", "margin");
     for name in stages {
         let bench = ipet_suite::by_name(name).expect("bundled benchmark");
         let program = bench.program()?;
         let analyzer = Analyzer::new(&program, machine)?;
         let est = analyzer.analyze(&bench.annotations(&program))?;
-        let worst = measure(
-            &program,
-            machine,
-            &(bench.worst_seeds)(),
-            bench.args_worst,
-            true,
-        )?;
+        let worst = measure(&program, machine, &(bench.worst_seeds)(), bench.args_worst, true)?;
         assert!(worst.cycles <= est.bound.upper, "{name}: unsound bound");
         let margin = 100.0 * (est.bound.upper - worst.cycles) as f64 / worst.cycles as f64;
-        println!(
-            "{name:<18} {:>12} {:>12} {:>9.1}%",
-            est.bound.upper, worst.cycles, margin
-        );
+        println!("{name:<18} {:>12} {:>12} {:>9.1}%", est.bound.upper, worst.cycles, margin);
         budget_cycles += est.bound.upper;
         observed_cycles += worst.cycles;
     }
 
     let budget_ms = budget_cycles as f64 / (clock_mhz * 1000.0);
     let observed_ms = observed_cycles as f64 / (clock_mhz * 1000.0);
-    println!("\npipeline WCET budget: {budget_cycles} cycles = {budget_ms:.2} ms @ {clock_mhz} MHz");
+    println!(
+        "\npipeline WCET budget: {budget_cycles} cycles = {budget_ms:.2} ms @ {clock_mhz} MHz"
+    );
     println!("observed worst case:  {observed_cycles} cycles = {observed_ms:.2} ms");
 
     // A 40 ms frame period (25 fps) — does the guaranteed budget fit?

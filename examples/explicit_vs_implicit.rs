@@ -19,18 +19,12 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Machine::i960kb();
-    println!(
-        "{:<4} {:>12} {:>14} {:>14} {:>8}",
-        "k", "paths", "explicit", "implicit", "agree"
-    );
+    println!("{:<4} {:>12} {:>14} {:>14} {:>8}", "k", "paths", "explicit", "implicit", "agree");
     for k in [2usize, 4, 6, 8, 10, 12, 14, 16] {
         let program = diamond_chain_program(k);
         let cfg = Cfg::build(program.entry, program.entry_function());
-        let costs: Vec<_> = cfg
-            .blocks
-            .iter()
-            .map(|b| block_cost(&machine, program.entry_function(), b))
-            .collect();
+        let costs: Vec<_> =
+            cfg.blocks.iter().map(|b| block_cost(&machine, program.entry_function(), b)).collect();
 
         let t0 = Instant::now();
         let enumerator = PathEnumerator::new(&cfg, &costs, &HashMap::new(), u64::MAX)?;

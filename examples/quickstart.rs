@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The caller guarantees n <= 50.
     let estimate = analyzer.analyze("fn sum_odds { loop x2 in [0, 50]; }")?;
-    println!(
-        "estimated bound: [{}, {}] cycles",
-        estimate.bound.lower, estimate.bound.upper
-    );
+    println!("estimated bound: [{}, {}] cycles", estimate.bound.lower, estimate.bound.upper);
 
     // Cross-check against the simulator at both extremes.
     let mut sim = Simulator::new(&program, machine, SimConfig::default());

@@ -26,9 +26,10 @@ fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
 /// A random loop-free statement tree over locals `a` (the argument) and
 /// `t` (scratch): arithmetic assignments and nested if/else.
 fn arb_stmts() -> impl Strategy<Value = Vec<Stmt>> {
-    let assign = (0i64..50, prop_oneof![
-        Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)
-    ])
+    let assign = (
+        0i64..50,
+        prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)],
+    )
         .prop_map(|(n, op)| Stmt::Assign {
             name: "t".into(),
             value: binop(op, var("t"), num(n + 1)),

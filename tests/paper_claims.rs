@@ -40,8 +40,7 @@ fn first_lp_relaxation_is_integral_on_all_benchmarks() {
         assert!(
             stats.first_relaxation_integral,
             "{}: needed branching ({} nodes)",
-            b.name,
-            stats.nodes
+            b.name, stats.nodes
         );
         // No branching means exactly one LP call per ILP solved.
         assert_eq!(stats.lp_calls, stats.nodes, "{}", b.name);
@@ -123,9 +122,7 @@ fn explicit_and_implicit_agree_and_paths_double() {
             .iter()
             .map(|blk| block_cost(&machine(), program.entry_function(), blk))
             .collect();
-        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), u64::MAX)
-            .unwrap()
-            .enumerate();
+        let r = PathEnumerator::new(&cfg, &costs, &HashMap::new(), u64::MAX).unwrap().enumerate();
         assert_eq!(r.paths_explored, 1 << k);
         if last_paths > 0 {
             assert_eq!(r.paths_explored, last_paths * 4); // k steps by 2
@@ -188,11 +185,10 @@ fn shared_and_per_call_site_formulations_agree() {
         let program = b.program().unwrap();
         let ann = b.annotations(&program);
         let per_site = Analyzer::new(&program, machine()).unwrap().analyze(&ann).unwrap();
-        let shared =
-            Analyzer::new_with_context(&program, machine(), ContextMode::Shared)
-                .unwrap()
-                .analyze(&ann)
-                .unwrap();
+        let shared = Analyzer::new_with_context(&program, machine(), ContextMode::Shared)
+            .unwrap()
+            .analyze(&ann)
+            .unwrap();
         assert_eq!(per_site.bound, shared.bound, "{}", b.name);
         assert_eq!(per_site.sets_total, shared.sets_total, "{}", b.name);
         assert!(shared.total_stats().first_relaxation_integral, "{}", b.name);

@@ -474,7 +474,9 @@ pub mod prelude {
     pub use super::prop;
     pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use super::test_runner::{ProptestConfig, TestRng};
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform choice between strategies with a common value type.
@@ -600,10 +602,8 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let strat = prop::collection::vec(0u32..100, 0..10);
-        let a: Vec<Vec<u32>> =
-            (0..20).map(|c| strat.generate(&mut TestRng::for_case(c))).collect();
-        let b: Vec<Vec<u32>> =
-            (0..20).map(|c| strat.generate(&mut TestRng::for_case(c))).collect();
+        let a: Vec<Vec<u32>> = (0..20).map(|c| strat.generate(&mut TestRng::for_case(c))).collect();
+        let b: Vec<Vec<u32>> = (0..20).map(|c| strat.generate(&mut TestRng::for_case(c))).collect();
         assert_eq!(a, b);
     }
 
