@@ -14,14 +14,22 @@
 //! experiments sensitivity         # WCET price of each loop bound
 //! experiments stress              # random-program soundness sweep
 //! experiments tables              # Tables I-III via the solve pool, timing-free
-//! experiments benchjson           # BENCH json: wall-clock, cache, worker ticks
+//! experiments benchjson           # ipet-bench-v2 JSON doc: bounds, cache, trace
+//! experiments counters            # deterministic metric lines (CI diffs these)
+//! experiments gate BASELINE.json  # perf-regression gate vs a committed baseline
 //! experiments csv [DIR]           # dump every table as CSV (default ./results)
 //! ```
 //!
 //! `--jobs N` (default 1) sets the `ipet-pool` worker count for the
 //! pool-routed experiments (`all`, `table2`, `table3`, `tables`,
-//! `benchjson`, `fig1`, `table1`). Table output is bit-for-bit identical
-//! for any `N`; only wall-clock changes.
+//! `benchjson`, `counters`, `gate`, `fig1`, `table1`). Table output is
+//! bit-for-bit identical for any `N`; only wall-clock changes.
+//!
+//! `gate` exits non-zero when a deterministic metric differs from the
+//! baseline or the solve wall-clock regresses beyond `--tol-wall PCT`
+//! (default 300). Refresh the baseline with
+//! `experiments benchjson > BENCH_baseline.json` when a change is
+//! intentional.
 
 use ipet_bench::*;
 
@@ -77,6 +85,8 @@ fn main() {
         "budget" => budget(),
         "tables" => tables(jobs),
         "benchjson" => benchjson(jobs),
+        "counters" => counters(jobs),
+        "gate" => gate_cmd(jobs, &rest[1..]),
         "all" => {
             // One pool for the whole run: the miss-penalty sweep's point at
             // the default penalty (8) replays the Table II/III solves from
@@ -150,43 +160,92 @@ fn pool_summary(pool: &ipet_pool::SolvePool, run: &PooledRun) {
     println!();
 }
 
-/// Machine-readable run summary for tracking solve performance over time:
-/// one `BENCH` JSON line with wall-clock, cache traffic, per-worker tick
-/// spend and every benchmark's bound. Covers the Table I-III batch plus
-/// the miss-penalty sweep on a shared pool (so `cache_hits` reflects real
-/// cross-experiment replays).
-fn benchjson(jobs: usize) {
+/// Runs the Table I-III batch plus the miss-penalty sweep on one shared
+/// pool with the trace recorder installed, assembling the `ipet-bench-v2`
+/// document: bounds, set counts, cache traffic, tick totals, the full
+/// trace, and the (non-deterministic) timing sections.
+fn collect_bench_doc(jobs: usize) -> ipet_trace::Json {
+    let recorder = ipet_trace::install();
+    recorder.reset();
     let pool = ipet_pool::SolvePool::new(jobs);
     let run = run_all_pooled_with(&pool);
     let (_, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
     // Solve-phase wall only: compile/simulate/planning are serial and
     // identical across `--jobs`, so including them would bury the signal.
     let solve_wall = run.solve_wall + sweep_report.wall;
-    let stats = pool.cache_stats();
-    let worker_ticks: Vec<u64> =
-        run.worker_ticks.iter().zip(&sweep_report.worker_ticks).map(|(a, b)| a + b).collect();
-    let ticks: Vec<String> = worker_ticks.iter().map(u64::to_string).collect();
-    let benches: Vec<String> = run
-        .data
-        .iter()
-        .map(|d| {
-            format!(
-                r#"{{"name":"{}","lower":{},"upper":{}}}"#,
-                d.name, d.estimate.bound.lower, d.estimate.bound.upper
-            )
-        })
-        .collect();
-    println!(
-        r#"BENCH {{"jobs":{},"solve_wall_ms":{:.3},"cache_hits":{},"cache_misses":{},"cache_rejected":{},"total_ticks":{},"per_worker_ticks":[{}],"benchmarks":[{}]}}"#,
-        run.jobs,
-        solve_wall.as_secs_f64() * 1e3,
-        stats.hits,
-        stats.misses,
-        stats.rejected,
-        run.total_ticks + sweep_report.total_ticks,
-        ticks.join(","),
-        benches.join(",")
-    );
+    gate::bench_doc(&run, &sweep_report, solve_wall, &recorder.snapshot())
+}
+
+/// Machine-readable run summary for tracking solve performance over time:
+/// one pretty-printed `ipet-bench-v2` JSON document (schema and sections in
+/// [`gate::bench_doc`]). This is the format of the committed
+/// `BENCH_baseline.json`; redirect stdout to refresh it.
+fn benchjson(jobs: usize) {
+    print!("{}", collect_bench_doc(jobs).render_pretty());
+}
+
+/// The deterministic metric lines of the bench document, one `key = value`
+/// per line. Identical for any `--jobs` value — CI diffs `counters --jobs
+/// 1` against `counters --jobs 8` to prove trace counters are
+/// scheduling-independent.
+fn counters(jobs: usize) {
+    let doc = collect_bench_doc(jobs);
+    let lines = gate::deterministic_lines(&doc).unwrap_or_else(|e| {
+        eprintln!("internal error: {e}");
+        std::process::exit(1);
+    });
+    for line in lines {
+        println!("{line}");
+    }
+}
+
+/// `experiments gate BASELINE.json [--tol-wall PCT]`: compares the current
+/// run against the committed baseline and exits non-zero on regression.
+fn gate_cmd(jobs: usize, args: &[String]) {
+    let mut baseline_path: Option<&str> = None;
+    let mut config = gate::GateConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tol-wall" {
+            let v = it.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("--tol-wall needs a percentage");
+                std::process::exit(1);
+            });
+            config.wall_tolerance_pct = v;
+        } else {
+            baseline_path = Some(a);
+        }
+    }
+    let Some(path) = baseline_path else {
+        eprintln!("usage: experiments gate BASELINE.json [--tol-wall PCT] [--jobs N]");
+        std::process::exit(1);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("gate: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline = ipet_trace::parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("gate: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let current = collect_bench_doc(jobs);
+    let report = gate::compare(&baseline, &current, &config);
+    for note in &report.notes {
+        println!("gate: {note}");
+    }
+    if report.passed() {
+        println!("gate: PASS ({path})");
+    } else {
+        for failure in &report.failures {
+            eprintln!("gate: FAIL {failure}");
+        }
+        eprintln!(
+            "gate: {} regression(s) vs {path}; if intentional, refresh with \
+             `experiments benchjson > {path}`",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// The miss-penalty sweep rendered from pooled points (same table as

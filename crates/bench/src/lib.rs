@@ -17,6 +17,7 @@
 //! | §II (explicit enumeration blow-up) | [`blowup_rows`] |
 //! | §IV (first-iteration cache split) | [`ablation_split_rows`] |
 
+pub mod gate;
 pub mod synth;
 
 use ipet_baseline::{diamond_chain_program, PathEnumerator};

@@ -199,6 +199,7 @@ impl Instances {
     /// * [`CallGraphError::TooManyInstances`] if expansion exceeds
     ///   [`Instances::MAX_INSTANCES`].
     pub fn expand(program: &Program, entry: FuncId) -> Result<Instances, CallGraphError> {
+        let _span = ipet_trace::span("cfg.expand");
         let cg = CallGraph::build(program);
         cg.check_acyclic(entry)?;
 
@@ -228,6 +229,7 @@ impl Instances {
                 work.push(InstanceId(instances.len() - 1));
             }
         }
+        ipet_trace::counter("cfg.instances", instances.len() as u64);
         Ok(Instances { cfgs, instances, shared: false })
     }
 
@@ -242,15 +244,17 @@ impl Instances {
     ///
     /// Returns [`CallGraphError::Recursion`] on call cycles.
     pub fn expand_shared(program: &Program, entry: FuncId) -> Result<Instances, CallGraphError> {
+        let _span = ipet_trace::span("cfg.expand");
         let cg = CallGraph::build(program);
         cg.check_acyclic(entry)?;
         let cfgs: Vec<Cfg> =
             program.functions.iter().enumerate().map(|(i, f)| Cfg::build(FuncId(i), f)).collect();
-        let instances = cg
+        let instances: Vec<Instance> = cg
             .reachable(entry)
             .into_iter()
             .map(|f| Instance { func: f, parent: None, label: program.functions[f.0].name.clone() })
             .collect();
+        ipet_trace::counter("cfg.instances", instances.len() as u64);
         Ok(Instances { cfgs, instances, shared: true })
     }
 

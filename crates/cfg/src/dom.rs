@@ -16,6 +16,7 @@ impl Dominators {
     /// fixed point. Every block in a [`Cfg`] is reachable, so the classic
     /// initialisation (`dom(entry) = {entry}`, `dom(b) = all`) converges.
     pub fn compute(cfg: &Cfg) -> Dominators {
+        ipet_trace::counter("cfg.dom.computations", 1);
         let n = cfg.num_blocks();
         let mut sets = vec![vec![true; n]; n];
         sets[cfg.entry.0] = vec![false; n];

@@ -202,6 +202,9 @@ impl Cfg {
             }
         }
 
+        ipet_trace::counter("cfg.build.calls", 1);
+        ipet_trace::counter("cfg.blocks", blocks.len() as u64);
+        ipet_trace::counter("cfg.edges", edges.len() as u64);
         Cfg { func, func_name: function.name.clone(), blocks, edges, entry: BlockId(0) }
     }
 

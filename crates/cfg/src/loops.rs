@@ -81,6 +81,7 @@ impl Cfg {
                 entry_edges,
             });
         }
+        ipet_trace::counter("cfg.loops.detected", loops.len() as u64);
         loops
     }
 }

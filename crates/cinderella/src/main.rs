@@ -67,6 +67,7 @@ fn usage() -> String {
      options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
+     \x20        --trace-json FILE (write the ipet-trace document of the run)\n\
      budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
      exit status: 0 exact, 2 safe-but-degraded bound, 1 error"
         .to_string()
@@ -140,6 +141,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut optimize = false;
     let mut shared = false;
     let mut jobs = 1usize;
+    let mut trace_json: Option<String> = None;
     let mut budget = AnalysisBudget::default();
 
     let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
@@ -168,6 +170,9 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             "--no-degrade" => budget.degrade = false,
             "--jobs" => {
                 jobs = parse_num("--jobs", it.next())?.max(1) as usize;
+            }
+            "--trace-json" => {
+                trace_json = Some(it.next().ok_or("--trace-json needs a value")?.to_string())
             }
             other if other.starts_with('-') => {
                 return Err(format!("unexpected argument {other}\n{}", usage()))
@@ -263,6 +268,14 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             if targets.is_empty() {
                 return Err(usage());
             }
+            // Install the recorder before compiling so the lang/cfg phases
+            // of `load_target` are captured too. Without `--trace-json`
+            // nothing is installed and every trace helper stays a no-op.
+            let recorder = trace_json.as_ref().map(|_| {
+                let r = ipet_trace::install();
+                r.reset();
+                r
+            });
             let loaded: Vec<Target> = targets
                 .iter()
                 .map(|name| {
@@ -275,7 +288,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     )
                 })
                 .collect::<Result<_, _>>()?;
-            if loaded.len() == 1 && jobs == 1 {
+            let status = if loaded.len() == 1 && jobs == 1 {
                 // The single-target serial path keeps the full feature set
                 // (`--measure`, `--dump-structural`, fault-free budgets).
                 analyze(
@@ -295,7 +308,14 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                         .into());
                 }
                 analyze_pooled(&loaded, &machine_name, cache_split, do_infer, shared, jobs, &budget)
+            };
+            // Write the trace even for degraded runs — the document is most
+            // interesting exactly when budgets bit.
+            if let (Some(path), Some(recorder)) = (&trace_json, recorder) {
+                let doc = recorder.snapshot().to_json().render_pretty();
+                std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
             }
+            status
         }
         _ => Err(usage()),
     }

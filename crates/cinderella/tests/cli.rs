@@ -403,3 +403,48 @@ fn pooled_path_rejects_serial_only_flags() {
     assert!(!code_ok);
     assert!(stderr.contains("serial path"), "{stderr}");
 }
+
+// -- structured tracing -----------------------------------------------------
+
+#[test]
+fn trace_json_writes_a_parsable_trace_document() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test7");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let _ = std::fs::remove_file(&path);
+
+    let (ok, stdout, stderr) =
+        cinderella(&["analyze", "piksrt", "--trace-json", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("estimated bound"), "analysis output unchanged by tracing");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = ipet_trace::parse_json(&text).expect("trace file is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some(ipet_trace::TRACE_SCHEMA),
+        "schema tag"
+    );
+    let trace = ipet_trace::TraceDoc::from_json(&doc).expect("conforms to the trace schema");
+    // One benchmark, compiled and solved: every pipeline phase must have fired.
+    for counter in ["lang.compile.calls", "cfg.build.calls", "core.plan.calls", "lp.ilp.solves"] {
+        assert!(
+            trace.counters.get(counter).copied().unwrap_or(0) > 0,
+            "expected counter {counter} in trace:\n{text}"
+        );
+    }
+    for span in ["lang.parse", "core.plan"] {
+        assert!(trace.spans.contains_key(span), "expected span {span} in trace:\n{text}");
+    }
+}
+
+#[test]
+fn without_trace_flag_no_trace_file_appears() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test8");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("absent.json");
+    let _ = std::fs::remove_file(&path);
+    let (ok, _, _) = cinderella(&["analyze", "piksrt"]);
+    assert!(ok);
+    assert!(!path.exists());
+}

@@ -498,6 +498,7 @@ impl AnalysisPlan {
         let sets_skipped = self.num_sets - solved;
         if sets_skipped > 0 {
             quality = quality.combine(BoundQuality::Partial);
+            ipet_trace::counter("core.cover.solves", 2);
             match solve_lp_metered(
                 &self.cover_worst,
                 &SolveBudget::unlimited(),
@@ -572,6 +573,10 @@ impl AnalysisPlan {
             *contributions.entry(m.instance_label.clone()).or_insert(0) += value * m.contrib_cost;
         }
 
+        ipet_trace::counter("core.complete.calls", 1);
+        ipet_trace::counter("core.sets.solved", solved as u64);
+        ipet_trace::counter("core.sets.skipped", sets_skipped as u64);
+        ipet_trace::counter("core.sets.degraded", degraded_sets.len() as u64);
         Ok(Estimate {
             bound: TimeBound { lower, upper },
             sets_total: self.sets_total,
@@ -841,6 +846,8 @@ impl<'p> Analyzer<'p> {
         anns: &Annotations,
         budget: &AnalysisBudget,
     ) -> Result<AnalysisPlan, AnalysisError> {
+        let _span = ipet_trace::span("core.plan");
+        ipet_trace::counter("core.plan.calls", 1);
         // Validate function names early.
         for (name, _) in &anns.functions {
             if self.program.function_by_name(name).is_none() {
@@ -1008,6 +1015,10 @@ impl<'p> Analyzer<'p> {
             })
             .collect();
 
+        ipet_trace::counter("core.sets.expanded", sets_total as u64);
+        ipet_trace::counter("core.sets.pruned", sets_pruned as u64);
+        ipet_trace::counter("core.jobs.emitted", jobs.len() as u64);
+        ipet_trace::gauge_max("core.sets.peak", sets_total as u64);
         Ok(AnalysisPlan {
             num_sets: functionality_sets.len(),
             jobs,

@@ -70,10 +70,20 @@ pub fn compile(source: &str, entry: &str) -> Result<Program, CompileError> {
 ///
 /// See [`compile`].
 pub fn compile_with(source: &str, entry: &str, level: OptLevel) -> Result<Program, CompileError> {
-    let module = parse_module(source)?;
-    let mut program = compile_module(&module, entry)?;
+    ipet_trace::counter("lang.compile.calls", 1);
+    let module = {
+        let _span = ipet_trace::span("lang.parse");
+        parse_module(source)?
+    };
+    let mut program = {
+        let _span = ipet_trace::span("lang.codegen");
+        compile_module(&module, entry)?
+    };
     if level == OptLevel::O1 {
         optimize_program(&mut program);
     }
+    ipet_trace::counter("lang.functions", program.functions.len() as u64);
+    let instrs: usize = program.functions.iter().map(|f| f.instrs.len()).sum();
+    ipet_trace::counter("lang.instructions", instrs as u64);
     Ok(program)
 }

@@ -158,6 +158,35 @@ pub fn solve_ilp_budgeted(
     meter: &BudgetMeter,
     faults: &mut SolverFaults,
 ) -> (IlpResolution, IlpStats) {
+    if !ipet_trace::enabled() {
+        return solve_ilp_budgeted_inner(problem, budget, meter, faults);
+    }
+    let ticks_before = meter.ticks();
+    let (resolution, stats) = solve_ilp_budgeted_inner(problem, budget, meter, faults);
+    ipet_trace::counter("lp.ilp.solves", 1);
+    ipet_trace::counter("lp.lp_calls", stats.lp_calls as u64);
+    ipet_trace::counter("lp.bb_nodes", stats.nodes as u64);
+    ipet_trace::counter("lp.ticks", meter.ticks().saturating_sub(ticks_before));
+    let outcome = match &resolution {
+        IlpResolution::Exact { .. } => "exact",
+        IlpResolution::Relaxed { .. } => "relaxed",
+        IlpResolution::Infeasible => "infeasible",
+        IlpResolution::Unbounded => "unbounded",
+        IlpResolution::Numerical => "numerical",
+        IlpResolution::Exhausted => "exhausted",
+    };
+    ipet_trace::counter(&format!("lp.outcome.{outcome}"), 1);
+    ipet_trace::gauge_max("lp.problem.vars.peak", problem.num_vars() as u64);
+    ipet_trace::gauge_max("lp.problem.rows.peak", problem.constraints.len() as u64);
+    (resolution, stats)
+}
+
+fn solve_ilp_budgeted_inner(
+    problem: &Problem,
+    budget: &SolveBudget,
+    meter: &BudgetMeter,
+    faults: &mut SolverFaults,
+) -> (IlpResolution, IlpStats) {
     let mut stats = IlpStats::default();
     // For comparison in a unified direction, track everything as "maximize":
     // score(v) = v for Maximize, -v for Minimize.

@@ -99,6 +99,9 @@ impl SolvePool {
     /// Solves a batch of problems under `budget`, returning per-job
     /// outcomes in submission order.
     pub fn solve_batch(&self, problems: &[Problem], budget: &SolveBudget) -> BatchReport {
+        let _span = ipet_trace::span("pool.solve_batch");
+        ipet_trace::counter("pool.batches", 1);
+        ipet_trace::counter("pool.jobs", problems.len() as u64);
         // 1. Deterministic dedup: group jobs by (fingerprint, structure).
         //    `groups[g]` lists the job indices sharing one representative
         //    (the first member); first-occurrence order keeps the grouping
@@ -141,8 +144,15 @@ impl SolvePool {
             }
         }
 
+        ipet_trace::counter("pool.dedup.replays", (problems.len() - groups.len()) as u64);
+        ipet_trace::counter("pool.groups.solved", to_solve.len() as u64);
+
         // 3. Deterministic deadline sharding over the representative solves.
         let shards = shard_deadline(budget.deadline_ticks, to_solve.len());
+        ipet_trace::counter(
+            "pool.shards.deadline",
+            shards.iter().filter(|s| s.is_some()).count() as u64,
+        );
 
         // 4. Work-stealing execution: a shared cursor hands representative
         //    solves to whichever worker frees up first; each solve runs
@@ -158,6 +168,7 @@ impl SolvePool {
                 let (slots, cursor, tallies) = (&slots, &cursor, &tallies);
                 let (shards, to_solve, groups) = (&shards, &to_solve, &groups);
                 scope.spawn(move || {
+                    let _worker = ipet_trace::set_worker(w as u64);
                     let mut my_ticks = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -173,6 +184,8 @@ impl SolvePool {
                             &meter,
                             &mut SolverFaults::none(),
                         );
+                        ipet_trace::counter("pool.worker.jobs", 1);
+                        ipet_trace::counter("pool.worker.ticks", meter.ticks());
                         my_ticks = my_ticks.saturating_add(meter.ticks());
                         slots.lock().expect("slot lock")[i] = Some((res, stats));
                     }
@@ -221,6 +234,12 @@ impl SolvePool {
             })
             .collect();
         self.cache.count_batch_hits((problems.len() - groups.len()) as u64);
+        ipet_trace::counter("pool.cache.hits", hits);
+        ipet_trace::counter("pool.cache.misses", misses);
+        ipet_trace::counter(
+            "pool.cache.rejected",
+            group_rejected.iter().filter(|&&r| r).count() as u64,
+        );
 
         let total_ticks = worker_ticks.iter().sum();
         BatchReport { outcomes, hits, misses, worker_ticks, total_ticks, wall }
