@@ -1,0 +1,184 @@
+//! Exact dyadic-rational arithmetic over `i128`.
+//!
+//! Every finite `f64` is exactly `m · 2^e` for integers `m`, `e`, so any
+//! constraint coefficient or objective coefficient the solver saw can be
+//! represented *exactly* as a dyadic rational `num / 2^shift`. The checker
+//! converts each coefficient once — by decomposing the IEEE-754 bit pattern,
+//! never by floating-point arithmetic — and then works in integers only.
+//!
+//! Operations are checked: anything that would overflow `i128` reports
+//! `None`, which the certifier surfaces as an explicit `Overflow` rejection
+//! rather than a silently wrong verdict. In practice IPET coefficients are
+//! small integers (block costs, `±1` flow terms, loop bounds), so the
+//! dyadic denominators are `2^0` and overflow is unreachable.
+
+use std::cmp::Ordering;
+
+/// A dyadic rational `num / 2^shift`, normalized so `shift` is minimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    shift: u32,
+}
+
+/// Left-shifts with overflow detection (`i128::checked_shl` only checks the
+/// shift *amount*, not value overflow).
+fn shl_checked(n: i128, s: u32) -> Option<i128> {
+    if n == 0 || s == 0 {
+        return Some(n);
+    }
+    if s >= 127 {
+        return None;
+    }
+    n.checked_mul(1i128 << s)
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, shift: 0 };
+
+    /// An exact integer.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, shift: 0 }
+    }
+
+    /// Decomposes a finite `f64` into its exact dyadic value by inspecting
+    /// the IEEE-754 bit pattern. Returns `None` for NaN and infinities.
+    /// This is the only place a float enters the checker, and no
+    /// floating-point arithmetic happens here — only bit manipulation.
+    pub fn from_f64(v: f64) -> Option<Rat> {
+        let bits = v.to_bits();
+        let negative = bits >> 63 == 1;
+        let exp_bits = ((bits >> 52) & 0x7ff) as i32;
+        let frac = (bits & ((1u64 << 52) - 1)) as i128;
+        if exp_bits == 0x7ff {
+            return None; // NaN or infinity
+        }
+        // value = mantissa * 2^e
+        let (mantissa, e) = if exp_bits == 0 {
+            (frac, -1074) // subnormal (or zero)
+        } else {
+            (frac | (1i128 << 52), exp_bits - 1075)
+        };
+        let mantissa = if negative { -mantissa } else { mantissa };
+        let rat = if e >= 0 {
+            Rat { num: shl_checked(mantissa, e as u32)?, shift: 0 }
+        } else {
+            Rat { num: mantissa, shift: (-e) as u32 }
+        };
+        Some(rat.normalized())
+    }
+
+    /// Strips common factors of two so equal values compare bit-equal and
+    /// shifts stay small.
+    fn normalized(mut self) -> Rat {
+        if self.num == 0 {
+            return Rat::ZERO;
+        }
+        while self.shift > 0 && self.num % 2 == 0 {
+            self.num /= 2;
+            self.shift -= 1;
+        }
+        self
+    }
+
+    /// Exact sum; `None` on overflow.
+    pub fn add_checked(self, other: Rat) -> Option<Rat> {
+        let shift = self.shift.max(other.shift);
+        let a = shl_checked(self.num, shift - self.shift)?;
+        let b = shl_checked(other.num, shift - other.shift)?;
+        Some(Rat { num: a.checked_add(b)?, shift }.normalized())
+    }
+
+    /// Exact product with an integer; `None` on overflow.
+    pub fn mul_int(self, k: i128) -> Option<Rat> {
+        Some(Rat { num: self.num.checked_mul(k)?, shift: self.shift }.normalized())
+    }
+
+    /// Exact three-way comparison; `None` on (alignment) overflow.
+    pub fn cmp_exact(self, other: Rat) -> Option<Ordering> {
+        let shift = self.shift.max(other.shift);
+        let a = shl_checked(self.num, shift - self.shift)?;
+        let b = shl_checked(other.num, shift - other.shift)?;
+        Some(a.cmp(&b))
+    }
+
+    /// The exact integer value, when the rational is an integer.
+    pub fn as_int(self) -> Option<i128> {
+        if self.shift == 0 {
+            Some(self.num)
+        } else {
+            None // normalized: shift > 0 means the value is fractional
+        }
+    }
+
+    /// Renders the exact value (`num` or `num/2^shift`).
+    pub fn render(self) -> String {
+        if self.shift == 0 {
+            format!("{}", self.num)
+        } else {
+            format!("{}/2^{}", self.num, self.shift)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_convert_exactly() {
+        for v in [0.0, 1.0, -1.0, 42.0, 1_000_000.0, -987_654.0] {
+            let r = Rat::from_f64(v).unwrap();
+            assert_eq!(r, Rat::from_int(v as i128), "{v}");
+            assert_eq!(r.as_int(), Some(v as i128));
+        }
+    }
+
+    #[test]
+    fn dyadic_fractions_convert_exactly() {
+        // 0.5 = 1/2, 0.75 = 3/4, -2.25 = -9/4
+        assert_eq!(Rat::from_f64(0.5).unwrap(), Rat { num: 1, shift: 1 });
+        assert_eq!(Rat::from_f64(0.75).unwrap(), Rat { num: 3, shift: 2 });
+        assert_eq!(Rat::from_f64(-2.25).unwrap(), Rat { num: -9, shift: 2 });
+        // 0.1 is NOT 1/10 in binary; it must still convert exactly to
+        // whatever dyadic the f64 actually holds, and 10 * 0.1 != 1.
+        let tenth = Rat::from_f64(0.1).unwrap();
+        assert_ne!(tenth.mul_int(10).unwrap(), Rat::from_int(1));
+    }
+
+    #[test]
+    fn non_finite_is_refused() {
+        assert_eq!(Rat::from_f64(f64::NAN), None);
+        assert_eq!(Rat::from_f64(f64::INFINITY), None);
+        assert_eq!(Rat::from_f64(f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let half = Rat::from_f64(0.5).unwrap();
+        let quarter = Rat::from_f64(0.25).unwrap();
+        assert_eq!(half.add_checked(quarter).unwrap(), Rat::from_f64(0.75).unwrap());
+        assert_eq!(half.add_checked(half).unwrap(), Rat::from_int(1));
+        assert_eq!(half.mul_int(6).unwrap(), Rat::from_int(3));
+        assert_eq!(half.cmp_exact(quarter), Some(Ordering::Greater));
+        assert_eq!(half.cmp_exact(half), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let big = Rat::from_int(i128::MAX);
+        assert_eq!(big.mul_int(2), None);
+        assert_eq!(big.add_checked(Rat::from_int(1)), None);
+        // Aligning a tiny denominator against a huge numerator overflows.
+        let tiny = Rat { num: 1, shift: 120 };
+        assert_eq!(big.add_checked(tiny), None);
+    }
+
+    #[test]
+    fn subnormals_convert() {
+        let min_sub = f64::from_bits(1); // smallest positive subnormal
+        let r = Rat::from_f64(min_sub).unwrap();
+        assert_eq!(r, Rat { num: 1, shift: 1074 });
+    }
+}

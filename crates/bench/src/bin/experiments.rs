@@ -30,16 +30,24 @@
 //! (default 300). Refresh the baseline with
 //! `experiments benchjson > BENCH_baseline.json` when a change is
 //! intentional.
+//!
+//! `--audit` appends an exact-arithmetic certification pass over every
+//! Table I benchmark (`ipet-audit`) and exits 3 if any reported bound
+//! fails to certify.
 
 use ipet_bench::*;
 
 fn main() {
-    // `--jobs N` may appear anywhere; everything else is positional.
+    // `--jobs N` and `--audit` may appear anywhere; everything else is
+    // positional.
     let mut jobs = 1usize;
+    let mut audit = false;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--jobs" {
+        if a == "--audit" {
+            audit = true;
+        } else if a == "--jobs" {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("--jobs needs a value");
                 std::process::exit(1);
@@ -118,6 +126,33 @@ fn main() {
             eprintln!("unknown experiment {other}");
             std::process::exit(1);
         }
+    }
+    // `--audit`: after the requested experiment, re-verify every Table I
+    // benchmark's bounds in exact arithmetic and fail loudly (exit 3) if a
+    // certificate is rejected.
+    if audit {
+        let reports = audit_all_pooled(jobs);
+        let mut rejected = 0usize;
+        for (name, report) in &reports {
+            println!(
+                "audit {name}: {} verdict(s) certified, {} rejected",
+                report.certified(),
+                report.rejected()
+            );
+            for cert in &report.sets {
+                for verdict in [&cert.wcet, &cert.bcet] {
+                    if verdict.is_rejection() {
+                        eprintln!("  set {}: {}", cert.set, verdict.describe());
+                    }
+                }
+            }
+            rejected += report.rejected();
+        }
+        if rejected > 0 {
+            eprintln!("audit: {rejected} verdict(s) rejected — bounds must not be trusted");
+            std::process::exit(3);
+        }
+        println!("audit: all {} benchmark(s) certified", reports.len());
     }
 }
 

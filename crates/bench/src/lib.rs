@@ -200,6 +200,41 @@ pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool) -> PooledRun {
     }
 }
 
+/// Certifies every Table I benchmark's bounds in exact arithmetic: one
+/// audited pooled run (`jobs` workers), returning `(name, report)` pairs in
+/// Table I order. The estimates are discarded — this is the independent
+/// re-verification pass, not the measurement.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to compile, plan or analyse.
+pub fn audit_all_pooled(jobs: usize) -> Vec<(String, ipet_core::AuditReport)> {
+    let machine = Machine::i960kb();
+    let budget = ipet_core::AnalysisBudget::default();
+    let mut names = Vec::new();
+    let plans: Vec<ipet_core::AnalysisPlan> = ipet_suite::all()
+        .into_iter()
+        .map(|b| {
+            let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let anns = ipet_core::parse_annotations(&b.annotations(&program))
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            names.push(b.name.to_string());
+            analyzer.plan(&anns, &budget).unwrap_or_else(|e| panic!("{}: {e}", b.name))
+        })
+        .collect();
+    let pool = ipet_pool::SolvePool::new(jobs);
+    let batch = pool.run_plans_audited(&plans, &budget.solve);
+    names
+        .into_iter()
+        .zip(batch.results)
+        .map(|(name, r)| {
+            let (_, report) = r.unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, report)
+        })
+        .collect()
+}
+
 /// Fig. 1 rows: per benchmark, the containment
 /// `t_min <= T_min <= T_max <= t_max` with the measured bound standing in
 /// for the actual bound.

@@ -28,7 +28,10 @@
 //! bit-for-bit identical for any `--jobs` value.
 
 use ipet_cfg::InstanceId;
-use ipet_core::{structural_text, AnalysisBudget, Analyzer, CacheMode, ContextMode, TimeBound};
+use ipet_core::{
+    structural_text, AnalysisBudget, Analyzer, AuditReport, CacheMode, ContextMode, Estimate,
+    SolverFaults, TimeBound,
+};
 use ipet_hw::Machine;
 use ipet_pool::SolvePool;
 use ipet_sim::measure;
@@ -36,19 +39,24 @@ use std::process::ExitCode;
 
 /// What a successful run proved: `Degraded` means every reported bound is
 /// still *safe*, but at least one came from a relaxation or a skipped
-/// constraint set rather than an exact solve.
+/// constraint set rather than an exact solve. `AuditFailed` means the
+/// exact-arithmetic certifier rejected at least one reported bound — the
+/// result must not be trusted.
 enum RunStatus {
     Exact,
     Degraded,
+    AuditFailed,
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Exit-code contract: 0 = exact result, 2 = safe but degraded bound,
-    // 1 = hard error (no usable bound at all).
+    // 3 = audit rejected a reported bound, 1 = hard error (no usable bound
+    // at all).
     match run(&args) {
         Ok(RunStatus::Exact) => ExitCode::SUCCESS,
         Ok(RunStatus::Degraded) => ExitCode::from(2),
+        Ok(RunStatus::AuditFailed) => ExitCode::from(3),
         Err(e) => {
             eprintln!("cinderella: {e}");
             ExitCode::FAILURE
@@ -68,8 +76,11 @@ fn usage() -> String {
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
      \x20        --trace-json FILE (write the ipet-trace document of the run)\n\
+     \x20        --audit (re-certify every bound in exact integer arithmetic)\n\
      budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
-     exit status: 0 exact, 2 safe-but-degraded bound, 1 error"
+     faults:  --inject-corrupt-witness N --inject-corrupt-bound N\n\
+     \x20        (corrupt the Nth solve; the audit must catch it; serial path only)\n\
+     exit status: 0 exact, 2 safe-but-degraded bound, 3 audit rejection, 1 error"
         .to_string()
 }
 
@@ -142,6 +153,8 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut shared = false;
     let mut jobs = 1usize;
     let mut trace_json: Option<String> = None;
+    let mut audit = false;
+    let mut faults = SolverFaults::none();
     let mut budget = AnalysisBudget::default();
 
     let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
@@ -173,6 +186,17 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             }
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a value")?.to_string())
+            }
+            "--audit" => audit = true,
+            "--inject-corrupt-witness" => {
+                faults = SolverFaults::corrupt_witness_at(parse_num(
+                    "--inject-corrupt-witness",
+                    it.next(),
+                )?);
+            }
+            "--inject-corrupt-bound" => {
+                faults =
+                    SolverFaults::corrupt_bound_at(parse_num("--inject-corrupt-bound", it.next())?);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unexpected argument {other}\n{}", usage()))
@@ -288,9 +312,10 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     )
                 })
                 .collect::<Result<_, _>>()?;
+            let mut certificates: Vec<(String, AuditReport)> = Vec::new();
             let status = if loaded.len() == 1 && jobs == 1 {
                 // The single-target serial path keeps the full feature set
-                // (`--measure`, `--dump-structural`, fault-free budgets).
+                // (`--measure`, `--dump-structural`, fault injection).
                 analyze(
                     &loaded[0],
                     &machine_name,
@@ -300,6 +325,9 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     do_infer,
                     shared,
                     &budget,
+                    audit,
+                    &mut faults,
+                    &mut certificates,
                 )
             } else {
                 if do_measure || dump_structural {
@@ -307,12 +335,34 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                          (one target, --jobs 1)"
                         .into());
                 }
-                analyze_pooled(&loaded, &machine_name, cache_split, do_infer, shared, jobs, &budget)
+                if faults.armed() {
+                    return Err("--inject-* fault hooks need the serial path \
+                         (one target, --jobs 1)"
+                        .into());
+                }
+                analyze_pooled(
+                    &loaded,
+                    &machine_name,
+                    cache_split,
+                    do_infer,
+                    shared,
+                    jobs,
+                    &budget,
+                    audit,
+                    &mut certificates,
+                )
             };
             // Write the trace even for degraded runs — the document is most
-            // interesting exactly when budgets bit.
+            // interesting exactly when budgets bit. With `--audit` the
+            // trace document is embedded in an `ipet-audit-v1` wrapper that
+            // carries the per-set certificates alongside it.
             if let (Some(path), Some(recorder)) = (&trace_json, recorder) {
-                let doc = recorder.snapshot().to_json().render_pretty();
+                let trace = recorder.snapshot().to_json();
+                let doc = if audit {
+                    audit_document(trace, &certificates).render_pretty()
+                } else {
+                    trace.render_pretty()
+                };
                 std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
             }
             status
@@ -410,6 +460,43 @@ fn listing(t: &Target) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--audit --trace-json` wrapper document: the ordinary trace document
+/// embedded next to the per-target certificate reports, under a schema tag
+/// of its own so consumers cannot mistake it for a bare trace.
+fn audit_document(
+    trace: ipet_trace::Json,
+    certificates: &[(String, AuditReport)],
+) -> ipet_trace::Json {
+    use ipet_trace::Json;
+    let targets = certificates
+        .iter()
+        .map(|(name, report)| {
+            let sets = report
+                .sets
+                .iter()
+                .map(|cert| {
+                    Json::Obj(vec![
+                        ("set".into(), Json::Num(cert.set as f64)),
+                        ("wcet".into(), Json::Str(cert.wcet.describe())),
+                        ("bcet".into(), Json::Str(cert.bcet.describe())),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("target".into(), Json::Str(name.clone())),
+                ("certified".into(), Json::Num(report.certified() as f64)),
+                ("rejected".into(), Json::Num(report.rejected() as f64)),
+                ("sets".into(), Json::Arr(sets)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("ipet-audit-v1".into())),
+        ("certificates".into(), Json::Arr(targets)),
+        ("trace".into(), trace),
+    ])
+}
+
 #[allow(clippy::too_many_arguments)]
 fn analyze(
     t: &Target,
@@ -420,6 +507,9 @@ fn analyze(
     do_infer: bool,
     shared: bool,
     budget: &AnalysisBudget,
+    audit: bool,
+    faults: &mut SolverFaults,
+    certificates: &mut Vec<(String, AuditReport)>,
 ) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
     let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
@@ -440,8 +530,23 @@ fn analyze(
     if !annotations.is_empty() {
         println!("functionality constraints:\n{}", annotations.trim_end());
     }
-    let est = analyzer.analyze_with(&annotations, budget).map_err(|e| e.to_string())?;
+    let anns = ipet_core::parse_annotations(&annotations).map_err(|e| e.to_string())?;
+    let (est, report) = if audit {
+        let (est, report) = analyzer
+            .analyze_audited_with_faults(&anns, budget, faults)
+            .map_err(|e| e.to_string())?;
+        (est, Some(report))
+    } else {
+        let est = analyzer
+            .analyze_parsed_with_faults(&anns, budget, faults)
+            .map_err(|e| e.to_string())?;
+        (est, None)
+    };
     print!("{}", est.render());
+    if let Some(report) = &report {
+        println!("certificate report:");
+        print!("{}", report.render());
+    }
 
     if dump_structural {
         let instances = analyzer.instances();
@@ -470,6 +575,14 @@ fn analyze(
         }
     }
 
+    let audit_failed = report.as_ref().is_some_and(|r| !r.all_certified());
+    if let Some(report) = report {
+        certificates.push((t.name.clone(), report));
+    }
+    if audit_failed {
+        eprintln!("cinderella: audit rejected a reported bound — the result must not be trusted");
+        return Ok(RunStatus::AuditFailed);
+    }
     if est.quality.is_exact() {
         Ok(RunStatus::Exact)
     } else {
@@ -502,6 +615,8 @@ fn analyze_pooled(
     shared: bool,
     jobs: usize,
     budget: &AnalysisBudget,
+    audit: bool,
+    certificates: &mut Vec<(String, AuditReport)>,
 ) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
     let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
@@ -529,22 +644,53 @@ fn analyze_pooled(
     }
 
     let pool = SolvePool::new(jobs);
-    let batch = pool.run_plans(&plans, &budget.solve);
+    // With `--audit`, each plan's verdicts fold through the certifier; the
+    // estimates are bit-identical either way (the auditor only observes).
+    type PooledResult = Result<(Estimate, Option<AuditReport>), String>;
+    let (results, total_ticks): (Vec<PooledResult>, u64) = if audit {
+        let batch = pool.run_plans_audited(&plans, &budget.solve);
+        let results = batch
+            .results
+            .into_iter()
+            .map(|r| r.map(|(est, report)| (est, Some(report))).map_err(|e| e.to_string()))
+            .collect();
+        (results, batch.report.total_ticks)
+    } else {
+        let batch = pool.run_plans(&plans, &budget.solve);
+        let results = batch
+            .estimates
+            .into_iter()
+            .map(|r| r.map(|est| (est, None)).map_err(|e| e.to_string()))
+            .collect();
+        (results, batch.report.total_ticks)
+    };
 
     let mut degraded = false;
+    let mut audit_failed = false;
     let mut failures = Vec::new();
-    for (t, (est, annotations)) in
-        targets.iter().zip(batch.estimates.iter().zip(&shown_annotations))
-    {
+    for (t, (result, annotations)) in targets.iter().zip(results.iter().zip(&shown_annotations)) {
         if targets.len() > 1 {
             println!("=== {} ===", t.name);
         }
         if !annotations.is_empty() {
             println!("functionality constraints:\n{}", annotations.trim_end());
         }
-        match est {
-            Ok(est) => {
+        match result {
+            Ok((est, report)) => {
                 print!("{}", est.render());
+                if let Some(report) = report {
+                    println!("certificate report:");
+                    print!("{}", report.render());
+                    if !report.all_certified() {
+                        audit_failed = true;
+                        eprintln!(
+                            "cinderella: {}: audit rejected a reported bound — \
+                             the result must not be trusted",
+                            t.name
+                        );
+                    }
+                    certificates.push((t.name.clone(), report.clone()));
+                }
                 if !est.quality.is_exact() {
                     degraded = true;
                     eprintln!(
@@ -563,10 +709,16 @@ fn analyze_pooled(
     let stats = pool.cache_stats();
     println!(
         "pool: {jobs} worker(s), {} solved, {} replayed ({} rejected near-hits), {} ticks",
-        stats.misses, stats.hits, stats.rejected, batch.report.total_ticks
+        stats.misses, stats.hits, stats.rejected, total_ticks
     );
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }
-    Ok(if degraded { RunStatus::Degraded } else { RunStatus::Exact })
+    Ok(if audit_failed {
+        RunStatus::AuditFailed
+    } else if degraded {
+        RunStatus::Degraded
+    } else {
+        RunStatus::Exact
+    })
 }

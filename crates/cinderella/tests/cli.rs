@@ -448,3 +448,102 @@ fn without_trace_flag_no_trace_file_appears() {
     assert!(ok);
     assert!(!path.exists());
 }
+
+// ---------------------------------------------------------------------------
+// --audit: exact-arithmetic certification and the fault-injection self-test.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn audit_certifies_an_exact_analysis() {
+    let (code, stdout, stderr) = cinderella_code(&["analyze", "piksrt", "--audit"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("certificate report:"), "{stdout}");
+    assert!(stdout.contains("audit: 2 verdict(s) certified, 0 rejected"), "{stdout}");
+    assert!(stdout.contains("wcet certified (="), "{stdout}");
+}
+
+#[test]
+fn audit_does_not_change_the_reported_bounds() {
+    let (plain_code, plain, _) = cinderella_code(&["analyze", "check_data"]);
+    let (audit_code, audited, _) = cinderella_code(&["analyze", "check_data", "--audit"]);
+    assert_eq!(plain_code, 0);
+    assert_eq!(audit_code, 0);
+    let bound = |s: &str| s.lines().find(|l| l.starts_with("estimated bound")).unwrap().to_owned();
+    assert_eq!(bound(&plain), bound(&audited), "the auditor must only observe");
+}
+
+#[test]
+fn audit_rejects_an_injected_corrupt_witness_with_exit_3() {
+    let (code, stdout, stderr) =
+        cinderella_code(&["analyze", "piksrt", "--audit", "--inject-corrupt-witness", "0"]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("REJECTED"), "{stdout}");
+    assert!(stderr.contains("must not be trusted"), "{stderr}");
+}
+
+#[test]
+fn audit_rejects_an_injected_corrupt_bound_with_exit_3() {
+    let (code, stdout, _) =
+        cinderella_code(&["analyze", "piksrt", "--audit", "--inject-corrupt-bound", "0"]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("objective replay"), "{stdout}");
+}
+
+#[test]
+fn pooled_audit_agrees_across_worker_counts() {
+    let args = |jobs: &'static str| {
+        vec!["analyze", "piksrt", "check_data", "dhry", "--audit", "--jobs", jobs]
+    };
+    let (code1, one, _) = cinderella_code(&args("1"));
+    let (code8, eight, _) = cinderella_code(&args("8"));
+    assert_eq!(code1, 0, "{one}");
+    assert_eq!(code8, 0, "{eight}");
+    // The pool summary names its configured worker count; everything else
+    // must match byte for byte.
+    let normalize = |s: String| {
+        s.replace("pool: 1 worker(s)", "pool: N worker(s)")
+            .replace("pool: 8 worker(s)", "pool: N worker(s)")
+    };
+    let (one, eight) = (normalize(one), normalize(eight));
+    assert_eq!(one, eight, "audited pooled stdout must be identical for any --jobs");
+    assert!(one.contains("certificate report:"));
+    assert!(one.matches("rejected").count() >= 3, "one summary line per target");
+}
+
+#[test]
+fn fault_injection_requires_the_serial_path() {
+    let (code, _, stderr) = cinderella_code(&[
+        "analyze",
+        "piksrt",
+        "check_data",
+        "--audit",
+        "--inject-corrupt-witness",
+        "0",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("serial path"), "{stderr}");
+}
+
+#[test]
+fn audit_trace_json_embeds_certificates_next_to_the_trace() {
+    let dir = std::env::temp_dir().join("cinderella-cli-test9");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("audit.json");
+    let _ = std::fs::remove_file(&path);
+
+    let (code, _, stderr) =
+        cinderella_code(&["analyze", "piksrt", "--audit", "--trace-json", path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("audit document written");
+    let doc = ipet_trace::parse_json(&text).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("ipet-audit-v1"));
+    let certs = doc.get("certificates").and_then(|c| c.as_arr()).expect("certificates array");
+    assert_eq!(certs.len(), 1);
+    assert_eq!(certs[0].get("rejected").and_then(|n| n.as_u64()), Some(0));
+    // The embedded trace is a full ipet-trace document, including the
+    // audit.* counters the certification run emitted.
+    let trace = doc.get("trace").expect("embedded trace");
+    let trace = ipet_trace::TraceDoc::from_json(trace).expect("embedded trace conforms");
+    assert!(trace.counters.get("audit.runs").copied().unwrap_or(0) > 0);
+    assert_eq!(trace.counters.get("audit.rejected").copied(), Some(0));
+}

@@ -4,14 +4,18 @@
 use crate::dsl::{parse_annotations, Annotations, LinExpr, Ref, RefKind, Stmt};
 use crate::error::AnalysisError;
 use crate::lincon::{set_is_null, LinCon};
-use crate::structural::structural_constraints;
+use crate::structural::{flow_spec, structural_constraints};
 use crate::vars::{VarRef, VarSpace};
 use ipet_arch::{FuncId, Program};
+use ipet_audit::{
+    certify_witness, AuditReport, CertFailure, CertVerdict, ClaimKind, FlowSpec, SetCertificate,
+};
 use ipet_cfg::{BlockId, InstanceId, Instances, LoopInfo};
 use ipet_hw::{block_cost, BlockCost, Machine};
 use ipet_lp::{
-    solve_ilp_budgeted, solve_lp_metered, BoundQuality, BudgetMeter, IlpResolution, IlpStats,
-    LpOutcome, Problem, ProblemBuilder, Relation, Sense, SolveBudget, SolverFaults, VarId,
+    round_witness, solve_ilp_budgeted, solve_lp_metered, BoundQuality, BudgetMeter, IlpResolution,
+    IlpStats, LpOutcome, Problem, ProblemBuilder, Relation, Sense, SolveBudget, SolverFaults,
+    VarId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -301,6 +305,9 @@ pub struct AnalysisPlan {
     /// Loop labels reported if a solve comes back unbounded.
     unbounded_loops: Vec<String>,
     vars: Vec<VarMeta>,
+    /// CFG flow structure for the auditor's independent flow replay, built
+    /// from the CFG topology rather than the assembled constraint matrix.
+    flow: FlowSpec,
 }
 
 impl AnalysisPlan {
@@ -333,6 +340,69 @@ impl AnalysisPlan {
     /// degradation disabled), reported in canonical job order regardless of
     /// the order the executor finished them in.
     pub fn complete(&self, verdicts: &[JobVerdict]) -> Result<Estimate, AnalysisError> {
+        self.complete_impl(verdicts, false).map(|(estimate, _)| estimate)
+    }
+
+    /// Like [`complete`](AnalysisPlan::complete), but additionally runs the
+    /// `ipet-audit` certifier over every verdict and returns the per-set
+    /// certificate report alongside the estimate.
+    ///
+    /// The estimate is **bit-identical** to the unaudited one: certification
+    /// only observes, it never changes a bound. A rejected certificate is
+    /// reported through [`AuditReport::all_certified`]; callers decide what
+    /// a rejection means (the CLI exits with a distinct code).
+    pub fn complete_audited(
+        &self,
+        verdicts: &[JobVerdict],
+    ) -> Result<(Estimate, AuditReport), AnalysisError> {
+        self.complete_impl(verdicts, true)
+    }
+
+    /// The ILP a given set/sense verdict answered, for re-certification.
+    fn job_problem(&self, set: usize, sense: Sense) -> &Problem {
+        &self.jobs[2 * set + (sense == Sense::Minimize) as usize].problem
+    }
+
+    /// Certifies an `Exact` resolution: rounded witness feasibility, exact
+    /// objective equality with the claimed bound, and CFG flow replay.
+    fn audit_exact(&self, set: usize, sense: Sense, x: &[f64], claimed: u64) -> CertVerdict {
+        match certify_witness(self.job_problem(set, sense), x, claimed as i64, ClaimKind::Equal) {
+            Err(failure) => CertVerdict::Rejected(failure),
+            Ok(cert) => match self.flow.check(&cert.counts) {
+                Err(failure) => CertVerdict::Rejected(failure),
+                Ok(()) => CertVerdict::Certified { value: claimed },
+            },
+        }
+    }
+
+    /// Certifies a `Relaxed` incumbent against its set's problem and the
+    /// claimed outer bound (in integer cycles); returns the exactly
+    /// witnessed objective on success.
+    ///
+    /// This runs on *every* incumbent, audited or not: an incumbent that
+    /// fails exact feasibility or flow replay is dropped instead of being
+    /// folded into the reported witness counts.
+    fn certify_incumbent(
+        &self,
+        set: usize,
+        sense: Sense,
+        x: &[f64],
+        bound_cycles: u64,
+    ) -> Result<u64, CertFailure> {
+        let kind = match sense {
+            Sense::Maximize => ClaimKind::CoversFromAbove,
+            Sense::Minimize => ClaimKind::CoversFromBelow,
+        };
+        let cert = certify_witness(self.job_problem(set, sense), x, bound_cycles as i64, kind)?;
+        self.flow.check(&cert.counts)?;
+        Ok(cert.objective.max(0) as u64)
+    }
+
+    fn complete_impl(
+        &self,
+        verdicts: &[JobVerdict],
+        audit: bool,
+    ) -> Result<(Estimate, AuditReport), AnalysisError> {
         let budget = &self.budget;
         let mut quality = self.quality_floor;
         let mut reports: Vec<SetReport> = Vec::new();
@@ -353,17 +423,25 @@ impl AnalysisPlan {
             Ok(value.round().max(0.0) as u64)
         };
 
+        let mut certificates: Vec<SetCertificate> = Vec::new();
+
         for set in 0..self.num_sets {
             let w_verdict = verdicts.get(2 * set).unwrap_or(&JobVerdict::Skipped);
             let b_verdict = verdicts.get(2 * set + 1).unwrap_or(&JobVerdict::Skipped);
             let mut set_quality = BoundQuality::Exact;
             let mut set_skipped = false;
+            // Covered = skipped/quarantined, replaced per arm below.
+            let mut wcet_cert = CertVerdict::Covered;
+            let mut bcet_cert = CertVerdict::Covered;
 
             let (wcet, w_stats) = match w_verdict {
                 JobVerdict::Solved(res, stats) => {
                     let wcet = match res {
                         IlpResolution::Exact { x, value } => {
                             let v = to_cycles(*value)?;
+                            if audit {
+                                wcet_cert = self.audit_exact(set, Sense::Maximize, x, v);
+                            }
                             if worst_witness.as_ref().map(|(b, _)| v > *b).unwrap_or(true) {
                                 worst_witness = Some((v, x.clone()));
                             }
@@ -378,15 +456,43 @@ impl AnalysisPlan {
                             // integer cycles.
                             let v = to_cycles(bound.ceil())?;
                             set_quality = set_quality.combine(BoundQuality::Relaxed);
-                            if let Some((x, value)) = incumbent {
-                                let w = to_cycles(*value)?;
-                                if worst_witness.as_ref().map(|(b, _)| w > *b).unwrap_or(true) {
-                                    worst_witness = Some((w, x.clone()));
+                            let mut witnessed = None;
+                            let mut rejection = None;
+                            if let Some((x, _)) = incumbent {
+                                // Satellite fix: an incumbent is only a
+                                // witness once it passes exact
+                                // re-certification; infeasible incumbents
+                                // are dropped, not reported.
+                                match self.certify_incumbent(set, Sense::Maximize, x, v) {
+                                    Ok(w) => {
+                                        ipet_trace::counter("audit.incumbent.accepted", 1);
+                                        witnessed = Some(w);
+                                        if worst_witness
+                                            .as_ref()
+                                            .map(|(b, _)| w > *b)
+                                            .unwrap_or(true)
+                                        {
+                                            worst_witness = Some((w, x.clone()));
+                                        }
+                                    }
+                                    Err(failure) => {
+                                        ipet_trace::counter("audit.incumbent.dropped", 1);
+                                        rejection = Some(failure);
+                                    }
                                 }
+                            }
+                            if audit {
+                                wcet_cert = match rejection {
+                                    Some(failure) => CertVerdict::Rejected(failure),
+                                    None => CertVerdict::CertifiedRelaxed { bound: v, witnessed },
+                                };
                             }
                             Some(v)
                         }
-                        IlpResolution::Infeasible => None,
+                        IlpResolution::Infeasible => {
+                            wcet_cert = CertVerdict::Infeasible;
+                            None
+                        }
                         IlpResolution::Unbounded => {
                             return Err(AnalysisError::Unbounded {
                                 unbounded_loops: self.unbounded_loops.clone(),
@@ -423,6 +529,9 @@ impl AnalysisPlan {
                     let bcet = match res {
                         IlpResolution::Exact { x, value } => {
                             let v = to_cycles(*value)?;
+                            if audit {
+                                bcet_cert = self.audit_exact(set, Sense::Minimize, x, v);
+                            }
                             if best_witness.as_ref().map(|(b, _)| v < *b).unwrap_or(true) {
                                 best_witness = Some((v, x.clone()));
                             }
@@ -437,15 +546,39 @@ impl AnalysisPlan {
                             // integer cycles.
                             let v = to_cycles(bound.floor())?;
                             set_quality = set_quality.combine(BoundQuality::Relaxed);
-                            if let Some((x, value)) = incumbent {
-                                let w = to_cycles(*value)?;
-                                if best_witness.as_ref().map(|(b, _)| w < *b).unwrap_or(true) {
-                                    best_witness = Some((w, x.clone()));
+                            let mut witnessed = None;
+                            let mut rejection = None;
+                            if let Some((x, _)) = incumbent {
+                                match self.certify_incumbent(set, Sense::Minimize, x, v) {
+                                    Ok(w) => {
+                                        ipet_trace::counter("audit.incumbent.accepted", 1);
+                                        witnessed = Some(w);
+                                        if best_witness
+                                            .as_ref()
+                                            .map(|(b, _)| w < *b)
+                                            .unwrap_or(true)
+                                        {
+                                            best_witness = Some((w, x.clone()));
+                                        }
+                                    }
+                                    Err(failure) => {
+                                        ipet_trace::counter("audit.incumbent.dropped", 1);
+                                        rejection = Some(failure);
+                                    }
                                 }
+                            }
+                            if audit {
+                                bcet_cert = match rejection {
+                                    Some(failure) => CertVerdict::Rejected(failure),
+                                    None => CertVerdict::CertifiedRelaxed { bound: v, witnessed },
+                                };
                             }
                             Some(v)
                         }
-                        IlpResolution::Infeasible => None,
+                        IlpResolution::Infeasible => {
+                            bcet_cert = CertVerdict::Infeasible;
+                            None
+                        }
                         // Minimizing a non-negative objective cannot be
                         // unbounded; a solver verdict to the contrary is
                         // numerical breakdown.
@@ -472,6 +605,16 @@ impl AnalysisPlan {
             };
             if let Some(v) = bcet {
                 best_bound = Some(best_bound.map_or(v, |b| b.min(v)));
+            }
+
+            if audit {
+                // A set covered by the common-constraint relaxation has no
+                // certificate at all — even for an arm that solved first.
+                if set_skipped {
+                    wcet_cert = CertVerdict::Covered;
+                    bcet_cert = CertVerdict::Covered;
+                }
+                certificates.push(SetCertificate { set, wcet: wcet_cert, bcet: bcet_cert });
             }
 
             if set_skipped {
@@ -548,11 +691,16 @@ impl AnalysisPlan {
         let worst_x = worst_witness.map(|(_, x)| x).unwrap_or_default();
         let best_x = best_witness.map(|(_, x)| x).unwrap_or_default();
 
-        let counts = |x: &[f64]| -> BTreeMap<String, i64> {
+        // The one sanctioned f64→count conversion: witnesses that refuse to
+        // round to integer counts are numerical garbage, not reportable.
+        let worst_rounded = round_witness(&worst_x).map_err(|_| AnalysisError::Numerical)?;
+        let best_rounded = round_witness(&best_x).map_err(|_| AnalysisError::Numerical)?;
+
+        let counts = |xr: &[i64]| -> BTreeMap<String, i64> {
             let mut out = BTreeMap::new();
             for (id, m) in self.vars.iter().enumerate() {
                 if m.is_block {
-                    let v = x.get(id).copied().unwrap_or(0.0).round() as i64;
+                    let v = xr.get(id).copied().unwrap_or(0);
                     if v != 0 {
                         out.insert(m.label.clone(), v);
                     }
@@ -566,29 +714,39 @@ impl AnalysisPlan {
         // the cold/warm virtual variables.
         let mut contributions: BTreeMap<String, u64> = BTreeMap::new();
         for (id, m) in self.vars.iter().enumerate() {
-            let value = worst_x.get(id).copied().unwrap_or(0.0).round() as u64;
+            let value = worst_rounded.get(id).copied().unwrap_or(0) as u64;
             if value == 0 || m.contrib_cost == 0 {
                 continue;
             }
             *contributions.entry(m.instance_label.clone()).or_insert(0) += value * m.contrib_cost;
         }
 
+        let report = AuditReport { sets: certificates };
+        if audit {
+            ipet_trace::counter("audit.runs", 1);
+            ipet_trace::counter("audit.certified", report.certified() as u64);
+            ipet_trace::counter("audit.rejected", report.rejected() as u64);
+        }
+
         ipet_trace::counter("core.complete.calls", 1);
         ipet_trace::counter("core.sets.solved", solved as u64);
         ipet_trace::counter("core.sets.skipped", sets_skipped as u64);
         ipet_trace::counter("core.sets.degraded", degraded_sets.len() as u64);
-        Ok(Estimate {
-            bound: TimeBound { lower, upper },
-            sets_total: self.sets_total,
-            sets_pruned: self.sets_pruned,
-            sets: reports,
-            wcet_counts: counts(&worst_x),
-            bcet_counts: counts(&best_x),
-            wcet_contributions: contributions,
-            quality,
-            sets_skipped,
-            degraded_sets,
-        })
+        Ok((
+            Estimate {
+                bound: TimeBound { lower, upper },
+                sets_total: self.sets_total,
+                sets_pruned: self.sets_pruned,
+                sets: reports,
+                wcet_counts: counts(&worst_rounded),
+                bcet_counts: counts(&best_rounded),
+                wcet_contributions: contributions,
+                quality,
+                sets_skipped,
+                degraded_sets,
+            },
+            report,
+        ))
     }
 }
 
@@ -798,12 +956,39 @@ impl<'p> Analyzer<'p> {
         faults: &mut SolverFaults,
     ) -> Result<Estimate, AnalysisError> {
         let plan = self.plan(anns, budget)?;
-        // The serial executor: one shared meter, jobs in canonical order,
-        // the run stopping at the first exhaustion (every later job is
-        // skipped and its set covered by the common-constraint relaxation).
-        // The deadline is checked at each set boundary — a set's BCET job
-        // still runs after its WCET job spent the deadline, and reports
-        // `Exhausted` through the solver's own top-of-search check.
+        let verdicts = Analyzer::run_serial(&plan, budget, faults);
+        plan.complete(&verdicts)
+    }
+
+    /// [`Analyzer::analyze_parsed_with_faults`] plus exact-arithmetic
+    /// certification of every verdict: returns the per-set certificate
+    /// report alongside the (bit-identical) estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_audited_with_faults(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Result<(Estimate, AuditReport), AnalysisError> {
+        let plan = self.plan(anns, budget)?;
+        let verdicts = Analyzer::run_serial(&plan, budget, faults);
+        plan.complete_audited(&verdicts)
+    }
+
+    /// The serial executor: one shared meter, jobs in canonical order, the
+    /// run stopping at the first exhaustion (every later job is skipped and
+    /// its set covered by the common-constraint relaxation). The deadline is
+    /// checked at each set boundary — a set's BCET job still runs after its
+    /// WCET job spent the deadline, and reports `Exhausted` through the
+    /// solver's own top-of-search check.
+    fn run_serial(
+        plan: &AnalysisPlan,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Vec<JobVerdict> {
         let meter = BudgetMeter::new();
         let mut verdicts: Vec<JobVerdict> = Vec::with_capacity(plan.jobs().len());
         for job in plan.jobs() {
@@ -817,7 +1002,7 @@ impl<'p> Analyzer<'p> {
                 break;
             }
         }
-        plan.complete(&verdicts)
+        verdicts
     }
 
     /// Builds the analysis **job graph**: resolves annotations, expands the
@@ -1031,6 +1216,7 @@ impl<'p> Analyzer<'p> {
             cover_best,
             unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
             vars,
+            flow: flow_spec(&self.instances, &space),
         })
     }
 

@@ -12,7 +12,8 @@
 //! specialised to per-call-site instances).
 
 use crate::lincon::LinCon;
-use crate::vars::VarRef;
+use crate::vars::{VarRef, VarSpace};
+use ipet_audit::{FlowNode, FlowSpec};
 use ipet_cfg::{BlockId, EdgeId, InstanceId, Instances};
 
 /// Derives all structural constraints of an instance-expanded program.
@@ -85,6 +86,71 @@ pub fn structural_constraints(instances: &Instances) -> Vec<LinCon> {
         }
     }
     out
+}
+
+/// Describes the CFG flow structure in problem-variable indices, for the
+/// auditor's independent flow-conservation replay (`ipet-audit` check (c)).
+///
+/// This walks the CFG topology (`in_edges`/`out_edges`/call sites) directly,
+/// not the constraint rows of [`structural_constraints`], so a bug in the
+/// matrix assembly cannot hide from the replay.
+pub fn flow_spec(instances: &Instances, space: &VarSpace) -> FlowSpec {
+    let var = |r: VarRef| -> usize {
+        space.id(r).expect("flow spec built from the same instances as the var space").0
+    };
+    let mut spec = FlowSpec::default();
+    for i in 0..instances.len() {
+        let inst = InstanceId(i);
+        let cfg = instances.cfg(inst);
+        for b in 0..cfg.num_blocks() {
+            let block = BlockId(b);
+            spec.nodes.push(FlowNode {
+                block: var(VarRef::Block(inst, block)),
+                in_edges: cfg
+                    .in_edges(block)
+                    .into_iter()
+                    .map(|e| var(VarRef::Edge(inst, e)))
+                    .collect(),
+                out_edges: cfg
+                    .out_edges(block)
+                    .into_iter()
+                    .map(|e| var(VarRef::Edge(inst, e)))
+                    .collect(),
+            });
+        }
+        let entry = var(VarRef::Edge(inst, EdgeId(0)));
+        if instances.shared {
+            if i == 0 {
+                spec.entry_edge = entry;
+            } else {
+                let me = instances.instances[i].func;
+                let mut callers = Vec::new();
+                for (g, ginst) in instances.instances.iter().enumerate() {
+                    let gcfg = &instances.cfgs[ginst.func.0];
+                    for (site, _, _, callee) in gcfg.call_sites() {
+                        if callee == me {
+                            let (f_edge, _) =
+                                gcfg.call_edge(site).expect("site enumerated from CFG");
+                            callers.push(var(VarRef::Edge(InstanceId(g), f_edge)));
+                        }
+                    }
+                }
+                spec.couplings.push((entry, callers));
+            }
+            continue;
+        }
+        match instances.instances[i].parent {
+            None => spec.entry_edge = entry,
+            Some((parent, site)) => {
+                let parent_cfg = instances.cfg(parent);
+                let (f_edge, _) = parent_cfg
+                    .call_edge(site)
+                    .expect("instance expansion only follows real call sites");
+                spec.couplings.push((entry, vec![var(VarRef::Edge(parent, f_edge))]));
+            }
+        }
+    }
+    spec
 }
 
 /// Renders the structural constraints of one instance in the paper's
@@ -216,6 +282,22 @@ mod tests {
             })
             .collect();
         assert_eq!(couplings.len(), 2);
+    }
+
+    #[test]
+    fn flow_spec_mirrors_the_cfg_topology() {
+        use crate::vars::VarSpace;
+        let p = ite_program();
+        let inst = Instances::expand(&p, FuncId(0)).unwrap();
+        let space = VarSpace::new(&inst);
+        let spec = flow_spec(&inst, &space);
+        assert_eq!(spec.nodes.len(), 4, "one node per basic block");
+        assert!(spec.couplings.is_empty(), "no calls, no couplings");
+        // The entry edge must be d1 of the root instance.
+        assert_eq!(spec.entry_edge, space.id(VarRef::Edge(inst.root(), EdgeId(0))).unwrap().0);
+        // An all-zero witness violates `d_entry = 1`.
+        let zeros = vec![0i64; space.len()];
+        assert!(spec.check(&zeros).is_err());
     }
 
     #[test]

@@ -201,7 +201,14 @@ impl Clone for BudgetMeter {
 /// * [`infeasible_at`](SolverFaults::infeasible_at) — the N-th LP call
 ///   reports `Infeasible`;
 /// * [`numerical_at`](SolverFaults::numerical_at) — the N-th LP call
-///   reports `Numerical` (as if pivoting had met a NaN).
+///   reports `Numerical` (as if pivoting had met a NaN);
+/// * [`panic_at`](SolverFaults::panic_at) /
+///   [`panic_always_at`](SolverFaults::panic_always_at) — the N-th whole ILP
+///   solve panics on entry (transient vs. sticky across a retry);
+/// * [`corrupt_witness_at`](SolverFaults::corrupt_witness_at) /
+///   [`corrupt_bound_at`](SolverFaults::corrupt_bound_at) — the N-th ILP
+///   solve silently returns a corrupted witness vector or claimed bound, so
+///   tests can prove the auditor rejects bad certificates.
 ///
 /// Call counters live in the struct, so one `SolverFaults` value tracks
 /// indices across every solve it is threaded through. The default value
@@ -211,8 +218,13 @@ pub struct SolverFaults {
     force_limit_at: Option<u64>,
     force_infeasible_at: Option<u64>,
     force_numerical_at: Option<u64>,
+    force_panic_at: Option<u64>,
+    panic_sticky: bool,
+    force_corrupt_witness_at: Option<u64>,
+    force_corrupt_bound_at: Option<u64>,
     nodes_seen: u64,
     lps_seen: u64,
+    solves_seen: u64,
 }
 
 impl SolverFaults {
@@ -236,12 +248,52 @@ impl SolverFaults {
         SolverFaults { force_numerical_at: Some(index), ..SolverFaults::default() }
     }
 
+    /// Forces the `index`-th ILP solve to panic on entry, *transiently*: a
+    /// retry harness (like the pool's fresh-worker retry) is expected to
+    /// [`disarm_panic`](SolverFaults::disarm_panic) before retrying, so the
+    /// retry succeeds. Use [`panic_always_at`](SolverFaults::panic_always_at)
+    /// for a panic that survives retries.
+    pub fn panic_at(index: u64) -> SolverFaults {
+        SolverFaults { force_panic_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th ILP solve to panic on entry, *stickily*: the
+    /// fault stays armed across [`disarm_panic`](SolverFaults::disarm_panic),
+    /// modelling a deterministic crash that a retry cannot outrun.
+    pub fn panic_always_at(index: u64) -> SolverFaults {
+        SolverFaults { force_panic_at: Some(index), panic_sticky: true, ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th ILP solve to return a silently corrupted
+    /// witness vector (its first entry is shifted by +1), leaving the
+    /// claimed bound untouched.
+    pub fn corrupt_witness_at(index: u64) -> SolverFaults {
+        SolverFaults { force_corrupt_witness_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th ILP solve to return a silently corrupted
+    /// claimed bound, leaving the witness untouched.
+    pub fn corrupt_bound_at(index: u64) -> SolverFaults {
+        SolverFaults { force_corrupt_bound_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Disarms a transient panic fault before a retry; sticky panics
+    /// ([`panic_always_at`](SolverFaults::panic_always_at)) stay armed.
+    pub fn disarm_panic(&mut self) {
+        if !self.panic_sticky {
+            self.force_panic_at = None;
+        }
+    }
+
     /// True when any fault is armed (used to skip bookkeeping on the
     /// default value in hot paths).
     pub fn armed(&self) -> bool {
         self.force_limit_at.is_some()
             || self.force_infeasible_at.is_some()
             || self.force_numerical_at.is_some()
+            || self.force_panic_at.is_some()
+            || self.force_corrupt_witness_at.is_some()
+            || self.force_corrupt_bound_at.is_some()
     }
 
     /// Records one branch-and-bound node expansion; true when the node-limit
@@ -250,6 +302,22 @@ impl SolverFaults {
         let here = self.nodes_seen;
         self.nodes_seen += 1;
         self.force_limit_at == Some(here)
+    }
+
+    /// Records one whole ILP solve; returns the fault forced at this index,
+    /// if any. Called once at the top of `solve_ilp_budgeted`.
+    pub fn solve_fault(&mut self) -> Option<SolveFault> {
+        let here = self.solves_seen;
+        self.solves_seen += 1;
+        if self.force_panic_at == Some(here) {
+            Some(SolveFault::Panic)
+        } else if self.force_corrupt_witness_at == Some(here) {
+            Some(SolveFault::CorruptWitness)
+        } else if self.force_corrupt_bound_at == Some(here) {
+            Some(SolveFault::CorruptBound)
+        } else {
+            None
+        }
     }
 
     /// Records one LP call; returns the fault forced at this index, if any.
@@ -273,6 +341,17 @@ pub enum LpFault {
     Infeasible,
     /// Report a numerical breakdown.
     Numerical,
+}
+
+/// A failure forced into a whole ILP solve by [`SolverFaults::solve_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveFault {
+    /// Panic on entry (exercises the pool's `catch_unwind` isolation).
+    Panic,
+    /// Return a silently corrupted witness vector.
+    CorruptWitness,
+    /// Return a silently corrupted claimed bound.
+    CorruptBound,
 }
 
 #[cfg(test)]
@@ -368,5 +447,32 @@ mod tests {
         assert!(!none.armed());
         assert!(!none.node_fault());
         assert_eq!(none.lp_fault(), None);
+        assert_eq!(none.solve_fault(), None);
+    }
+
+    #[test]
+    fn solve_faults_fire_at_exact_indices() {
+        let mut faults = SolverFaults::corrupt_witness_at(1);
+        assert!(faults.armed());
+        assert_eq!(faults.solve_fault(), None);
+        assert_eq!(faults.solve_fault(), Some(SolveFault::CorruptWitness));
+        assert_eq!(faults.solve_fault(), None);
+
+        let mut faults = SolverFaults::corrupt_bound_at(0);
+        assert_eq!(faults.solve_fault(), Some(SolveFault::CorruptBound));
+
+        let mut faults = SolverFaults::panic_at(0);
+        assert_eq!(faults.solve_fault(), Some(SolveFault::Panic));
+    }
+
+    #[test]
+    fn transient_panics_disarm_but_sticky_panics_stay() {
+        let mut transient = SolverFaults::panic_at(0);
+        transient.disarm_panic();
+        assert_eq!(transient.solve_fault(), None, "transient panic must disarm before a retry");
+
+        let mut sticky = SolverFaults::panic_always_at(0);
+        sticky.disarm_panic();
+        assert_eq!(sticky.solve_fault(), Some(SolveFault::Panic), "sticky panic survives disarm");
     }
 }

@@ -1,6 +1,6 @@
 //! Branch & bound over the LP relaxation.
 
-use crate::budget::{BudgetMeter, SolveBudget, SolverFaults};
+use crate::budget::{BudgetMeter, SolveBudget, SolveFault, SolverFaults};
 use crate::model::{Problem, Relation, Sense, VarId};
 use crate::simplex::{solve_lp_metered, LpOutcome, INT_TOL};
 
@@ -158,11 +158,22 @@ pub fn solve_ilp_budgeted(
     meter: &BudgetMeter,
     faults: &mut SolverFaults,
 ) -> (IlpResolution, IlpStats) {
+    let solve_fault = if faults.armed() { faults.solve_fault() } else { None };
+    if solve_fault == Some(SolveFault::Panic) {
+        panic!("injected solver panic (SolverFaults)");
+    }
     if !ipet_trace::enabled() {
-        return solve_ilp_budgeted_inner(problem, budget, meter, faults);
+        let (mut resolution, stats) = solve_ilp_budgeted_inner(problem, budget, meter, faults);
+        if let Some(fault) = solve_fault {
+            corrupt_resolution(&mut resolution, fault, problem.sense);
+        }
+        return (resolution, stats);
     }
     let ticks_before = meter.ticks();
-    let (resolution, stats) = solve_ilp_budgeted_inner(problem, budget, meter, faults);
+    let (mut resolution, stats) = solve_ilp_budgeted_inner(problem, budget, meter, faults);
+    if let Some(fault) = solve_fault {
+        corrupt_resolution(&mut resolution, fault, problem.sense);
+    }
     ipet_trace::counter("lp.ilp.solves", 1);
     ipet_trace::counter("lp.lp_calls", stats.lp_calls as u64);
     ipet_trace::counter("lp.bb_nodes", stats.nodes as u64);
@@ -179,6 +190,41 @@ pub fn solve_ilp_budgeted(
     ipet_trace::gauge_max("lp.problem.vars.peak", problem.num_vars() as u64);
     ipet_trace::gauge_max("lp.problem.rows.peak", problem.constraints.len() as u64);
     (resolution, stats)
+}
+
+/// Applies an injected witness/bound corruption to a finished resolution.
+///
+/// The corruptions are designed so that an exact-arithmetic certificate
+/// check must fail: a shifted witness breaks either flow conservation or the
+/// objective replay, and a shifted bound breaks the objective-equality
+/// (`Exact`) or bound-covers-witness (`Relaxed`) check in whichever sense
+/// direction is unsafe.
+fn corrupt_resolution(resolution: &mut IlpResolution, fault: SolveFault, sense: Sense) {
+    match fault {
+        SolveFault::CorruptWitness => {
+            let x = match resolution {
+                IlpResolution::Exact { x, .. } => Some(x),
+                IlpResolution::Relaxed { incumbent: Some((x, _)), .. } => Some(x),
+                _ => None,
+            };
+            if let Some(first) = x.and_then(|x| x.first_mut()) {
+                *first += 1.0;
+            }
+        }
+        SolveFault::CorruptBound => match resolution {
+            IlpResolution::Exact { value, .. } => *value += 1.0,
+            IlpResolution::Relaxed { bound, incumbent: Some((_, witnessed)) } => {
+                // Pull the claimed outer bound past the witnessed value in
+                // the unsafe direction.
+                *bound = match sense {
+                    Sense::Maximize => *witnessed - 1.0,
+                    Sense::Minimize => *witnessed + 1.0,
+                };
+            }
+            _ => {}
+        },
+        SolveFault::Panic => unreachable!("panic faults fire before the solve"),
+    }
 }
 
 fn solve_ilp_budgeted_inner(

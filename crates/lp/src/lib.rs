@@ -52,19 +52,30 @@
 //! the vocabulary downstream layers use to label how trustworthy a
 //! reported bound is.
 
+//!
+//! ## Witness rounding
+//!
+//! [`round_witness`] / [`round_claimed`] are the single sanctioned path from
+//! f64 solver output to integer execution counts, under one tolerance
+//! ([`WITNESS_TOL`]). The estimator, the pool's solve cache, and the
+//! `ipet-audit` certifier all round here, so "is this witness integral?"
+//! has exactly one answer everywhere.
+
 mod budget;
 mod fingerprint;
 mod ilp;
 mod model;
+mod round;
 mod simplex;
 mod structure;
 
-pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolverFaults};
+pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolveFault, SolverFaults};
 pub use fingerprint::{fingerprint, same_structure, Fingerprint};
 pub use ilp::{
     solve_ilp, solve_ilp_budgeted, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpResolution,
     IlpStats,
 };
 pub use model::{Constraint, Problem, ProblemBuilder, Relation, Sense, VarId};
+pub use round::{round_claimed, round_witness, RoundError, WITNESS_TOL};
 pub use simplex::{solve_lp, solve_lp_metered, LpOutcome, FEAS_TOL, INT_TOL};
 pub use structure::is_network_matrix;

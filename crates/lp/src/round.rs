@@ -1,0 +1,134 @@
+//! Centralized f64→count rounding for solver witnesses.
+//!
+//! Witness vectors leave the simplex as `f64`s, but everything downstream —
+//! block execution counts, per-block cycle contributions, the exact-arithmetic
+//! auditor — wants non-negative integers. Historically each consumer rounded
+//! on its own (`.round() as i64` scattered through `estimate.rs`); this module
+//! is the single place where a float is allowed to become a count, under one
+//! tolerance ([`WITNESS_TOL`]) shared by the estimator, the pool's solve
+//! cache, and `ipet-audit`.
+//!
+//! The split of responsibilities with the auditor is deliberate: *rounding*
+//! (here) is the only step allowed to do floating-point arithmetic; the
+//! *checking* (in `ipet-audit`) consumes the rounded integers and runs in
+//! exact arithmetic only.
+
+use std::fmt;
+
+/// The one tolerance under which a witness entry (or a claimed objective
+/// value) is accepted as an integer. Matches the branch-and-bound
+/// integrality tolerance so every solution the solver calls integral rounds
+/// cleanly.
+pub const WITNESS_TOL: f64 = 1e-6;
+
+/// Why a value refused to round to a count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundError {
+    /// The entry is NaN or infinite.
+    NonFinite {
+        /// Index of the offending variable (or 0 for scalar claims).
+        var: usize,
+    },
+    /// The entry is farther than [`WITNESS_TOL`] from every integer.
+    NotIntegral {
+        /// Index of the offending variable (or 0 for scalar claims).
+        var: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The entry rounds to a negative count.
+    Negative {
+        /// Index of the offending variable (or 0 for scalar claims).
+        var: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoundError::NonFinite { var } => write!(f, "witness entry {var} is not finite"),
+            RoundError::NotIntegral { var, value } => {
+                write!(f, "witness entry {var} = {value} is not integral within {WITNESS_TOL:e}")
+            }
+            RoundError::Negative { var, value } => {
+                write!(f, "witness entry {var} = {value} rounds to a negative count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+fn round_entry(var: usize, value: f64, tol: f64) -> Result<i64, RoundError> {
+    if !value.is_finite() {
+        return Err(RoundError::NonFinite { var });
+    }
+    let rounded = value.round();
+    if (value - rounded).abs() > tol {
+        return Err(RoundError::NotIntegral { var, value });
+    }
+    if rounded < 0.0 {
+        return Err(RoundError::Negative { var, value });
+    }
+    Ok(rounded as i64)
+}
+
+/// Rounds a whole witness vector to non-negative integer counts.
+///
+/// Every entry must be within [`WITNESS_TOL`] of a non-negative integer;
+/// the first offending entry is reported otherwise. This is the only
+/// sanctioned path from a solver witness to execution counts.
+pub fn round_witness(x: &[f64]) -> Result<Vec<i64>, RoundError> {
+    x.iter().enumerate().map(|(var, &v)| round_entry(var, v, WITNESS_TOL)).collect()
+}
+
+/// Rounds a claimed objective value to an integer count of cycles.
+///
+/// Claims can be large (millions of cycles), so the tolerance scales with
+/// magnitude: `WITNESS_TOL * (1 + |value|)`, the same shape the solve cache
+/// historically used for objective validation.
+pub fn round_claimed(value: f64) -> Result<i64, RoundError> {
+    round_entry(0, value, WITNESS_TOL * (1.0 + value.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integers_round_trip() {
+        assert_eq!(round_witness(&[0.0, 1.0, 41.0]), Ok(vec![0, 1, 41]));
+    }
+
+    #[test]
+    fn near_integers_snap_within_tolerance() {
+        assert_eq!(round_witness(&[2.0 - 1e-9, 3.0 + 1e-7]), Ok(vec![2, 3]));
+        // A tiny negative excursion still counts as zero.
+        assert_eq!(round_witness(&[-1e-9]), Ok(vec![0]));
+    }
+
+    #[test]
+    fn fractional_entries_are_refused() {
+        assert_eq!(round_witness(&[1.0, 0.5]), Err(RoundError::NotIntegral { var: 1, value: 0.5 }));
+    }
+
+    #[test]
+    fn negative_counts_are_refused() {
+        assert_eq!(round_witness(&[-1.0]), Err(RoundError::Negative { var: 0, value: -1.0 }));
+    }
+
+    #[test]
+    fn non_finite_entries_are_refused() {
+        assert_eq!(round_witness(&[f64::NAN]), Err(RoundError::NonFinite { var: 0 }));
+        assert_eq!(round_witness(&[f64::INFINITY]), Err(RoundError::NonFinite { var: 0 }));
+    }
+
+    #[test]
+    fn claimed_values_use_relative_tolerance() {
+        // 4e6 cycles with 1e-7 absolute error: inside the scaled tolerance.
+        assert_eq!(round_claimed(4_000_000.0 + 0.1), Ok(4_000_000));
+        assert!(round_claimed(10.5).is_err());
+    }
+}

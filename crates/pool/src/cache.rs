@@ -17,21 +17,24 @@
 //!    indexed by variable order, so replaying it across a permutation would
 //!    corrupt the block counts downstream. Such near-hits are counted as
 //!    [`CacheOutcome::Rejected`] telemetry instead.
-//! 2. **Witness validation** — an `Exact` resolution is replayed only if
-//!    its cached witness still satisfies the probe problem and reproduces
-//!    the cached objective value. This can only fail on a hash-bucket
-//!    collision or an implementation bug; either way the probe is treated
-//!    as a miss and solved fresh, so a cache defect can cost time but never
-//!    an unsound bound.
+//! 2. **Witness re-certification** — an `Exact` resolution is replayed only
+//!    if its cached witness *certifies* against the probe problem in exact
+//!    integer arithmetic ([`ipet_audit::certify_witness`]): the witness
+//!    rounds to integer counts within the shared tolerance, satisfies every
+//!    constraint row exactly, and reproduces the cached objective value
+//!    exactly. This can only fail on a hash-bucket collision or an
+//!    implementation bug; either way the probe is treated as a miss and
+//!    solved fresh, so a cache defect can cost time but never an unsound
+//!    bound. Successful re-certifications count `audit.cache.recertified`;
+//!    failures count `audit.cache.rejected`.
 
-use ipet_lp::{fingerprint, same_structure, Fingerprint, IlpResolution, IlpStats, Problem};
+use ipet_audit::{certify_witness, ClaimKind};
+use ipet_lp::{
+    fingerprint, round_claimed, same_structure, Fingerprint, IlpResolution, IlpStats, Problem,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-
-/// Feasibility/objective tolerance for witness validation, matching the
-/// solver's own integral-snap tolerance scale.
-const VALIDATE_TOL: f64 = 1e-6;
 
 /// How a job's answer was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,13 +108,20 @@ impl SolveCache {
                 continue;
             }
             if let IlpResolution::Exact { x, value } = &entry.resolution {
-                let valid = problem.is_feasible(x, VALIDATE_TOL)
-                    && (problem.objective_value(x) - value).abs()
-                        <= VALIDATE_TOL * (1.0 + value.abs());
-                if !valid {
+                // Replay is authorized by the auditor, not a tolerance: the
+                // cached witness must round to integer counts, satisfy every
+                // row of the *probe* problem exactly, and reproduce the
+                // cached objective exactly (all in i128 arithmetic).
+                let certified = round_claimed(*value)
+                    .ok()
+                    .and_then(|claimed| certify_witness(problem, x, claimed, ClaimKind::Equal).ok())
+                    .is_some();
+                if !certified {
+                    ipet_trace::counter("audit.cache.rejected", 1);
                     near_hit = true;
                     continue;
                 }
+                ipet_trace::counter("audit.cache.recertified", 1);
             }
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some((entry.resolution.clone(), entry.stats));

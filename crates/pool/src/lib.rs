@@ -23,14 +23,19 @@
 //!   it deterministically, so `--jobs 1` and `--jobs 8` still agree with
 //!   each other.
 //! * **Sound caching** — the cache replays a result only after structural
-//!   equality and witness validation pass ([`cache`] module docs); a cache
-//!   defect can cost time, never an unsound bound.
+//!   equality passes and the cached witness *re-certifies* against the
+//!   probe problem in exact integer arithmetic ([`cache`] module docs); a
+//!   cache defect can cost time, never an unsound bound.
 //! * **Budget accounting** — per-worker tick spend is reported, and the
 //!   shared [`BudgetMeter`](ipet_lp::BudgetMeter) semantics guarantee at
 //!   most one charge of overshoot per worker.
+//! * **Crash isolation** — a panicking solve never takes the batch down:
+//!   it is caught, retried once on a fresh thread, and on a second panic
+//!   quarantined as an exhausted job that degrades the affected bound to
+//!   `Partial` quality (`pool.panic.*` counters tell the story).
 
 mod cache;
 mod pool;
 
 pub use cache::{CacheOutcome, CacheStats, SolveCache};
-pub use pool::{BatchReport, JobOutcome, PlanBatch, SolvePool};
+pub use pool::{AuditedPlanBatch, BatchReport, JobOutcome, PlanBatch, SolvePool};

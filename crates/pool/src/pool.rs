@@ -1,12 +1,14 @@
-//! The worker pool: deterministic dedup, deadline sharding, work-stealing
-//! execution, and the plan-level driver.
+//! The worker pool: deterministic dedup, deadline sharding, panic-isolated
+//! work-stealing execution, and the plan-level driver.
 
 use crate::cache::{CacheOutcome, CacheStats, SolveCache};
+use ipet_audit::AuditReport;
 use ipet_core::{AnalysisError, AnalysisPlan, Estimate, JobVerdict};
 use ipet_lp::{
     solve_ilp_budgeted, BudgetMeter, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget,
     SolverFaults,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -53,6 +55,15 @@ pub struct PlanBatch {
     pub report: BatchReport,
 }
 
+/// Result of [`SolvePool::run_plans_audited`]: each plan's estimate is
+/// paired with the exact-arithmetic certificate report for its sets.
+pub struct AuditedPlanBatch {
+    /// Per-plan analysis results with certificates, in plan order.
+    pub results: Vec<Result<(Estimate, AuditReport), AnalysisError>>,
+    /// The underlying batch report (outcomes, hits/misses, worker ticks).
+    pub report: BatchReport,
+}
+
 /// A work-stealing ILP solve pool with a content-addressed solve cache.
 ///
 /// ## Determinism
@@ -74,16 +85,35 @@ pub struct PlanBatch {
 ///   ([`AnalysisPlan::complete`] accepts verdicts in canonical job order
 ///   regardless of completion order), so work stealing cannot reorder
 ///   anything observable.
+/// * **Panic isolation** — each representative solve runs under
+///   `catch_unwind`. A panicking solve is retried once on a fresh worker
+///   thread (with transient injected panics disarmed); a second panic
+///   quarantines the job as [`IlpResolution::Exhausted`], which the plan
+///   folds into a `Partial`-quality covered bound instead of crashing the
+///   batch. Because dedup and sharding precede dispatch, the caught /
+///   retried / quarantined outcome of every job is the same at any worker
+///   count.
 pub struct SolvePool {
     workers: usize,
     cache: SolveCache,
+    /// Fault template for test harnesses: re-armed (cloned) for each
+    /// representative solve, so e.g. `panic_at(0)` panics every
+    /// representative's first attempt deterministically.
+    faults: SolverFaults,
 }
 
 impl SolvePool {
     /// A pool with `workers` worker threads (clamped to at least 1) and an
     /// empty cache.
     pub fn new(workers: usize) -> SolvePool {
-        SolvePool { workers: workers.max(1), cache: SolveCache::new() }
+        SolvePool::with_faults(workers, SolverFaults::none())
+    }
+
+    /// A pool whose workers run under an injected-fault template (cloned
+    /// per representative solve). Test-only in spirit: production callers
+    /// use [`SolvePool::new`].
+    pub fn with_faults(workers: usize, faults: SolverFaults) -> SolvePool {
+        SolvePool { workers: workers.max(1), cache: SolveCache::new(), faults }
     }
 
     /// The configured worker count.
@@ -156,9 +186,12 @@ impl SolvePool {
 
         // 4. Work-stealing execution: a shared cursor hands representative
         //    solves to whichever worker frees up first; each solve runs
-        //    under its own sharded budget and a fresh meter, and each
-        //    worker tallies the ticks it spent.
-        let slots: Mutex<Vec<Option<(IlpResolution, IlpStats)>>> =
+        //    under its own sharded budget, a fresh meter and a re-armed
+        //    fault clone, isolated by `catch_unwind`, and each worker
+        //    tallies the ticks it spent. A solve that panics is retried
+        //    once on a fresh thread (transient injected panics disarmed);
+        //    a second panic quarantines the job as `Exhausted`.
+        let slots: Mutex<Vec<Option<(IlpResolution, IlpStats, bool)>>> =
             Mutex::new(vec![None; to_solve.len()]);
         let cursor = AtomicUsize::new(0);
         let tallies: Mutex<Vec<u64>> = Mutex::new(vec![0; self.workers]);
@@ -167,6 +200,7 @@ impl SolvePool {
             for w in 0..self.workers.min(to_solve.len()) {
                 let (slots, cursor, tallies) = (&slots, &cursor, &tallies);
                 let (shards, to_solve, groups) = (&shards, &to_solve, &groups);
+                let faults_template = &self.faults;
                 scope.spawn(move || {
                     let _worker = ipet_trace::set_worker(w as u64);
                     let mut my_ticks = 0u64;
@@ -178,16 +212,38 @@ impl SolvePool {
                         let rep = groups[to_solve[i]][0];
                         let job_budget = SolveBudget { deadline_ticks: shards[i], ..*budget };
                         let meter = BudgetMeter::new();
-                        let (res, stats) = solve_ilp_budgeted(
-                            &problems[rep],
-                            &job_budget,
-                            &meter,
-                            &mut SolverFaults::none(),
-                        );
+                        let mut faults = faults_template.clone();
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            solve_ilp_budgeted(&problems[rep], &job_budget, &meter, &mut faults)
+                        }));
                         ipet_trace::counter("pool.worker.jobs", 1);
                         ipet_trace::counter("pool.worker.ticks", meter.ticks());
                         my_ticks = my_ticks.saturating_add(meter.ticks());
-                        slots.lock().expect("slot lock")[i] = Some((res, stats));
+                        let (res, stats, quarantined) = match attempt {
+                            Ok((res, stats)) => (res, stats, false),
+                            Err(_) => {
+                                ipet_trace::counter("pool.panic.caught", 1);
+                                let mut retry_faults = faults_template.clone();
+                                retry_faults.disarm_panic();
+                                match retry_on_fresh_worker(
+                                    &problems[rep],
+                                    job_budget,
+                                    retry_faults,
+                                ) {
+                                    Some((res, stats, ticks)) => {
+                                        ipet_trace::counter("pool.panic.retried", 1);
+                                        ipet_trace::counter("pool.worker.ticks", ticks);
+                                        my_ticks = my_ticks.saturating_add(ticks);
+                                        (res, stats, false)
+                                    }
+                                    None => {
+                                        ipet_trace::counter("pool.panic.quarantined", 1);
+                                        (IlpResolution::Exhausted, IlpStats::default(), true)
+                                    }
+                                }
+                            }
+                        };
+                        slots.lock().expect("slot lock")[i] = Some((res, stats, quarantined));
                     }
                     tallies.lock().expect("tick lock")[w] = my_ticks;
                 });
@@ -198,11 +254,15 @@ impl SolvePool {
         let worker_ticks = tallies.into_inner().expect("tick lock");
 
         // 5. Install the fresh solves (cache misses) and splice them into
-        //    the per-group answers.
+        //    the per-group answers. Quarantined jobs are *not* cached: the
+        //    `Exhausted` marker describes this run's crash, not the
+        //    problem, and must not be replayed into future batches.
         for (i, g) in to_solve.iter().enumerate() {
             let rep = groups[*g][0];
-            let (res, stats) = solved[i].clone().expect("every representative solved");
-            self.cache.insert(keys[rep], &problems[rep], &res, stats);
+            let (res, stats, quarantined) = solved[i].clone().expect("every representative solved");
+            if !quarantined {
+                self.cache.insert(keys[rep], &problems[rep], &res, stats);
+            }
             answers[*g] = Some((res, stats));
         }
 
@@ -273,6 +333,58 @@ impl SolvePool {
             .collect();
         PlanBatch { estimates, report }
     }
+
+    /// [`SolvePool::run_plans`] with exact-arithmetic certification: every
+    /// plan's verdicts are folded through
+    /// [`AnalysisPlan::complete_audited`](ipet_core::AnalysisPlan::complete_audited),
+    /// pairing each estimate with its per-set certificate report. The
+    /// estimates themselves are bit-identical to the unaudited run — the
+    /// auditor only observes.
+    pub fn run_plans_audited(
+        &self,
+        plans: &[AnalysisPlan],
+        budget: &SolveBudget,
+    ) -> AuditedPlanBatch {
+        let problems: Vec<Problem> = plans
+            .iter()
+            .flat_map(|plan| plan.jobs().iter().map(|job| job.problem.clone()))
+            .collect();
+        let report = self.solve_batch(&problems, budget);
+        let mut offset = 0usize;
+        let results = plans
+            .iter()
+            .map(|plan| {
+                let n = plan.jobs().len();
+                let verdicts: Vec<JobVerdict> = report.outcomes[offset..offset + n]
+                    .iter()
+                    .map(|o| JobVerdict::Solved(o.resolution.clone(), o.stats))
+                    .collect();
+                offset += n;
+                plan.complete_audited(&verdicts)
+            })
+            .collect();
+        AuditedPlanBatch { results, report }
+    }
+}
+
+/// Runs the retry attempt of a panicked solve on a dedicated fresh thread,
+/// so whatever state the first panic left on the original worker's stack
+/// cannot contaminate it. Returns `None` when the retry panics too.
+fn retry_on_fresh_worker(
+    problem: &Problem,
+    budget: SolveBudget,
+    mut faults: SolverFaults,
+) -> Option<(IlpResolution, IlpStats, u64)> {
+    let problem = problem.clone();
+    let handle = std::thread::Builder::new()
+        .name("ipet-pool-retry".into())
+        .spawn(move || {
+            let meter = BudgetMeter::new();
+            let (res, stats) = solve_ilp_budgeted(&problem, &budget, &meter, &mut faults);
+            (res, stats, meter.ticks())
+        })
+        .expect("spawn retry worker");
+    handle.join().ok()
 }
 
 /// Splits a tick deadline across `n` solves: `d / n` each, the first
