@@ -25,6 +25,12 @@
 //! `benchjson`, `counters`, `gate`, `fig1`, `table1`). Table output is
 //! bit-for-bit identical for any `N`; only wall-clock changes.
 //!
+//! `--no-warm-start` disables base+delta warm starting on the pool-routed
+//! experiments: every ILP is solved cold. Every bound and table is
+//! bit-identical either way — only solver effort counters (`lp.ticks`,
+//! `lp.warm.*`) change. CI diffs `counters` against
+//! `counters --no-warm-start` to prove it.
+//!
 //! `gate` exits non-zero when a deterministic metric differs from the
 //! baseline or the solve wall-clock regresses beyond `--tol-wall PCT`
 //! (default 300). Refresh the baseline with
@@ -42,11 +48,14 @@ fn main() {
     // positional.
     let mut jobs = 1usize;
     let mut audit = false;
+    let mut warm = true;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         if a == "--audit" {
             audit = true;
+        } else if a == "--no-warm-start" {
+            warm = false;
         } else if a == "--jobs" {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("--jobs needs a value");
@@ -65,7 +74,7 @@ fn main() {
     // The Table I-III data now always flows through the solve pool; at the
     // default `--jobs 1` it degenerates to a serial run with identical
     // results (the pool-level tests pin this down).
-    let pooled = || run_all_pooled(jobs);
+    let pooled = || run_all_pooled_with(&ipet_pool::SolvePool::new(jobs), warm);
     // `experiments csv <dir>` dumps every table as CSV for plotting.
     if which == "csv" {
         let dir = std::path::PathBuf::from(rest.get(1).map(String::as_str).unwrap_or("results"));
@@ -91,16 +100,16 @@ fn main() {
         "sensitivity" => sensitivity(),
         "stress" => stress(),
         "budget" => budget(),
-        "tables" => tables(jobs),
-        "benchjson" => benchjson(jobs),
-        "counters" => counters(jobs),
-        "gate" => gate_cmd(jobs, &rest[1..]),
+        "tables" => tables(jobs, warm),
+        "benchjson" => benchjson(jobs, warm),
+        "counters" => counters(jobs, warm),
+        "gate" => gate_cmd(jobs, warm, &rest[1..]),
         "all" => {
             // One pool for the whole run: the miss-penalty sweep's point at
             // the default penalty (8) replays the Table II/III solves from
             // the shared cache instead of repeating them.
             let pool = ipet_pool::SolvePool::new(jobs);
-            let run = run_all_pooled_with(&pool);
+            let run = run_all_pooled_with(&pool, warm);
             figures();
             println!("{}", fig5_text());
             fig6();
@@ -113,7 +122,7 @@ fn main() {
             ilpstats(&run_all());
             blowup();
             ablation();
-            sweep_pooled(&pool);
+            sweep_pooled(&pool, warm);
             pool_summary(&pool, &run);
             dsp3210();
             dcache();
@@ -131,7 +140,7 @@ fn main() {
     // benchmark's bounds in exact arithmetic and fail loudly (exit 3) if a
     // certificate is rejected.
     if audit {
-        let reports = audit_all_pooled(jobs);
+        let reports = audit_all_pooled(jobs, warm);
         let mut rejected = 0usize;
         for (name, report) in &reports {
             println!(
@@ -163,13 +172,14 @@ const SWEEP_NAMES: [&str; 3] = ["check_data", "fft", "matgen"];
 /// printing only deterministic data: no wall-clock, no per-worker figures.
 /// `tables --jobs 1` and `tables --jobs 8` must produce byte-identical
 /// output (CI diffs them).
-fn tables(jobs: usize) {
+fn tables(jobs: usize, warm: bool) {
     let pool = ipet_pool::SolvePool::new(jobs);
-    let run = run_all_pooled_with(&pool);
+    let run = run_all_pooled_with(&pool, warm);
     table1(&run.data);
     table23(&run.data, false);
     table23(&run.data, true);
-    let (points, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+    let (points, sweep_report) =
+        sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
     print_sweep(&points);
     let stats = pool.cache_stats();
     println!(
@@ -199,12 +209,12 @@ fn pool_summary(pool: &ipet_pool::SolvePool, run: &PooledRun) {
 /// pool with the trace recorder installed, assembling the `ipet-bench-v2`
 /// document: bounds, set counts, cache traffic, tick totals, the full
 /// trace, and the (non-deterministic) timing sections.
-fn collect_bench_doc(jobs: usize) -> ipet_trace::Json {
+fn collect_bench_doc(jobs: usize, warm: bool) -> ipet_trace::Json {
     let recorder = ipet_trace::install();
     recorder.reset();
     let pool = ipet_pool::SolvePool::new(jobs);
-    let run = run_all_pooled_with(&pool);
-    let (_, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+    let run = run_all_pooled_with(&pool, warm);
+    let (_, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
     // Solve-phase wall only: compile/simulate/planning are serial and
     // identical across `--jobs`, so including them would bury the signal.
     let solve_wall = run.solve_wall + sweep_report.wall;
@@ -215,16 +225,16 @@ fn collect_bench_doc(jobs: usize) -> ipet_trace::Json {
 /// one pretty-printed `ipet-bench-v2` JSON document (schema and sections in
 /// [`gate::bench_doc`]). This is the format of the committed
 /// `BENCH_baseline.json`; redirect stdout to refresh it.
-fn benchjson(jobs: usize) {
-    print!("{}", collect_bench_doc(jobs).render_pretty());
+fn benchjson(jobs: usize, warm: bool) {
+    print!("{}", collect_bench_doc(jobs, warm).render_pretty());
 }
 
 /// The deterministic metric lines of the bench document, one `key = value`
 /// per line. Identical for any `--jobs` value — CI diffs `counters --jobs
 /// 1` against `counters --jobs 8` to prove trace counters are
 /// scheduling-independent.
-fn counters(jobs: usize) {
-    let doc = collect_bench_doc(jobs);
+fn counters(jobs: usize, warm: bool) {
+    let doc = collect_bench_doc(jobs, warm);
     let lines = gate::deterministic_lines(&doc).unwrap_or_else(|e| {
         eprintln!("internal error: {e}");
         std::process::exit(1);
@@ -236,7 +246,7 @@ fn counters(jobs: usize) {
 
 /// `experiments gate BASELINE.json [--tol-wall PCT]`: compares the current
 /// run against the committed baseline and exits non-zero on regression.
-fn gate_cmd(jobs: usize, args: &[String]) {
+fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
     let mut baseline_path: Option<&str> = None;
     let mut config = gate::GateConfig::default();
     let mut it = args.iter();
@@ -263,7 +273,7 @@ fn gate_cmd(jobs: usize, args: &[String]) {
         eprintln!("gate: {path} is not valid JSON: {e}");
         std::process::exit(1);
     });
-    let current = collect_bench_doc(jobs);
+    let current = collect_bench_doc(jobs, warm);
     let report = gate::compare(&baseline, &current, &config);
     for note in &report.notes {
         println!("gate: {note}");
@@ -285,8 +295,8 @@ fn gate_cmd(jobs: usize, args: &[String]) {
 
 /// The miss-penalty sweep rendered from pooled points (same table as
 /// [`sweep`], but solved through the shared pool).
-fn sweep_pooled(pool: &ipet_pool::SolvePool) {
-    let (points, _) = sweep_miss_penalty_pooled(pool, &SWEEP_PENALTIES, &SWEEP_NAMES);
+fn sweep_pooled(pool: &ipet_pool::SolvePool, warm: bool) {
+    let (points, _) = sweep_miss_penalty_pooled(pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
     print_sweep(&points);
 }
 

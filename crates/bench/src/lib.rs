@@ -124,7 +124,7 @@ pub struct PooledRun {
 /// Panics if a benchmark fails to compile, analyse or simulate — the test
 /// suite keeps all of these green.
 pub fn run_all_pooled(jobs: usize) -> PooledRun {
-    run_all_pooled_with(&ipet_pool::SolvePool::new(jobs))
+    run_all_pooled_with(&ipet_pool::SolvePool::new(jobs), true)
 }
 
 /// [`run_all_pooled`] against a caller-supplied pool, so several
@@ -132,10 +132,14 @@ pub fn run_all_pooled(jobs: usize) -> PooledRun {
 /// benchmark under an overlapping configuration (e.g. the miss-penalty
 /// sweep's point at the default penalty) replays instead of re-solving.
 ///
+/// `warm` toggles base+delta warm starting
+/// ([`Analyzer::with_warm_start`]); every bound and set report is
+/// bit-identical either way — only solver effort changes.
+///
 /// # Panics
 ///
 /// See [`run_all_pooled`].
-pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool) -> PooledRun {
+pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool, warm: bool) -> PooledRun {
     let machine = Machine::i960kb();
     let budget = ipet_core::AnalysisBudget::default();
     // Phase 1 (serial): compile, plan, and gather the simulation
@@ -152,7 +156,7 @@ pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool) -> PooledRun {
         .into_iter()
         .map(|b| {
             let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let analyzer = Analyzer::new(&program, machine).unwrap().with_warm_start(warm);
             let anns = ipet_core::parse_annotations(&b.annotations(&program))
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let plan = analyzer.plan(&anns, &budget).unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -208,7 +212,7 @@ pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool) -> PooledRun {
 /// # Panics
 ///
 /// Panics if a benchmark fails to compile, plan or analyse.
-pub fn audit_all_pooled(jobs: usize) -> Vec<(String, ipet_core::AuditReport)> {
+pub fn audit_all_pooled(jobs: usize, warm: bool) -> Vec<(String, ipet_core::AuditReport)> {
     let machine = Machine::i960kb();
     let budget = ipet_core::AnalysisBudget::default();
     let mut names = Vec::new();
@@ -216,7 +220,7 @@ pub fn audit_all_pooled(jobs: usize) -> Vec<(String, ipet_core::AuditReport)> {
         .into_iter()
         .map(|b| {
             let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let analyzer = Analyzer::new(&program, machine).unwrap().with_warm_start(warm);
             let anns = ipet_core::parse_annotations(&b.annotations(&program))
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             names.push(b.name.to_string());
@@ -661,6 +665,7 @@ pub fn sweep_miss_penalty_pooled(
     pool: &ipet_pool::SolvePool,
     penalties: &[u64],
     names: &[&str],
+    warm: bool,
 ) -> (Vec<SweepPoint>, ipet_pool::BatchReport) {
     let budget = ipet_core::AnalysisBudget::default();
     let mut plans = Vec::new();
@@ -669,7 +674,7 @@ pub fn sweep_miss_penalty_pooled(
         for name in names {
             let b = ipet_suite::by_name(name).expect("bundled benchmark");
             let program = b.program().unwrap();
-            let analyzer = Analyzer::new(&program, machine).unwrap();
+            let analyzer = Analyzer::new(&program, machine).unwrap().with_warm_start(warm);
             let anns = ipet_core::parse_annotations(&b.annotations(&program)).unwrap();
             plans.push(analyzer.plan(&anns, &budget).unwrap());
         }

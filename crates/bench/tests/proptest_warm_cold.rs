@@ -1,0 +1,92 @@
+//! Property tests: warm-started delta re-solving is bit-identical to cold
+//! monolithic solving over the synthetic workload generator. `Estimate`
+//! equality covers the WCET and BCET bounds, the per-set solver stats and
+//! both witness count maps; the audited variant additionally pins the
+//! certificate tallies.
+
+use ipet_bench::synth;
+use ipet_core::{infer_loop_bounds, inferred_annotations, AnalysisBudget, Analyzer, SolverFaults};
+use ipet_hw::Machine;
+use proptest::prelude::*;
+
+/// Inferred loop bounds plus (when the CFG has at least two blocks) a
+/// tautological disjunctive path fact. The disjunction never cuts a
+/// feasible path, but it forces a DNF expansion into two constraint sets,
+/// so the warm path has per-set deltas to re-solve on top of a shared
+/// base instead of degenerating into a single monolithic solve.
+fn annotations_for(analyzer: &Analyzer) -> String {
+    let mut text = inferred_annotations(&infer_loop_bounds(analyzer));
+    let entry = analyzer.instances().instances[0].func;
+    if analyzer.instances().cfgs[entry.0].num_blocks() >= 2 {
+        text.push_str("fn f { (x1 >= x2) | (x2 >= x1); }\n");
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The whole estimate — bounds, per-set stats, witnesses — is
+    /// bit-identical with warm starting on (the default) and off.
+    #[test]
+    fn warm_estimates_and_witnesses_match_cold(seed in 0u64..500) {
+        let s = synth::generate(seed, synth::SynthConfig::default());
+        let machine = Machine::i960kb();
+        let warm = Analyzer::new(&s.program, machine).expect("analyzer");
+        let cold = Analyzer::new(&s.program, machine).expect("analyzer").with_warm_start(false);
+        let anns = ipet_core::parse_annotations(&annotations_for(&warm)).expect("parse");
+        let budget = AnalysisBudget::default();
+        let w = warm
+            .analyze_parsed_with_faults(&anns, &budget, &mut SolverFaults::none())
+            .expect("warm analysis");
+        let c = cold
+            .analyze_parsed_with_faults(&anns, &budget, &mut SolverFaults::none())
+            .expect("cold analysis");
+        prop_assert_eq!(&w.wcet_counts, &c.wcet_counts, "seed {}: WCET witnesses differ", seed);
+        prop_assert_eq!(&w.bcet_counts, &c.bcet_counts, "seed {}: BCET witnesses differ", seed);
+        prop_assert_eq!(w, c, "seed {}: estimates differ", seed);
+    }
+
+    /// Auditing the warm path certifies exactly what the cold path
+    /// certifies: same estimate, everything certified, equal tallies.
+    #[test]
+    fn warm_audit_certificates_match_cold(seed in 0u64..500) {
+        let s = synth::generate(seed, synth::SynthConfig::default());
+        let machine = Machine::i960kb();
+        let warm = Analyzer::new(&s.program, machine).expect("analyzer");
+        let cold = Analyzer::new(&s.program, machine).expect("analyzer").with_warm_start(false);
+        let anns = ipet_core::parse_annotations(&annotations_for(&warm)).expect("parse");
+        let budget = AnalysisBudget::default();
+        let (we, wr) = warm
+            .analyze_audited_with_faults(&anns, &budget, &mut SolverFaults::none())
+            .expect("warm audited");
+        let (ce, cr) = cold
+            .analyze_audited_with_faults(&anns, &budget, &mut SolverFaults::none())
+            .expect("cold audited");
+        prop_assert_eq!(we, ce, "seed {}: audited estimates differ", seed);
+        prop_assert!(wr.all_certified(), "seed {}: warm run not fully certified:\n{}", seed, wr.render());
+        prop_assert!(cr.all_certified(), "seed {}: cold run not fully certified:\n{}", seed, cr.render());
+        prop_assert_eq!(wr.certified(), cr.certified(), "seed {}: certified tallies differ", seed);
+        prop_assert_eq!(wr.rejected(), cr.rejected(), "seed {}: rejected tallies differ", seed);
+    }
+}
+
+/// The tautological disjunction really produces multi-set plans (so the
+/// properties above exercise base+delta warm starts, not just the trivial
+/// single-set path).
+#[test]
+fn synth_disjunction_yields_multiple_sets() {
+    let mut multi = 0usize;
+    for seed in 0..8u64 {
+        let s = synth::generate(seed, synth::SynthConfig::default());
+        let analyzer = Analyzer::new(&s.program, Machine::i960kb()).expect("analyzer");
+        let anns = ipet_core::parse_annotations(&annotations_for(&analyzer)).expect("parse");
+        let plan = analyzer.plan(&anns, &AnalysisBudget::default()).expect("plan");
+        if plan.num_sets() > 1 {
+            multi += 1;
+            assert!(plan.warm_start(), "warm starting is on by default");
+            assert_eq!(plan.bases().len(), 2, "one base per objective sense");
+        }
+    }
+    assert!(multi > 0, "no seed produced a multi-set plan; the property tests are vacuous");
+}

@@ -75,6 +75,8 @@ fn usage() -> String {
      options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
+     \x20        --no-warm-start (solve every ILP cold; bounds are identical,\n\
+     \x20         only solver effort counters change)\n\
      \x20        --trace-json FILE (write the ipet-trace document of the run)\n\
      \x20        --audit (re-certify every bound in exact integer arithmetic)\n\
      budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
@@ -152,6 +154,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut optimize = false;
     let mut shared = false;
     let mut jobs = 1usize;
+    let mut warm = true;
     let mut trace_json: Option<String> = None;
     let mut audit = false;
     let mut faults = SolverFaults::none();
@@ -184,6 +187,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             "--jobs" => {
                 jobs = parse_num("--jobs", it.next())?.max(1) as usize;
             }
+            "--no-warm-start" => warm = false,
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a value")?.to_string())
             }
@@ -324,6 +328,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     do_measure,
                     do_infer,
                     shared,
+                    warm,
                     &budget,
                     audit,
                     &mut faults,
@@ -346,6 +351,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     cache_split,
                     do_infer,
                     shared,
+                    warm,
                     jobs,
                     &budget,
                     audit,
@@ -506,6 +512,7 @@ fn analyze(
     do_measure: bool,
     do_infer: bool,
     shared: bool,
+    warm: bool,
     budget: &AnalysisBudget,
     audit: bool,
     faults: &mut SolverFaults,
@@ -516,7 +523,8 @@ fn analyze(
     let context = if shared { ContextMode::Shared } else { ContextMode::PerCallSite };
     let analyzer = Analyzer::new_with_context(&t.program, machine, context)
         .map_err(|e| e.to_string())?
-        .with_cache_mode(mode);
+        .with_cache_mode(mode)
+        .with_warm_start(warm);
 
     let mut annotations = t.annotations.clone();
     if do_infer {
@@ -613,6 +621,7 @@ fn analyze_pooled(
     cache_split: bool,
     do_infer: bool,
     shared: bool,
+    warm: bool,
     jobs: usize,
     budget: &AnalysisBudget,
     audit: bool,
@@ -629,7 +638,8 @@ fn analyze_pooled(
     for t in targets {
         let analyzer = Analyzer::new_with_context(&t.program, machine, context)
             .map_err(|e| format!("{}: {e}", t.name))?
-            .with_cache_mode(mode);
+            .with_cache_mode(mode)
+            .with_warm_start(warm);
         let mut annotations = t.annotations.clone();
         if do_infer {
             let inferred = ipet_core::infer_loop_bounds(&analyzer);

@@ -390,6 +390,27 @@ fn jobs_flag_output_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn no_warm_start_changes_no_reported_bound() {
+    // Serial path: warm starting is accepted only when bit-identical to a
+    // cold solve, so the whole report must match byte for byte.
+    let (ok_w, warm, _) = cinderella(&["analyze", "check_data"]);
+    let (ok_c, cold, _) = cinderella(&["analyze", "check_data", "--no-warm-start"]);
+    assert!(ok_w && ok_c);
+    assert_eq!(warm, cold, "--no-warm-start must not change the serial report");
+
+    // Pooled path: everything but the pool summary line must match too
+    // (cold solves spend more pivot ticks, which that line reports).
+    let strip_pool_line = |s: &str| -> String {
+        s.lines().filter(|l| !l.starts_with("pool:")).collect::<Vec<_>>().join("\n")
+    };
+    let (ok_w, warm, _) = cinderella(&["analyze", "check_data", "dhry", "--jobs", "2"]);
+    let (ok_c, cold, _) =
+        cinderella(&["analyze", "check_data", "dhry", "--jobs", "2", "--no-warm-start"]);
+    assert!(ok_w && ok_c);
+    assert_eq!(strip_pool_line(&warm), strip_pool_line(&cold));
+}
+
+#[test]
 fn duplicate_targets_are_served_from_the_solve_cache() {
     let (ok, stdout, stderr) = cinderella(&["analyze", "piksrt", "piksrt", "--jobs", "2"]);
     assert!(ok, "{stderr}");

@@ -1,0 +1,672 @@
+//! The IPET estimator: functionality-constraint resolution, DNF set
+//! expansion, null pruning, ILP assembly and the final `[t_min, t_max]`.
+//!
+//! The module is split by pipeline stage:
+//!
+//! * [`sets`] — annotation resolution: `x`/`d`/`f` references, loop-bound
+//!   equations (the paper's eqs. 14–15), and DNF expansion inputs.
+//! * [`plan`] — job-graph construction: base+delta decomposition, cache
+//!   split, canonical set ordering, ILP assembly.
+//! * [`fold`] — the pure verdict fold that turns solved jobs back into an
+//!   [`Estimate`] (plus exact-arithmetic certification).
+//! * [`degrade`] — budget-exhaustion coverage: the common-constraint cover
+//!   relaxation that bounds skipped sets.
+//!
+//! ## Base+delta decomposition
+//!
+//! Every ILP of one analysis shares its structural rows, objective and
+//! bounds; the DNF sets differ only in the disjunct rows they picked. The
+//! plan therefore assembles one shared [`BaseProblem`] per sense
+//! (structural + common functionality + cache-split rows — exactly the
+//! cover relaxation used to bound skipped sets) and one small [`DeltaSet`]
+//! per surviving set. Each job's full problem is `base.compose(delta)`
+//! **by construction**, so the warm-started incremental solver and the
+//! cold monolithic solver answer the same composed problem bit for bit.
+
+use crate::dsl::{parse_annotations, Annotations, Stmt};
+use crate::error::AnalysisError;
+use ipet_arch::{FuncId, Program};
+use ipet_audit::{certify_witness, AuditReport, ClaimKind, FlowSpec};
+use ipet_cfg::{BlockId, InstanceId, Instances};
+use ipet_hw::{block_cost, BlockCost, Machine};
+use ipet_lp::{
+    solve_ilp_budgeted, BaseProblem, BoundQuality, BudgetMeter, DeltaSet, IlpResolution, IlpStats,
+    IncrementalSolver, Problem, Sense, SolveBudget, SolverFaults,
+};
+use std::collections::{BTreeMap, HashSet};
+
+mod degrade;
+mod fold;
+mod plan;
+mod sets;
+#[cfg(test)]
+mod tests;
+
+/// Resource budget and degradation policy for one analysis run.
+///
+/// The [`SolveBudget`] is shared across every ILP the analysis solves: the
+/// tick deadline caps the *sum* of solver work over all constraint sets and
+/// both senses, which is what a wall-clock deadline means for the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisBudget {
+    /// Solver resource limits (tick deadline, LP iterations, B&B nodes,
+    /// DNF set cap).
+    pub solve: SolveBudget,
+    /// When `true` (the default), budget exhaustion degrades to a safe but
+    /// looser bound tagged [`BoundQuality::Relaxed`] /
+    /// [`BoundQuality::Partial`]; when `false` it becomes a hard
+    /// [`AnalysisError`].
+    pub degrade: bool,
+}
+
+impl AnalysisBudget {
+    /// The default policy: effectively unlimited budget, degradation on.
+    pub fn unlimited() -> AnalysisBudget {
+        AnalysisBudget { solve: SolveBudget::unlimited(), degrade: true }
+    }
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> AnalysisBudget {
+        AnalysisBudget::unlimited()
+    }
+}
+
+/// How call contexts are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContextMode {
+    /// One CFG instance per acyclic call string (the paper's "separate set
+    /// of x_i variables ... for this instance of the call"). Required for
+    /// caller-scoped constraints such as `x8.f1`.
+    #[default]
+    PerCallSite,
+    /// The paper's eq.-(12) formulation: one instance per function, callee
+    /// entry flow = sum of all `f`-edges targeting it. Smaller ILPs;
+    /// caller-scoped constraints lose their context sensitivity.
+    Shared,
+}
+
+/// How the worst-case objective treats the instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// The paper's baseline: every block execution pays cold-cache fetch
+    /// costs ("we assume that the execution will always result in
+    /// cache-misses").
+    #[default]
+    AllMiss,
+    /// The refinement sketched in §IV: the first iteration of a loop is
+    /// treated as a separate virtual block with cold costs; later
+    /// iterations pay warm costs. Applied only to loops whose body is
+    /// call-free and provably conflict-free in the i-cache, so the bound
+    /// stays safe.
+    FirstIterSplit,
+}
+
+/// An estimated time interval in cycles (the paper's `[t_min, t_max]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimeBound {
+    /// Estimated best-case cycles (`t_min`).
+    pub lower: u64,
+    /// Estimated worst-case cycles (`t_max`).
+    pub upper: u64,
+}
+
+impl TimeBound {
+    /// True when `self` encloses `other` (the correctness criterion of
+    /// Fig. 1: the estimated bound must contain the actual bound).
+    pub fn encloses(&self, other: TimeBound) -> bool {
+        self.lower <= other.lower && other.upper <= self.upper
+    }
+
+    /// The paper's pessimism measure
+    /// `[(M_l - E_l) / M_l, (E_u - M_u) / M_u]` against a reference bound.
+    pub fn pessimism_against(&self, reference: TimeBound) -> (f64, f64) {
+        let lo = if reference.lower == 0 {
+            0.0
+        } else {
+            (reference.lower as f64 - self.lower as f64) / reference.lower as f64
+        };
+        let hi = if reference.upper == 0 {
+            0.0
+        } else {
+            (self.upper as f64 - reference.upper as f64) / reference.upper as f64
+        };
+        (lo, hi)
+    }
+}
+
+/// Per-constraint-set solver report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetReport {
+    /// Index among the surviving (non-pruned) sets.
+    pub index: usize,
+    /// Worst-case objective for this set (`None` when the set is
+    /// infeasible at the ILP level).
+    pub wcet: Option<u64>,
+    /// Best-case objective for this set.
+    pub bcet: Option<u64>,
+    /// Solver statistics of the WCET ILP.
+    pub wcet_stats: IlpStats,
+    /// Solver statistics of the BCET ILP.
+    pub bcet_stats: IlpStats,
+    /// How this set's contribution was obtained: [`BoundQuality::Exact`]
+    /// when both solves completed, [`BoundQuality::Relaxed`] when either
+    /// fell back to its LP-relaxation bound.
+    pub quality: BoundQuality,
+}
+
+/// Result of one full IPET analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// The estimated bound `[t_min, t_max]`.
+    pub bound: TimeBound,
+    /// Constraint sets produced by DNF expansion, before pruning
+    /// (Table I's "Sets" column counts these).
+    pub sets_total: usize,
+    /// Sets eliminated by the trivial null test.
+    pub sets_pruned: usize,
+    /// Per-set reports for the sets that reached the solver.
+    pub sets: Vec<SetReport>,
+    /// Basic-block counts of the worst-case solution, labelled
+    /// `x<k>@<instance>` (only non-zero entries).
+    pub wcet_counts: BTreeMap<String, i64>,
+    /// Basic-block counts of the best-case solution.
+    pub bcet_counts: BTreeMap<String, i64>,
+    /// Cycles each CFG instance contributes to the WCET (instance label →
+    /// cycles), summing to `bound.upper` for an [`BoundQuality::Exact`]
+    /// analysis. For a degraded analysis the breakdown reflects the best
+    /// *witnessed* solution, which the degraded bound only covers.
+    pub wcet_contributions: BTreeMap<String, u64>,
+    /// Trust level of `bound`: exact, relaxed (budget exhaustion fell back
+    /// to LP-relaxation bounds), or partial (constraint sets were skipped
+    /// or disjunctions dropped, covered by a common-constraint relaxation).
+    pub quality: BoundQuality,
+    /// Surviving constraint sets the solver never reached before the budget
+    /// ran out. Their contribution to `bound` comes from the
+    /// common-constraint cover relaxation, not a per-set solve.
+    pub sets_skipped: usize,
+    /// Indices (into `sets`) of the reports whose bound is degraded.
+    pub degraded_sets: Vec<usize>,
+}
+
+impl Estimate {
+    /// Renders the estimate the way the paper's tool reports it (§V):
+    /// the bound in cycles, the constraint-set accounting, solver
+    /// statistics, and the worst-case block counts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "estimated bound: [{}, {}] cycles", self.bound.lower, self.bound.upper);
+        let _ = writeln!(out, "bound quality: {}", self.quality);
+        let _ = writeln!(
+            out,
+            "constraint sets: {} total, {} pruned as null, {} solved",
+            self.sets_total,
+            self.sets_pruned,
+            self.sets.len()
+        );
+        if self.sets_skipped > 0 {
+            let _ = writeln!(
+                out,
+                "  {} sets skipped on budget exhaustion (covered by the \
+                 common-constraint relaxation)",
+                self.sets_skipped
+            );
+        }
+        if !self.degraded_sets.is_empty() {
+            let list: Vec<String> = self.degraded_sets.iter().map(|i| i.to_string()).collect();
+            let _ = writeln!(out, "  degraded sets (LP-relaxation bound): {}", list.join(", "));
+        }
+        let stats = self.total_stats();
+        let _ = writeln!(
+            out,
+            "ILP: {} LP calls over {} nodes; first relaxation integral: {}",
+            stats.lp_calls, stats.nodes, stats.first_relaxation_integral
+        );
+        let _ = writeln!(out, "WCET contribution by instance:");
+        for (label, cycles) in &self.wcet_contributions {
+            let pct = 100.0 * *cycles as f64 / self.bound.upper.max(1) as f64;
+            let _ = writeln!(out, "  {label:<40} {cycles:>10}  ({pct:4.1}%)");
+        }
+        let _ = writeln!(out, "worst-case block counts:");
+        for (label, count) in &self.wcet_counts {
+            let _ = writeln!(out, "  {label:<40} {count}");
+        }
+        out
+    }
+
+    /// Sum of ILP statistics over every solved ILP (WCET and BCET).
+    pub fn total_stats(&self) -> IlpStats {
+        let mut acc = IlpStats { first_relaxation_integral: true, ..IlpStats::default() };
+        for s in &self.sets {
+            for st in [s.wcet_stats, s.bcet_stats] {
+                acc.lp_calls += st.lp_calls;
+                acc.nodes += st.nodes;
+                acc.first_relaxation_integral &= st.first_relaxation_integral;
+            }
+        }
+        acc
+    }
+}
+
+/// One ILP the analysis needs solved: a surviving constraint set paired
+/// with an optimization sense.
+///
+/// Jobs are emitted by [`Analyzer::plan`] in the canonical order
+/// `set 0 × Maximize, set 0 × Minimize, set 1 × Maximize, ...` — job `i`
+/// belongs to set `i / 2` with sense `Maximize` when `i` is even. The
+/// problems are fully assembled (structural + functionality + cache-split
+/// rows), self-contained, and independent of each other: any executor —
+/// serial, threaded, or cached — may solve them in any order.
+///
+/// Each job also carries its base+delta factorization: `problem` is
+/// exactly `plan.bases()[job.base].compose(&job.delta)`, so executors may
+/// either solve the composed problem cold or re-optimize the shared base
+/// with the delta rows warm, and both answer the same problem.
+#[derive(Debug, Clone)]
+pub struct IlpJob {
+    /// Index of the constraint set among the surviving (post-prune,
+    /// canonically ordered) sets.
+    pub set: usize,
+    /// `Maximize` for the WCET side, `Minimize` for the BCET side.
+    pub sense: Sense,
+    /// The assembled ILP (base rows followed by the delta rows).
+    pub problem: Problem,
+    /// Index into [`AnalysisPlan::bases`] of the shared base this job
+    /// extends (`0` = worst-case base, `1` = best-case base).
+    pub base: usize,
+    /// The disjunct rows this set adds on top of the base (deduplicated:
+    /// rows already present in the base, or repeated within the set, are
+    /// dropped before assembly).
+    pub delta: DeltaSet,
+}
+
+/// Outcome of one [`IlpJob`], fed back to [`AnalysisPlan::complete`].
+#[derive(Debug, Clone)]
+pub enum JobVerdict {
+    /// The job ran (possibly degrading) and produced a resolution.
+    Solved(IlpResolution, IlpStats),
+    /// The job was never attempted — the budget ran out before dispatch.
+    /// Its constraint set is covered by the common-constraint relaxation.
+    Skipped,
+}
+
+/// Per-variable metadata an [`AnalysisPlan`] keeps so the verdict fold can
+/// rebuild counts and contribution attribution without the analyzer.
+#[derive(Debug, Clone)]
+struct VarMeta {
+    /// Display label (`x<k>@<instance>`).
+    label: String,
+    /// True for basic-block count variables (the ones reported in counts).
+    is_block: bool,
+    /// Label of the owning CFG instance (empty for edge variables).
+    instance_label: String,
+    /// Worst-case cycles this variable contributes per unit count
+    /// (0 for edges and for block variables whose cost the cache split
+    /// moved onto virtual cold/warm variables).
+    contrib_cost: u64,
+}
+
+/// The job graph of one analysis: every ILP to solve plus everything needed
+/// to fold the verdicts back into an [`Estimate`].
+///
+/// Produced by [`Analyzer::plan`]. The plan is fully owned — it borrows
+/// neither the analyzer nor the program — so plans from many programs can
+/// be collected and their jobs batched through one solve pool.
+///
+/// [`AnalysisPlan::complete`] is a pure, order-independent fold: each
+/// verdict contributes to the running max/min and `BoundQuality::combine`
+/// is commutative and associative, so executors may finish jobs in any
+/// order (work stealing, caching, replay) and the resulting `Estimate` is
+/// identical to the serial one, bit for bit.
+#[derive(Debug, Clone)]
+pub struct AnalysisPlan {
+    jobs: Vec<IlpJob>,
+    budget: AnalysisBudget,
+    /// Cartesian-product set count before the cap and pruning (Table I).
+    sets_total: usize,
+    sets_pruned: usize,
+    /// Set count before null pruning (for the all-infeasible error).
+    sets_before_prune: usize,
+    /// Surviving sets; `jobs.len() == 2 * num_sets`.
+    num_sets: usize,
+    /// `Partial` when the DNF cap dropped disjunctive statements.
+    quality_floor: BoundQuality,
+    /// The shared base problems every job extends: `bases[0]` is the
+    /// worst-case base (structural + common functionality + cache-split
+    /// rows), `bases[1]` the best-case base. Each base is simultaneously
+    /// the cover relaxation bounding any set the budget forces the
+    /// executor to skip.
+    bases: Vec<BaseProblem>,
+    /// Whether executors should warm-start deltas from the base optimum
+    /// (copied from [`Analyzer::with_warm_start`]; a pure optimization —
+    /// results are bit-identical either way).
+    warm_start: bool,
+    /// Loop labels reported if a solve comes back unbounded.
+    unbounded_loops: Vec<String>,
+    vars: Vec<VarMeta>,
+    /// CFG flow structure for the auditor's independent flow replay, built
+    /// from the CFG topology rather than the assembled constraint matrix.
+    flow: FlowSpec,
+}
+
+impl AnalysisPlan {
+    /// The ILP jobs, in canonical order (see [`IlpJob`]).
+    pub fn jobs(&self) -> &[IlpJob] {
+        &self.jobs
+    }
+
+    /// The budget the plan was built under.
+    pub fn budget(&self) -> &AnalysisBudget {
+        &self.budget
+    }
+
+    /// Number of surviving constraint sets (`jobs().len() / 2`).
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The shared base problems: `bases()[0]` for the worst-case jobs,
+    /// `bases()[1]` for the best-case jobs. `jobs()[i].problem` is exactly
+    /// `bases()[jobs()[i].base].compose(&jobs()[i].delta)`.
+    pub fn bases(&self) -> &[BaseProblem] {
+        &self.bases
+    }
+
+    /// Whether executors should warm-start this plan's jobs from the base
+    /// optima (see [`Analyzer::with_warm_start`]).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+}
+
+/// The IPET analyzer for one program on one machine.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Analyzer<'p> {
+    program: &'p Program,
+    machine: Machine,
+    instances: Instances,
+    /// `costs[func][block]`
+    costs: Vec<Vec<BlockCost>>,
+    cache_mode: CacheMode,
+    warm_start: bool,
+}
+
+impl<'p> Analyzer<'p> {
+    /// Builds the analyzer: expands call-site instances and computes the
+    /// per-block cost bounds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on recursion or instance-expansion overflow.
+    pub fn new(program: &'p Program, machine: Machine) -> Result<Analyzer<'p>, AnalysisError> {
+        Analyzer::new_with_context(program, machine, ContextMode::PerCallSite)
+    }
+
+    /// Builds the analyzer with an explicit [`ContextMode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on recursion or instance-expansion overflow.
+    pub fn new_with_context(
+        program: &'p Program,
+        machine: Machine,
+        context: ContextMode,
+    ) -> Result<Analyzer<'p>, AnalysisError> {
+        let instances = match context {
+            ContextMode::PerCallSite => Instances::expand(program, program.entry)?,
+            ContextMode::Shared => Instances::expand_shared(program, program.entry)?,
+        };
+        let costs = instances
+            .cfgs
+            .iter()
+            .enumerate()
+            .map(|(f, cfg)| {
+                cfg.blocks.iter().map(|b| block_cost(&machine, &program.functions[f], b)).collect()
+            })
+            .collect();
+        Ok(Analyzer {
+            program,
+            machine,
+            instances,
+            costs,
+            cache_mode: CacheMode::AllMiss,
+            warm_start: true,
+        })
+    }
+
+    /// Selects the cache treatment for the worst-case objective.
+    pub fn with_cache_mode(mut self, mode: CacheMode) -> Analyzer<'p> {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// Enables or disables warm-started delta re-solving (on by default).
+    ///
+    /// Warm starting is a pure optimization: results are bit-identical
+    /// either way (the solver only accepts a warm result it can prove
+    /// equal to the cold one). Disabling it forces every job through the
+    /// cold monolithic solve — the reference the CI warm-vs-cold gate
+    /// diffs against.
+    pub fn with_warm_start(mut self, on: bool) -> Analyzer<'p> {
+        self.warm_start = on;
+        self
+    }
+
+    /// The expanded instances (for figure rendering and diagnostics).
+    pub fn instances(&self) -> &Instances {
+        &self.instances
+    }
+
+    /// The machine model in use.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Cost bounds of one basic block.
+    pub fn block_cost(&self, func: FuncId, block: BlockId) -> BlockCost {
+        self.costs[func.0][block.0]
+    }
+
+    /// The loops the user must bound, as `(function, header block)` pairs —
+    /// what cinderella asks for after constructing structural constraints.
+    pub fn loops_needing_bounds(&self) -> Vec<(String, BlockId)> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for i in 0..self.instances.len() {
+            let cfg = self.instances.cfg(InstanceId(i));
+            for l in cfg.loops() {
+                if seen.insert((cfg.func, l.header)) {
+                    out.push((cfg.func_name.clone(), l.header));
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's Experiment-1 "calculated bound": block counters from an
+    /// instrumented run multiplied by the per-block cost bounds.
+    ///
+    /// `worst_counts` should come from the worst-case data set, and
+    /// `best_counts` from the best-case data set.
+    pub fn calculated_bound(
+        &self,
+        best_counts: &BTreeMap<(FuncId, BlockId), u64>,
+        worst_counts: &BTreeMap<(FuncId, BlockId), u64>,
+    ) -> TimeBound {
+        let lower = best_counts.iter().map(|(&(f, b), &c)| c * self.costs[f.0][b.0].best).sum();
+        let upper =
+            worst_counts.iter().map(|(&(f, b), &c)| c * self.costs[f.0][b.0].worst_cold).sum();
+        TimeBound { lower, upper }
+    }
+
+    /// Finite-difference sensitivity of the WCET to each loop bound: for
+    /// every `loop` annotation, the increase in the estimated WCET if the
+    /// loop ran one more iteration. Real-time engineers use this to find
+    /// which bound to attack first; it also prices the cost of annotation
+    /// slack.
+    ///
+    /// Returns `(function, statement index within that function's
+    /// annotations, base hi, delta cycles)` per loop statement.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn wcet_sensitivity(
+        &self,
+        annotations: &str,
+    ) -> Result<Vec<(String, usize, i64, i64)>, AnalysisError> {
+        let anns = parse_annotations(annotations)?;
+        let base = self.analyze_parsed(&anns)?;
+        let mut out = Vec::new();
+        for (fi, (func, stmts)) in anns.functions.iter().enumerate() {
+            for (si, stmt) in stmts.iter().enumerate() {
+                let Stmt::Loop { hi, .. } = stmt else {
+                    continue;
+                };
+                let mut widened = anns.clone();
+                if let Stmt::Loop { hi: h, .. } = &mut widened.functions[fi].1[si] {
+                    *h += 1;
+                }
+                let wider = self.analyze_parsed(&widened)?;
+                out.push((
+                    func.clone(),
+                    si,
+                    *hi,
+                    wider.bound.upper as i64 - base.bound.upper as i64,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the full analysis with annotation source text.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze(&self, annotations: &str) -> Result<Estimate, AnalysisError> {
+        self.analyze_with(annotations, &AnalysisBudget::default())
+    }
+
+    /// Runs the full analysis with annotation source text under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_with(
+        &self,
+        annotations: &str,
+        budget: &AnalysisBudget,
+    ) -> Result<Estimate, AnalysisError> {
+        let anns = parse_annotations(annotations)?;
+        self.analyze_parsed_with(&anns, budget)
+    }
+
+    /// Runs the full analysis with pre-parsed annotations.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_parsed(&self, anns: &Annotations) -> Result<Estimate, AnalysisError> {
+        self.analyze_parsed_with(anns, &AnalysisBudget::default())
+    }
+
+    /// Runs the full analysis with pre-parsed annotations under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_parsed_with(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+    ) -> Result<Estimate, AnalysisError> {
+        self.analyze_parsed_with_faults(anns, budget, &mut SolverFaults::none())
+    }
+
+    /// [`Analyzer::analyze_parsed_with`] plus deterministic fault injection:
+    /// `faults` is threaded into every LP/ILP call of the analysis, letting
+    /// tests force each budget-exhaustion path at an exact call index.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_parsed_with_faults(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Result<Estimate, AnalysisError> {
+        let plan = self.plan(anns, budget)?;
+        let verdicts = Analyzer::run_serial(&plan, budget, faults);
+        plan.complete(&verdicts)
+    }
+
+    /// [`Analyzer::analyze_parsed_with_faults`] plus exact-arithmetic
+    /// certification of every verdict: returns the per-set certificate
+    /// report alongside the (bit-identical) estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn analyze_audited_with_faults(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Result<(Estimate, AuditReport), AnalysisError> {
+        let plan = self.plan(anns, budget)?;
+        let verdicts = Analyzer::run_serial(&plan, budget, faults);
+        plan.complete_audited(&verdicts)
+    }
+
+    /// The serial executor: one shared meter, jobs in canonical order, the
+    /// run stopping at the first exhaustion (every later job is skipped and
+    /// its set covered by the common-constraint relaxation). The deadline is
+    /// checked at each set boundary — a set's BCET job still runs after its
+    /// WCET job spent the deadline, and reports `Exhausted` through the
+    /// solver's own top-of-search check.
+    ///
+    /// When the plan enables warm starting, each sense's base LP is solved
+    /// once (lazily) and every delta re-optimizes from its snapshot; the
+    /// incremental solver itself guarantees bit-identical results and falls
+    /// back cold under budgets or armed fault injection.
+    fn run_serial(
+        plan: &AnalysisPlan,
+        budget: &AnalysisBudget,
+        faults: &mut SolverFaults,
+    ) -> Vec<JobVerdict> {
+        let meter = BudgetMeter::new();
+        let certify = |problem: &Problem, x: &[f64], claimed: i64| -> bool {
+            certify_witness(problem, x, claimed, ClaimKind::Equal).is_ok()
+        };
+        let mut solvers: Vec<IncrementalSolver<'_>> =
+            plan.bases.iter().map(IncrementalSolver::new).collect();
+        let mut verdicts: Vec<JobVerdict> = Vec::with_capacity(plan.jobs().len());
+        for job in plan.jobs() {
+            if job.sense == Sense::Maximize && meter.deadline_hit(&budget.solve) {
+                break;
+            }
+            let (res, stats) = if plan.warm_start {
+                solvers[job.base].solve(&job.delta, &budget.solve, &meter, faults, &certify)
+            } else {
+                solve_ilp_budgeted(&job.problem, &budget.solve, &meter, faults)
+            };
+            let exhausted = matches!(res, IlpResolution::Exhausted);
+            verdicts.push(JobVerdict::Solved(res, stats));
+            if exhausted {
+                break;
+            }
+        }
+        verdicts
+    }
+}

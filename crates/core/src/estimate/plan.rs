@@ -1,0 +1,434 @@
+//! Plan construction: DNF expansion, base+delta factoring, cache-split
+//! modelling and ILP assembly.
+
+use super::{AnalysisBudget, AnalysisPlan, Analyzer, CacheMode, IlpJob, VarMeta};
+use crate::dsl::{Annotations, Stmt};
+use crate::error::AnalysisError;
+use crate::lincon::{set_is_null, LinCon};
+use crate::structural::{flow_spec, structural_constraints};
+use crate::vars::{VarRef, VarSpace};
+use ipet_cfg::{BlockId, InstanceId, LoopInfo};
+use ipet_lp::{
+    BaseProblem, BoundQuality, Constraint, DeltaSet, Problem, ProblemBuilder, Sense, VarId,
+};
+use std::collections::{HashMap, HashSet};
+
+impl<'p> Analyzer<'p> {
+    /// Builds the analysis **job graph**: resolves annotations, expands the
+    /// DNF constraint sets, prunes null sets, orders the survivors
+    /// canonically, and assembles one ILP per surviving set and sense —
+    /// without solving anything.
+    ///
+    /// The returned [`AnalysisPlan`] owns everything (no borrow of the
+    /// analyzer), exposes the jobs for any executor, and folds the verdicts
+    /// back into an [`super::Estimate`] via [`AnalysisPlan::complete`].
+    ///
+    /// **Canonical set order:** surviving sets are stable-sorted by the
+    /// rendered text of their constraints (each set's constraints in
+    /// statement order, compared lexicographically). The order is therefore
+    /// a pure function of the constraint content — independent of executor,
+    /// thread count, and hash-map iteration — which is what makes reports
+    /// and exit codes reproducible across `--jobs` values.
+    ///
+    /// **Base+delta factoring:** the rows shared by every set (structural
+    /// flow, non-disjunctive functionality statements, cache-split rows)
+    /// become one [`BaseProblem`] per sense; each surviving set keeps only
+    /// its disjunct rows as a [`DeltaSet`]. Delta rows that duplicate a
+    /// base row, or repeat within the set, are dropped before assembly
+    /// (counted under `core.sets.dedup_rows`) — a duplicated row changes
+    /// nothing about the feasible region but would defeat base reuse. Each
+    /// job's `problem` is assembled as `base.compose(delta)`, so cold
+    /// solves and warm-started delta re-optimizations answer the same
+    /// composed problem by construction.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`] for the planning-time failures (unknown
+    /// functions, bad references, DNF blow-up with degradation disabled,
+    /// all sets null).
+    pub fn plan(
+        &self,
+        anns: &Annotations,
+        budget: &AnalysisBudget,
+    ) -> Result<AnalysisPlan, AnalysisError> {
+        let _span = ipet_trace::span("core.plan");
+        ipet_trace::counter("core.plan.calls", 1);
+        // Validate function names early.
+        for (name, _) in &anns.functions {
+            if self.program().function_by_name(name).is_none() {
+                return Err(AnalysisError::UnknownFunction(name.clone()));
+            }
+        }
+
+        let mut space = VarSpace::new(&self.instances);
+
+        // Resolve annotations per instance into statement-level
+        // disjunctions. Each entry is a non-empty list of alternative
+        // conjunctive constraint lists.
+        let mut statements: Vec<Vec<Vec<LinCon>>> = Vec::new();
+        let mut bounded_headers: HashSet<(InstanceId, BlockId)> = HashSet::new();
+
+        for i in 0..self.instances.len() {
+            let inst = InstanceId(i);
+            let func_name = self.instances.cfg(inst).func_name.clone();
+            for stmt in anns.for_function(&func_name) {
+                match stmt {
+                    Stmt::Loop { header, lo, hi } => {
+                        let cons =
+                            self.resolve_loop(inst, header, *lo, *hi, &mut bounded_headers)?;
+                        statements.push(vec![cons]);
+                    }
+                    Stmt::Cons(or) => {
+                        let mut alts = Vec::new();
+                        for conj in or.to_dnf() {
+                            let mut set = Vec::new();
+                            for (lhs, rel, rhs) in conj {
+                                set.push(self.resolve_rel(inst, &lhs, rel, &rhs)?);
+                            }
+                            alts.push(set);
+                        }
+                        statements.push(alts);
+                    }
+                }
+            }
+        }
+
+        // Cartesian product across statements = the paper's "set of
+        // constraint sets" ("the size of the constraint sets is doubled
+        // every time a functionality constraint with | is added").
+        let sets_total: usize = statements.iter().map(|s| s.len()).product::<usize>().max(1);
+        let mut quality_floor = BoundQuality::Exact;
+        if sets_total > budget.solve.max_sets {
+            if !budget.degrade {
+                return Err(AnalysisError::SolverLimit);
+            }
+            // DNF blow-up past the cap: drop the disjunctive statements and
+            // keep only the conjunctive ones. Every real constraint set
+            // implies the kept rows, so the single surviving set is a
+            // relaxation of all of them — safe for both WCET (feasible
+            // region grows, max grows) and BCET (min shrinks).
+            statements.retain(|s| s.len() == 1);
+            quality_floor = BoundQuality::Partial;
+        }
+
+        // Expand the product twice over: the merged rows (for null pruning
+        // and the canonical sort key, exactly as the monolithic assembly
+        // ordered them) and the delta rows (disjunctive statements only —
+        // what the set adds on top of the shared base).
+        let mut expanded: Vec<(Vec<LinCon>, Vec<LinCon>)> = vec![(Vec::new(), Vec::new())];
+        for alts in &statements {
+            let disjunctive = alts.len() > 1;
+            let mut next = Vec::with_capacity(expanded.len() * alts.len());
+            for (merged, delta) in &expanded {
+                for alt in alts {
+                    let mut m = merged.clone();
+                    m.extend(alt.iter().cloned());
+                    let mut d = delta.clone();
+                    if disjunctive {
+                        d.extend(alt.iter().cloned());
+                    }
+                    next.push((m, d));
+                }
+            }
+            expanded = next;
+        }
+
+        // Null-set pruning, on the full merged rows (a delta can only be
+        // null together with the common rows it combines with).
+        let before = expanded.len();
+        expanded.retain(|(m, _)| !set_is_null(m));
+        let sets_pruned = before - expanded.len();
+        if expanded.is_empty() {
+            return Err(AnalysisError::AllSetsInfeasible { total: before });
+        }
+
+        // Canonical deterministic set order: stable-sort the survivors by
+        // their rendered constraint text. `LinCon`'s display normalizes
+        // terms (merged, zero-dropped, sorted by variable), so the key is a
+        // pure function of constraint content and the resulting job order
+        // is reproducible across executors and `--jobs` values.
+        let mut keyed: Vec<(Vec<String>, Vec<LinCon>)> = expanded
+            .into_iter()
+            .map(|(m, d)| (m.iter().map(|c| c.to_string()).collect(), d))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Shared structural rows and (for the worst case) split rows.
+        let structural = structural_constraints(&self.instances);
+        let (split_rows, split_objective) = self.build_split(&mut space);
+
+        // Constraints common to *every* set (the non-disjunctive
+        // statements): together with the structural and split rows they
+        // form the base problem, which doubles as the cover relaxation
+        // bounding any set the budget forces us to skip.
+        let common: Vec<LinCon> =
+            statements.iter().filter(|s| s.len() == 1).flat_map(|s| s[0].iter().cloned()).collect();
+
+        // Dedup delta rows against the base and within each set. Rendered
+        // text is the identity: `LinCon`'s display is injective on
+        // normalized content, so equal text means a mathematically
+        // identical row.
+        let common_keys: HashSet<String> = common.iter().map(|c| c.to_string()).collect();
+        let mut dedup_rows = 0u64;
+        let deltas: Vec<Vec<LinCon>> = keyed
+            .into_iter()
+            .map(|(_, d)| {
+                let mut seen: HashSet<String> = HashSet::new();
+                let mut kept = Vec::with_capacity(d.len());
+                for c in d {
+                    let key = c.to_string();
+                    if common_keys.contains(&key) || !seen.insert(key) {
+                        dedup_rows += 1;
+                    } else {
+                        kept.push(c);
+                    }
+                }
+                kept
+            })
+            .collect();
+
+        // The two shared bases. Row order: structural, common
+        // functionality, then (worst case only) the split rows — identical
+        // to the monolithic assembly when no statement is disjunctive.
+        let base_worst = BaseProblem::new(self.assemble(
+            &space,
+            Sense::Maximize,
+            &structural,
+            &common,
+            &split_rows,
+            &split_objective,
+        ));
+        let base_best = BaseProblem::new(self.assemble(
+            &space,
+            Sense::Minimize,
+            &structural,
+            &common,
+            &[],
+            &HashMap::new(),
+        ));
+
+        let mut jobs = Vec::with_capacity(deltas.len() * 2);
+        for (idx, rows) in deltas.iter().enumerate() {
+            let delta = DeltaSet::new(rows.iter().map(|c| lincon_row(&space, c)).collect());
+            jobs.push(IlpJob {
+                set: idx,
+                sense: Sense::Maximize,
+                problem: base_worst.compose(&delta),
+                base: 0,
+                delta: delta.clone(),
+            });
+            jobs.push(IlpJob {
+                set: idx,
+                sense: Sense::Minimize,
+                problem: base_best.compose(&delta),
+                base: 1,
+                delta,
+            });
+        }
+
+        let vars: Vec<VarMeta> = space
+            .iter()
+            .map(|(id, r)| {
+                let (is_block, instance_label, contrib_cost) = match r {
+                    VarRef::Block(inst, blk) => {
+                        let func = self.instances.cfg(inst).func;
+                        let cost = match split_objective.get(&r) {
+                            Some(&c) => c as u64,
+                            None => self.costs[func.0][blk.0].worst_cold,
+                        };
+                        (true, self.instances.instances[inst.0].label.clone(), cost)
+                    }
+                    VarRef::SplitCold(inst, _) | VarRef::SplitWarm(inst, _) => (
+                        false,
+                        self.instances.instances[inst.0].label.clone(),
+                        split_objective.get(&r).copied().unwrap_or(0.0) as u64,
+                    ),
+                    VarRef::Edge(_, _) => (false, String::new(), 0),
+                };
+                VarMeta {
+                    label: space.label(id).to_string(),
+                    is_block,
+                    instance_label,
+                    contrib_cost,
+                }
+            })
+            .collect();
+
+        ipet_trace::counter("core.sets.expanded", sets_total as u64);
+        ipet_trace::counter("core.sets.pruned", sets_pruned as u64);
+        ipet_trace::counter("core.sets.dedup_rows", dedup_rows);
+        ipet_trace::counter("core.jobs.emitted", jobs.len() as u64);
+        ipet_trace::gauge_max("core.sets.peak", sets_total as u64);
+        Ok(AnalysisPlan {
+            num_sets: deltas.len(),
+            jobs,
+            budget: *budget,
+            sets_total,
+            sets_pruned,
+            sets_before_prune: before,
+            quality_floor,
+            bases: vec![base_worst, base_best],
+            warm_start: self.warm_start,
+            unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
+            vars,
+            flow: flow_spec(&self.instances, &space),
+        })
+    }
+
+    // -- ILP assembly --------------------------------------------------------
+
+    /// Builds the split rows and split objective coefficients for
+    /// [`CacheMode::FirstIterSplit`] (empty under [`CacheMode::AllMiss`]).
+    pub(super) fn build_split(&self, space: &mut VarSpace) -> (Vec<LinCon>, HashMap<VarRef, f64>) {
+        let mut rows = Vec::new();
+        let mut obj: HashMap<VarRef, f64> = HashMap::new();
+        if self.cache_mode != CacheMode::FirstIterSplit {
+            return (rows, obj);
+        }
+        for i in 0..self.instances.len() {
+            let inst = InstanceId(i);
+            let cfg = self.instances.cfg(inst);
+            let func = cfg.func;
+            let function = &self.program().functions[func.0];
+            let loops: Vec<LoopInfo> = cfg.loops();
+            // Innermost qualifying loop per block.
+            let mut chosen: HashMap<BlockId, &LoopInfo> = HashMap::new();
+            for l in &loops {
+                if !self.loop_qualifies(func, l) {
+                    continue;
+                }
+                for &b in &l.body {
+                    match chosen.get(&b) {
+                        Some(prev) if prev.body.len() <= l.body.len() => {}
+                        _ => {
+                            chosen.insert(b, l);
+                        }
+                    }
+                }
+            }
+            let label = self.instances.instances[i].label.clone();
+            for (&b, l) in &chosen {
+                let cost = self.costs[func.0][b.0];
+                if cost.worst_cold == cost.worst_warm {
+                    continue; // nothing to gain
+                }
+                let _ = function; // block addresses were used in qualify()
+                let cold = VarRef::SplitCold(inst, b);
+                let warm = VarRef::SplitWarm(inst, b);
+                space.intern(cold, &label);
+                space.intern(warm, &label);
+                let x = VarRef::Block(inst, b);
+                rows.push(LinCon::eq(vec![(cold, 1.0), (warm, 1.0), (x, -1.0)], 0.0));
+                let mut cap = vec![(cold, 1.0)];
+                for e in &l.entry_edges {
+                    cap.push((VarRef::Edge(inst, *e), -1.0));
+                }
+                rows.push(LinCon::le(cap, 0.0));
+                obj.insert(cold, cost.worst_cold as f64);
+                obj.insert(warm, cost.worst_warm as f64);
+                obj.insert(x, 0.0);
+            }
+        }
+        (rows, obj)
+    }
+
+    /// A loop qualifies for warm-iteration costing when its body contains
+    /// no calls and its instruction range self-evidently fits the i-cache
+    /// without conflicts.
+    fn loop_qualifies(&self, func: ipet_arch::FuncId, l: &LoopInfo) -> bool {
+        let cfg = &self.instances.cfgs[func.0];
+        let function = &self.program().functions[func.0];
+        if l.body.iter().any(|&b| cfg.blocks[b.0].call.is_some()) {
+            return false;
+        }
+        let start =
+            l.body.iter().map(|&b| function.instr_addr(cfg.blocks[b.0].start)).min().unwrap_or(0);
+        let end = l
+            .body
+            .iter()
+            .map(|&b| function.instr_addr(cfg.blocks[b.0].end - 1) + ipet_arch::INSTR_BYTES)
+            .max()
+            .unwrap_or(0);
+        self.machine().icache.range_is_conflict_free(start, end)
+    }
+
+    pub(super) fn assemble(
+        &self,
+        space: &VarSpace,
+        sense: Sense,
+        structural: &[LinCon],
+        functionality: &[LinCon],
+        split_rows: &[LinCon],
+        split_objective: &HashMap<VarRef, f64>,
+    ) -> Problem {
+        let mut b = ProblemBuilder::new(sense);
+        let mut ids: Vec<VarId> = Vec::with_capacity(space.len());
+        for (id, r) in space.iter() {
+            let vid = b.add_var(space.label(id).to_string(), true);
+            debug_assert_eq!(vid.0, id.0);
+            ids.push(vid);
+            // Objective: block costs (possibly overridden by the split).
+            let coeff = match (sense, r) {
+                (Sense::Maximize, VarRef::Block(inst, blk)) => {
+                    let func = self.instances.cfg(inst).func;
+                    match split_objective.get(&r) {
+                        Some(&c) => c, // 0.0 when split vars carry the cost
+                        None => self.costs[func.0][blk.0].worst_cold as f64,
+                    }
+                }
+                (Sense::Maximize, VarRef::SplitCold(_, _) | VarRef::SplitWarm(_, _)) => {
+                    split_objective.get(&r).copied().unwrap_or(0.0)
+                }
+                (Sense::Minimize, VarRef::Block(inst, blk)) => {
+                    let func = self.instances.cfg(inst).func;
+                    self.costs[func.0][blk.0].best as f64
+                }
+                _ => 0.0,
+            };
+            if coeff != 0.0 {
+                b.objective(vid, coeff);
+            }
+        }
+        let add = |b: &mut ProblemBuilder, c: &LinCon| {
+            let terms: Vec<(VarId, f64)> = c
+                .terms
+                .iter()
+                .map(|&(r, coef)| {
+                    let id = space.id(r).expect("constraint variable interned");
+                    (ids[id.0], coef)
+                })
+                .collect();
+            b.constraint(terms, c.relation, c.rhs);
+        };
+        for c in structural {
+            add(&mut b, c);
+        }
+        for c in functionality {
+            add(&mut b, c);
+        }
+        if sense == Sense::Maximize {
+            for c in split_rows {
+                add(&mut b, c);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Converts a resolved [`LinCon`] into a solver row over the base
+/// problem's variable ids (positional: `VarSpace` id order is the
+/// assembled problem's variable order).
+fn lincon_row(space: &VarSpace, c: &LinCon) -> Constraint {
+    Constraint {
+        terms: c
+            .terms
+            .iter()
+            .map(|&(r, coef)| {
+                let id = space.id(r).expect("constraint variable interned");
+                (VarId(id.0), coef)
+            })
+            .collect(),
+        relation: c.relation,
+        rhs: c.rhs,
+    }
+}

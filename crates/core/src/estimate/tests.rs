@@ -1,0 +1,534 @@
+use super::*;
+use crate::structural::structural_constraints;
+use crate::vars::VarSpace;
+use ipet_arch::{AluOp, AsmBuilder, Cond, Program, Reg};
+use std::collections::HashMap;
+
+fn while_loop_program(n: i32) -> Program {
+    let mut b = AsmBuilder::new("main");
+    let head = b.fresh_label();
+    let out = b.fresh_label();
+    b.ldc(Reg::T0, 0);
+    b.bind(head);
+    b.br(Cond::Ge, Reg::T0, n, out);
+    b.alu(AluOp::Add, Reg::T0, Reg::T0, 1);
+    b.jmp(head);
+    b.bind(out);
+    b.ret();
+    Program::new(vec![b.finish().unwrap()], vec![], FuncId(0)).unwrap()
+}
+
+#[test]
+fn loop_bound_produces_finite_wcet() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let est = a.analyze("fn main { loop x2 in [10, 10]; }").unwrap();
+    assert!(est.bound.lower > 0);
+    assert!(est.bound.lower <= est.bound.upper);
+    assert_eq!(est.sets_total, 1);
+    assert_eq!(est.sets_pruned, 0);
+    // Header executes 11 times in the worst case (10 iterations + exit test).
+    let header = est.wcet_counts.iter().find(|(k, _)| k.starts_with("x2@")).unwrap();
+    assert_eq!(*header.1, 11);
+}
+
+#[test]
+fn missing_loop_bound_reports_unbounded() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    match a.analyze("") {
+        Err(AnalysisError::Unbounded { unbounded_loops }) => {
+            assert_eq!(unbounded_loops, vec!["main(B2)".to_string()]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn loops_needing_bounds_lists_header() {
+    let p = while_loop_program(4);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let loops = a.loops_needing_bounds();
+    assert_eq!(loops.len(), 1);
+    assert_eq!(loops[0].0, "main");
+    assert_eq!(loops[0].1, BlockId(1));
+}
+
+#[test]
+fn tighter_loop_bound_tightens_wcet() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let wide = a.analyze("fn main { loop x2 in [0, 100]; }").unwrap();
+    let tight = a.analyze("fn main { loop x2 in [0, 10]; }").unwrap();
+    assert!(tight.bound.upper < wide.bound.upper);
+    assert_eq!(tight.bound.lower, wide.bound.lower);
+}
+
+#[test]
+fn disjunction_doubles_sets_and_null_sets_prune() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    // x3 (the body) = 0 | x3 = 5, combined with x3 >= 1 makes the first
+    // branch null.
+    let est = a.analyze("fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); x3 >= 1; }").unwrap();
+    assert_eq!(est.sets_total, 2);
+    assert_eq!(est.sets_pruned, 1);
+    assert_eq!(est.sets.len(), 1);
+    let body = est.wcet_counts.iter().find(|(k, _)| k.starts_with("x3@")).unwrap();
+    assert_eq!(*body.1, 5);
+}
+
+#[test]
+fn all_sets_null_is_an_error() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    match a.analyze("fn main { loop x2 in [0,10]; x3 = 1; x3 = 2; }") {
+        Err(AnalysisError::AllSetsInfeasible { total }) => assert_eq!(total, 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unknown_function_rejected() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    assert!(matches!(a.analyze("fn nosuch { x1 = 1; }"), Err(AnalysisError::UnknownFunction(_))));
+}
+
+#[test]
+fn bad_references_rejected() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    assert!(matches!(
+        a.analyze("fn main { loop x2 in [0,10]; x99 = 1; }"),
+        Err(AnalysisError::BadReference { .. })
+    ));
+    assert!(matches!(
+        a.analyze("fn main { loop x2 in [0,10]; x1.f1 = 1; }"),
+        Err(AnalysisError::BadReference { .. })
+    ));
+    assert!(matches!(
+        a.analyze("fn main { loop x1 in [0,10]; }"),
+        Err(AnalysisError::NotALoopHeader { .. })
+    ));
+    assert!(matches!(
+        a.analyze("fn main { loop x2 in [5,2]; }"),
+        Err(AnalysisError::BadLoopBound { .. })
+    ));
+}
+
+#[test]
+fn first_relaxation_is_integral_for_flow_problems() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let est = a.analyze("fn main { loop x2 in [1, 10]; }").unwrap();
+    let stats = est.total_stats();
+    assert!(stats.first_relaxation_integral, "{stats:?}");
+}
+
+#[test]
+fn calls_contribute_callee_cost() {
+    // main calls leaf; leaf has nontrivial cost; WCET(main) > WCET of
+    // main's own blocks alone.
+    let mut leaf = AsmBuilder::new("leaf");
+    leaf.alu(AluOp::Div, Reg::RV, Reg::A0, 3);
+    leaf.ret();
+    let mut main = AsmBuilder::new("main");
+    main.call(FuncId(0));
+    main.ret();
+    let p = Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+        .unwrap();
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let est = a.analyze("").unwrap();
+    // Callee blocks must appear with count 1 in the worst case.
+    assert!(est.wcet_counts.keys().any(|k| k.contains("f1:leaf")));
+    // And the bound exceeds the cost of main's two blocks alone.
+    let main_only: u64 = (0..2).map(|b| a.block_cost(FuncId(1), BlockId(b)).worst_cold).sum();
+    assert!(est.bound.upper > main_only);
+}
+
+#[test]
+fn caller_scoped_constraint_pins_callee_blocks() {
+    // leaf has a diamond; pin its then-branch through the caller scope.
+    let mut leaf = AsmBuilder::new("leaf");
+    let els = leaf.fresh_label();
+    let join = leaf.fresh_label();
+    leaf.br(Cond::Eq, Reg::A0, 0, els);
+    leaf.ldc(Reg::RV, 1);
+    leaf.jmp(join);
+    leaf.bind(els);
+    leaf.ldc(Reg::RV, 2);
+    leaf.bind(join);
+    leaf.ret();
+    let mut main = AsmBuilder::new("main");
+    main.call(FuncId(0));
+    main.ret();
+    let p = Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+        .unwrap();
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    // Force the cheap arm via x-of-callee-at-site syntax.
+    let est = a.analyze("fn main { x2.f1 = 0; }").unwrap();
+    assert!(!est.wcet_counts.keys().any(|k| k.starts_with("x2@main/f1:leaf")));
+    let est2 = a.analyze("fn main { x3.f1 = 0; }").unwrap();
+    assert!(est2.bound.upper != est.bound.upper || est2.wcet_counts != est.wcet_counts);
+}
+
+#[test]
+fn split_mode_tightens_loop_wcet_and_stays_above_best() {
+    let p = while_loop_program(50);
+    let base = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let split =
+        Analyzer::new(&p, Machine::i960kb()).unwrap().with_cache_mode(CacheMode::FirstIterSplit);
+    let ann = "fn main { loop x2 in [50, 50]; }";
+    let e_base = base.analyze(ann).unwrap();
+    let e_split = split.analyze(ann).unwrap();
+    assert!(
+        e_split.bound.upper < e_base.bound.upper,
+        "split {} vs base {}",
+        e_split.bound.upper,
+        e_base.bound.upper
+    );
+    assert!(e_split.bound.lower == e_base.bound.lower);
+    assert!(e_split.bound.lower <= e_split.bound.upper);
+}
+
+#[test]
+fn wcet_contributions_sum_to_the_bound() {
+    // A caller + callee: the breakdown must cover the whole WCET and
+    // attribute nonzero cycles to both instances.
+    let mut leaf = AsmBuilder::new("leaf");
+    leaf.alu(AluOp::Div, Reg::RV, Reg::A0, 3);
+    leaf.ret();
+    let mut main = AsmBuilder::new("main");
+    main.call(FuncId(0));
+    main.ret();
+    let p = Program::new(vec![leaf.finish().unwrap(), main.finish().unwrap()], vec![], FuncId(1))
+        .unwrap();
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let est = a.analyze("").unwrap();
+    let total: u64 = est.wcet_contributions.values().sum();
+    assert_eq!(total, est.bound.upper);
+    assert!(est.wcet_contributions.contains_key("main"));
+    assert!(est.wcet_contributions.contains_key("main/f1:leaf"));
+    assert!(est.render().contains("WCET contribution"));
+}
+
+#[test]
+fn contributions_sum_under_cache_split_too() {
+    let p = while_loop_program(50);
+    let a =
+        Analyzer::new(&p, Machine::i960kb()).unwrap().with_cache_mode(CacheMode::FirstIterSplit);
+    let est = a.analyze("fn main { loop x2 in [50, 50]; }").unwrap();
+    let total: u64 = est.wcet_contributions.values().sum();
+    assert_eq!(total, est.bound.upper);
+}
+
+#[test]
+fn sensitivity_prices_one_extra_iteration() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [10, 10]; }";
+    let sens = a.wcet_sensitivity(ann).unwrap();
+    assert_eq!(sens.len(), 1);
+    let (func, _, hi, delta) = &sens[0];
+    assert_eq!(func, "main");
+    assert_eq!(*hi, 10);
+    // One more iteration costs one header + one body execution.
+    let header = a.block_cost(FuncId(0), BlockId(1)).worst_cold as i64;
+    let body = a.block_cost(FuncId(0), BlockId(2)).worst_cold as i64;
+    assert_eq!(*delta, header + body);
+}
+
+#[test]
+fn structural_only_ilp_is_a_network_matrix() {
+    // The §III-D theory: the automatically derived structural system
+    // is totally unimodular (network-like), which is why the first LP
+    // relaxation keeps coming out integral.
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let space = VarSpace::new(&a.instances);
+    let structural = structural_constraints(&a.instances);
+    let problem = a.assemble(&space, Sense::Maximize, &structural, &[], &[], &HashMap::new());
+    assert!(ipet_lp::is_network_matrix(&problem));
+
+    // A loop bound introduces a 10-coefficient and breaks the network
+    // property — yet the relaxation stays integral in practice, the
+    // paper's empirical §III-D point.
+    let bound = a
+        .resolve_loop(
+            ipet_cfg::InstanceId(0),
+            &crate::dsl::Ref { kind: crate::dsl::RefKind::X, index: 2, path: vec![] },
+            1,
+            10,
+            &mut HashSet::new(),
+        )
+        .unwrap();
+    let with_bound = a.assemble(&space, Sense::Maximize, &structural, &bound, &[], &HashMap::new());
+    assert!(!ipet_lp::is_network_matrix(&with_bound));
+    let (_, stats) = ipet_lp::solve_ilp(&with_bound);
+    assert!(stats.first_relaxation_integral);
+}
+
+#[test]
+fn time_bound_helpers() {
+    let outer = TimeBound { lower: 10, upper: 100 };
+    let inner = TimeBound { lower: 20, upper: 80 };
+    assert!(outer.encloses(inner));
+    assert!(!inner.encloses(outer));
+    let (lo, hi) = outer.pessimism_against(inner);
+    assert!((lo - 0.5).abs() < 1e-9);
+    assert!((hi - 0.25).abs() < 1e-9);
+}
+
+// -- base+delta decomposition and warm starting --------------------------
+
+#[test]
+fn job_problems_recompose_from_base_and_delta() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let anns = parse_annotations("fn main { loop x2 in [0, 10]; (x3 = 1) | (x3 = 3) | (x3 = 5); }")
+        .unwrap();
+    let plan = a.plan(&anns, &AnalysisBudget::unlimited()).unwrap();
+    assert_eq!(plan.bases().len(), 2);
+    assert_eq!(plan.num_sets(), 3);
+    for job in plan.jobs() {
+        // The invariant the warm path relies on: the composed problem the
+        // incremental solver answers IS the job's monolithic problem.
+        assert_eq!(job.problem, plan.bases()[job.base].compose(&job.delta));
+        assert!(!job.delta.is_empty());
+        // Deltas are small: only the disjunct rows, never the structural
+        // or common ones.
+        assert!(job.delta.rows.len() < job.problem.constraints.len());
+    }
+    // Max jobs extend base 0, min jobs base 1.
+    for (i, job) in plan.jobs().iter().enumerate() {
+        assert_eq!(job.base, i % 2);
+        assert_eq!(job.sense, if i % 2 == 0 { Sense::Maximize } else { Sense::Minimize });
+    }
+}
+
+#[test]
+fn warm_and_cold_serial_analyses_are_bit_identical() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let cold_a = a.clone().with_warm_start(false);
+    for ann in [
+        "fn main { loop x2 in [0, 10]; }",
+        "fn main { loop x2 in [0, 10]; (x3 = 1) | (x3 = 3) | (x3 = 5); }",
+        "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); x3 >= 1; }",
+    ] {
+        let warm = a.analyze(ann).unwrap();
+        let cold = cold_a.analyze(ann).unwrap();
+        assert_eq!(warm, cold, "warm vs cold mismatch for {ann}");
+
+        let anns = parse_annotations(ann).unwrap();
+        let (warm_est, warm_audit) = a
+            .analyze_audited_with_faults(
+                &anns,
+                &AnalysisBudget::unlimited(),
+                &mut SolverFaults::none(),
+            )
+            .unwrap();
+        let (cold_est, cold_audit) = cold_a
+            .analyze_audited_with_faults(
+                &anns,
+                &AnalysisBudget::unlimited(),
+                &mut SolverFaults::none(),
+            )
+            .unwrap();
+        assert_eq!(warm_est, cold_est);
+        assert!(warm_audit.all_certified());
+        assert_eq!(warm_audit.certified(), cold_audit.certified());
+        assert_eq!(warm_audit.rejected(), cold_audit.rejected());
+    }
+}
+
+#[test]
+fn duplicate_delta_rows_are_deduplicated() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    // The first disjunct repeats the common row `x3 >= 1` verbatim: its
+    // delta must dedup to empty (the composed problem IS the base), while
+    // the second disjunct keeps its one genuine row.
+    let anns = parse_annotations("fn main { loop x2 in [0, 10]; x3 >= 1; (x3 >= 1) | (x3 = 5); }")
+        .unwrap();
+    let plan = a.plan(&anns, &AnalysisBudget::unlimited()).unwrap();
+    assert_eq!(plan.num_sets(), 2);
+    let mut delta_sizes: Vec<usize> = plan
+        .jobs()
+        .iter()
+        .filter(|j| j.sense == Sense::Maximize)
+        .map(|j| j.delta.rows.len())
+        .collect();
+    delta_sizes.sort_unstable();
+    assert_eq!(delta_sizes, vec![0, 1]);
+    for job in plan.jobs() {
+        assert_eq!(job.problem, plan.bases()[job.base].compose(&job.delta));
+    }
+    // The deduplicated plan still folds to the right answer, warm or cold.
+    let est = a.analyze("fn main { loop x2 in [0, 10]; x3 >= 1; (x3 >= 1) | (x3 = 5); }").unwrap();
+    let cold = a
+        .clone()
+        .with_warm_start(false)
+        .analyze("fn main { loop x2 in [0, 10]; x3 >= 1; (x3 >= 1) | (x3 = 5); }")
+        .unwrap();
+    assert_eq!(est, cold);
+    assert_eq!(est.sets.len(), 2);
+}
+
+#[test]
+fn single_set_plans_have_empty_deltas() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let anns = parse_annotations("fn main { loop x2 in [0, 10]; }").unwrap();
+    let plan = a.plan(&anns, &AnalysisBudget::unlimited()).unwrap();
+    assert_eq!(plan.num_sets(), 1);
+    for job in plan.jobs() {
+        // No disjunctions → every row is common → the set's problem is the
+        // base itself.
+        assert!(job.delta.is_empty());
+        assert_eq!(job.problem, plan.bases()[job.base].compose(&job.delta));
+        assert_eq!(plan.bases()[job.base].delta_fingerprint(&job.delta), ipet_lp::Fingerprint(0));
+    }
+}
+
+// -- budgets, degradation, fault injection ------------------------------
+
+#[test]
+fn roomy_budget_matches_default_analysis_exactly() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [0, 10]; }";
+    let plain = a.analyze(ann).unwrap();
+    let budgeted = a.analyze_with(ann, &AnalysisBudget::unlimited()).unwrap();
+    assert_eq!(plain.bound, budgeted.bound);
+    assert_eq!(budgeted.quality, BoundQuality::Exact);
+    assert_eq!(budgeted.sets_skipped, 0);
+    assert!(budgeted.degraded_sets.is_empty());
+}
+
+#[test]
+fn fractional_root_under_node_budget_degrades_to_relaxed() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    // `2*x3 <= 7` puts the LP optimum at x3 = 3.5, forcing real
+    // branching; one node is not enough to close the tree.
+    let ann = "fn main { loop x2 in [0, 10]; 2*x3 <= 7; }";
+    let exact = a.analyze(ann).unwrap();
+    assert_eq!(exact.quality, BoundQuality::Exact);
+
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.max_nodes = 1;
+    let degraded = a.analyze_with(ann, &budget).unwrap();
+    assert_eq!(degraded.quality, BoundQuality::Relaxed);
+    assert!(!degraded.degraded_sets.is_empty());
+    // The relaxed bound must stay safe: at least as wide as the truth.
+    assert!(degraded.bound.upper >= exact.bound.upper);
+    assert!(degraded.bound.lower <= exact.bound.lower);
+    assert!(degraded.render().contains("bound quality: relaxed"));
+}
+
+#[test]
+fn zero_tick_deadline_skips_sets_but_still_bounds_safely() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); }";
+    let exact = a.analyze(ann).unwrap();
+
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.deadline_ticks = Some(0);
+    let partial = a.analyze_with(ann, &budget).unwrap();
+    assert_eq!(partial.quality, BoundQuality::Partial);
+    assert!(partial.sets_skipped > 0);
+    // The cover relaxation (structural + loop bound) encloses every
+    // skipped set's attainable range.
+    assert!(partial.bound.encloses(exact.bound));
+    assert!(partial.render().contains("sets skipped on budget exhaustion"));
+}
+
+#[test]
+fn no_degrade_surfaces_budget_exhausted() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.deadline_ticks = Some(0);
+    budget.degrade = false;
+    match a.analyze_with("fn main { loop x2 in [0, 10]; }", &budget) {
+        Err(AnalysisError::BudgetExhausted) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn no_degrade_rejects_relaxed_set_bounds_too() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.max_nodes = 1;
+    budget.degrade = false;
+    match a.analyze_with("fn main { loop x2 in [0, 10]; 2*x3 <= 7; }", &budget) {
+        Err(AnalysisError::SolverLimit) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn injected_node_fault_cascades_to_a_safe_partial_bound() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let anns = parse_annotations("fn main { loop x2 in [0, 10]; }").unwrap();
+    let exact = a.analyze_parsed(&anns).unwrap();
+
+    // Kill the very first branch-and-bound expansion: the WCET solve
+    // comes back `Exhausted`, the set is skipped, and the cover
+    // relaxation must still produce an enclosing bound.
+    let mut faults = SolverFaults::limit_at(0);
+    let est =
+        a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults).unwrap();
+    assert_eq!(est.quality, BoundQuality::Partial);
+    assert_eq!(est.sets_skipped, 1);
+    assert!(est.bound.encloses(exact.bound));
+}
+
+#[test]
+fn injected_lp_infeasibility_never_panics() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let anns = parse_annotations("fn main { loop x2 in [0, 10]; }").unwrap();
+    // Forcing "infeasible" on an actually-feasible set silently drops
+    // it from the max/min — every set gone means AllSetsInfeasible,
+    // never a panic.
+    for idx in 0..4 {
+        let mut faults = SolverFaults::infeasible_at(idx);
+        let _ = a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults);
+    }
+    // Forcing a numerical LP failure at the root surfaces as the
+    // typed Numerical error.
+    let mut faults = SolverFaults::numerical_at(0);
+    match a.analyze_parsed_with_faults(&anns, &AnalysisBudget::unlimited(), &mut faults) {
+        Err(AnalysisError::Numerical) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn dnf_cap_drops_disjunctions_and_reports_partial() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); }";
+    let exact = a.analyze(ann).unwrap();
+    assert_eq!(exact.sets_total, 2);
+
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.max_sets = 1; // 2 sets blow the cap
+    let partial = a.analyze_with(ann, &budget).unwrap();
+    assert_eq!(partial.quality, BoundQuality::Partial);
+    // Dropping the disjunction relaxes the model in both senses.
+    assert!(partial.bound.encloses(exact.bound));
+
+    budget.degrade = false;
+    match a.analyze_with(ann, &budget) {
+        Err(AnalysisError::SolverLimit) => {}
+        other => panic!("{other:?}"),
+    }
+}

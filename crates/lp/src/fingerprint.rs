@@ -200,6 +200,48 @@ pub fn fingerprint(problem: &Problem) -> Fingerprint {
     Fingerprint(((hi as u128) << 64) | lo as u128)
 }
 
+/// Content fingerprint of a bundle of *delta rows* relative to a base
+/// problem with `num_vars` variables (see `ipet-lp`'s `incremental`
+/// module). Together with the base problem's [`fingerprint`] it forms the
+/// `(base, delta)` cache key used by the solve pool.
+///
+/// Deltas are keyed **positionally**: variable indices refer to the base
+/// problem's variable order, so two deltas only share a key when they
+/// constrain the same base columns the same way. Row order and syntactic
+/// term noise (repeats, zeros, `-0.0`) do not affect the key; the empty
+/// delta maps to `Fingerprint(0)` so "no delta" is recognizable in logs.
+pub fn delta_rows_fingerprint(rows: &[crate::model::Constraint], num_vars: usize) -> Fingerprint {
+    if rows.is_empty() {
+        return Fingerprint(0);
+    }
+    let mut row_hashes: Vec<u64> = rows
+        .iter()
+        .map(|con| {
+            let dense = con.dense(num_vars);
+            let mut h = fold(0xf1f1_0006, relation_tag(con.relation));
+            h = fold(h, coeff_bits(con.rhs));
+            for (v, &c) in dense.iter().enumerate() {
+                if c != 0.0 {
+                    h = fold(fold(h, v as u64), coeff_bits(c));
+                }
+            }
+            h
+        })
+        .collect();
+    row_hashes.sort_unstable();
+    let digest = |salt: u64| {
+        let mut h = fold(salt, num_vars as u64);
+        h = fold(h, rows.len() as u64);
+        for &r in &row_hashes {
+            h = fold(h, r);
+        }
+        h
+    };
+    let hi = digest(0x1357_9bdf_0246_8ace);
+    let lo = digest(0xfdb9_7531_eca8_6420);
+    Fingerprint(((hi as u128) << 64) | lo as u128)
+}
+
 /// Exact structural equality of two problems: same sense, same normalized
 /// rows in the same order, same objective and integrality flags — debug
 /// names are ignored. This is the strict gate the solve cache uses before
@@ -308,6 +350,38 @@ mod tests {
         assert_eq!(fingerprint(&p), fingerprint(&q));
         // α-equivalent but not structurally identical (different var order).
         assert!(!same_structure(&p, &q));
+    }
+
+    #[test]
+    fn delta_fingerprints_are_order_invariant_and_positional() {
+        let row = |v: usize, c: f64, rel: Relation, rhs: f64| Constraint {
+            terms: vec![(VarId(v), c)],
+            relation: rel,
+            rhs,
+        };
+        let a = vec![row(0, 1.0, Relation::Le, 2.0), row(1, 1.0, Relation::Ge, 3.0)];
+        let mut b = a.clone();
+        b.swap(0, 1);
+        assert_eq!(delta_rows_fingerprint(&a, 2), delta_rows_fingerprint(&b, 2));
+
+        // Positional: the "same" row over a different base column differs.
+        let c = vec![row(1, 1.0, Relation::Le, 2.0), row(1, 1.0, Relation::Ge, 3.0)];
+        assert_ne!(delta_rows_fingerprint(&a, 2), delta_rows_fingerprint(&c, 2));
+
+        // Term noise folds away.
+        let noisy = vec![
+            Constraint {
+                terms: vec![(VarId(0), 0.5), (VarId(0), 0.5), (VarId(1), 0.0)],
+                relation: Relation::Le,
+                rhs: 2.0,
+            },
+            row(1, 1.0, Relation::Ge, 3.0),
+        ];
+        assert_eq!(delta_rows_fingerprint(&a, 2), delta_rows_fingerprint(&noisy, 2));
+
+        // Empty delta is the distinguished zero key.
+        assert_eq!(delta_rows_fingerprint(&[], 2), Fingerprint(0));
+        assert_ne!(delta_rows_fingerprint(&a, 2), Fingerprint(0));
     }
 
     /// A crafted near-collision: both problems have the same variable set,

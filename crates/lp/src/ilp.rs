@@ -353,11 +353,25 @@ fn solve_ilp_budgeted_inner(
 
     let snap = |mut x: Vec<f64>, value: f64| {
         // Snap integer variables to exact integers for downstream users.
+        // `+ 0.0` turns a rounded `-0.0` into `+0.0` so witnesses are
+        // bit-identical regardless of which side of zero the LP landed on.
         for (i, xi) in x.iter_mut().enumerate() {
             if problem.integer[i] {
-                *xi = xi.round();
+                *xi = xi.round() + 0.0;
             }
         }
+        // Pure ILPs also get a canonical objective value: the claimed
+        // integer round-tripped through f64. The warm-start path emits its
+        // accepted results in exactly this form, so cold and warm solves of
+        // the same problem agree bit for bit, not just within tolerance.
+        let value = if problem.integer.iter().all(|&b| b) {
+            match crate::round::round_claimed(value) {
+                Ok(claimed) => claimed as f64,
+                Err(_) => value,
+            }
+        } else {
+            value
+        };
         (x, value)
     };
 

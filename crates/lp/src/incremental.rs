@@ -1,0 +1,582 @@
+//! Base+delta problem decomposition and dual-simplex warm starting.
+//!
+//! IPET's DNF expansion produces many ILPs per routine that share every
+//! structural row and differ only in a handful of functionality conjuncts.
+//! This module factors that family into one immutable [`BaseProblem`] (the
+//! rows common to every set, plus objective and bounds) and one small
+//! [`DeltaSet`] per constraint set, and re-optimizes each delta from a
+//! snapshot of the base optimum instead of solving each composed problem
+//! from scratch.
+//!
+//! ## Bit-identity contract
+//!
+//! Warm-started results are required to be **bit-identical** to cold
+//! solves — same resolution, same witness, same statistics — at any job
+//! order and any worker count. A dual-simplex re-optimization cannot
+//! guarantee that unconditionally (different pivot paths reach different
+//! floating-point representations, and ties can pick different optimal
+//! vertices), so a warm result is *accepted* only when it is provably the
+//! one the cold path returns:
+//!
+//! 1. the re-optimized LP is **optimal** and its witness rounds to integer
+//!    counts ([`round_witness`]) with every variable integer-typed;
+//! 2. the optimum is **unique** (every non-basic column prices out strictly
+//!    positive), so the cold root relaxation must land on the same vertex
+//!    and return immediately with `{lp_calls: 1, nodes: 1,
+//!    first_relaxation_integral: true}`;
+//! 3. the rounded witness **exactly certifies** against the composed
+//!    problem via the injected `certify` callback (the caller supplies
+//!    `ipet-audit`'s integer-arithmetic check, which keeps this crate free
+//!    of a dependency cycle).
+//!
+//! Everything else — dual infeasibility, iteration limits, fractional or
+//! tied optima, certification failures — falls back to the ordinary cold
+//! branch-and-bound solve and counts `lp.warm.misses`. Witness vectors and
+//! objective values of accepted results are canonicalized to their rounded
+//! integer form (the cold path applies the same canonicalization), which
+//! makes the equality hold bit for bit rather than merely within tolerance.
+//! Under `debug_assertions` every accepted warm result is additionally
+//! shadow-solved cold and asserted identical.
+//!
+//! Warm starting is only attempted under effectively unconstrained budgets
+//! (no tick deadline, no per-LP iteration cap, at least one node): under a
+//! deadline the cold path's tick accounting is what drives degradation, and
+//! the warm path must never change *which* results degrade.
+
+use crate::budget::{BudgetMeter, SolveBudget, SolverFaults};
+use crate::fingerprint::{delta_rows_fingerprint, fingerprint, Fingerprint};
+use crate::ilp::{solve_ilp_budgeted, IlpResolution, IlpStats};
+use crate::model::{Constraint, Problem, Relation};
+use crate::round::{round_claimed, round_witness};
+use crate::simplex::{build_instance, DualEnd, PrimalEnd, SimplexInstance};
+
+/// Exact-certification callback: `(composed problem, rounded witness,
+/// claimed objective) -> certified?`. Supplied by the caller (the analysis
+/// core injects `ipet-audit`'s exact integer check) so `ipet-lp` does not
+/// depend on the auditor.
+pub type CertifyFn<'c> = &'c (dyn Fn(&Problem, &[f64], i64) -> bool + 'c);
+
+/// The rows one DNF constraint set adds on top of a shared base problem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeltaSet {
+    /// Extra constraint rows; variable ids index the base problem's
+    /// variables.
+    pub rows: Vec<Constraint>,
+}
+
+impl DeltaSet {
+    /// A delta carrying the given rows.
+    pub fn new(rows: Vec<Constraint>) -> DeltaSet {
+        DeltaSet { rows }
+    }
+
+    /// True when the delta adds nothing (the composed problem *is* the
+    /// base).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// An immutable shared base problem: objective, variable bounds and the
+/// constraint rows common to every set of a routine, with its content
+/// fingerprint precomputed for cache keying.
+#[derive(Debug, Clone)]
+pub struct BaseProblem {
+    problem: Problem,
+    fingerprint: Fingerprint,
+}
+
+impl BaseProblem {
+    /// Wraps a problem as a shared base, computing its fingerprint.
+    pub fn new(problem: Problem) -> BaseProblem {
+        let fingerprint = fingerprint(&problem);
+        BaseProblem { problem, fingerprint }
+    }
+
+    /// The base problem itself (also the cover relaxation of every set that
+    /// extends it: the base's feasible region contains each composed set's).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Content fingerprint of the base (the first half of the pool's
+    /// `(base, delta)` cache key).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Content fingerprint of a delta relative to this base (the second
+    /// half of the cache key). Positional in the base's variable order.
+    pub fn delta_fingerprint(&self, delta: &DeltaSet) -> Fingerprint {
+        delta_rows_fingerprint(&delta.rows, self.problem.num_vars())
+    }
+
+    /// Recomposes the full monolithic problem: the base rows followed by
+    /// the delta rows, in order. Audit certification and cold solves always
+    /// run against this composed problem.
+    pub fn compose(&self, delta: &DeltaSet) -> Problem {
+        let mut full = self.problem.clone();
+        full.constraints.extend(delta.rows.iter().cloned());
+        full
+    }
+
+    /// Solves the base LP relaxation once and snapshots the optimal
+    /// tableau. Returns `None` when the base is not warm-startable (not
+    /// optimal, or non-finite data); callers then solve every delta cold.
+    ///
+    /// Pivots are charged to `meter` and reported under `lp.ticks`;
+    /// `lp.warm.base_solves` counts the snapshot.
+    pub fn solve_base(&self, meter: &BudgetMeter) -> Option<BaseSolution> {
+        if self.problem.has_non_finite() {
+            return None;
+        }
+        let mut inst = build_instance(&self.problem);
+        let cap = inst.default_iter_cap();
+        let mut pivots = 0u64;
+        let end = inst.solve_primal(cap, &mut pivots);
+        meter.charge_ticks(pivots);
+        ipet_trace::counter("lp.warm.base_solves", 1);
+        ipet_trace::counter("lp.ticks", pivots);
+        match end {
+            PrimalEnd::Optimal => Some(BaseSolution { inst, pivots }),
+            _ => None,
+        }
+    }
+}
+
+/// A snapshot of the base problem's optimal simplex tableau, reusable
+/// across every delta of the base (and across α-identical bases). Opaque;
+/// produced by [`BaseProblem::solve_base`].
+#[derive(Clone)]
+pub struct BaseSolution {
+    inst: SimplexInstance,
+    pivots: u64,
+}
+
+impl BaseSolution {
+    /// Pivots the base solve spent — the work a warm start amortizes.
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+}
+
+/// True when `budget` permits warm starting (see the module docs: warm
+/// starts are a pure optimization for unconstrained solves and must never
+/// change which results degrade under a budget).
+pub fn warm_eligible(budget: &SolveBudget) -> bool {
+    budget.deadline_ticks.is_none() && budget.max_lp_iters.is_none() && budget.max_nodes >= 1
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    static FORCE_SHADOW_MISMATCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Test-only mutation hook: forces the next accepted warm result to
+/// disagree with its cold shadow solve, proving the `debug_assertions`
+/// equivalence check actually fires. Debug builds only.
+#[cfg(debug_assertions)]
+#[doc(hidden)]
+pub fn debug_force_warm_mismatch(on: bool) {
+    FORCE_SHADOW_MISMATCH.with(|f| f.set(on));
+}
+
+/// Solves `base + delta`, warm-starting from `solution` when possible and
+/// falling back to a cold [`solve_ilp_budgeted`] on the composed problem
+/// otherwise. This is the one solve entry point shared by the serial
+/// executor and the pool workers, so both produce identical results by
+/// construction.
+///
+/// Fault injection (`faults.armed()`) always routes cold: injected fault
+/// indices count cold-path LP calls and node expansions, and the warm path
+/// must not shift them.
+pub fn solve_delta_warm(
+    base: &BaseProblem,
+    solution: Option<&BaseSolution>,
+    delta: &DeltaSet,
+    budget: &SolveBudget,
+    meter: &BudgetMeter,
+    faults: &mut SolverFaults,
+    certify: CertifyFn,
+) -> (IlpResolution, IlpStats) {
+    let full = base.compose(delta);
+    if warm_eligible(budget) && !faults.armed() {
+        match solution.and_then(|sol| warm_attempt(sol, delta, &full, meter, certify)) {
+            Some(hit) => return hit,
+            None => ipet_trace::counter("lp.warm.misses", 1),
+        }
+    }
+    solve_ilp_budgeted(&full, budget, meter, faults)
+}
+
+/// The warm path proper. Returns `None` (a miss) whenever the result is not
+/// provably identical to the cold solve's.
+fn warm_attempt(
+    solution: &BaseSolution,
+    delta: &DeltaSet,
+    full: &Problem,
+    meter: &BudgetMeter,
+    certify: CertifyFn,
+) -> Option<(IlpResolution, IlpStats)> {
+    // The acceptance argument needs a pure ILP: every variable integral.
+    if full.has_non_finite() || !full.integer.iter().all(|&b| b) {
+        return None;
+    }
+    let n = full.num_vars();
+
+    // Delta rows in `<=` form over the structural variables: `>=` rows are
+    // negated, `=` rows split into a `<=`/`>=` pair.
+    let mut le_rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(delta.rows.len());
+    for row in &delta.rows {
+        let dense = row.dense(n);
+        match row.relation {
+            Relation::Le => le_rows.push((dense, row.rhs)),
+            Relation::Ge => le_rows.push((dense.iter().map(|&c| -c).collect(), -row.rhs)),
+            Relation::Eq => {
+                le_rows.push((dense.iter().map(|&c| -c).collect(), -row.rhs));
+                le_rows.push((dense, row.rhs));
+            }
+        }
+    }
+
+    let mut inst = solution.inst.clone();
+    inst.append_le_rows(&le_rows);
+    let cap = inst.default_iter_cap();
+    let mut warm_pivots = 0u64;
+    match inst.dual_reoptimize(cap, &mut warm_pivots) {
+        DualEnd::Optimal => {}
+        // Dual infeasibility proves LP infeasibility, but only in floating
+        // point: there is no witness to certify exactly, so the verdict is
+        // not accepted — the cold path re-derives it from phase 1.
+        DualEnd::Infeasible | DualEnd::IterLimit | DualEnd::Numerical => {
+            meter.charge_ticks(warm_pivots);
+            return None;
+        }
+    }
+
+    let x = inst.extract_x();
+    let value = full.objective_value(&x);
+    if !value.is_finite() || x.iter().any(|v| !v.is_finite()) {
+        meter.charge_ticks(warm_pivots);
+        return None;
+    }
+    // Integral, unique, exactly certified — or no deal.
+    let accepted = (|| {
+        let ints = round_witness(&x).ok()?;
+        if !inst.optimum_is_unique() {
+            return None;
+        }
+        let claimed = round_claimed(value).ok()?;
+        let snapped: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+        if !certify(full, &snapped, claimed) {
+            return None;
+        }
+        Some((snapped, claimed))
+    })();
+    meter.charge_ticks(warm_pivots);
+    let (snapped, claimed) = accepted?;
+
+    // The canonical result the cold path would produce: the unique optimum
+    // is integral, so cold's root relaxation is already integral and it
+    // returns after one LP call and one node.
+    let resolution = IlpResolution::Exact { x: snapped, value: claimed as f64 };
+    let stats = IlpStats { lp_calls: 1, nodes: 1, first_relaxation_integral: true };
+    meter.add_lp_call();
+    meter.add_node();
+
+    debug_shadow_check(full, &resolution, stats);
+
+    ipet_trace::counter("lp.warm.hits", 1);
+    ipet_trace::counter("lp.warm.pivots_saved", solution.pivots.saturating_sub(warm_pivots));
+    // Mirror the cold path's per-solve telemetry so warm and cold runs
+    // differ only in the `lp.warm.*` and tick counters.
+    ipet_trace::counter("lp.ilp.solves", 1);
+    ipet_trace::counter("lp.lp_calls", stats.lp_calls as u64);
+    ipet_trace::counter("lp.bb_nodes", stats.nodes as u64);
+    ipet_trace::counter("lp.ticks", warm_pivots);
+    ipet_trace::counter("lp.outcome.exact", 1);
+    ipet_trace::gauge_max("lp.problem.vars.peak", full.num_vars() as u64);
+    ipet_trace::gauge_max("lp.problem.rows.peak", full.constraints.len() as u64);
+
+    Some((resolution, stats))
+}
+
+/// Debug builds shadow-solve every accepted warm result cold (fresh meter,
+/// no faults) and assert bit-identical resolutions and statistics. Release
+/// builds skip this; CI's warm-vs-cold counter diff covers them.
+#[cfg(debug_assertions)]
+fn debug_shadow_check(full: &Problem, warm: &IlpResolution, warm_stats: IlpStats) {
+    let mut warm = warm.clone();
+    if FORCE_SHADOW_MISMATCH.with(|f| f.get()) {
+        if let IlpResolution::Exact { value, .. } = &mut warm {
+            *value += 1.0;
+        }
+    }
+    let (cold, cold_stats) = solve_ilp_budgeted(
+        full,
+        &SolveBudget::unlimited(),
+        &BudgetMeter::new(),
+        &mut SolverFaults::none(),
+    );
+    assert_eq!(
+        warm, cold,
+        "warm-started resolution diverged from the cold solve (warm-start soundness bug)"
+    );
+    assert_eq!(
+        warm_stats, cold_stats,
+        "warm-started statistics diverged from the cold solve (warm-start soundness bug)"
+    );
+}
+
+#[cfg(not(debug_assertions))]
+fn debug_shadow_check(_full: &Problem, _warm: &IlpResolution, _warm_stats: IlpStats) {}
+
+/// Per-(routine, sense) incremental solver for serial executors: solves the
+/// base LP lazily on the first warm-eligible delta, snapshots it, and
+/// warm-starts every subsequent delta of the same base.
+pub struct IncrementalSolver<'a> {
+    base: &'a BaseProblem,
+    /// `None` until the first eligible solve; then the snapshot (or `None`
+    /// inside when the base LP was not warm-startable).
+    solution: Option<Option<BaseSolution>>,
+}
+
+impl<'a> IncrementalSolver<'a> {
+    /// A solver for deltas of `base`; nothing is solved yet.
+    pub fn new(base: &'a BaseProblem) -> IncrementalSolver<'a> {
+        IncrementalSolver { base, solution: None }
+    }
+
+    /// Solves `base + delta`: warm when possible, cold otherwise. See
+    /// [`solve_delta_warm`].
+    pub fn solve(
+        &mut self,
+        delta: &DeltaSet,
+        budget: &SolveBudget,
+        meter: &BudgetMeter,
+        faults: &mut SolverFaults,
+        certify: CertifyFn,
+    ) -> (IlpResolution, IlpStats) {
+        let solution = if warm_eligible(budget) && !faults.armed() {
+            self.solution.get_or_insert_with(|| self.base.solve_base(meter)).as_ref()
+        } else {
+            None
+        };
+        solve_delta_warm(self.base, solution, delta, budget, meter, faults, certify)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemBuilder, Relation, Sense, VarId};
+
+    /// A base with an all-integer unique optimum: max 3x + 2y
+    /// st x <= 4, y <= 6, x + y <= 8.
+    fn toy_base() -> BaseProblem {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        let y = b.add_var("y", true);
+        b.objective(x, 3.0);
+        b.objective(y, 2.0);
+        b.constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        b.constraint(vec![(y, 1.0)], Relation::Le, 6.0);
+        b.constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 8.0);
+        BaseProblem::new(b.build())
+    }
+
+    fn feasibility_certify(problem: &Problem, x: &[f64], claimed: i64) -> bool {
+        problem.is_feasible(x, 1e-6) && (problem.objective_value(x) - claimed as f64).abs() < 1e-6
+    }
+
+    fn solve_both(delta: DeltaSet) -> ((IlpResolution, IlpStats), (IlpResolution, IlpStats)) {
+        let base = toy_base();
+        let meter = BudgetMeter::new();
+        let sol = base.solve_base(&meter).expect("base solves");
+        let warm = solve_delta_warm(
+            &base,
+            Some(&sol),
+            &delta,
+            &SolveBudget::unlimited(),
+            &meter,
+            &mut SolverFaults::none(),
+            &feasibility_certify,
+        );
+        let cold = solve_ilp_budgeted(
+            &base.compose(&delta),
+            &SolveBudget::unlimited(),
+            &BudgetMeter::new(),
+            &mut SolverFaults::none(),
+        );
+        (warm, cold)
+    }
+
+    type RowSpec = (Vec<(usize, f64)>, Relation, f64);
+
+    fn delta(rows: Vec<RowSpec>) -> DeltaSet {
+        DeltaSet::new(
+            rows.into_iter()
+                .map(|(terms, relation, rhs)| Constraint {
+                    terms: terms.into_iter().map(|(v, c)| (VarId(v), c)).collect(),
+                    relation,
+                    rhs,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn warm_hit_is_bit_identical_to_cold() {
+        // Delta x <= 2 moves the optimum to (2, 6): unique and integral.
+        let (warm, cold) = solve_both(delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]));
+        assert_eq!(warm, cold);
+        assert_eq!(warm.1, IlpStats { lp_calls: 1, nodes: 1, first_relaxation_integral: true });
+        match warm.0 {
+            IlpResolution::Exact { ref x, value } => {
+                assert_eq!(x, &vec![2.0, 6.0]);
+                assert_eq!(value, 18.0);
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_deltas_round_trip() {
+        let (warm, cold) = solve_both(delta(vec![
+            (vec![(0, 1.0)], Relation::Eq, 1.0),
+            (vec![(1, 1.0)], Relation::Ge, 3.0),
+        ]));
+        assert_eq!(warm, cold);
+        assert!(matches!(warm.0, IlpResolution::Exact { .. }));
+    }
+
+    #[test]
+    fn infeasible_delta_falls_back_cold() {
+        // x >= 9 contradicts x <= 4: the dual proves it but cannot certify
+        // it, so the cold path must be the one reporting Infeasible.
+        let (warm, cold) = solve_both(delta(vec![(vec![(0, 1.0)], Relation::Ge, 9.0)]));
+        assert_eq!(warm.0, IlpResolution::Infeasible);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn fractional_delta_falls_back_cold() {
+        // 2x <= 5 makes the relaxation stop at x = 2.5: branching needed,
+        // warm must miss and the results still agree.
+        let (warm, cold) = solve_both(delta(vec![(vec![(0, 2.0)], Relation::Le, 5.0)]));
+        assert_eq!(warm, cold);
+        match warm.0 {
+            IlpResolution::Exact { value, .. } => assert_eq!(value, 18.0),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(warm.1.lp_calls > 1, "fractional root must have branched");
+    }
+
+    #[test]
+    fn certification_veto_falls_back_cold() {
+        let base = toy_base();
+        let meter = BudgetMeter::new();
+        let sol = base.solve_base(&meter).expect("base solves");
+        let d = delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]);
+        let veto: CertifyFn = &|_, _, _| false;
+        let warm = solve_delta_warm(
+            &base,
+            Some(&sol),
+            &d,
+            &SolveBudget::unlimited(),
+            &meter,
+            &mut SolverFaults::none(),
+            veto,
+        );
+        let cold = solve_ilp_budgeted(
+            &base.compose(&d),
+            &SolveBudget::unlimited(),
+            &BudgetMeter::new(),
+            &mut SolverFaults::none(),
+        );
+        assert_eq!(warm, cold, "vetoed warm result must equal the cold solve");
+    }
+
+    #[test]
+    fn budgeted_solves_never_warm_start() {
+        assert!(warm_eligible(&SolveBudget::unlimited()));
+        assert!(!warm_eligible(&SolveBudget::with_deadline(1_000)));
+        assert!(!warm_eligible(&SolveBudget {
+            max_lp_iters: Some(10),
+            ..SolveBudget::unlimited()
+        }));
+        assert!(!warm_eligible(&SolveBudget { max_nodes: 0, ..SolveBudget::unlimited() }));
+    }
+
+    #[test]
+    fn incremental_solver_reuses_one_base_solve() {
+        let base = toy_base();
+        let meter = BudgetMeter::new();
+        let mut solver = IncrementalSolver::new(&base);
+        let budget = SolveBudget::unlimited();
+        let deltas = [
+            delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]),
+            delta(vec![(vec![(0, 1.0)], Relation::Le, 3.0)]),
+            delta(vec![(vec![(1, 1.0)], Relation::Le, 1.0)]),
+        ];
+        for d in &deltas {
+            let (warm, _) =
+                solver.solve(d, &budget, &meter, &mut SolverFaults::none(), &feasibility_certify);
+            let (cold, _) = solve_ilp_budgeted(
+                &base.compose(d),
+                &SolveBudget::unlimited(),
+                &BudgetMeter::new(),
+                &mut SolverFaults::none(),
+            );
+            assert_eq!(warm, cold);
+        }
+    }
+
+    #[test]
+    fn armed_faults_route_cold() {
+        // An injected fault at LP call 0 must fire exactly like the cold
+        // path: the warm layer steps aside entirely when faults are armed.
+        let base = toy_base();
+        let meter = BudgetMeter::new();
+        let sol = base.solve_base(&meter);
+        let d = delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]);
+        let mut faults = SolverFaults::numerical_at(0);
+        let (res, _) = solve_delta_warm(
+            &base,
+            sol.as_ref(),
+            &d,
+            &SolveBudget::unlimited(),
+            &meter,
+            &mut faults,
+            &feasibility_certify,
+        );
+        assert_eq!(res, IlpResolution::Numerical);
+    }
+
+    #[test]
+    fn delta_fingerprints_discriminate_rows() {
+        let base = toy_base();
+        let a = delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]);
+        let b = delta(vec![(vec![(0, 1.0)], Relation::Le, 3.0)]);
+        assert_eq!(base.delta_fingerprint(&a), base.delta_fingerprint(&a));
+        assert_ne!(base.delta_fingerprint(&a), base.delta_fingerprint(&b));
+        assert_ne!(base.delta_fingerprint(&a), base.delta_fingerprint(&DeltaSet::default()));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "warm-start soundness bug")]
+    fn shadow_check_catches_mutated_warm_results() {
+        // Mutation test for the debug shadow solve: force the accepted warm
+        // value to disagree with the cold shadow and require the panic.
+        debug_force_warm_mismatch(true);
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                debug_force_warm_mismatch(false);
+            }
+        }
+        let _reset = Reset;
+        let _ = solve_both(delta(vec![(vec![(0, 1.0)], Relation::Le, 2.0)]));
+    }
+}

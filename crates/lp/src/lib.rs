@@ -64,16 +64,23 @@
 mod budget;
 mod fingerprint;
 mod ilp;
+mod incremental;
 mod model;
 mod round;
 mod simplex;
 mod structure;
 
 pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolveFault, SolverFaults};
-pub use fingerprint::{fingerprint, same_structure, Fingerprint};
+pub use fingerprint::{delta_rows_fingerprint, fingerprint, same_structure, Fingerprint};
 pub use ilp::{
     solve_ilp, solve_ilp_budgeted, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpResolution,
     IlpStats,
+};
+#[cfg(debug_assertions)]
+pub use incremental::debug_force_warm_mismatch;
+pub use incremental::{
+    solve_delta_warm, warm_eligible, BaseProblem, BaseSolution, CertifyFn, DeltaSet,
+    IncrementalSolver,
 };
 pub use model::{Constraint, Problem, ProblemBuilder, Relation, Sense, VarId};
 pub use round::{round_claimed, round_witness, RoundError, WITNESS_TOL};

@@ -131,4 +131,69 @@ mod tests {
         assert_eq!(round_claimed(4_000_000.0 + 0.1), Ok(4_000_000));
         assert!(round_claimed(10.5).is_err());
     }
+
+    #[test]
+    fn deviation_exactly_at_witness_tol_is_accepted() {
+        // The gate is `> WITNESS_TOL`: a deviation of *exactly* the
+        // tolerance must round. At 0 the offset is the tolerance constant
+        // itself, so the deviation is exact by construction.
+        assert_eq!(round_witness(&[WITNESS_TOL]), Ok(vec![0]));
+        assert_eq!(round_witness(&[-WITNESS_TOL]), Ok(vec![0]));
+        // Away from 0 the f64 sum may land a ULP either side of the
+        // tolerance; round_entry must agree exactly with the measured
+        // deviation, whichever side it lands on.
+        for base in [1.0f64, 7.0, 1_000.0] {
+            for value in [base + WITNESS_TOL, base - WITNESS_TOL] {
+                let within = (value - value.round()).abs() <= WITNESS_TOL;
+                let got = round_witness(&[value]);
+                if within {
+                    assert_eq!(got, Ok(vec![base as i64]), "{value} within tol");
+                } else {
+                    assert_eq!(
+                        got,
+                        Err(RoundError::NotIntegral { var: 0, value }),
+                        "{value} past tol"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            round_witness(&[1.0 + 2.0 * WITNESS_TOL]),
+            Err(RoundError::NotIntegral { var: 0, value: 1.0 + 2.0 * WITNESS_TOL })
+        );
+    }
+
+    #[test]
+    fn negative_near_zero_counts_clamp_to_zero_up_to_tol() {
+        // Simplex output for a zero count often lands epsilon-negative.
+        // Anything within the tolerance of zero is the count 0 (round(-tol)
+        // is -0.0, which is not < 0.0); past the tolerance it is refused as
+        // non-integral, and a true negative integer is refused as negative.
+        assert_eq!(round_witness(&[-WITNESS_TOL]), Ok(vec![0]));
+        assert_eq!(round_witness(&[-WITNESS_TOL / 2.0]), Ok(vec![0]));
+        assert_eq!(
+            round_witness(&[-3.0 * WITNESS_TOL]),
+            Err(RoundError::NotIntegral { var: 0, value: -3.0 * WITNESS_TOL })
+        );
+        assert_eq!(
+            round_witness(&[-1.0 + 1e-9]),
+            Err(RoundError::Negative { var: 0, value: -1.0 + 1e-9 })
+        );
+    }
+
+    #[test]
+    fn large_counts_near_the_i64_boundary() {
+        // Counts big enough that f64 spacing exceeds 1 are exactly
+        // representable integers and must survive the i64 conversion
+        // without wrapping. 2^62 is exactly representable in f64.
+        let big = (1i64 << 62) as f64;
+        assert_eq!(round_witness(&[big]), Ok(vec![1i64 << 62]));
+        // i64::MAX itself is not representable; the nearest f64 is 2^63,
+        // which `as i64` saturates to i64::MAX rather than wrapping.
+        let top = i64::MAX as f64;
+        assert_eq!(round_witness(&[top]), Ok(vec![i64::MAX]));
+        // Claimed bounds at the same magnitude use the relative tolerance,
+        // so a large absolute wobble still rounds.
+        assert_eq!(round_claimed(big + 1024.0), Ok((big + 1024.0) as i64));
+    }
 }

@@ -14,6 +14,16 @@
 //! into one job list and folds each plan's verdicts back with
 //! [`AnalysisPlan::complete`](ipet_core::AnalysisPlan::complete).
 //!
+//! Since the base+delta decomposition, the jobs of one routine share a
+//! [`BaseProblem`](ipet_lp::BaseProblem): the pool solves each distinct
+//! base LP once per batch (serially, before dispatch; repeats count
+//! `pool.cache.base_hits`), hands the snapshot to the workers, and
+//! warm-starts every delta from it via
+//! [`solve_delta_warm`](ipet_lp::solve_delta_warm). The solve cache is
+//! keyed on the `(base, delta)` fingerprint pair. Warm results are
+//! accepted only when provably bit-identical to a cold solve, so none of
+//! the properties below are weakened.
+//!
 //! Three properties are load-bearing and tested:
 //!
 //! * **Determinism** — bounds, qualities, report ordering and cache

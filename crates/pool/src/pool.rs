@@ -1,12 +1,13 @@
 //! The worker pool: deterministic dedup, deadline sharding, panic-isolated
-//! work-stealing execution, and the plan-level driver.
+//! work-stealing execution, warm-started base+delta solving, and the
+//! plan-level driver.
 
 use crate::cache::{CacheOutcome, CacheStats, SolveCache};
-use ipet_audit::AuditReport;
+use ipet_audit::{certify_witness, AuditReport, ClaimKind};
 use ipet_core::{AnalysisError, AnalysisPlan, Estimate, JobVerdict};
 use ipet_lp::{
-    solve_ilp_budgeted, BudgetMeter, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget,
-    SolverFaults,
+    solve_delta_warm, solve_ilp_budgeted, warm_eligible, BaseProblem, BaseSolution, BudgetMeter,
+    DeltaSet, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget, SolverFaults,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,7 +43,8 @@ pub struct BatchReport {
     /// Total ticks committed by the batch (sum of `worker_ticks`).
     pub total_ticks: u64,
     /// Wall-clock time of the parallel solve phase (excludes dedup,
-    /// cache probing and result fan-out, which are serial and cheap).
+    /// cache probing, base solving and result fan-out, which are serial
+    /// and cheap).
     pub wall: std::time::Duration,
 }
 
@@ -64,7 +66,46 @@ pub struct AuditedPlanBatch {
     pub report: BatchReport,
 }
 
-/// A work-stealing ILP solve pool with a content-addressed solve cache.
+/// One unit of batch work: the composed problem to answer, its cache key,
+/// and (when a base snapshot is available) the warm decomposition.
+struct PoolJob<'a> {
+    /// The full `base ∘ delta` problem — what the answer must be correct
+    /// for, and what cold solves, retries and cache validation run against.
+    problem: &'a Problem,
+    /// Cache key: `job_key(base_fp, delta_fp)` for plan jobs, the plain
+    /// content fingerprint for bare problems.
+    key: Fingerprint,
+    /// `(base-table slot, delta rows)` for a warm-started solve; `None`
+    /// solves cold.
+    warm: Option<(usize, &'a DeltaSet)>,
+}
+
+/// Mixes a `(base, delta)` fingerprint pair into one asymmetric cache key,
+/// so `(a, b)` and `(b, a)` index different buckets. An empty delta
+/// fingerprints to zero, keying the bare base. The key is only an index:
+/// replay is still gated by structural equality and exact witness
+/// re-certification against the composed problem.
+fn job_key(base: Fingerprint, delta: Fingerprint) -> Fingerprint {
+    Fingerprint(
+        base.0.rotate_left(1) ^ delta.0.wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835),
+    )
+}
+
+/// The exact-arithmetic certification gate injected into warm solves: a
+/// warm result is only accepted if the auditor would certify it.
+fn certify_exact(problem: &Problem, x: &[f64], claimed: i64) -> bool {
+    certify_witness(problem, x, claimed, ClaimKind::Equal).is_ok()
+}
+
+/// A base LP solved once, kept for reuse across jobs, plans and batches.
+struct BaseEntry {
+    fingerprint: Fingerprint,
+    problem: Problem,
+    solution: BaseSolution,
+}
+
+/// A work-stealing ILP solve pool with a content-addressed solve cache and
+/// warm-started base+delta execution.
 ///
 /// ## Determinism
 ///
@@ -81,6 +122,13 @@ pub struct AuditedPlanBatch {
 ///   `Relaxed`) identically. The pool's meters only *account* for spend;
 ///   they never gate a solve on a concurrently updated counter, because
 ///   that would make degradation schedule-dependent.
+/// * **Bases before dispatch** — warm-start base LPs are solved serially
+///   before any worker starts, once per distinct base (reuse counts
+///   `pool.cache.base_hits`), so whether a job warm-starts is a pure
+///   function of the plans and the budget — never of scheduling. The warm
+///   path itself only accepts results that are bit-identical to a cold
+///   solve (integral, unique, exactly certified), so warm execution cannot
+///   perturb any outcome.
 /// * **Order-independent folding** — callers fold outcomes by job index
 ///   ([`AnalysisPlan::complete`] accepts verdicts in canonical job order
 ///   regardless of completion order), so work stealing cannot reorder
@@ -92,10 +140,14 @@ pub struct AuditedPlanBatch {
 ///   folds into a `Partial`-quality covered bound instead of crashing the
 ///   batch. Because dedup and sharding precede dispatch, the caught /
 ///   retried / quarantined outcome of every job is the same at any worker
-///   count.
+///   count. Retries always solve the composed problem cold.
 pub struct SolvePool {
     workers: usize,
     cache: SolveCache,
+    /// Base LP snapshots keyed by base fingerprint, validated by exact
+    /// problem equality: a snapshot is raw simplex state and only
+    /// transfers between *identical* problems.
+    bases: Mutex<Vec<BaseEntry>>,
     /// Fault template for test harnesses: re-armed (cloned) for each
     /// representative solve, so e.g. `panic_at(0)` panics every
     /// representative's first attempt deterministically.
@@ -113,7 +165,12 @@ impl SolvePool {
     /// per representative solve). Test-only in spirit: production callers
     /// use [`SolvePool::new`].
     pub fn with_faults(workers: usize, faults: SolverFaults) -> SolvePool {
-        SolvePool { workers: workers.max(1), cache: SolveCache::new(), faults }
+        SolvePool {
+            workers: workers.max(1),
+            cache: SolveCache::new(),
+            bases: Mutex::new(Vec::new()),
+            faults,
+        }
     }
 
     /// The configured worker count.
@@ -126,23 +183,107 @@ impl SolvePool {
         self.cache.stats()
     }
 
-    /// Solves a batch of problems under `budget`, returning per-job
-    /// outcomes in submission order.
+    /// Solves a batch of bare problems under `budget`, returning per-job
+    /// outcomes in submission order. Every solve is cold — base+delta
+    /// warm starting needs the decomposition and goes through
+    /// [`SolvePool::run_plans`] / [`SolvePool::run_plans_audited`].
     pub fn solve_batch(&self, problems: &[Problem], budget: &SolveBudget) -> BatchReport {
+        let jobs: Vec<PoolJob<'_>> = problems
+            .iter()
+            .map(|p| PoolJob { problem: p, key: SolveCache::key(p), warm: None })
+            .collect();
+        self.solve_jobs(&jobs, &[], budget)
+    }
+
+    /// Builds the batch's job list and warm-start base table for `plans`.
+    ///
+    /// Base LPs are solved serially, once per distinct base (pool-level
+    /// snapshot cache gated on exact problem equality; reuse counts
+    /// `pool.cache.base_hits`), before any worker dispatch. Plans that
+    /// opted out ([`warm_start()`](AnalysisPlan::warm_start) is false),
+    /// budgets that forbid warm starts, armed fault templates, and bases
+    /// whose LP is not warm-startable all yield cold jobs.
+    fn prepare_jobs<'a>(
+        &self,
+        plans: &'a [AnalysisPlan],
+        budget: &SolveBudget,
+    ) -> (Vec<PoolJob<'a>>, Vec<(&'a BaseProblem, BaseSolution)>) {
+        let warm_batch = warm_eligible(budget) && !self.faults.armed();
+        let mut table: Vec<(&'a BaseProblem, BaseSolution)> = Vec::new();
+        let mut jobs: Vec<PoolJob<'a>> = Vec::new();
+        for plan in plans {
+            let slots: Vec<Option<usize>> = if warm_batch && plan.warm_start() {
+                plan.bases().iter().map(|base| self.base_slot(base, &mut table)).collect()
+            } else {
+                Vec::new()
+            };
+            for job in plan.jobs() {
+                let base = &plan.bases()[job.base];
+                let key = job_key(base.fingerprint(), base.delta_fingerprint(&job.delta));
+                let warm = slots.get(job.base).copied().flatten().map(|s| (s, &job.delta));
+                jobs.push(PoolJob { problem: &job.problem, key, warm });
+            }
+        }
+        (jobs, table)
+    }
+
+    /// Resolves `base` to a slot in the batch's snapshot table, solving its
+    /// LP once and caching the snapshot in the pool on first sight.
+    /// Returns `None` when the base is not warm-startable (its jobs then
+    /// solve cold).
+    fn base_slot<'a>(
+        &self,
+        base: &'a BaseProblem,
+        table: &mut Vec<(&'a BaseProblem, BaseSolution)>,
+    ) -> Option<usize> {
+        let mut cache = self.bases.lock().expect("base cache lock");
+        let cached = cache
+            .iter()
+            .find(|e| e.fingerprint == base.fingerprint() && e.problem == *base.problem());
+        let solution = match cached {
+            Some(entry) => {
+                ipet_trace::counter("pool.cache.base_hits", 1);
+                entry.solution.clone()
+            }
+            None => {
+                let meter = BudgetMeter::new();
+                let solution = base.solve_base(&meter)?;
+                cache.push(BaseEntry {
+                    fingerprint: base.fingerprint(),
+                    problem: base.problem().clone(),
+                    solution: solution.clone(),
+                });
+                solution
+            }
+        };
+        table.push((base, solution));
+        Some(table.len() - 1)
+    }
+
+    /// The batch executor behind [`SolvePool::solve_batch`] and the plan
+    /// drivers: dedups, probes the cache, shards the deadline, dispatches
+    /// to the workers (warm where a job carries a base snapshot slot) and
+    /// fans the answers back out in submission order.
+    fn solve_jobs(
+        &self,
+        jobs: &[PoolJob<'_>],
+        bases: &[(&BaseProblem, BaseSolution)],
+        budget: &SolveBudget,
+    ) -> BatchReport {
         let _span = ipet_trace::span("pool.solve_batch");
         ipet_trace::counter("pool.batches", 1);
-        ipet_trace::counter("pool.jobs", problems.len() as u64);
+        ipet_trace::counter("pool.jobs", jobs.len() as u64);
         // 1. Deterministic dedup: group jobs by (fingerprint, structure).
         //    `groups[g]` lists the job indices sharing one representative
         //    (the first member); first-occurrence order keeps the grouping
         //    independent of hash-map iteration.
-        let keys: Vec<Fingerprint> = problems.iter().map(SolveCache::key).collect();
+        let keys: Vec<Fingerprint> = jobs.iter().map(|j| j.key).collect();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut group_of: Vec<usize> = vec![0; problems.len()];
-        for (j, p) in problems.iter().enumerate() {
-            let found = groups
-                .iter()
-                .position(|g| keys[g[0]] == keys[j] && ipet_lp::same_structure(&problems[g[0]], p));
+        let mut group_of: Vec<usize> = vec![0; jobs.len()];
+        for (j, job) in jobs.iter().enumerate() {
+            let found = groups.iter().position(|g| {
+                keys[g[0]] == keys[j] && ipet_lp::same_structure(jobs[g[0]].problem, job.problem)
+            });
             match found {
                 Some(g) => {
                     groups[g].push(j);
@@ -164,7 +305,7 @@ impl SolvePool {
         for (g, members) in groups.iter().enumerate() {
             let rep = members[0];
             let rejected_before = self.cache.stats().rejected;
-            match self.cache.probe(keys[rep], &problems[rep]) {
+            match self.cache.probe(keys[rep], jobs[rep].problem) {
                 Some(hit) => answers.push(Some(hit)),
                 None => {
                     answers.push(None);
@@ -174,7 +315,7 @@ impl SolvePool {
             }
         }
 
-        ipet_trace::counter("pool.dedup.replays", (problems.len() - groups.len()) as u64);
+        ipet_trace::counter("pool.dedup.replays", (jobs.len() - groups.len()) as u64);
         ipet_trace::counter("pool.groups.solved", to_solve.len() as u64);
 
         // 3. Deterministic deadline sharding over the representative solves.
@@ -188,9 +329,13 @@ impl SolvePool {
         //    solves to whichever worker frees up first; each solve runs
         //    under its own sharded budget, a fresh meter and a re-armed
         //    fault clone, isolated by `catch_unwind`, and each worker
-        //    tallies the ticks it spent. A solve that panics is retried
-        //    once on a fresh thread (transient injected panics disarmed);
-        //    a second panic quarantines the job as `Exhausted`.
+        //    tallies the ticks it spent. A job with a base snapshot slot
+        //    warm-starts (`solve_delta_warm` falls back cold on its own
+        //    whenever the warm result cannot be certified bit-identical);
+        //    other jobs solve the composed problem cold. A solve that
+        //    panics is retried once on a fresh thread (transient injected
+        //    panics disarmed, always cold); a second panic quarantines the
+        //    job as `Exhausted`.
         let slots: Mutex<Vec<Option<(IlpResolution, IlpStats, bool)>>> =
             Mutex::new(vec![None; to_solve.len()]);
         let cursor = AtomicUsize::new(0);
@@ -213,8 +358,25 @@ impl SolvePool {
                         let job_budget = SolveBudget { deadline_ticks: shards[i], ..*budget };
                         let meter = BudgetMeter::new();
                         let mut faults = faults_template.clone();
-                        let attempt = catch_unwind(AssertUnwindSafe(|| {
-                            solve_ilp_budgeted(&problems[rep], &job_budget, &meter, &mut faults)
+                        let attempt = catch_unwind(AssertUnwindSafe(|| match jobs[rep].warm {
+                            Some((slot, delta)) => {
+                                let (base, solution) = &bases[slot];
+                                solve_delta_warm(
+                                    base,
+                                    Some(solution),
+                                    delta,
+                                    &job_budget,
+                                    &meter,
+                                    &mut faults,
+                                    &certify_exact,
+                                )
+                            }
+                            None => solve_ilp_budgeted(
+                                jobs[rep].problem,
+                                &job_budget,
+                                &meter,
+                                &mut faults,
+                            ),
                         }));
                         ipet_trace::counter("pool.worker.jobs", 1);
                         ipet_trace::counter("pool.worker.ticks", meter.ticks());
@@ -226,7 +388,7 @@ impl SolvePool {
                                 let mut retry_faults = faults_template.clone();
                                 retry_faults.disarm_panic();
                                 match retry_on_fresh_worker(
-                                    &problems[rep],
+                                    jobs[rep].problem,
                                     job_budget,
                                     retry_faults,
                                 ) {
@@ -261,7 +423,7 @@ impl SolvePool {
             let rep = groups[*g][0];
             let (res, stats, quarantined) = solved[i].clone().expect("every representative solved");
             if !quarantined {
-                self.cache.insert(keys[rep], &problems[rep], &res, stats);
+                self.cache.insert(keys[rep], jobs[rep].problem, &res, stats);
             }
             answers[*g] = Some((res, stats));
         }
@@ -275,7 +437,7 @@ impl SolvePool {
             to_solve.iter().map(|g| groups[*g][0]).collect();
         let mut hits = 0u64;
         let mut misses = 0u64;
-        let outcomes: Vec<JobOutcome> = (0..problems.len())
+        let outcomes: Vec<JobOutcome> = (0..jobs.len())
             .map(|j| {
                 let g = group_of[j];
                 let (resolution, stats) = answers[g].clone().expect("every group answered");
@@ -293,7 +455,7 @@ impl SolvePool {
                 JobOutcome { resolution, stats, cache }
             })
             .collect();
-        self.cache.count_batch_hits((problems.len() - groups.len()) as u64);
+        self.cache.count_batch_hits((jobs.len() - groups.len()) as u64);
         ipet_trace::counter("pool.cache.hits", hits);
         ipet_trace::counter("pool.cache.misses", misses);
         ipet_trace::counter(
@@ -306,18 +468,17 @@ impl SolvePool {
     }
 
     /// Runs every job of every plan through the pool as one batch and folds
-    /// the verdicts back per plan.
+    /// the verdicts back per plan. Jobs of warm-started plans reuse each
+    /// plan's shared base optimum ([`AnalysisPlan::bases`]); the cache is
+    /// keyed on the `(base, delta)` fingerprint pair.
     ///
     /// Jobs are concatenated in plan order (each plan's jobs in their
     /// canonical order), so the batch — and with it the dedup grouping, the
     /// shard assignment and every outcome — is a pure function of the plans
     /// and the budget, independent of the worker count.
     pub fn run_plans(&self, plans: &[AnalysisPlan], budget: &SolveBudget) -> PlanBatch {
-        let problems: Vec<Problem> = plans
-            .iter()
-            .flat_map(|plan| plan.jobs().iter().map(|job| job.problem.clone()))
-            .collect();
-        let report = self.solve_batch(&problems, budget);
+        let (jobs, bases) = self.prepare_jobs(plans, budget);
+        let report = self.solve_jobs(&jobs, &bases, budget);
         let mut offset = 0usize;
         let estimates = plans
             .iter()
@@ -339,17 +500,15 @@ impl SolvePool {
     /// [`AnalysisPlan::complete_audited`](ipet_core::AnalysisPlan::complete_audited),
     /// pairing each estimate with its per-set certificate report. The
     /// estimates themselves are bit-identical to the unaudited run — the
-    /// auditor only observes.
+    /// auditor only observes (and warm-accepted answers were already gated
+    /// on the same exact certification it applies).
     pub fn run_plans_audited(
         &self,
         plans: &[AnalysisPlan],
         budget: &SolveBudget,
     ) -> AuditedPlanBatch {
-        let problems: Vec<Problem> = plans
-            .iter()
-            .flat_map(|plan| plan.jobs().iter().map(|job| job.problem.clone()))
-            .collect();
-        let report = self.solve_batch(&problems, budget);
+        let (jobs, bases) = self.prepare_jobs(plans, budget);
+        let report = self.solve_jobs(&jobs, &bases, budget);
         let mut offset = 0usize;
         let results = plans
             .iter()
@@ -418,5 +577,14 @@ mod tests {
             }
         }
         assert_eq!(shard_deadline(None, 3), vec![None, None, None]);
+    }
+
+    #[test]
+    fn job_keys_are_asymmetric_and_delta_sensitive() {
+        let a = Fingerprint(0x1234_5678_9abc_def0);
+        let b = Fingerprint(0x0fed_cba9_8765_4321);
+        assert_ne!(job_key(a, b), job_key(b, a));
+        assert_ne!(job_key(a, Fingerprint(0)), job_key(a, b));
+        assert_eq!(job_key(a, b), job_key(a, b));
     }
 }
