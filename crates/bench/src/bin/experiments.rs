@@ -34,7 +34,7 @@
 //! `gate` exits non-zero when a deterministic metric differs from the
 //! baseline or the solve wall-clock regresses beyond `--tol-wall PCT`
 //! (default 300). Refresh the baseline with
-//! `experiments benchjson > BENCH_baseline.json` when a change is
+//! `experiments gate --write BENCH_baseline.json` when a change is
 //! intentional.
 //!
 //! `--audit` appends an exact-arithmetic certification pass over every
@@ -246,8 +246,12 @@ fn counters(jobs: usize, warm: bool) {
 
 /// `experiments gate BASELINE.json [--tol-wall PCT]`: compares the current
 /// run against the committed baseline and exits non-zero on regression.
+/// `--write` regenerates the baseline in place instead of comparing — the
+/// sanctioned way to refresh `BENCH_baseline.json` after an intentional
+/// change (CI's refresh path uses it).
 fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
     let mut baseline_path: Option<&str> = None;
+    let mut write = false;
     let mut config = gate::GateConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -257,14 +261,25 @@ fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
                 std::process::exit(1);
             });
             config.wall_tolerance_pct = v;
+        } else if a == "--write" {
+            write = true;
         } else {
             baseline_path = Some(a);
         }
     }
     let Some(path) = baseline_path else {
-        eprintln!("usage: experiments gate BASELINE.json [--tol-wall PCT] [--jobs N]");
+        eprintln!("usage: experiments gate BASELINE.json [--write] [--tol-wall PCT] [--jobs N]");
         std::process::exit(1);
     };
+    if write {
+        let doc = collect_bench_doc(jobs, warm).render_pretty();
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("gate: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("gate: wrote fresh baseline to {path}");
+        return;
+    }
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("gate: cannot read {path}: {e}");
         std::process::exit(1);
@@ -286,7 +301,7 @@ fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
         }
         eprintln!(
             "gate: {} regression(s) vs {path}; if intentional, refresh with \
-             `experiments benchjson > {path}`",
+             `experiments gate --write {path}`",
             report.failures.len()
         );
         std::process::exit(1);

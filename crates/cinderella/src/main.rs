@@ -27,6 +27,8 @@
 //! and the per-target reports are printed in argument order. Output is
 //! bit-for-bit identical for any `--jobs` value.
 
+mod serve;
+
 use ipet_cfg::InstanceId;
 use ipet_core::{
     structural_text, AnalysisBudget, Analyzer, AuditReport, CacheMode, ContextMode, Estimate,
@@ -35,14 +37,16 @@ use ipet_core::{
 use ipet_hw::Machine;
 use ipet_pool::SolvePool;
 use ipet_sim::measure;
+use ipet_store::Store;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// What a successful run proved: `Degraded` means every reported bound is
 /// still *safe*, but at least one came from a relaxation or a skipped
 /// constraint set rather than an exact solve. `AuditFailed` means the
 /// exact-arithmetic certifier rejected at least one reported bound — the
 /// result must not be trusted.
-enum RunStatus {
+pub(crate) enum RunStatus {
     Exact,
     Degraded,
     AuditFailed,
@@ -72,6 +76,8 @@ fn usage() -> String {
      \x20 dot <bench|file.mc>          print the CFGs in Graphviz DOT syntax\n\
      \x20 trace <bench>                print the worst-case block trace\n\
      \x20 analyze <bench|file.mc>...   estimate [t_min, t_max] (one or more targets)\n\
+     \x20 serve                        long-running NDJSON analysis daemon (stdin or\n\
+     \x20                               --socket PATH; see --store for warm replays)\n\
      options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
@@ -79,9 +85,16 @@ fn usage() -> String {
      \x20         only solver effort counters change)\n\
      \x20        --trace-json FILE (write the ipet-trace document of the run)\n\
      \x20        --audit (re-certify every bound in exact integer arithmetic)\n\
+     store:   --store FILE (crash-safe persistent solve store: certified replays\n\
+     \x20         across runs; bounds are bit-identical with or without it)\n\
+     \x20        --no-store (pin the default: never touch a store)\n\
      budget:  --deadline TICKS --max-nodes N --max-sets N --no-degrade\n\
      faults:  --inject-corrupt-witness N --inject-corrupt-bound N\n\
      \x20        (corrupt the Nth solve; the audit must catch it; serial path only)\n\
+     \x20        --inject-fail-write N --inject-torn-write N\n\
+     \x20        --inject-corrupt-record N --inject-fail-open\n\
+     \x20        (store IO faults; need --store; every one degrades to cold\n\
+     \x20         solves with identical bounds and exit 0)\n\
      exit status: 0 exact, 2 safe-but-degraded bound, 3 audit rejection, 1 error"
         .to_string()
 }
@@ -159,6 +172,10 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut audit = false;
     let mut faults = SolverFaults::none();
     let mut budget = AnalysisBudget::default();
+    let mut store_path: Option<String> = None;
+    let mut no_store = false;
+    let mut socket: Option<String> = None;
+    let mut io_faults = SolverFaults::none();
 
     let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -202,6 +219,24 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 faults =
                     SolverFaults::corrupt_bound_at(parse_num("--inject-corrupt-bound", it.next())?);
             }
+            "--store" => store_path = Some(it.next().ok_or("--store needs a value")?.to_string()),
+            "--no-store" => no_store = true,
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.to_string()),
+            "--inject-fail-write" => {
+                io_faults =
+                    SolverFaults::fail_write_at(parse_num("--inject-fail-write", it.next())?)
+            }
+            "--inject-torn-write" => {
+                io_faults =
+                    SolverFaults::torn_write_at(parse_num("--inject-torn-write", it.next())?)
+            }
+            "--inject-corrupt-record" => {
+                io_faults = SolverFaults::corrupt_record_at(parse_num(
+                    "--inject-corrupt-record",
+                    it.next(),
+                )?)
+            }
+            "--inject-fail-open" => io_faults = SolverFaults::fail_open(),
             other if other.starts_with('-') => {
                 return Err(format!("unexpected argument {other}\n{}", usage()))
             }
@@ -292,9 +327,33 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             )?;
             listing(&t).map(|()| RunStatus::Exact)
         }
+        Some("serve") => {
+            if !targets.is_empty() {
+                return Err("serve takes no targets; requests arrive as NDJSON".into());
+            }
+            if faults.armed() {
+                return Err("--inject-corrupt-* solve faults need `analyze` (serial path)".into());
+            }
+            serve::serve(serve::ServeConfig {
+                store_path: if no_store { None } else { store_path },
+                socket,
+                jobs,
+                machine_name,
+                budget,
+                warm,
+                audit,
+                io_faults,
+            })
+        }
         Some("analyze") => {
             if targets.is_empty() {
                 return Err(usage());
+            }
+            // Fail fast on an unwritable `--trace-json` destination: the
+            // document is written after the analysis, and discovering a
+            // missing directory only then would waste the whole run.
+            if let Some(path) = &trace_json {
+                validate_output_path(path, "--trace-json")?;
             }
             // Install the recorder before compiling so the lang/cfg phases
             // of `load_target` are captured too. Without `--trace-json`
@@ -316,8 +375,31 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     )
                 })
                 .collect::<Result<_, _>>()?;
+            // The persistent store rides the pooled path (it is a pool
+            // tier); a store-backed run therefore excludes the serial-only
+            // features, mirroring the multi-target restrictions below.
+            let store = if let (Some(path), false) = (&store_path, no_store) {
+                if do_measure || dump_structural {
+                    return Err(
+                        "--store needs the pooled path; drop --measure/--dump-structural".into()
+                    );
+                }
+                if faults.armed() {
+                    return Err("--store cannot combine with --inject-corrupt-* solve faults \
+                         (they need the serial path)"
+                        .into());
+                }
+                Some(Arc::new(Store::open_with_faults(path, io_faults.clone())))
+            } else {
+                if io_faults.io_armed() {
+                    return Err("--inject-fail-write/--inject-torn-write/\
+                         --inject-corrupt-record/--inject-fail-open require --store"
+                        .into());
+                }
+                None
+            };
             let mut certificates: Vec<(String, AuditReport)> = Vec::new();
-            let status = if loaded.len() == 1 && jobs == 1 {
+            let status = if loaded.len() == 1 && jobs == 1 && store.is_none() {
                 // The single-target serial path keeps the full feature set
                 // (`--measure`, `--dump-structural`, fault injection).
                 analyze(
@@ -355,6 +437,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     jobs,
                     &budget,
                     audit,
+                    store.as_ref(),
                     &mut certificates,
                 )
             };
@@ -375,6 +458,41 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         }
         _ => Err(usage()),
     }
+}
+
+/// Rejects an output path whose parent directory does not exist, naming
+/// the flag, so the failure surfaces before any analysis work is spent.
+fn validate_output_path(path: &str, flag: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() && !dir.is_dir() {
+            return Err(format!("{flag} {path}: directory {} does not exist", dir.display()));
+        }
+    }
+    if p.is_dir() {
+        return Err(format!("{flag} {path}: is a directory"));
+    }
+    Ok(())
+}
+
+/// The deterministic one-line store report printed after a store-backed
+/// run (scripts filter it with `grep -v '^store:'` alongside the pool
+/// line when byte-comparing outputs across runs).
+pub(crate) fn store_summary(store: &Store) -> String {
+    let s = store.stats();
+    format!(
+        "store: mode={} loaded={} quarantined={} hits={} misses={} rejected={} \
+         invalidated={} flushes={} write_failed={}",
+        store.mode().label(),
+        s.loaded,
+        s.quarantined,
+        s.hits,
+        s.misses,
+        s.rejected,
+        s.invalidated,
+        s.flushes,
+        s.write_failed
+    )
 }
 
 fn single_target(targets: &[String]) -> Result<&str, String> {
@@ -625,6 +743,7 @@ fn analyze_pooled(
     jobs: usize,
     budget: &AnalysisBudget,
     audit: bool,
+    store: Option<&Arc<Store>>,
     certificates: &mut Vec<(String, AuditReport)>,
 ) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
@@ -653,7 +772,10 @@ fn analyze_pooled(
         shown_annotations.push(annotations);
     }
 
-    let pool = SolvePool::new(jobs);
+    let mut pool = SolvePool::new(jobs);
+    if let Some(store) = store {
+        pool = pool.with_store(Arc::clone(store));
+    }
     // With `--audit`, each plan's verdicts fold through the certifier; the
     // estimates are bit-identical either way (the auditor only observes).
     type PooledResult = Result<(Estimate, Option<AuditReport>), String>;
@@ -721,6 +843,15 @@ fn analyze_pooled(
         "pool: {jobs} worker(s), {} solved, {} replayed ({} rejected near-hits), {} ticks",
         stats.misses, stats.hits, stats.rejected, total_ticks
     );
+    if let Some(store) = store {
+        // Flush before reporting so the summary reflects what actually
+        // reached disk. A failed flush degrades, it never fails the run:
+        // every bound above was already computed and certified.
+        if let Err(e) = store.flush() {
+            eprintln!("cinderella: store flush failed ({e}); results were solved cold-safe");
+        }
+        println!("{}", store_summary(store));
+    }
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }

@@ -1,0 +1,277 @@
+//! `cinderella serve` — a long-running analysis daemon.
+//!
+//! Requests arrive as newline-delimited JSON on stdin (default) or on a
+//! unix socket (`--socket PATH`, connections served sequentially); every
+//! response is one JSON line. A persistent [`SolvePool`] — optionally
+//! backed by a crash-safe [`Store`] — lives across requests, so repeated
+//! analyses of the same programs replay certified solves instead of
+//! re-solving.
+//!
+//! ## Protocol
+//!
+//! Request: `{"id": ..., "target": "piksrt", ...}` with optional fields
+//! `entry`, `annotations` (extra constraint text, appended), `infer`
+//! (bool), `machine`, `deadline` (ticks, per-request solve budget),
+//! `audit` (bool). `{"op": "shutdown"}` stops the daemon (mainly for
+//! socket mode; on stdin, EOF does the same).
+//!
+//! Response stream per request: one line per surviving constraint set
+//! (`{"id", "set", "wcet", "bcet", "quality"}`), then a final line with
+//! `"done": true` and a `"status"` carrying the CLI's exit-code contract —
+//! 0 exact, 2 safe-but-degraded, 3 audit rejection, 1 error. Request
+//! failures (unknown target, bad annotations, a panic) produce a
+//! status-1 final line and the daemon keeps serving.
+//!
+//! ## Crash safety
+//!
+//! The store is flushed write-through for every request — before its
+//! response lines are written, so acknowledgment implies durability — and
+//! each flush is an atomic whole-file replacement. Killing the daemon at
+//! any moment —
+//! including SIGKILL, which cannot be handled — therefore loses at most
+//! the in-flight request's solves; everything acknowledged by a `done`
+//! line is already on disk. On EOF / shutdown the store is flushed one
+//! final time before exit.
+
+use crate::{machine_by_name, store_summary, RunStatus};
+use ipet_core::{AnalysisBudget, Estimate};
+use ipet_pool::SolvePool;
+use ipet_store::Store;
+use ipet_trace::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub(crate) struct ServeConfig {
+    pub store_path: Option<String>,
+    pub socket: Option<String>,
+    pub jobs: usize,
+    pub machine_name: String,
+    pub budget: AnalysisBudget,
+    pub warm: bool,
+    /// Default audit policy; a request's `"audit"` field overrides it.
+    pub audit: bool,
+    pub io_faults: ipet_core::SolverFaults,
+}
+
+pub(crate) fn serve(cfg: ServeConfig) -> Result<RunStatus, String> {
+    let store = cfg
+        .store_path
+        .as_ref()
+        .map(|p| Arc::new(Store::open_with_faults(p, cfg.io_faults.clone())));
+    if let Some(store) = &store {
+        eprintln!("cinderella: serve: {}", store_summary(store));
+    }
+    let mut pool = SolvePool::new(cfg.jobs);
+    if let Some(store) = &store {
+        pool = pool.with_store(Arc::clone(store));
+    }
+
+    match cfg.socket.clone() {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            serve_stream(stdin.lock(), &mut out, &pool, store.as_ref(), &cfg)?;
+        }
+        Some(path) => {
+            // A stale socket file from a killed daemon would make bind
+            // fail; the advisory store lock already guards against two
+            // *live* daemons sharing a store.
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .map_err(|e| format!("--socket {path}: {e}"))?;
+            eprintln!("cinderella: serve: listening on {path}");
+            // Connections are served sequentially: the pool parallelizes
+            // *within* a request, and the protocol is strictly
+            // request/response, so concurrent connections would only
+            // interleave output streams.
+            loop {
+                let (conn, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                let reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+                let mut writer = conn;
+                if !serve_stream(reader, &mut writer, &pool, store.as_ref(), &cfg)? {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    if let Some(store) = &store {
+        if let Err(e) = store.flush() {
+            eprintln!("cinderella: serve: final store flush failed ({e})");
+        }
+        eprintln!("cinderella: serve: {}", store_summary(store));
+    }
+    Ok(RunStatus::Exact)
+}
+
+/// Serves one NDJSON stream. Returns `Ok(true)` when the stream ended
+/// (EOF — keep accepting in socket mode) and `Ok(false)` on an explicit
+/// shutdown request.
+fn serve_stream(
+    reader: impl BufRead,
+    out: &mut impl Write,
+    pool: &SolvePool,
+    store: Option<&Arc<Store>>,
+    cfg: &ServeConfig,
+) -> Result<bool, String> {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // connection dropped mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (responses, shutdown) = handle_line(&line, pool, cfg);
+        // Write-through, and strictly *before* the response lines go out:
+        // once the client has seen this request's `done` line, its solves
+        // are already durable, so a kill at any moment — even right after
+        // the acknowledgment — loses nothing that was acknowledged.
+        if let Some(store) = store {
+            if let Err(e) = store.flush() {
+                eprintln!("cinderella: serve: store flush failed ({e}); continuing in memory");
+            }
+        }
+        for r in responses {
+            let _ = writeln!(out, "{}", r.render());
+        }
+        let _ = out.flush();
+        if shutdown {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Parses and executes one request line, panics included: a panicking
+/// analysis yields a status-1 response, never a dead daemon.
+fn handle_line(line: &str, pool: &SolvePool, cfg: &ServeConfig) -> (Vec<Json>, bool) {
+    let req = match ipet_trace::parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return (vec![error_response(&Json::Null, &format!("bad request: {e}"))], false),
+    };
+    if req.get("op").and_then(Json::as_str) == Some("shutdown") {
+        let done = Json::Obj(vec![
+            ("done".into(), Json::Bool(true)),
+            ("status".into(), Json::Num(0.0)),
+            ("shutdown".into(), Json::Bool(true)),
+        ]);
+        return (vec![done], true);
+    }
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let result = catch_unwind(AssertUnwindSafe(|| run_request(&req, pool, cfg)));
+    match result {
+        Ok(Ok(responses)) => (responses, false),
+        Ok(Err(e)) => (vec![error_response(&id, &e)], false),
+        Err(_) => (
+            vec![error_response(&id, "internal panic; request isolated, daemon still serving")],
+            false,
+        ),
+    }
+}
+
+fn error_response(id: &Json, message: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("done".into(), Json::Bool(true)),
+        ("status".into(), Json::Num(1.0)),
+        ("error".into(), Json::Str(message.into())),
+    ])
+}
+
+fn opt_num(v: Option<u64>) -> Json {
+    v.map(|n| Json::Num(n as f64)).unwrap_or(Json::Null)
+}
+
+/// Runs one analysis request against the shared pool, returning the
+/// per-set lines plus the final `done` line.
+fn run_request(req: &Json, pool: &SolvePool, cfg: &ServeConfig) -> Result<Vec<Json>, String> {
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let target = req
+        .get("target")
+        .and_then(Json::as_str)
+        .ok_or("request needs a \"target\" string (benchmark name or .mc/.s path)")?;
+    let entry = req.get("entry").and_then(Json::as_str);
+    let machine_name =
+        req.get("machine").and_then(Json::as_str).unwrap_or(&cfg.machine_name).to_string();
+    let machine = machine_by_name(&machine_name)?;
+    let audit = match req.get("audit") {
+        Some(Json::Bool(b)) => *b,
+        _ => cfg.audit,
+    };
+    let infer = matches!(req.get("infer"), Some(Json::Bool(true)));
+    let mut budget = cfg.budget;
+    if let Some(d) = req.get("deadline").and_then(Json::as_u64) {
+        budget.solve.deadline_ticks = Some(d);
+    }
+
+    let t = crate::load_target(target, entry, None, None, false)?;
+    let analyzer = ipet_core::Analyzer::new(&t.program, machine)
+        .map_err(|e| e.to_string())?
+        .with_warm_start(cfg.warm);
+    let mut annotations = t.annotations.clone();
+    if let Some(extra) = req.get("annotations").and_then(Json::as_str) {
+        annotations.push('\n');
+        annotations.push_str(extra);
+    }
+    if infer {
+        let inferred = ipet_core::infer_loop_bounds(&analyzer);
+        if !inferred.is_empty() {
+            annotations.push_str(&ipet_core::inferred_annotations(&inferred));
+        }
+    }
+    let anns = ipet_core::parse_annotations(&annotations).map_err(|e| e.to_string())?;
+    let plan = analyzer.plan(&anns, &budget).map_err(|e| e.to_string())?;
+    let plans = [plan];
+
+    let (est, audit_failed): (Estimate, bool) = if audit {
+        let batch = pool.run_plans_audited(&plans, &budget.solve);
+        let (est, report) =
+            batch.results.into_iter().next().expect("one plan").map_err(|e| e.to_string())?;
+        let failed = !report.all_certified();
+        (est, failed)
+    } else {
+        let batch = pool.run_plans(&plans, &budget.solve);
+        let est =
+            batch.estimates.into_iter().next().expect("one plan").map_err(|e| e.to_string())?;
+        (est, false)
+    };
+
+    let mut responses: Vec<Json> = est
+        .sets
+        .iter()
+        .map(|set| {
+            Json::Obj(vec![
+                ("id".into(), id.clone()),
+                ("set".into(), Json::Num(set.index as f64)),
+                ("wcet".into(), opt_num(set.wcet)),
+                ("bcet".into(), opt_num(set.bcet)),
+                ("quality".into(), Json::Str(set.quality.to_string())),
+            ])
+        })
+        .collect();
+    let status = if audit_failed {
+        3
+    } else if est.quality.is_exact() {
+        0
+    } else {
+        2
+    };
+    responses.push(Json::Obj(vec![
+        ("id".into(), id),
+        ("target".into(), Json::Str(target.into())),
+        ("done".into(), Json::Bool(true)),
+        ("status".into(), Json::Num(status as f64)),
+        (
+            "bound".into(),
+            Json::Arr(vec![Json::Num(est.bound.lower as f64), Json::Num(est.bound.upper as f64)]),
+        ),
+        ("quality".into(), Json::Str(est.quality.to_string())),
+        ("sets_total".into(), Json::Num(est.sets_total as f64)),
+        ("sets_skipped".into(), Json::Num(est.sets_skipped as f64)),
+    ]));
+    Ok(responses)
+}

@@ -546,6 +546,38 @@ fn fault_injection_requires_the_serial_path() {
 }
 
 #[test]
+fn trace_json_to_a_nonexistent_directory_fails_cleanly_before_analysis() {
+    let path = "/nonexistent-cinderella-dir/trace.json";
+    let (code, stdout, stderr) = cinderella_code(&["analyze", "piksrt", "--trace-json", path]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--trace-json"), "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    // Fail-fast: the path is rejected before any analysis output appears.
+    assert!(!stdout.contains("estimated bound"), "{stdout}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn audit_trace_json_to_a_nonexistent_directory_fails_cleanly() {
+    let path = "/nonexistent-cinderella-dir/audit.json";
+    let (code, stdout, stderr) =
+        cinderella_code(&["analyze", "piksrt", "--audit", "--trace-json", path]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    assert!(!stdout.contains("estimated bound"), "{stdout}");
+}
+
+#[test]
+fn trace_json_to_a_directory_path_fails_cleanly() {
+    let dir = std::env::temp_dir().join("cinderella-cli-trace-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (code, _, stderr) =
+        cinderella_code(&["analyze", "piksrt", "--trace-json", dir.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("is a directory"), "{stderr}");
+}
+
+#[test]
 fn audit_trace_json_embeds_certificates_next_to_the_trace() {
     let dir = std::env::temp_dir().join("cinderella-cli-test9");
     std::fs::create_dir_all(&dir).unwrap();
@@ -567,4 +599,160 @@ fn audit_trace_json_embeds_certificates_next_to_the_trace() {
     let trace = ipet_trace::TraceDoc::from_json(trace).expect("embedded trace conforms");
     assert!(trace.counters.get("audit.runs").copied().unwrap_or(0) > 0);
     assert_eq!(trace.counters.get("audit.rejected").copied(), Some(0));
+}
+
+// ---------------------------------------------------------------------------
+// --store: the crash-safe persistent solve store.
+// ---------------------------------------------------------------------------
+
+fn store_scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("cinderella-store-cli-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The analysis report with the environment-dependent summary lines
+/// removed: `pool:` names tick totals, `store:` names hit/miss traffic.
+/// Everything else must be byte-identical across store states.
+fn strip_summaries(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("pool:") && !l.starts_with("store:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn store_line(s: &str) -> String {
+    s.lines().find(|l| l.starts_with("store:")).expect("store summary line").to_string()
+}
+
+#[test]
+fn second_run_replays_from_the_store_byte_identically() {
+    let dir = store_scratch("warm");
+    let store = dir.join("solves.store");
+    let store = store.to_str().unwrap();
+
+    let (ok, cold, stderr) =
+        cinderella(&["analyze", "piksrt", "check_data", "--store", store, "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+    let cold_line = store_line(&cold);
+    assert!(cold_line.contains("mode=rw"), "{cold_line}");
+    assert!(cold_line.contains("hits=0"), "cold run cannot hit: {cold_line}");
+    assert!(cold_line.contains("flushes=1"), "{cold_line}");
+
+    let (ok, warm, stderr) =
+        cinderella(&["analyze", "piksrt", "check_data", "--store", store, "--jobs", "2"]);
+    assert!(ok, "{stderr}");
+    let warm_line = store_line(&warm);
+    assert!(warm_line.contains("misses=0"), "warm run must replay: {warm_line}");
+    assert!(!warm_line.contains("hits=0"), "warm run must hit the store: {warm_line}");
+
+    // The bounds — and everything else in the report — must be identical.
+    assert_eq!(strip_summaries(&cold), strip_summaries(&warm));
+
+    // And identical to a run with the store disabled outright.
+    let (ok, no_store, _) =
+        cinderella(&["analyze", "piksrt", "check_data", "--no-store", "--jobs", "2"]);
+    assert!(ok);
+    assert_eq!(strip_summaries(&warm), strip_summaries(&no_store));
+}
+
+#[test]
+fn every_io_fault_degrades_to_cold_solves_with_identical_bounds() {
+    let dir = store_scratch("faults");
+    let baseline = {
+        let (ok, out, stderr) = cinderella(&["analyze", "piksrt", "--no-store", "--jobs", "2"]);
+        assert!(ok, "{stderr}");
+        strip_summaries(&out)
+    };
+    let faults: &[(&str, &[&str])] = &[
+        ("fail-write", &["--inject-fail-write", "0"]),
+        ("torn-write", &["--inject-torn-write", "0"]),
+        ("corrupt-record", &["--inject-corrupt-record", "0"]),
+        ("fail-open", &["--inject-fail-open"]),
+    ];
+    for (name, flags) in faults {
+        let store = dir.join(format!("{name}.store"));
+        let mut args = vec!["analyze", "piksrt", "--store", store.to_str().unwrap(), "--jobs", "2"];
+        args.extend_from_slice(flags);
+        // Seed a store (under fault), then run again over the damaged
+        // remains: both runs must succeed with the fault-free bounds.
+        for round in 0..2 {
+            let (code, out, stderr) = cinderella_code(&args);
+            assert_eq!(code, 0, "{name} round {round}: {stderr}");
+            assert_eq!(
+                strip_summaries(&out),
+                baseline,
+                "{name} round {round}: an IO fault changed the report"
+            );
+        }
+    }
+    // The counters tell the degradation story.
+    let (_, out, _) = cinderella(&[
+        "analyze",
+        "piksrt",
+        "--store",
+        dir.join("x.store").to_str().unwrap(),
+        "--inject-fail-write",
+        "0",
+    ]);
+    assert!(store_line(&out).contains("write_failed=1"), "{}", store_line(&out));
+    let (_, out, _) = cinderella(&[
+        "analyze",
+        "piksrt",
+        "--store",
+        dir.join("y.store").to_str().unwrap(),
+        "--inject-fail-open",
+    ]);
+    assert!(store_line(&out).contains("mode=mem"), "{}", store_line(&out));
+}
+
+#[test]
+fn hand_corrupted_store_falls_back_and_repairs() {
+    let dir = store_scratch("corrupt");
+    let store = dir.join("solves.store");
+    let path = store.to_str().unwrap();
+
+    let (ok, cold, _) = cinderella(&["analyze", "dhry", "--store", path]);
+    assert!(ok);
+
+    // Flip a bit in every record region of the file.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let step = (bytes.len() / 8).max(1);
+    let mut i = 24;
+    while i < bytes.len() {
+        bytes[i] ^= 0x40;
+        i += step;
+    }
+    std::fs::write(&store, &bytes).unwrap();
+
+    let (code, out, stderr) = cinderella_code(&["analyze", "dhry", "--store", path]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(!store_line(&out).contains("quarantined=0"), "{}", store_line(&out));
+    assert_eq!(strip_summaries(&cold), strip_summaries(&out), "corruption changed the report");
+
+    // The recovery run rewrote the file; a third run replays cleanly.
+    let (ok, healed, _) = cinderella(&["analyze", "dhry", "--store", path]);
+    assert!(ok);
+    let line = store_line(&healed);
+    assert!(line.contains("quarantined=0"), "{line}");
+    assert!(line.contains("misses=0"), "{line}");
+    assert_eq!(strip_summaries(&cold), strip_summaries(&healed));
+}
+
+#[test]
+fn store_requires_the_pooled_path_and_io_faults_require_a_store() {
+    let dir = store_scratch("reject");
+    let path = dir.join("s.store");
+    let (code, _, stderr) =
+        cinderella_code(&["analyze", "piksrt", "--store", path.to_str().unwrap(), "--measure"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--store"), "{stderr}");
+    let (code, _, stderr) = cinderella_code(&["analyze", "piksrt", "--inject-fail-write", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--store"), "{stderr}");
 }

@@ -1,0 +1,202 @@
+//! Integration tests of `cinderella serve`: the NDJSON protocol over stdin
+//! and a unix socket, and — the reason the store exists — SIGKILL mid-batch
+//! losing nothing that was already acknowledged.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("cinderella-serve-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_cinderella"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns")
+}
+
+/// Reads response lines for one request until its `done` line, returning
+/// (per-set lines, done line).
+fn read_response(reader: &mut impl BufRead) -> (Vec<ipet_trace::Json>, ipet_trace::Json) {
+    let mut sets = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response line");
+        assert!(n > 0, "stream ended before a done line");
+        let v = ipet_trace::parse_json(line.trim()).expect("response line is JSON");
+        if v.get("done").is_some() {
+            return (sets, v);
+        }
+        sets.push(v);
+    }
+}
+
+fn status_of(done: &ipet_trace::Json) -> u64 {
+    done.get("status").and_then(ipet_trace::Json::as_u64).expect("status field")
+}
+
+fn analyze_with_store(target: &str, store: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cinderella"))
+        .args(["analyze", target, "--store", store])
+        .output()
+        .expect("binary runs");
+    (out.status.code().expect("exit code"), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn store_line(s: &str) -> String {
+    s.lines().find(|l| l.starts_with("store:")).expect("store summary line").to_string()
+}
+
+#[test]
+fn stdin_protocol_streams_sets_then_done_and_survives_bad_requests() {
+    let mut child = spawn_serve(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    writeln!(stdin, r#"{{"id": 1, "target": "piksrt"}}"#).unwrap();
+    let (sets, done) = read_response(&mut reader);
+    assert!(!sets.is_empty(), "at least one per-set line");
+    assert_eq!(sets[0].get("id").and_then(ipet_trace::Json::as_u64), Some(1));
+    assert!(sets[0].get("wcet").and_then(ipet_trace::Json::as_u64).is_some());
+    assert_eq!(status_of(&done), 0);
+    assert_eq!(done.get("target").and_then(ipet_trace::Json::as_str), Some("piksrt"));
+    let bound = done.get("bound").and_then(ipet_trace::Json::as_arr).expect("bound array");
+    assert_eq!(bound.len(), 2);
+
+    // Garbage and unknown targets produce status-1 lines, not a dead daemon.
+    writeln!(stdin, "this is not json").unwrap();
+    let (_, err) = read_response(&mut reader);
+    assert_eq!(status_of(&err), 1);
+    assert!(err.get("error").is_some());
+
+    writeln!(stdin, r#"{{"id": 2, "target": "nosuchbench"}}"#).unwrap();
+    let (_, err) = read_response(&mut reader);
+    assert_eq!(status_of(&err), 1);
+
+    // A zero tick deadline degrades that request only (status 2). The
+    // target must be one this daemon has not solved yet: replays from the
+    // live cache cost no ticks and stay exact.
+    writeln!(stdin, r#"{{"id": 3, "target": "des", "deadline": 0}}"#).unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 2);
+
+    // … and the daemon still answers the next request exactly.
+    writeln!(stdin, r#"{{"id": 4, "target": "check_data", "audit": true}}"#).unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 0);
+
+    drop(stdin); // EOF shuts the daemon down cleanly
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn sigkill_mid_batch_loses_nothing_acknowledged() {
+    let dir = scratch("kill");
+    let store = dir.join("solves.store");
+    let store = store.to_str().unwrap();
+
+    // Baseline report without any store.
+    let base = Command::new(env!("CARGO_BIN_EXE_cinderella"))
+        .args(["analyze", "piksrt", "--no-store"])
+        .output()
+        .unwrap();
+    assert!(base.status.success());
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with("pool:") && !l.starts_with("store:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let baseline = strip(&String::from_utf8_lossy(&base.stdout));
+
+    let mut child = spawn_serve(&["--store", store]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    // Request 1 completes: its `done` line means its solves are flushed.
+    writeln!(stdin, r#"{{"id": 1, "target": "piksrt"}}"#).unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 0);
+
+    // Request 2 goes in and the daemon is SIGKILLed mid-flight: no signal
+    // handler can run, so this only passes if every flush was atomic.
+    writeln!(stdin, r#"{{"id": 2, "target": "dhry"}}"#).unwrap();
+    stdin.flush().unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // The store must reopen with zero quarantined records and replay
+    // request 1's solves bit-identically.
+    let (code, out) = analyze_with_store("piksrt", store);
+    assert_eq!(code, 0);
+    let line = store_line(&out);
+    assert!(line.contains("quarantined=0"), "SIGKILL corrupted the store: {line}");
+    assert!(line.contains("misses=0"), "completed solves must replay: {line}");
+    assert!(!line.contains("hits=0"), "{line}");
+    assert_eq!(strip(&out), baseline, "replay after SIGKILL differs from a cold run");
+}
+
+#[test]
+fn socket_mode_serves_connections_and_shuts_down_on_request() {
+    let dir = scratch("socket");
+    let sock = dir.join("serve.sock");
+    let store = dir.join("solves.store");
+
+    let mut child =
+        spawn_serve(&["--socket", sock.to_str().unwrap(), "--store", store.to_str().unwrap()]);
+    // Wait for the socket to appear.
+    let mut tries = 0;
+    while !sock.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tries += 1;
+        assert!(tries < 200, "socket never appeared");
+    }
+
+    // First connection: one request, then EOF (daemon keeps listening).
+    {
+        let conn = std::os::unix::net::UnixStream::connect(&sock).expect("connect");
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writeln!(writer, r#"{{"id": 10, "target": "piksrt"}}"#).unwrap();
+        let (sets, done) = read_response(&mut reader);
+        assert!(!sets.is_empty());
+        assert_eq!(status_of(&done), 0);
+    }
+
+    // Second connection proves the daemon survived the first EOF, replays
+    // from its live pool/store, and honors the shutdown op.
+    {
+        let conn = std::os::unix::net::UnixStream::connect(&sock).expect("reconnect");
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writeln!(writer, r#"{{"id": 11, "target": "piksrt"}}"#).unwrap();
+        let (_, done) = read_response(&mut reader);
+        assert_eq!(status_of(&done), 0);
+        writeln!(writer, r#"{{"op": "shutdown"}}"#).unwrap();
+        let (_, done) = read_response(&mut reader);
+        assert_eq!(done.get("shutdown"), Some(&ipet_trace::Json::Bool(true)));
+    }
+
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+    assert!(!sock.exists(), "socket file cleaned up on shutdown");
+    assert!(store.exists(), "store flushed on shutdown");
+
+    // The store written by the daemon replays in a plain analyze run.
+    let (code, out) = analyze_with_store("piksrt", store.to_str().unwrap());
+    assert_eq!(code, 0);
+    assert!(store_line(&out).contains("misses=0"), "{}", store_line(&out));
+}

@@ -259,6 +259,7 @@ impl<'p> Analyzer<'p> {
         ipet_trace::counter("core.sets.dedup_rows", dedup_rows);
         ipet_trace::counter("core.jobs.emitted", jobs.len() as u64);
         ipet_trace::gauge_max("core.sets.peak", sets_total as u64);
+        let (identity_hash, invalidation_hash) = self.store_hashes(anns);
         Ok(AnalysisPlan {
             num_sets: deltas.len(),
             jobs,
@@ -272,7 +273,31 @@ impl<'p> Analyzer<'p> {
             unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
             vars,
             flow: flow_spec(&self.instances, &space),
+            identity_hash,
+            invalidation_hash,
         })
+    }
+
+    /// The persistent store's function-level invalidation pair: a stable
+    /// routine identity (entry + function names — survives edits) and a
+    /// content hash over everything a cached solve depends on (the
+    /// disassembled instruction stream, the machine timing model, the
+    /// cache/context configuration and the annotations — changes whenever
+    /// the routine is edited in any way that could move a bound).
+    fn store_hashes(&self, anns: &Annotations) -> (u128, u128) {
+        let program = self.program();
+        let mut identity = fold_str(STORE_HASH_SEED, "ipet-plan-identity");
+        identity = fold_str(identity, &program.functions[program.entry.0].name);
+        for f in &program.functions {
+            identity = fold_str(identity, &f.name);
+        }
+        let mut content = fold_str(STORE_HASH_SEED, "ipet-plan-content");
+        content = fold_str(content, &ipet_arch::disassemble_program(program));
+        content = fold_str(content, &format!("{:?}", self.machine));
+        content = fold_str(content, &format!("{:?}", self.cache_mode));
+        content = fold_str(content, &format!("{}", self.instances.len()));
+        content = fold_str(content, &format!("{anns:?}"));
+        (identity, content)
     }
 
     // -- ILP assembly --------------------------------------------------------
@@ -431,4 +456,38 @@ fn lincon_row(space: &VarSpace, c: &LinCon) -> Constraint {
         relation: c.relation,
         rhs: c.rhs,
     }
+}
+
+/// Seed of the store-hash fold (an arbitrary odd constant; only stability
+/// within one store schema version matters).
+const STORE_HASH_SEED: u128 = 0x1BE7_0000_5704_E000_0000_0000_0000_0001;
+
+/// splitmix64 finalizer: the same diffusion primitive `ipet-lp`'s
+/// fingerprinting uses.
+fn store_mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds a string into a 128-bit store hash, 8 bytes at a time through two
+/// independently-seeded splitmix lanes. Not cryptographic — collisions only
+/// cost an unnecessary invalidation or a doomed probe that the replay gate
+/// rejects anyway.
+fn fold_str(h: u128, s: &str) -> u128 {
+    let mut h = h;
+    // Fold the length first so "ab" + "c" and "a" + "bc" differ.
+    let mut words: Vec<u64> = vec![s.len() as u64];
+    for chunk in s.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words.push(u64::from_le_bytes(w));
+    }
+    for x in words {
+        let lo = store_mix64((h as u64) ^ x);
+        let hi = store_mix64(((h >> 64) as u64) ^ x.rotate_left(32) ^ 0xA076_1D64_78BD_642F);
+        h = ((hi as u128) << 64) | (lo as u128);
+    }
+    h
 }

@@ -210,6 +210,23 @@ impl Clone for BudgetMeter {
 ///   solve silently returns a corrupted witness vector or claimed bound, so
 ///   tests can prove the auditor rejects bad certificates.
 ///
+/// A second family of faults targets the persistent result store's IO
+/// path (`ipet-store` consumes them; the solver itself never looks):
+///
+/// * [`fail_write_at`](SolverFaults::fail_write_at) — the N-th store flush
+///   fails outright, as if the disk were full;
+/// * [`torn_write_at`](SolverFaults::torn_write_at) — the N-th store flush
+///   persists only a prefix of its bytes, modelling a crash mid-write;
+/// * [`corrupt_record_at`](SolverFaults::corrupt_record_at) — the N-th
+///   record serialized flips one payload bit, modelling silent bit rot;
+/// * [`fail_open`](SolverFaults::fail_open) — opening the store file fails,
+///   forcing the in-memory fallback.
+///
+/// IO faults are deliberately excluded from [`armed`](SolverFaults::armed):
+/// they must never reroute a solve (the whole point is proving that store
+/// damage degrades to ordinary cold solves). Use
+/// [`io_armed`](SolverFaults::io_armed) to test for them.
+///
 /// Call counters live in the struct, so one `SolverFaults` value tracks
 /// indices across every solve it is threaded through. The default value
 /// injects nothing and is free to pass everywhere.
@@ -222,9 +239,15 @@ pub struct SolverFaults {
     panic_sticky: bool,
     force_corrupt_witness_at: Option<u64>,
     force_corrupt_bound_at: Option<u64>,
+    force_fail_write_at: Option<u64>,
+    force_torn_write_at: Option<u64>,
+    force_corrupt_record_at: Option<u64>,
+    force_fail_open: bool,
     nodes_seen: u64,
     lps_seen: u64,
     solves_seen: u64,
+    writes_seen: u64,
+    records_seen: u64,
 }
 
 impl SolverFaults {
@@ -277,6 +300,32 @@ impl SolverFaults {
         SolverFaults { force_corrupt_bound_at: Some(index), ..SolverFaults::default() }
     }
 
+    /// Forces the `index`-th store flush to fail outright (disk-full
+    /// model): no bytes reach the file and the flush reports an error.
+    pub fn fail_write_at(index: u64) -> SolverFaults {
+        SolverFaults { force_fail_write_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th store flush to persist only a prefix of its
+    /// bytes (crash-mid-write model): the truncated tail must quarantine on
+    /// the next open instead of replaying.
+    pub fn torn_write_at(index: u64) -> SolverFaults {
+        SolverFaults { force_torn_write_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces the `index`-th record serialized into a store flush to flip
+    /// one payload bit (silent bit-rot model): the record's checksum must
+    /// catch it on the next open.
+    pub fn corrupt_record_at(index: u64) -> SolverFaults {
+        SolverFaults { force_corrupt_record_at: Some(index), ..SolverFaults::default() }
+    }
+
+    /// Forces opening the store file to fail, exercising the in-memory
+    /// fallback mode.
+    pub fn fail_open() -> SolverFaults {
+        SolverFaults { force_fail_open: true, ..SolverFaults::default() }
+    }
+
     /// Disarms a transient panic fault before a retry; sticky panics
     /// ([`panic_always_at`](SolverFaults::panic_always_at)) stay armed.
     pub fn disarm_panic(&mut self) {
@@ -285,8 +334,9 @@ impl SolverFaults {
         }
     }
 
-    /// True when any fault is armed (used to skip bookkeeping on the
-    /// default value in hot paths).
+    /// True when any *solver* fault is armed (used to skip bookkeeping on
+    /// the default value in hot paths, and to route faulted solves down the
+    /// cold path). IO faults are excluded — see [`io_armed`](Self::io_armed).
     pub fn armed(&self) -> bool {
         self.force_limit_at.is_some()
             || self.force_infeasible_at.is_some()
@@ -294,6 +344,42 @@ impl SolverFaults {
             || self.force_panic_at.is_some()
             || self.force_corrupt_witness_at.is_some()
             || self.force_corrupt_bound_at.is_some()
+    }
+
+    /// True when any store IO fault is armed. Orthogonal to
+    /// [`armed`](Self::armed): IO faults damage persistence, never solves.
+    pub fn io_armed(&self) -> bool {
+        self.force_fail_write_at.is_some()
+            || self.force_torn_write_at.is_some()
+            || self.force_corrupt_record_at.is_some()
+            || self.force_fail_open
+    }
+
+    /// True when opening the store file is forced to fail.
+    pub fn open_fault(&self) -> bool {
+        self.force_fail_open
+    }
+
+    /// Records one store flush; returns the fault forced at this index, if
+    /// any. Called once per flush by `ipet-store`.
+    pub fn write_fault(&mut self) -> Option<IoFault> {
+        let here = self.writes_seen;
+        self.writes_seen += 1;
+        if self.force_fail_write_at == Some(here) {
+            Some(IoFault::FailWrite)
+        } else if self.force_torn_write_at == Some(here) {
+            Some(IoFault::TornWrite)
+        } else {
+            None
+        }
+    }
+
+    /// Records one record serialization; true when this record's payload
+    /// must be corrupted. Called once per record by `ipet-store`.
+    pub fn record_fault(&mut self) -> bool {
+        let here = self.records_seen;
+        self.records_seen += 1;
+        self.force_corrupt_record_at == Some(here)
     }
 
     /// Records one branch-and-bound node expansion; true when the node-limit
@@ -352,6 +438,15 @@ pub enum SolveFault {
     CorruptWitness,
     /// Return a silently corrupted claimed bound.
     CorruptBound,
+}
+
+/// A failure forced into a store flush by [`SolverFaults::write_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The flush fails outright; no bytes reach the file.
+    FailWrite,
+    /// Only a prefix of the flush's bytes is persisted.
+    TornWrite,
 }
 
 #[cfg(test)]
@@ -463,6 +558,34 @@ mod tests {
 
         let mut faults = SolverFaults::panic_at(0);
         assert_eq!(faults.solve_fault(), Some(SolveFault::Panic));
+    }
+
+    #[test]
+    fn io_faults_fire_at_exact_indices_and_stay_off_the_solve_path() {
+        let mut faults = SolverFaults::fail_write_at(1);
+        assert!(faults.io_armed());
+        assert!(!faults.armed(), "IO faults must never reroute a solve");
+        assert_eq!(faults.write_fault(), None);
+        assert_eq!(faults.write_fault(), Some(IoFault::FailWrite));
+        assert_eq!(faults.write_fault(), None);
+
+        let mut faults = SolverFaults::torn_write_at(0);
+        assert_eq!(faults.write_fault(), Some(IoFault::TornWrite));
+        assert!(!faults.armed());
+
+        let mut faults = SolverFaults::corrupt_record_at(2);
+        assert!(!faults.record_fault());
+        assert!(!faults.record_fault());
+        assert!(faults.record_fault());
+        assert!(!faults.record_fault());
+
+        let faults = SolverFaults::fail_open();
+        assert!(faults.open_fault() && faults.io_armed() && !faults.armed());
+
+        let mut none = SolverFaults::none();
+        assert!(!none.io_armed() && !none.open_fault());
+        assert_eq!(none.write_fault(), None);
+        assert!(!none.record_fault());
     }
 
     #[test]

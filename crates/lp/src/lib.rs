@@ -70,7 +70,9 @@ mod round;
 mod simplex;
 mod structure;
 
-pub use budget::{BoundQuality, BudgetMeter, LpFault, SolveBudget, SolveFault, SolverFaults};
+pub use budget::{
+    BoundQuality, BudgetMeter, IoFault, LpFault, SolveBudget, SolveFault, SolverFaults,
+};
 pub use fingerprint::{delta_rows_fingerprint, fingerprint, same_structure, Fingerprint};
 pub use ilp::{
     solve_ilp, solve_ilp_budgeted, solve_ilp_with_limits, IlpLimits, IlpOutcome, IlpResolution,

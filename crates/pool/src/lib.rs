@@ -43,6 +43,13 @@
 //!   it is caught, retried once on a fresh thread, and on a second panic
 //!   quarantined as an exhausted job that degrades the affected bound to
 //!   `Partial` quality (`pool.panic.*` counters tell the story).
+//!
+//! A pool can additionally be backed by a persistent, crash-safe store
+//! ([`SolvePool::with_store`], see `ipet-store`): after an in-memory miss
+//! the store is probed under the same structural + exact-certification
+//! gates, and every fresh `Exact` solve is fed back for future processes
+//! to replay. The store is a third replay tier — it changes where answers
+//! come from, never what they are.
 
 mod cache;
 mod pool;

@@ -9,9 +9,10 @@ use ipet_lp::{
     solve_delta_warm, solve_ilp_budgeted, warm_eligible, BaseProblem, BaseSolution, BudgetMeter,
     DeltaSet, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget, SolverFaults,
 };
+use ipet_store::Store;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Answer for one job of a batch.
 #[derive(Debug, Clone)]
@@ -78,6 +79,11 @@ struct PoolJob<'a> {
     /// `(base-table slot, delta rows)` for a warm-started solve; `None`
     /// solves cold.
     warm: Option<(usize, &'a DeltaSet)>,
+    /// `(identity, invalidation)` hashes of the originating plan; plan
+    /// jobs carry them so the persistent store can scope its replays.
+    /// Bare problems ([`SolvePool::solve_batch`]) have no analysis
+    /// context and never touch the store.
+    ctx: Option<(u128, u128)>,
 }
 
 /// Mixes a `(base, delta)` fingerprint pair into one asymmetric cache key,
@@ -152,6 +158,12 @@ pub struct SolvePool {
     /// representative solve, so e.g. `panic_at(0)` panics every
     /// representative's first attempt deterministically.
     faults: SolverFaults,
+    /// Optional persistent second replay tier ([`ipet_store::Store`]):
+    /// probed after an in-memory miss, fed by every fresh `Exact` solve.
+    /// Its replays pass the same structural + exact-certification gates
+    /// as the in-memory cache, so attaching a store can never change an
+    /// answer — only where it came from.
+    store: Option<Arc<Store>>,
 }
 
 impl SolvePool {
@@ -170,7 +182,21 @@ impl SolvePool {
             cache: SolveCache::new(),
             bases: Mutex::new(Vec::new()),
             faults,
+            store: None,
         }
+    }
+
+    /// Attaches a persistent store as a second replay tier. The pool only
+    /// probes and feeds it; opening, flushing and lifetime stay with the
+    /// caller (who typically shares the same `Arc` with a serve loop).
+    pub fn with_store(mut self, store: Arc<Store>) -> SolvePool {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The configured worker count.
@@ -190,7 +216,7 @@ impl SolvePool {
     pub fn solve_batch(&self, problems: &[Problem], budget: &SolveBudget) -> BatchReport {
         let jobs: Vec<PoolJob<'_>> = problems
             .iter()
-            .map(|p| PoolJob { problem: p, key: SolveCache::key(p), warm: None })
+            .map(|p| PoolJob { problem: p, key: SolveCache::key(p), warm: None, ctx: None })
             .collect();
         self.solve_jobs(&jobs, &[], budget)
     }
@@ -212,6 +238,12 @@ impl SolvePool {
         let mut table: Vec<(&'a BaseProblem, BaseSolution)> = Vec::new();
         let mut jobs: Vec<PoolJob<'a>> = Vec::new();
         for plan in plans {
+            let ctx = (plan.identity_hash(), plan.invalidation_hash());
+            if let Some(store) = &self.store {
+                // Retire persisted entries whose inputs have changed before
+                // any of this plan's probes can see them.
+                store.note_context(ctx.0, ctx.1);
+            }
             let slots: Vec<Option<usize>> = if warm_batch && plan.warm_start() {
                 plan.bases().iter().map(|base| self.base_slot(base, &mut table)).collect()
             } else {
@@ -221,7 +253,7 @@ impl SolvePool {
                 let base = &plan.bases()[job.base];
                 let key = job_key(base.fingerprint(), base.delta_fingerprint(&job.delta));
                 let warm = slots.get(job.base).copied().flatten().map(|s| (s, &job.delta));
-                jobs.push(PoolJob { problem: &job.problem, key, warm });
+                jobs.push(PoolJob { problem: &job.problem, key, warm, ctx: Some(ctx) });
             }
         }
         (jobs, table)
@@ -308,9 +340,23 @@ impl SolvePool {
             match self.cache.probe(keys[rep], jobs[rep].problem) {
                 Some(hit) => answers.push(Some(hit)),
                 None => {
-                    answers.push(None);
-                    group_rejected[g] = self.cache.stats().rejected > rejected_before;
-                    to_solve.push(g);
+                    // Second tier: the persistent store (plan jobs only).
+                    // Its probe re-runs the same gates, so a hit here is
+                    // as trustworthy as an in-memory one.
+                    let disk = match (&self.store, jobs[rep].ctx) {
+                        (Some(store), Some((identity, invalidation))) => {
+                            store.probe(keys[rep], identity, invalidation, jobs[rep].problem)
+                        }
+                        _ => None,
+                    };
+                    match disk {
+                        Some(hit) => answers.push(Some(hit)),
+                        None => {
+                            answers.push(None);
+                            group_rejected[g] = self.cache.stats().rejected > rejected_before;
+                            to_solve.push(g);
+                        }
+                    }
                 }
             }
         }
@@ -424,6 +470,12 @@ impl SolvePool {
             let (res, stats, quarantined) = solved[i].clone().expect("every representative solved");
             if !quarantined {
                 self.cache.insert(keys[rep], jobs[rep].problem, &res, stats);
+                if let (Some(store), Some((identity, invalidation))) = (&self.store, jobs[rep].ctx)
+                {
+                    // Feed the persistent tier; it keeps only `Exact`
+                    // resolutions (the only kind a replay can re-certify).
+                    store.insert(keys[rep], identity, invalidation, jobs[rep].problem, &res, stats);
+                }
             }
             answers[*g] = Some((res, stats));
         }

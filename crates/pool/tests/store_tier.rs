@@ -1,0 +1,148 @@
+//! Persistent-store tier on real benchmarks: a second *process* (modeled
+//! here as a second pool with a fresh in-memory cache) replays certified
+//! solves from disk bit-identically, and any damage to the file degrades
+//! to cold solves with the same bounds.
+
+use ipet_core::{parse_annotations, AnalysisBudget, AnalysisPlan, Analyzer};
+use ipet_hw::Machine;
+use ipet_pool::SolvePool;
+use ipet_store::{Store, StoreMode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const BENCHES: &[&str] = &["piksrt", "check_data", "dhry"];
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("ipet-pool-store-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn plans_for(names: &[&str], budget: &AnalysisBudget) -> Vec<AnalysisPlan> {
+    names
+        .iter()
+        .map(|name| {
+            let bench = ipet_suite::by_name(name).expect("bundled benchmark");
+            let program = bench.program().expect("compiles");
+            let analyzer = Analyzer::new(&program, Machine::i960kb()).expect("analyzer");
+            let anns = parse_annotations(&bench.annotations(&program)).expect("annotations");
+            analyzer.plan(&anns, budget).expect("plan")
+        })
+        .collect()
+}
+
+#[test]
+fn second_process_replays_from_disk_bit_identically() {
+    let dir = scratch("replay");
+    let path = dir.join("solves.store");
+    let budget = AnalysisBudget::default();
+    let plans = plans_for(BENCHES, &budget);
+
+    // "Process" 1: cold solves, fed into the store, flushed to disk.
+    let cold = {
+        let store = Arc::new(Store::open(&path));
+        assert_eq!(store.mode(), StoreMode::ReadWrite);
+        let pool = SolvePool::new(2).with_store(Arc::clone(&store));
+        let batch = pool.run_plans(&plans, &budget.solve);
+        assert!(batch.report.misses > 0, "first run must solve fresh");
+        assert_eq!(store.stats().hits, 0);
+        store.flush().expect("flush");
+        batch
+    };
+    assert!(path.exists());
+
+    // "Process" 2: fresh pool, fresh in-memory cache — every answer must
+    // come from the store, and must equal the cold run exactly.
+    let store = Arc::new(Store::open(&path));
+    assert!(store.stats().loaded > 0, "entries persisted");
+    assert_eq!(store.stats().quarantined, 0);
+    let pool = SolvePool::new(2).with_store(Arc::clone(&store));
+    let warm = pool.run_plans(&plans, &budget.solve);
+    assert_eq!(warm.report.misses, 0, "warm run must be answered by the store");
+    assert!(store.stats().hits > 0);
+    for ((a, b), name) in cold.estimates.iter().zip(&warm.estimates).zip(BENCHES) {
+        let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
+        assert_eq!(a, b, "{name}: store replay differs from cold solve");
+    }
+}
+
+#[test]
+fn corrupted_store_degrades_to_cold_solves_with_identical_bounds() {
+    let dir = scratch("corrupt");
+    let path = dir.join("solves.store");
+    let budget = AnalysisBudget::default();
+    let plans = plans_for(BENCHES, &budget);
+
+    let baseline = {
+        let store = Arc::new(Store::open(&path));
+        let pool = SolvePool::new(2).with_store(Arc::clone(&store));
+        let batch = pool.run_plans(&plans, &budget.solve);
+        store.flush().expect("flush");
+        batch
+    };
+
+    // Flip one bit in every record's payload region.
+    let mut bytes = std::fs::read(&path).expect("read store");
+    let step = (bytes.len() / 16).max(1);
+    let mut i = 24; // past the header and the first record header
+    while i < bytes.len() {
+        bytes[i] ^= 0x10;
+        i += step;
+    }
+    std::fs::write(&path, &bytes).expect("corrupt store");
+
+    let store = Arc::new(Store::open(&path));
+    assert!(store.stats().quarantined > 0, "damage must be quarantined");
+    let pool = SolvePool::new(2).with_store(Arc::clone(&store));
+    let recovered = pool.run_plans(&plans, &budget.solve);
+    for ((a, b), name) in baseline.estimates.iter().zip(&recovered.estimates).zip(BENCHES) {
+        let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
+        assert_eq!(a, b, "{name}: recovery from corruption changed a bound");
+    }
+    // And the recovery run repairs the store: a subsequent flush rewrites
+    // clean records that replay again.
+    store.flush().expect("repair flush");
+    let store2 = Arc::new(Store::open(&path));
+    assert_eq!(store2.stats().quarantined, 0, "flush must rewrite clean records");
+    assert!(store2.stats().loaded > 0);
+}
+
+#[test]
+fn changed_annotations_invalidate_stale_entries() {
+    let dir = scratch("invalidate");
+    let path = dir.join("solves.store");
+    let budget = AnalysisBudget::default();
+
+    let bench = ipet_suite::by_name("piksrt").expect("bundled benchmark");
+    let program = bench.program().expect("compiles");
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).expect("analyzer");
+    let anns_a = parse_annotations(&bench.annotations(&program)).expect("annotations");
+
+    {
+        let store = Arc::new(Store::open(&path));
+        let pool = SolvePool::new(1).with_store(Arc::clone(&store));
+        let plan = analyzer.plan(&anns_a, &budget).expect("plan");
+        let _ = pool.run_plans(std::slice::from_ref(&plan), &budget.solve);
+        store.flush().expect("flush");
+        assert!(!store.is_empty());
+    }
+
+    // Same program, different loop bound: the invalidation hash changes,
+    // so the persisted entries must be dropped, not replayed or kept.
+    let text = bench.annotations(&program).replace("[0, 9]", "[0, 7]");
+    let anns_b = parse_annotations(&text).expect("modified annotations");
+    assert_ne!(anns_a, anns_b, "test premise: annotations changed");
+    let store = Arc::new(Store::open(&path));
+    let loaded = store.stats().loaded;
+    assert!(loaded > 0);
+    let pool = SolvePool::new(1).with_store(Arc::clone(&store));
+    let plan = analyzer.plan(&anns_b, &budget).expect("plan");
+    let batch = pool.run_plans(std::slice::from_ref(&plan), &budget.solve);
+    assert!(batch.estimates[0].is_ok());
+    assert_eq!(store.stats().hits, 0, "stale entries must not replay");
+    assert!(store.stats().invalidated > 0, "stale entries must be dropped");
+}
