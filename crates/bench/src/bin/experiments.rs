@@ -31,6 +31,14 @@
 //! `lp.warm.*`) change. CI diffs `counters` against
 //! `counters --no-warm-start` to prove it.
 //!
+//! `--infer[=only|prefer-annot]` runs `ipet-infer` loop-bound inference
+//! on the pool-routed experiments before planning. On the bundled suite
+//! every inferred bound matches (or tightens within) its hand
+//! annotation, so every table row of `tables --infer` is byte-identical
+//! to `tables` (CI diffs them modulo the `pool:` cache-summary line —
+//! a tightened dhry interval changes which ILPs the cache can replay);
+//! the `infer.*` trace counters record the outcome tallies.
+//!
 //! `gate` exits non-zero when a deterministic metric differs from the
 //! baseline or the solve wall-clock regresses beyond `--tol-wall PCT`
 //! (default 300). Refresh the baseline with
@@ -49,6 +57,7 @@ fn main() {
     let mut jobs = 1usize;
     let mut audit = false;
     let mut warm = true;
+    let mut infer: Option<ipet_infer::InferMode> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,6 +65,13 @@ fn main() {
             audit = true;
         } else if a == "--no-warm-start" {
             warm = false;
+        } else if a == "--infer" {
+            infer = Some(ipet_infer::InferMode::Merge);
+        } else if let Some(m) = a.strip_prefix("--infer=") {
+            infer = Some(ipet_infer::InferMode::parse(m).unwrap_or_else(|| {
+                eprintln!("--infer={m}: expected only, prefer-annot or merge");
+                std::process::exit(1);
+            }));
         } else if a == "--jobs" {
             let v = it.next().unwrap_or_else(|| {
                 eprintln!("--jobs needs a value");
@@ -74,7 +90,7 @@ fn main() {
     // The Table I-III data now always flows through the solve pool; at the
     // default `--jobs 1` it degenerates to a serial run with identical
     // results (the pool-level tests pin this down).
-    let pooled = || run_all_pooled_with(&ipet_pool::SolvePool::new(jobs), warm);
+    let pooled = || run_all_pooled_infer(&ipet_pool::SolvePool::new(jobs), warm, infer);
     // `experiments csv <dir>` dumps every table as CSV for plotting.
     if which == "csv" {
         let dir = std::path::PathBuf::from(rest.get(1).map(String::as_str).unwrap_or("results"));
@@ -100,10 +116,10 @@ fn main() {
         "sensitivity" => sensitivity(),
         "stress" => stress(),
         "budget" => budget(),
-        "tables" => tables(jobs, warm),
-        "benchjson" => benchjson(jobs, warm),
-        "counters" => counters(jobs, warm),
-        "gate" => gate_cmd(jobs, warm, &rest[1..]),
+        "tables" => tables(jobs, warm, infer),
+        "benchjson" => benchjson(jobs, warm, infer),
+        "counters" => counters(jobs, warm, infer),
+        "gate" => gate_cmd(jobs, warm, infer, &rest[1..]),
         "all" => {
             // One pool for the whole run: the miss-penalty sweep's point at
             // the default penalty (8) replays the Table II/III solves from
@@ -172,9 +188,9 @@ const SWEEP_NAMES: [&str; 3] = ["check_data", "fft", "matgen"];
 /// printing only deterministic data: no wall-clock, no per-worker figures.
 /// `tables --jobs 1` and `tables --jobs 8` must produce byte-identical
 /// output (CI diffs them).
-fn tables(jobs: usize, warm: bool) {
+fn tables(jobs: usize, warm: bool, infer: Option<ipet_infer::InferMode>) {
     let pool = ipet_pool::SolvePool::new(jobs);
-    let run = run_all_pooled_with(&pool, warm);
+    let run = run_all_pooled_infer(&pool, warm, infer);
     table1(&run.data);
     table23(&run.data, false);
     table23(&run.data, true);
@@ -209,11 +225,15 @@ fn pool_summary(pool: &ipet_pool::SolvePool, run: &PooledRun) {
 /// pool with the trace recorder installed, assembling the `ipet-bench-v2`
 /// document: bounds, set counts, cache traffic, tick totals, the full
 /// trace, and the (non-deterministic) timing sections.
-fn collect_bench_doc(jobs: usize, warm: bool) -> ipet_trace::Json {
+fn collect_bench_doc(
+    jobs: usize,
+    warm: bool,
+    infer: Option<ipet_infer::InferMode>,
+) -> ipet_trace::Json {
     let recorder = ipet_trace::install();
     recorder.reset();
     let pool = ipet_pool::SolvePool::new(jobs);
-    let run = run_all_pooled_with(&pool, warm);
+    let run = run_all_pooled_infer(&pool, warm, infer);
     let (_, sweep_report) = sweep_miss_penalty_pooled(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
     // Solve-phase wall only: compile/simulate/planning are serial and
     // identical across `--jobs`, so including them would bury the signal.
@@ -225,16 +245,16 @@ fn collect_bench_doc(jobs: usize, warm: bool) -> ipet_trace::Json {
 /// one pretty-printed `ipet-bench-v2` JSON document (schema and sections in
 /// [`gate::bench_doc`]). This is the format of the committed
 /// `BENCH_baseline.json`; redirect stdout to refresh it.
-fn benchjson(jobs: usize, warm: bool) {
-    print!("{}", collect_bench_doc(jobs, warm).render_pretty());
+fn benchjson(jobs: usize, warm: bool, infer: Option<ipet_infer::InferMode>) {
+    print!("{}", collect_bench_doc(jobs, warm, infer).render_pretty());
 }
 
 /// The deterministic metric lines of the bench document, one `key = value`
 /// per line. Identical for any `--jobs` value — CI diffs `counters --jobs
 /// 1` against `counters --jobs 8` to prove trace counters are
 /// scheduling-independent.
-fn counters(jobs: usize, warm: bool) {
-    let doc = collect_bench_doc(jobs, warm);
+fn counters(jobs: usize, warm: bool, infer: Option<ipet_infer::InferMode>) {
+    let doc = collect_bench_doc(jobs, warm, infer);
     let lines = gate::deterministic_lines(&doc).unwrap_or_else(|e| {
         eprintln!("internal error: {e}");
         std::process::exit(1);
@@ -249,7 +269,7 @@ fn counters(jobs: usize, warm: bool) {
 /// `--write` regenerates the baseline in place instead of comparing — the
 /// sanctioned way to refresh `BENCH_baseline.json` after an intentional
 /// change (CI's refresh path uses it).
-fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
+fn gate_cmd(jobs: usize, warm: bool, infer: Option<ipet_infer::InferMode>, args: &[String]) {
     let mut baseline_path: Option<&str> = None;
     let mut write = false;
     let mut config = gate::GateConfig::default();
@@ -272,7 +292,7 @@ fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
         std::process::exit(1);
     };
     if write {
-        let doc = collect_bench_doc(jobs, warm).render_pretty();
+        let doc = collect_bench_doc(jobs, warm, infer).render_pretty();
         std::fs::write(path, doc).unwrap_or_else(|e| {
             eprintln!("gate: cannot write {path}: {e}");
             std::process::exit(1);
@@ -288,7 +308,7 @@ fn gate_cmd(jobs: usize, warm: bool, args: &[String]) {
         eprintln!("gate: {path} is not valid JSON: {e}");
         std::process::exit(1);
     });
-    let current = collect_bench_doc(jobs, warm);
+    let current = collect_bench_doc(jobs, warm, infer);
     let report = gate::compare(&baseline, &current, &config);
     for note in &report.notes {
         println!("gate: {note}");

@@ -140,6 +140,23 @@ pub fn run_all_pooled(jobs: usize) -> PooledRun {
 ///
 /// See [`run_all_pooled`].
 pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool, warm: bool) -> PooledRun {
+    run_all_pooled_infer(pool, warm, None)
+}
+
+/// [`run_all_pooled_with`] with loop-bound inference (`ipet-infer`)
+/// applied to every benchmark's annotations before planning. Inference
+/// runs in the serial planning phase, so its `infer.*` trace counters are
+/// bit-identical for any pool width.
+///
+/// # Panics
+///
+/// See [`run_all_pooled`]; additionally panics if inference fails on a
+/// bundled benchmark (in `Only` mode a data-dependent loop does fail).
+pub fn run_all_pooled_infer(
+    pool: &ipet_pool::SolvePool,
+    warm: bool,
+    infer: Option<ipet_infer::InferMode>,
+) -> PooledRun {
     let machine = Machine::i960kb();
     let budget = ipet_core::AnalysisBudget::default();
     // Phase 1 (serial): compile, plan, and gather the simulation
@@ -157,8 +174,14 @@ pub fn run_all_pooled_with(pool: &ipet_pool::SolvePool, warm: bool) -> PooledRun
         .map(|b| {
             let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let analyzer = Analyzer::new(&program, machine).unwrap().with_warm_start(warm);
-            let anns = ipet_core::parse_annotations(&b.annotations(&program))
+            let mut anns = ipet_core::parse_annotations(&b.annotations(&program))
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            if let Some(mode) = infer {
+                let module = ipet_lang::parse_module(b.source).ok();
+                let outcome = ipet_infer::infer_and_merge(module.as_ref(), &analyzer, &anns, mode)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                anns = outcome.annotations;
+            }
             let plan = analyzer.plan(&anns, &budget).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let worst = measure(&program, machine, &(b.worst_seeds)(), b.args_worst, true)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name));
@@ -792,18 +815,24 @@ pub struct StressRow {
     pub sound: bool,
 }
 
-/// Stress sweep: `count` random programs, automatic loop-bound inference,
-/// soundness probes on a few inputs each.
+/// Stress sweep: `count` random programs, automatic loop-bound inference
+/// (AST rules via `ipet-infer`, zero annotations), soundness probes on a
+/// few inputs each.
 pub fn stress_rows(count: u64) -> Vec<StressRow> {
-    use ipet_core::{infer_loop_bounds, inferred_annotations};
     use ipet_sim::{SimConfig, Simulator};
     let machine = Machine::i960kb();
     (0..count)
         .map(|seed| {
             let s = synth::generate(seed, synth::SynthConfig::default());
             let analyzer = Analyzer::new(&s.program, machine).unwrap();
-            let inferred = infer_loop_bounds(&analyzer);
-            let est = analyzer.analyze(&inferred_annotations(&inferred)).unwrap();
+            let outcome = ipet_infer::infer_and_merge(
+                Some(&s.module),
+                &analyzer,
+                &ipet_core::Annotations::default(),
+                ipet_infer::InferMode::Only,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let est = analyzer.analyze_parsed(&outcome.annotations).unwrap();
             let mut sound = true;
             for a in [-9, -1, 0, 3, 8] {
                 let mut sim = Simulator::new(&s.program, machine, SimConfig::default());

@@ -45,6 +45,8 @@ fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
 pub struct SynthProgram {
     /// The compiled program (entry `f`, one `int` argument).
     pub program: ipet_arch::Program,
+    /// The source AST, for AST-level loop-bound inference (`ipet-infer`).
+    pub module: Module,
     /// Number of counted loops generated (each has an exact constant trip
     /// count, so `ipet_core::infer_loop_bounds` can bound them all).
     pub num_loops: usize,
@@ -150,7 +152,7 @@ pub fn generate(seed: u64, config: SynthConfig) -> SynthProgram {
         })],
     };
     let program = compile_module(&module, "f").expect("generated program compiles");
-    SynthProgram { program, num_loops }
+    SynthProgram { program, module, num_loops }
 }
 
 #[cfg(test)]

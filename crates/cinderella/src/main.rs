@@ -17,9 +17,12 @@
 //! paper's notation, and the loops that need bounds. `listing` prints the
 //! annotated source in the style of the paper's Fig. 5. `analyze` runs the
 //! full IPET estimation and reports the estimated bound, block costs and
-//! counts — the outputs the paper describes in §V. `--infer` derives loop
-//! bounds for counted loops automatically; `--idl` accepts Park-style IDL
-//! annotations; `--machine dsp3210` selects the paper's §VII port target.
+//! counts — the outputs the paper describes in §V. `--infer` runs the
+//! `ipet-infer` loop-bound inference and merges the derived intervals
+//! with any annotations (`=only` drops annotated loop bounds, failing
+//! loudly on loops the abstraction cannot bound; `=prefer-annot` lets
+//! annotations win); `--idl` accepts Park-style IDL annotations;
+//! `--machine dsp3210` selects the paper's §VII port target.
 //!
 //! `analyze` accepts **multiple targets** in one invocation and a
 //! `--jobs N` worker count: all targets' ILPs are batched through the
@@ -78,7 +81,9 @@ fn usage() -> String {
      \x20 analyze <bench|file.mc>...   estimate [t_min, t_max] (one or more targets)\n\
      \x20 serve                        long-running NDJSON analysis daemon (stdin or\n\
      \x20                               --socket PATH; see --store for warm replays)\n\
-     options: --entry NAME --annotations FILE --idl FILE --infer -O1 --shared\n\
+     options: --entry NAME --annotations FILE --idl FILE -O1 --shared\n\
+     \x20        --infer[=only|prefer-annot] (derive loop bounds; default merges\n\
+     \x20         with annotations taking the tighter interval per loop)\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
      \x20        --no-warm-start (solve every ILP cold; bounds are identical,\n\
@@ -99,11 +104,15 @@ fn usage() -> String {
         .to_string()
 }
 
-struct Target {
+pub(crate) struct Target {
     name: String,
     program: ipet_arch::Program,
     annotations: String,
     source: Option<String>,
+    /// The mini-C AST, when the target came through the language
+    /// frontend — feeds the AST layer of `--infer`. `.s` targets have
+    /// none (the machine-level rule still applies).
+    module: Option<ipet_lang::Module>,
     bench: Option<ipet_suite::Benchmark>,
 }
 
@@ -132,22 +141,39 @@ fn load_target(
         let program =
             ipet_lang::compile_with(&src, entry, level).map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(String::new())?;
-        Ok(Target { name: name.to_string(), program, annotations, source: Some(src), bench: None })
+        let module = ipet_lang::parse_module(&src).ok();
+        Ok(Target {
+            name: name.to_string(),
+            program,
+            annotations,
+            source: Some(src),
+            module,
+            bench: None,
+        })
     } else if name.ends_with(".s") {
         let src = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
         let program = ipet_arch::parse_program(&src).map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(String::new())?;
-        Ok(Target { name: name.to_string(), program, annotations, source: Some(src), bench: None })
+        Ok(Target {
+            name: name.to_string(),
+            program,
+            annotations,
+            source: Some(src),
+            module: None,
+            bench: None,
+        })
     } else {
         let bench = ipet_suite::by_name(name)
             .ok_or_else(|| format!("no benchmark named {name}; try `cinderella list`"))?;
         let program = bench.program().map_err(|e| format!("{name}: {e}"))?;
         let annotations = read_annotations(bench.annotations(&program))?;
+        let module = ipet_lang::parse_module(bench.source).ok();
         Ok(Target {
             name: name.to_string(),
             program,
             annotations,
             source: Some(bench.source.to_string()),
+            module,
             bench: Some(bench),
         })
     }
@@ -163,7 +189,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut cache_split = false;
     let mut dump_structural = false;
     let mut do_measure = false;
-    let mut do_infer = false;
+    let mut infer: Option<ipet_infer::InferMode> = None;
     let mut optimize = false;
     let mut shared = false;
     let mut jobs = 1usize;
@@ -191,7 +217,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             }
             "--idl" => idl_file = Some(it.next().ok_or("--idl needs a value")?.to_string()),
             "--machine" => machine_name = it.next().ok_or("--machine needs a value")?.to_string(),
-            "--infer" => do_infer = true,
+            "--infer" => infer = Some(ipet_infer::InferMode::Merge),
             "--shared" => shared = true,
             "-O1" => optimize = true,
             "--cache-split" => cache_split = true,
@@ -237,6 +263,13 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 )?)
             }
             "--inject-fail-open" => io_faults = SolverFaults::fail_open(),
+            other if other.starts_with("--infer=") => {
+                let m = &other["--infer=".len()..];
+                infer =
+                    Some(ipet_infer::InferMode::parse(m).ok_or_else(|| {
+                        format!("--infer={m}: expected only, prefer-annot or merge")
+                    })?);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unexpected argument {other}\n{}", usage()))
             }
@@ -399,6 +432,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 None
             };
             let mut certificates: Vec<(String, AuditReport)> = Vec::new();
+            let mut provenances: Vec<(String, Vec<ipet_core::LoopProvenance>)> = Vec::new();
             let status = if loaded.len() == 1 && jobs == 1 && store.is_none() {
                 // The single-target serial path keeps the full feature set
                 // (`--measure`, `--dump-structural`, fault injection).
@@ -408,13 +442,14 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     cache_split,
                     dump_structural,
                     do_measure,
-                    do_infer,
+                    infer,
                     shared,
                     warm,
                     &budget,
                     audit,
                     &mut faults,
                     &mut certificates,
+                    &mut provenances,
                 )
             } else {
                 if do_measure || dump_structural {
@@ -431,7 +466,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     &loaded,
                     &machine_name,
                     cache_split,
-                    do_infer,
+                    infer,
                     shared,
                     warm,
                     jobs,
@@ -439,6 +474,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     audit,
                     store.as_ref(),
                     &mut certificates,
+                    &mut provenances,
                 )
             };
             // Write the trace even for degraded runs — the document is most
@@ -447,12 +483,14 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             // carries the per-set certificates alongside it.
             if let (Some(path), Some(recorder)) = (&trace_json, recorder) {
                 let trace = recorder.snapshot().to_json();
-                let doc = if audit {
-                    audit_document(trace, &certificates).render_pretty()
-                } else {
-                    trace.render_pretty()
-                };
-                std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
+                let mut doc = if audit { audit_document(trace, &certificates) } else { trace };
+                // With `--infer`, the per-loop provenance rows ride along
+                // in the document so consumers can audit where every
+                // bound came from.
+                if infer.is_some() {
+                    doc = with_infer_section(doc, &provenances);
+                }
+                std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{path}: {e}"))?;
             }
             status
         }
@@ -621,6 +659,99 @@ fn audit_document(
     ])
 }
 
+/// Runs `ipet-infer` over a loaded target and returns the merged
+/// annotation set, printing the derived bounds and any
+/// annotation/inference disagreements.
+fn infer_annotations(
+    t: &Target,
+    analyzer: &Analyzer<'_>,
+    user: &ipet_core::Annotations,
+    mode: ipet_infer::InferMode,
+) -> Result<ipet_core::Annotations, String> {
+    let outcome = ipet_infer::infer_and_merge(t.module.as_ref(), analyzer, user, mode)
+        .map_err(|e| e.to_string())?;
+    print!("{}", render_infer(&outcome));
+    Ok(outcome.annotations)
+}
+
+/// The deterministic `--infer` stdout section: derived bounds in
+/// annotation syntax, the outcome tallies, and any disagreements.
+fn render_infer(outcome: &ipet_infer::InferOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let derived: Vec<_> = outcome
+        .annotations
+        .provenance
+        .iter()
+        .filter(|p| p.source != ipet_core::BoundSource::Annotated)
+        .collect();
+    if !derived.is_empty() {
+        let _ = writeln!(out, "automatically derived loop bounds:");
+        for p in derived {
+            let _ = writeln!(
+                out,
+                "  fn {} {{ loop x{} in [{}, {}]; }}  # {}",
+                p.func,
+                p.header + 1,
+                p.lo,
+                p.hi,
+                p.source.label()
+            );
+        }
+    }
+    let c = outcome.counts;
+    let _ = writeln!(
+        out,
+        "loop-bound inference: {} loop(s): {} inferred, {} annotated, {} failed, {} tightened",
+        c.total, c.inferred, c.annotated, c.failed, c.tightened
+    );
+    for d in &outcome.disagreements {
+        let _ = writeln!(out, "  disagreement: {d}");
+    }
+    out
+}
+
+/// Appends the per-target loop-bound provenance to a `--trace-json`
+/// document (works on both the bare trace and the audit wrapper).
+fn with_infer_section(
+    doc: ipet_trace::Json,
+    provenances: &[(String, Vec<ipet_core::LoopProvenance>)],
+) -> ipet_trace::Json {
+    use ipet_trace::Json;
+    let targets = provenances
+        .iter()
+        .map(|(name, rows)| {
+            let loops = rows
+                .iter()
+                .map(|p| {
+                    let mut kv = vec![
+                        ("func".into(), Json::Str(p.func.clone())),
+                        ("header".into(), Json::Num((p.header + 1) as f64)),
+                        ("lo".into(), Json::Num(p.lo as f64)),
+                        ("hi".into(), Json::Num(p.hi as f64)),
+                        ("source".into(), Json::Str(p.source.label())),
+                    ];
+                    if let Some(line) = p.source.line() {
+                        kv.push(("line".into(), Json::Num(line as f64)));
+                    }
+                    Json::Obj(kv)
+                })
+                .collect();
+            Json::Obj(vec![
+                ("target".into(), Json::Str(name.clone())),
+                ("loops".into(), Json::Arr(loops)),
+            ])
+        })
+        .collect();
+    match doc {
+        Json::Obj(mut kv) => {
+            kv.push(("infer".into(), Json::Arr(targets)));
+            Json::Obj(kv)
+        }
+        other => other,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn analyze(
     t: &Target,
@@ -628,13 +759,14 @@ fn analyze(
     cache_split: bool,
     dump_structural: bool,
     do_measure: bool,
-    do_infer: bool,
+    infer: Option<ipet_infer::InferMode>,
     shared: bool,
     warm: bool,
     budget: &AnalysisBudget,
     audit: bool,
     faults: &mut SolverFaults,
     certificates: &mut Vec<(String, AuditReport)>,
+    provenances: &mut Vec<(String, Vec<ipet_core::LoopProvenance>)>,
 ) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
     let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
@@ -644,19 +776,14 @@ fn analyze(
         .with_cache_mode(mode)
         .with_warm_start(warm);
 
-    let mut annotations = t.annotations.clone();
-    if do_infer {
-        let inferred = ipet_core::infer_loop_bounds(&analyzer);
-        if !inferred.is_empty() {
-            let text = ipet_core::inferred_annotations(&inferred);
-            println!("automatically derived loop bounds:\n{}", text.trim_end());
-            annotations.push_str(&text);
-        }
+    if !t.annotations.is_empty() {
+        println!("functionality constraints:\n{}", t.annotations.trim_end());
     }
-    if !annotations.is_empty() {
-        println!("functionality constraints:\n{}", annotations.trim_end());
+    let mut anns = ipet_core::parse_annotations(&t.annotations).map_err(|e| e.to_string())?;
+    if let Some(mode) = infer {
+        anns = infer_annotations(t, &analyzer, &anns, mode)?;
+        provenances.push((t.name.clone(), anns.provenance.clone()));
     }
-    let anns = ipet_core::parse_annotations(&annotations).map_err(|e| e.to_string())?;
     let (est, report) = if audit {
         let (est, report) = analyzer
             .analyze_audited_with_faults(&anns, budget, faults)
@@ -737,7 +864,7 @@ fn analyze_pooled(
     targets: &[Target],
     machine_name: &str,
     cache_split: bool,
-    do_infer: bool,
+    infer: Option<ipet_infer::InferMode>,
     shared: bool,
     warm: bool,
     jobs: usize,
@@ -745,6 +872,7 @@ fn analyze_pooled(
     audit: bool,
     store: Option<&Arc<Store>>,
     certificates: &mut Vec<(String, AuditReport)>,
+    provenances: &mut Vec<(String, Vec<ipet_core::LoopProvenance>)>,
 ) -> Result<RunStatus, String> {
     let machine = machine_by_name(machine_name)?;
     let mode = if cache_split { CacheMode::FirstIterSplit } else { CacheMode::AllMiss };
@@ -752,24 +880,27 @@ fn analyze_pooled(
 
     // Planning borrows each target's program only transiently: the plans
     // own their jobs, so the analyzers are dropped before solving starts.
+    // Inference also runs here, in the serial planning phase, so its
+    // counters and printed summaries are identical for any `--jobs`.
     let mut plans = Vec::with_capacity(targets.len());
-    let mut shown_annotations = Vec::with_capacity(targets.len());
+    let mut infer_sections = Vec::with_capacity(targets.len());
     for t in targets {
         let analyzer = Analyzer::new_with_context(&t.program, machine, context)
             .map_err(|e| format!("{}: {e}", t.name))?
             .with_cache_mode(mode)
             .with_warm_start(warm);
-        let mut annotations = t.annotations.clone();
-        if do_infer {
-            let inferred = ipet_core::infer_loop_bounds(&analyzer);
-            if !inferred.is_empty() {
-                annotations.push_str(&ipet_core::inferred_annotations(&inferred));
-            }
+        let mut anns =
+            ipet_core::parse_annotations(&t.annotations).map_err(|e| format!("{}: {e}", t.name))?;
+        let mut section = String::new();
+        if let Some(mode) = infer {
+            let outcome = ipet_infer::infer_and_merge(t.module.as_ref(), &analyzer, &anns, mode)
+                .map_err(|e| format!("{}: {e}", t.name))?;
+            section = render_infer(&outcome);
+            anns = outcome.annotations;
+            provenances.push((t.name.clone(), anns.provenance.clone()));
         }
-        let anns =
-            ipet_core::parse_annotations(&annotations).map_err(|e| format!("{}: {e}", t.name))?;
         plans.push(analyzer.plan(&anns, budget).map_err(|e| format!("{}: {e}", t.name))?);
-        shown_annotations.push(annotations);
+        infer_sections.push(section);
     }
 
     let mut pool = SolvePool::new(jobs);
@@ -800,13 +931,14 @@ fn analyze_pooled(
     let mut degraded = false;
     let mut audit_failed = false;
     let mut failures = Vec::new();
-    for (t, (result, annotations)) in targets.iter().zip(results.iter().zip(&shown_annotations)) {
+    for (t, (result, infer_section)) in targets.iter().zip(results.iter().zip(&infer_sections)) {
         if targets.len() > 1 {
             println!("=== {} ===", t.name);
         }
-        if !annotations.is_empty() {
-            println!("functionality constraints:\n{}", annotations.trim_end());
+        if !t.annotations.is_empty() {
+            println!("functionality constraints:\n{}", t.annotations.trim_end());
         }
+        print!("{infer_section}");
         match result {
             Ok((est, report)) => {
                 print!("{}", est.render());

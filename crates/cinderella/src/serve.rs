@@ -11,16 +11,19 @@
 //!
 //! Request: `{"id": ..., "target": "piksrt", ...}` with optional fields
 //! `entry`, `annotations` (extra constraint text, appended), `infer`
-//! (bool), `machine`, `deadline` (ticks, per-request solve budget),
-//! `audit` (bool). `{"op": "shutdown"}` stops the daemon (mainly for
-//! socket mode; on stdin, EOF does the same).
+//! (`true` for merge mode, or `"only"` / `"prefer-annot"` / `"merge"`),
+//! `machine`, `deadline` (ticks, per-request solve budget), `audit`
+//! (bool). `{"op": "shutdown"}` stops the daemon (mainly for socket
+//! mode; on stdin, EOF does the same).
 //!
 //! Response stream per request: one line per surviving constraint set
 //! (`{"id", "set", "wcet", "bcet", "quality"}`), then a final line with
 //! `"done": true` and a `"status"` carrying the CLI's exit-code contract —
-//! 0 exact, 2 safe-but-degraded, 3 audit rejection, 1 error. Request
-//! failures (unknown target, bad annotations, a panic) produce a
-//! status-1 final line and the daemon keeps serving.
+//! 0 exact, 2 safe-but-degraded, 3 audit rejection, 1 error. When
+//! inference ran, the done line carries an `"infer"` object with the
+//! loop-outcome tallies (`total`/`inferred`/`annotated`/`failed`/
+//! `tightened`). Request failures (unknown target, bad annotations, a
+//! panic) produce a status-1 final line and the daemon keeps serving.
 //!
 //! ## Crash safety
 //!
@@ -202,7 +205,14 @@ fn run_request(req: &Json, pool: &SolvePool, cfg: &ServeConfig) -> Result<Vec<Js
         Some(Json::Bool(b)) => *b,
         _ => cfg.audit,
     };
-    let infer = matches!(req.get("infer"), Some(Json::Bool(true)));
+    let infer = match req.get("infer") {
+        Some(Json::Bool(true)) => Some(ipet_infer::InferMode::Merge),
+        Some(Json::Str(s)) => Some(
+            ipet_infer::InferMode::parse(s)
+                .ok_or_else(|| format!("\"infer\": {s}: expected only, prefer-annot or merge"))?,
+        ),
+        _ => None,
+    };
     let mut budget = cfg.budget;
     if let Some(d) = req.get("deadline").and_then(Json::as_u64) {
         budget.solve.deadline_ticks = Some(d);
@@ -217,13 +227,14 @@ fn run_request(req: &Json, pool: &SolvePool, cfg: &ServeConfig) -> Result<Vec<Js
         annotations.push('\n');
         annotations.push_str(extra);
     }
-    if infer {
-        let inferred = ipet_core::infer_loop_bounds(&analyzer);
-        if !inferred.is_empty() {
-            annotations.push_str(&ipet_core::inferred_annotations(&inferred));
-        }
+    let mut anns = ipet_core::parse_annotations(&annotations).map_err(|e| e.to_string())?;
+    let mut infer_counts = None;
+    if let Some(mode) = infer {
+        let outcome = ipet_infer::infer_and_merge(t.module.as_ref(), &analyzer, &anns, mode)
+            .map_err(|e| e.to_string())?;
+        anns = outcome.annotations;
+        infer_counts = Some(outcome.counts);
     }
-    let anns = ipet_core::parse_annotations(&annotations).map_err(|e| e.to_string())?;
     let plan = analyzer.plan(&anns, &budget).map_err(|e| e.to_string())?;
     let plans = [plan];
 
@@ -273,5 +284,17 @@ fn run_request(req: &Json, pool: &SolvePool, cfg: &ServeConfig) -> Result<Vec<Js
         ("sets_total".into(), Json::Num(est.sets_total as f64)),
         ("sets_skipped".into(), Json::Num(est.sets_skipped as f64)),
     ]));
+    if let (Some(c), Some(Json::Obj(kv))) = (infer_counts, responses.last_mut()) {
+        kv.push((
+            "infer".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::Num(c.total as f64)),
+                ("inferred".into(), Json::Num(c.inferred as f64)),
+                ("annotated".into(), Json::Num(c.annotated as f64)),
+                ("failed".into(), Json::Num(c.failed as f64)),
+                ("tightened".into(), Json::Num(c.tightened as f64)),
+            ]),
+        ));
+    }
     Ok(responses)
 }

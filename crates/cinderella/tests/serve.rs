@@ -103,6 +103,55 @@ fn stdin_protocol_streams_sets_then_done_and_survives_bad_requests() {
 }
 
 #[test]
+fn infer_requests_carry_outcome_counts_and_match_annotated_bounds() {
+    let mut child = spawn_serve(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    // Annotated baseline for matgen.
+    writeln!(stdin, r#"{{"id": 1, "target": "matgen"}}"#).unwrap();
+    let (_, annotated) = read_response(&mut reader);
+    assert_eq!(status_of(&annotated), 0);
+    let baseline = annotated.get("bound").cloned().expect("bound array");
+
+    // Inference alone (annotated loop bounds dropped) reproduces the
+    // same bound, and the done line reports where the bounds came from.
+    writeln!(stdin, r#"{{"id": 2, "target": "matgen", "infer": "only"}}"#).unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 0);
+    assert_eq!(done.get("bound"), Some(&baseline), "inferred bound differs from annotated");
+    let counts = done.get("infer").expect("infer counts object");
+    let n = |k: &str| counts.get(k).and_then(ipet_trace::Json::as_u64).expect("count field");
+    assert!(n("total") > 0);
+    assert_eq!(n("inferred"), n("total"));
+    assert_eq!(n("failed"), 0);
+
+    // `infer: true` means merge mode; annotations stay in play.
+    writeln!(stdin, r#"{{"id": 3, "target": "matgen", "infer": true}}"#).unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 0);
+    assert_eq!(done.get("bound"), Some(&baseline));
+
+    // piksrt's inner loop defeats inference, so `only` mode fails the
+    // request — status 1 with the unbounded loop named — and the daemon
+    // keeps serving.
+    writeln!(stdin, r#"{{"id": 4, "target": "piksrt", "infer": "only"}}"#).unwrap();
+    let (_, err) = read_response(&mut reader);
+    assert_eq!(status_of(&err), 1);
+    let msg = err.get("error").and_then(ipet_trace::Json::as_str).expect("error message");
+    assert!(msg.contains("piksrt(B"), "names the unbounded loop: {msg}");
+    assert!(msg.contains("at line"), "cites the source line: {msg}");
+
+    writeln!(stdin, r#"{{"id": 5, "target": "check_data", "infer": true, "audit": true}}"#)
+        .unwrap();
+    let (_, done) = read_response(&mut reader);
+    assert_eq!(status_of(&done), 0, "inferred bounds certify under audit");
+
+    drop(stdin);
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
+#[test]
 fn sigkill_mid_batch_loses_nothing_acknowledged() {
     let dir = scratch("kill");
     let store = dir.join("solves.store");

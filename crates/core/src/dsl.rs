@@ -139,11 +139,79 @@ pub enum Stmt {
     Cons(OrExpr),
 }
 
+/// Where a loop bound came from. Hand-written annotations carry
+/// [`BoundSource::Annotated`]; rows emitted by the inference pass carry
+/// the rule that produced them and the loop's source line; when both
+/// exist the merged row records the two intervals it combined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundSource {
+    /// Written by hand in the annotation file.
+    Annotated,
+    /// Derived by the static inference pass.
+    Inferred {
+        /// Name of the inference rule (`counted`, `monotonic`, …).
+        rule: String,
+        /// Source line of the loop statement (0 when unknown, e.g. `.s`).
+        line: u32,
+    },
+    /// Both sources applied; the effective bound is their intersection.
+    Merged {
+        /// Rule that produced the inferred side.
+        rule: String,
+        /// Source line of the loop statement (0 when unknown).
+        line: u32,
+        /// The hand-written interval.
+        annotated: (i64, i64),
+        /// The inferred interval.
+        inferred: (i64, i64),
+    },
+}
+
+impl BoundSource {
+    /// Short label used in the report and trace document.
+    pub fn label(&self) -> String {
+        match self {
+            BoundSource::Annotated => "annotated".into(),
+            BoundSource::Inferred { rule, .. } => format!("inferred:{rule}"),
+            BoundSource::Merged { rule, .. } => format!("merged:{rule}"),
+        }
+    }
+
+    /// Source line when one is known.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            BoundSource::Annotated => None,
+            BoundSource::Inferred { line, .. } | BoundSource::Merged { line, .. } => {
+                (*line != 0).then_some(*line)
+            }
+        }
+    }
+}
+
+/// Provenance of one effective loop bound: which function and header block
+/// it constrains, the interval in force, and where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopProvenance {
+    /// Function the loop lives in.
+    pub func: String,
+    /// 0-based header block (reported as `x{header+1}`).
+    pub header: usize,
+    /// Effective minimum back-edge traversals per entry.
+    pub lo: i64,
+    /// Effective maximum back-edge traversals per entry.
+    pub hi: i64,
+    /// Where the interval came from.
+    pub source: BoundSource,
+}
+
 /// Parsed annotation file: statements grouped by function name.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Annotations {
     /// `(function name, statements)` in file order.
     pub functions: Vec<(String, Vec<Stmt>)>,
+    /// Provenance rows for the loop bounds in `functions` — empty for
+    /// plain parsed annotation files, populated by the inference pass.
+    pub provenance: Vec<LoopProvenance>,
 }
 
 impl Annotations {

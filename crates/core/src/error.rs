@@ -52,7 +52,11 @@ impl fmt::Display for AnalysisError {
                 write!(f, "loop bound [{lo}, {hi}] in fn {func} is not a valid interval")
             }
             AnalysisError::Unbounded { unbounded_loops } => {
-                write!(f, "WCET is unbounded; add loop bounds for: {}", unbounded_loops.join(", "))
+                writeln!(f, "WCET is unbounded; add loop bounds for:")?;
+                for l in unbounded_loops {
+                    writeln!(f, "  {l}")?;
+                }
+                write!(f, "hint: try --infer to derive loop bounds automatically")
             }
             AnalysisError::AllSetsInfeasible { total } => {
                 write!(f, "all {total} functionality constraint sets are infeasible")

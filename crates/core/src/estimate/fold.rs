@@ -386,6 +386,7 @@ impl AnalysisPlan {
                 quality,
                 sets_skipped,
                 degraded_sets,
+                loop_bounds: self.loop_bounds.clone(),
             },
             report,
         ))

@@ -23,7 +23,7 @@
 //! **by construction**, so the warm-started incremental solver and the
 //! cold monolithic solver answer the same composed problem bit for bit.
 
-use crate::dsl::{parse_annotations, Annotations, Stmt};
+use crate::dsl::{parse_annotations, Annotations, LoopProvenance, Stmt};
 use crate::error::AnalysisError;
 use ipet_arch::{FuncId, Program};
 use ipet_audit::{certify_witness, AuditReport, ClaimKind, FlowSpec};
@@ -187,6 +187,10 @@ pub struct Estimate {
     pub sets_skipped: usize,
     /// Indices (into `sets`) of the reports whose bound is degraded.
     pub degraded_sets: Vec<usize>,
+    /// Provenance of every effective loop bound (annotated vs inferred vs
+    /// merged). Empty unless the inference pass ran — the render section
+    /// only appears when non-empty, keeping annotation-only output stable.
+    pub loop_bounds: Vec<LoopProvenance>,
 }
 
 impl Estimate {
@@ -232,6 +236,20 @@ impl Estimate {
         let _ = writeln!(out, "worst-case block counts:");
         for (label, count) in &self.wcet_counts {
             let _ = writeln!(out, "  {label:<40} {count}");
+        }
+        if !self.loop_bounds.is_empty() {
+            let _ = writeln!(out, "loop bounds:");
+            for p in &self.loop_bounds {
+                let at = p.source.line().map(|l| format!(" (line {l})")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  {:<28} [{}, {}]  {}{at}",
+                    format!("{} x{}", p.func, p.header + 1),
+                    p.lo,
+                    p.hi,
+                    p.source.label()
+                );
+            }
         }
         out
     }
@@ -345,6 +363,9 @@ pub struct AnalysisPlan {
     warm_start: bool,
     /// Loop labels reported if a solve comes back unbounded.
     unbounded_loops: Vec<String>,
+    /// Provenance of the loop bounds in force (copied from the
+    /// annotations; empty unless the inference pass filled it in).
+    loop_bounds: Vec<LoopProvenance>,
     vars: Vec<VarMeta>,
     /// CFG flow structure for the auditor's independent flow replay, built
     /// from the CFG topology rather than the assembled constraint matrix.
@@ -402,6 +423,12 @@ impl AnalysisPlan {
     /// was edited and its stored solves are stale.
     pub fn invalidation_hash(&self) -> u128 {
         self.invalidation_hash
+    }
+
+    /// Provenance rows for the loop bounds this plan enforces (empty
+    /// unless the inference pass populated the annotations).
+    pub fn loop_bounds(&self) -> &[LoopProvenance] {
+        &self.loop_bounds
     }
 }
 

@@ -271,6 +271,7 @@ impl<'p> Analyzer<'p> {
             bases: vec![base_worst, base_best],
             warm_start: self.warm_start,
             unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
+            loop_bounds: anns.provenance.clone(),
             vars,
             flow: flow_spec(&self.instances, &space),
             identity_hash,

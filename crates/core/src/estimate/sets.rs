@@ -151,7 +151,11 @@ impl<'p> Analyzer<'p> {
             let cfg = self.instances.cfg(inst);
             for l in cfg.loops() {
                 if !bounded.contains(&(inst, l.header)) {
-                    out.push(format!("{}({})", cfg.func_name, l.header));
+                    let line = self.program().functions[cfg.func.0]
+                        .src_line(cfg.blocks[l.header.0].start)
+                        .map(|n| format!(" at line {n}"))
+                        .unwrap_or_default();
+                    out.push(format!("{}({}){line}", cfg.func_name, l.header));
                 }
             }
         }

@@ -55,7 +55,10 @@ mod lincon;
 mod structural;
 mod vars;
 
-pub use dsl::{parse_annotations, Annotations, LinExpr, OrExpr, Ref, RefKind, Stmt};
+pub use dsl::{
+    parse_annotations, Annotations, BoundSource, LinExpr, LoopProvenance, OrExpr, Ref, RefKind,
+    Stmt,
+};
 pub use error::AnalysisError;
 pub use estimate::{
     AnalysisBudget, AnalysisPlan, Analyzer, CacheMode, ContextMode, Estimate, IlpJob, JobVerdict,

@@ -1,0 +1,918 @@
+//! AST-level loop-bound rules.
+//!
+//! Each rule abstracts one loop-counter idiom into a back-edge interval.
+//! The abstraction is a small difference-constraint domain in the spirit of
+//! Sinn-Zuleger-Veith: a loop counter is tracked as `init + k·step` along
+//! the paths of one iteration, and the guard relation is solved for the
+//! number of completed iterations. Everything here is *sound-or-silent*:
+//! when a loop does not match a rule exactly (data-dependent initial value,
+//! writes from a nested loop, a `continue` that can skip the increment, an
+//! overflowing computation), the rule returns `None` and the caller falls
+//! back to annotations or the machine-level trip counter.
+//!
+//! Mini-C has no pointers and no recursion, so a call can never modify a
+//! caller's locals — counters and exit flags that are local variables are
+//! only changed by the assignments this module can see. Only locals are
+//! therefore tracked; globals are treated as unknown everywhere.
+
+use ipet_lang::{BinOp, Expr, ExprKind, FuncDecl, Item, Module, Stmt, UnOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on the number of distinct acyclic paths enumerated through
+/// one loop body before a rule gives up.
+const MAX_PATHS: usize = 64;
+
+/// Magnitude cap on counter values, guard constants and steps. Mini-C
+/// integers are 32-bit at runtime; keeping every abstract quantity at or
+/// below 2^29 guarantees the concrete counter stays strictly inside the
+/// i32 range (threshold plus one overshooting step is at most 2^30), so
+/// the no-wraparound assumption behind the trip formulas always holds.
+const VAL_LIMIT: i64 = 1 << 29;
+
+/// Within the wraparound-safe magnitude range.
+fn small(v: i64) -> bool {
+    v.checked_abs().is_some_and(|a| a <= VAL_LIMIT)
+}
+
+/// A bound derived for one AST loop, in back-edge-traversal units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AstBound {
+    pub lo: i64,
+    pub hi: i64,
+    pub rule: &'static str,
+    pub line: u32,
+}
+
+/// One AST loop in pre-order: its bound (if any rule applied) and the
+/// number of loops nested anywhere below it (for structure matching
+/// against the CFG's natural-loop forest).
+#[derive(Debug)]
+pub(crate) struct AstLoop {
+    pub bound: Option<AstBound>,
+    pub descendants: usize,
+}
+
+/// Runs the rules over one function, returning its loops in pre-order.
+pub(crate) fn function_loops(module: &Module, func: &FuncDecl) -> Vec<AstLoop> {
+    let consts = module_consts(module);
+    let locals = collect_locals(func);
+    let mut env: Env = BTreeMap::new();
+    let mut out = Vec::new();
+    walk_stmts(&func.body, &mut env, &Cx { consts: &consts, locals: &locals }, &mut out);
+    out
+}
+
+/// Compile-time constants (`const NAME = v;`).
+fn module_consts(module: &Module) -> BTreeMap<String, i64> {
+    let mut m = BTreeMap::new();
+    for item in &module.items {
+        if let Item::Const { name, value, .. } = item {
+            m.insert(name.clone(), *value);
+        }
+    }
+    m
+}
+
+/// All local scalar names of a function: parameters plus every `int`
+/// declaration at any depth.
+fn collect_locals(func: &FuncDecl) -> BTreeSet<String> {
+    fn scan(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, .. } => {
+                    out.insert(name.clone());
+                }
+                Stmt::If { then_branch, else_branch, .. } => {
+                    scan(then_branch, out);
+                    scan(else_branch, out);
+                }
+                Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => scan(body, out),
+                Stmt::For { init, step, body, .. } => {
+                    if let Some(i) = init {
+                        scan(std::slice::from_ref(i), out);
+                    }
+                    if let Some(st) = step {
+                        scan(std::slice::from_ref(st), out);
+                    }
+                    scan(body, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out: BTreeSet<String> = func.params.iter().cloned().collect();
+    scan(&func.body, &mut out);
+    out
+}
+
+/// Shared read-only context for the walk.
+struct Cx<'a> {
+    consts: &'a BTreeMap<String, i64>,
+    locals: &'a BTreeSet<String>,
+}
+
+/// Flow-sensitive constant environment over locals; absent = unknown.
+type Env = BTreeMap<String, i64>;
+
+/// Constant-folds an expression using compile-time constants and, when
+/// `env` is supplied, flow-sensitive local values. All arithmetic is
+/// checked; overflow makes the fold fail rather than wrap.
+fn fold(e: &Expr, cx: &Cx<'_>, env: Option<&Env>) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Num(n) => Some(*n),
+        ExprKind::Var(name) => {
+            cx.consts.get(name).copied().or_else(|| env.and_then(|v| v.get(name).copied()))
+        }
+        ExprKind::Unary(UnOp::Neg, inner) => fold(inner, cx, env)?.checked_neg(),
+        ExprKind::Unary(UnOp::Not, inner) => Some(i64::from(fold(inner, cx, env)? == 0)),
+        ExprKind::Binary(op, a, b) => {
+            let (a, b) = (fold(a, cx, env)?, fold(b, cx, env)?);
+            match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div if b != 0 => a.checked_div(b),
+                BinOp::Rem if b != 0 => a.checked_rem(b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Applies one `Decl`/`Assign` to the environment (locals only).
+fn apply_stmt(s: &Stmt, env: &mut Env, cx: &Cx<'_>) {
+    match s {
+        Stmt::Decl { name, init, .. } if cx.locals.contains(name) => {
+            match init.as_ref().and_then(|e| fold(e, cx, Some(env))) {
+                Some(v) => {
+                    env.insert(name.clone(), v);
+                }
+                None => {
+                    env.remove(name);
+                }
+            }
+        }
+        Stmt::Assign { name, value, .. } if cx.locals.contains(name) => {
+            match fold(value, cx, Some(env)) {
+                Some(v) => {
+                    env.insert(name.clone(), v);
+                }
+                None => {
+                    env.remove(name);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Every scalar name assigned (or declared) anywhere inside a statement,
+/// including `for` init/step clauses.
+fn assigned_vars(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, .. } | Stmt::Assign { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                assigned_vars(then_branch, out);
+                assigned_vars(else_branch, out);
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => assigned_vars(body, out),
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    assigned_vars(std::slice::from_ref(i), out);
+                }
+                if let Some(st) = step {
+                    assigned_vars(std::slice::from_ref(st), out);
+                }
+                assigned_vars(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walks a statement list maintaining the constant environment and
+/// collecting loop results in pre-order.
+fn walk_stmts(stmts: &[Stmt], env: &mut Env, cx: &Cx<'_>, out: &mut Vec<AstLoop>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { .. } | Stmt::Assign { .. } => apply_stmt(s, env, cx),
+            Stmt::If { then_branch, else_branch, .. } => {
+                let mut e1 = env.clone();
+                let mut e2 = env.clone();
+                walk_stmts(then_branch, &mut e1, cx, out);
+                walk_stmts(else_branch, &mut e2, cx, out);
+                // Keep only bindings the branches agree on.
+                env.clear();
+                for (k, v) in &e1 {
+                    if e2.get(k) == Some(v) {
+                        env.insert(k.clone(), *v);
+                    }
+                }
+            }
+            Stmt::While { .. } | Stmt::DoWhile { .. } | Stmt::For { .. } => {
+                // A `for` initialiser runs exactly once, before the guard.
+                if let Stmt::For { init: Some(init), .. } = s {
+                    apply_stmt(init, env, cx);
+                }
+                let idx = out.len();
+                out.push(AstLoop { bound: analyze_loop(s, env, cx), descendants: 0 });
+                // Inside and after the loop, everything it assigns is
+                // unknown (iteration count is what we are estimating).
+                let mut assigned = BTreeSet::new();
+                let body = match s {
+                    Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                        assigned_vars(body, &mut assigned);
+                        body
+                    }
+                    Stmt::For { step, body, .. } => {
+                        assigned_vars(body, &mut assigned);
+                        if let Some(st) = step {
+                            assigned_vars(std::slice::from_ref(st), &mut assigned);
+                        }
+                        body
+                    }
+                    _ => unreachable!(),
+                };
+                for name in &assigned {
+                    env.remove(name);
+                }
+                // Nested loops see the havocked environment: their
+                // initial state on an arbitrary outer iteration.
+                let mut body_env = env.clone();
+                walk_stmts(body, &mut body_env, cx, out);
+                out[idx].descendants = out.len() - idx - 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard normalisation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NRel {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ne,
+    Eq,
+}
+
+impl NRel {
+    fn flip(self) -> NRel {
+        match self {
+            NRel::Lt => NRel::Gt,
+            NRel::Le => NRel::Ge,
+            NRel::Gt => NRel::Lt,
+            NRel::Ge => NRel::Le,
+            NRel::Ne => NRel::Ne,
+            NRel::Eq => NRel::Eq,
+        }
+    }
+}
+
+/// Splits a guard into `&&`-conjuncts.
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match &e.kind {
+        ExprKind::Binary(BinOp::LAnd, a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        _ => vec![e],
+    }
+}
+
+/// Normalises a relational conjunct to `var REL k` with `k` a
+/// compile-time constant. The bound on `k` must not depend on locals —
+/// a variable limit could be rewritten inside the loop.
+fn normalize_rel(e: &Expr, cx: &Cx<'_>) -> Option<(String, NRel, i64)> {
+    let ExprKind::Binary(op, a, b) = &e.kind else { return None };
+    let rel = match op {
+        BinOp::Lt => NRel::Lt,
+        BinOp::Le => NRel::Le,
+        BinOp::Gt => NRel::Gt,
+        BinOp::Ge => NRel::Ge,
+        BinOp::Ne => NRel::Ne,
+        BinOp::Eq => NRel::Eq,
+        _ => return None,
+    };
+    match (&a.kind, &b.kind) {
+        (ExprKind::Var(c), _) if cx.locals.contains(c) => {
+            fold(b, cx, None).map(|k| (c.clone(), rel, k))
+        }
+        (_, ExprKind::Var(c)) if cx.locals.contains(c) => {
+            fold(a, cx, None).map(|k| (c.clone(), rel.flip(), k))
+        }
+        _ => None,
+    }
+}
+
+/// Is the guard a bare truthiness test of a local flag (`v` / `v != 0`)?
+fn flag_of(e: &Expr, cx: &Cx<'_>) -> Option<String> {
+    match &e.kind {
+        ExprKind::Var(v) if cx.locals.contains(v) => Some(v.clone()),
+        ExprKind::Binary(BinOp::Ne, a, b) => match (&a.kind, &b.kind) {
+            (ExprKind::Var(v), ExprKind::Num(0)) | (ExprKind::Num(0), ExprKind::Var(v))
+                if cx.locals.contains(v) =>
+            {
+                Some(v.clone())
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trip counting
+// ---------------------------------------------------------------------------
+
+/// `ceil(a / b)` for `a >= 0`, `b > 0`, checked.
+fn ceil_div(a: i64, b: i64) -> Option<i64> {
+    Some(a.checked_add(b - 1)? / b)
+}
+
+/// Iterations of a top-tested loop: the counter starts at `init`, moves by
+/// the signed `step` once per iteration, and the body runs while
+/// `counter REL k` holds. `None` when the rule cannot prove termination
+/// (wrong direction) or the arithmetic overflows.
+fn trips_top_tested(init: i64, rel: NRel, k: i64, step: i64) -> Option<i64> {
+    if !small(init) || !small(k) || !small(step) {
+        return None;
+    }
+    if step > 0 {
+        match rel {
+            NRel::Lt if init >= k => Some(0),
+            NRel::Lt => ceil_div(k.checked_sub(init)?, step),
+            NRel::Le if init > k => Some(0),
+            NRel::Le => ceil_div(k.checked_sub(init)?.checked_add(1)?, step),
+            NRel::Ne if init == k => Some(0),
+            NRel::Ne => {
+                let dist = k.checked_sub(init)?;
+                (dist > 0 && dist % step == 0).then_some(dist / step)
+            }
+            NRel::Eq => Some(i64::from(init == k)),
+            NRel::Gt | NRel::Ge => None,
+        }
+    } else if step < 0 {
+        let step = step.checked_neg()?;
+        match rel {
+            NRel::Gt if init <= k => Some(0),
+            NRel::Gt => ceil_div(init.checked_sub(k)?, step),
+            NRel::Ge if init < k => Some(0),
+            NRel::Ge => ceil_div(init.checked_sub(k)?.checked_add(1)?, step),
+            NRel::Ne if init == k => Some(0),
+            NRel::Ne => {
+                let dist = init.checked_sub(k)?;
+                (dist > 0 && dist % step == 0).then_some(dist / step)
+            }
+            NRel::Eq => Some(i64::from(init == k)),
+            NRel::Lt | NRel::Le => None,
+        }
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body scans
+// ---------------------------------------------------------------------------
+
+/// If `s` is `c = c + k` / `c = c - k` / `c = k + c` with a constant `k`,
+/// returns `(c, signed step)`.
+fn as_increment<'a>(s: &'a Stmt, cx: &Cx<'_>) -> Option<(&'a str, i64)> {
+    let Stmt::Assign { name, value, .. } = s else { return None };
+    if !cx.locals.contains(name) {
+        return None;
+    }
+    let ExprKind::Binary(op, a, b) = &value.kind else { return None };
+    let step = match (op, &a.kind, &b.kind) {
+        (BinOp::Add, ExprKind::Var(v), _) if v == name => fold(b, cx, None)?,
+        (BinOp::Add, _, ExprKind::Var(v)) if v == name => fold(a, cx, None)?,
+        (BinOp::Sub, ExprKind::Var(v), _) if v == name => fold(b, cx, None)?.checked_neg()?,
+        _ => return None,
+    };
+    Some((name.as_str(), step))
+}
+
+/// Collects every write (assignment or shadowing declaration) to `name`,
+/// recording whether any sits inside a nested loop.
+fn writes_to<'a>(stmts: &'a [Stmt], name: &str, in_loop: bool, out: &mut Vec<(&'a Stmt, bool)>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name: n, .. } | Stmt::Assign { name: n, .. } if n == name => {
+                out.push((s, in_loop));
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                writes_to(then_branch, name, in_loop, out);
+                writes_to(else_branch, name, in_loop, out);
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => {
+                writes_to(body, name, true, out);
+            }
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    writes_to(std::slice::from_ref(i), name, true, out);
+                }
+                if let Some(st) = step {
+                    writes_to(std::slice::from_ref(st), name, true, out);
+                }
+                writes_to(body, name, true, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `break` at this loop's own level (not inside a nested loop, where it
+/// would bind to that loop instead).
+fn has_break_at_level(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Break { .. } => true,
+        Stmt::If { then_branch, else_branch, .. } => {
+            has_break_at_level(then_branch) || has_break_at_level(else_branch)
+        }
+        _ => false,
+    })
+}
+
+/// `continue` at this loop's own level.
+fn has_continue_at_level(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Continue { .. } => true,
+        Stmt::If { then_branch, else_branch, .. } => {
+            has_continue_at_level(then_branch) || has_continue_at_level(else_branch)
+        }
+        _ => false,
+    })
+}
+
+/// `return` anywhere, including inside nested loops (it exits the whole
+/// function, so it is an early exit for every enclosing loop).
+fn has_return_deep(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Return { .. } => true,
+        Stmt::If { then_branch, else_branch, .. } => {
+            has_return_deep(then_branch) || has_return_deep(else_branch)
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => has_return_deep(body),
+        Stmt::For { body, .. } => has_return_deep(body),
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Path enumeration
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PathEnd {
+    /// Runs to the end of the body (or `continue`s): takes the back edge.
+    Continues,
+    /// `break`/`return`: leaves without a back edge.
+    Exits,
+}
+
+/// Abstract state of one acyclic path through a loop body, tracking a
+/// single counter and (optionally) an exit flag.
+#[derive(Clone)]
+struct PathState {
+    end: Option<PathEnd>,
+    /// Net signed counter movement along the path so far.
+    inc: i64,
+    /// Counter movement since the guarded clearing check was last
+    /// evaluated; must be 0 at path end for the check to have seen the
+    /// final counter value.
+    since_check: i64,
+    /// The path assigned 0 to the exit flag.
+    cleared: bool,
+    /// Checked arithmetic failed somewhere on the path.
+    poisoned: bool,
+}
+
+struct PathCx<'a> {
+    cx: &'a Cx<'a>,
+    counter: &'a str,
+    /// Exit flag (guarded-exit rule only).
+    flag: Option<&'a str>,
+    /// The clearing `if` statement, identified by address.
+    check: Option<&'a Stmt>,
+}
+
+/// Enumerates acyclic paths through `stmts`, mutating `states` in place.
+/// Returns `false` (give up) when the path count exceeds [`MAX_PATHS`].
+/// Nested loops are skipped — callers must verify beforehand that neither
+/// the counter nor the flag is written inside one.
+fn walk_paths(stmts: &[Stmt], states: &mut Vec<PathState>, pcx: &PathCx<'_>) -> bool {
+    for s in stmts {
+        if states.len() > MAX_PATHS {
+            return false;
+        }
+        match s {
+            Stmt::Assign { name, value, .. } => {
+                if name == pcx.counter {
+                    // Shape was pre-verified; extract the step again.
+                    let step = as_increment(s, pcx.cx).map(|(_, st)| st);
+                    for st in states.iter_mut().filter(|st| st.end.is_none()) {
+                        match step.and_then(|d| {
+                            Some((st.inc.checked_add(d)?, st.since_check.checked_add(d)?))
+                        }) {
+                            Some((inc, since)) => {
+                                st.inc = inc;
+                                st.since_check = since;
+                            }
+                            None => st.poisoned = true,
+                        }
+                    }
+                } else if Some(name.as_str()) == pcx.flag {
+                    let v = fold(value, pcx.cx, None);
+                    for st in states.iter_mut().filter(|st| st.end.is_none()) {
+                        if v == Some(0) {
+                            st.cleared = true;
+                        } else {
+                            st.poisoned = true;
+                        }
+                    }
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                if pcx.check.is_some_and(|c| std::ptr::eq(c, s)) {
+                    for st in states.iter_mut().filter(|st| st.end.is_none()) {
+                        st.since_check = 0;
+                    }
+                }
+                let mut then_states: Vec<PathState> =
+                    states.iter().filter(|st| st.end.is_none()).cloned().collect();
+                let mut else_states: Vec<PathState> = then_states.clone();
+                if !walk_paths(then_branch, &mut then_states, pcx)
+                    || !walk_paths(else_branch, &mut else_states, pcx)
+                {
+                    return false;
+                }
+                states.retain(|st| st.end.is_some());
+                states.extend(then_states);
+                states.extend(else_states);
+            }
+            Stmt::Break { .. } | Stmt::Return { .. } => {
+                for st in states.iter_mut().filter(|st| st.end.is_none()) {
+                    st.end = Some(PathEnd::Exits);
+                }
+            }
+            Stmt::Continue { .. } => {
+                for st in states.iter_mut().filter(|st| st.end.is_none()) {
+                    st.end = Some(PathEnd::Continues);
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Runs path enumeration over a loop body and returns the final states.
+fn body_paths(body: &[Stmt], pcx: &PathCx<'_>) -> Option<Vec<PathState>> {
+    let mut states =
+        vec![PathState { end: None, inc: 0, since_check: 0, cleared: false, poisoned: false }];
+    if !walk_paths(body, &mut states, pcx) {
+        return None;
+    }
+    for st in &mut states {
+        if st.end.is_none() {
+            st.end = Some(PathEnd::Continues);
+        }
+    }
+    if states.iter().any(|st| st.poisoned) {
+        return None;
+    }
+    Some(states)
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+/// Tries every rule on one loop statement, most precise first.
+fn analyze_loop(s: &Stmt, env: &Env, cx: &Cx<'_>) -> Option<AstBound> {
+    let line = s.line() as u32;
+    let (cond, body, step, is_do) = match s {
+        Stmt::While { cond, body, .. } => (Some(cond), body.as_slice(), None, false),
+        Stmt::DoWhile { body, cond, .. } => (Some(cond), body.as_slice(), None, true),
+        Stmt::For { cond, step, body, .. } => {
+            (cond.as_ref(), body.as_slice(), step.as_deref(), false)
+        }
+        _ => return None,
+    };
+    let cond = cond?;
+    counted_rule(cond, body, step, is_do, env, cx, line)
+        .or_else(|| {
+            if is_do || step.is_some() {
+                None
+            } else {
+                guarded_exit_rule(cond, body, env, cx, line)
+            }
+        })
+        .or_else(|| monotonic_rule(cond, body, step, is_do, env, cx, line))
+}
+
+/// Exact trip counting: constant initial value, constant-bound guard,
+/// exactly one unconditional constant step per iteration.
+fn counted_rule(
+    cond: &Expr,
+    body: &[Stmt],
+    for_step: Option<&Stmt>,
+    is_do: bool,
+    env: &Env,
+    cx: &Cx<'_>,
+    line: u32,
+) -> Option<AstBound> {
+    let conj = conjuncts(cond);
+    let mut bounds: Vec<i64> = Vec::new();
+    let mut sole_exact = false;
+    for c in &conj {
+        let Some((var, rel, k)) = normalize_rel(c, cx) else { continue };
+        let init = match env.get(&var) {
+            Some(v) => *v,
+            None => continue,
+        };
+        let mut writes = Vec::new();
+        writes_to(body, &var, false, &mut writes);
+        // Where does the step come from?
+        let (step, body_writes_ok, unconditional) = match for_step {
+            Some(st) => match as_increment(st, cx) {
+                Some((name, s)) if name == var => (s, writes.is_empty(), true),
+                // The `for` step updates some other variable; the guard
+                // variable would have to move inside the body instead.
+                _ => match single_top_level_increment(body, &var, cx) {
+                    Some(s) => (s, writes.len() == 1, !has_continue_at_level(body)),
+                    None => continue,
+                },
+            },
+            None => match single_top_level_increment(body, &var, cx) {
+                Some(s) => (s, writes.len() == 1, !has_continue_at_level(body)),
+                None => continue,
+            },
+        };
+        if !body_writes_ok || !unconditional {
+            continue;
+        }
+        let Some(trips) = trips_top_tested(init, rel, k, step) else { continue };
+        let back = if is_do { trips.max(1) - 1 } else { trips };
+        bounds.push(back);
+        if conj.len() == 1 {
+            sole_exact = true;
+        }
+    }
+    let hi = *bounds.iter().min()?;
+    let early_exit = has_break_at_level(body) || has_return_deep(body);
+    let exact = sole_exact && !early_exit;
+    let (lo, rule) = if exact {
+        (hi, "counted")
+    } else if conj.len() > 1 {
+        (0, "guard-and")
+    } else {
+        (0, "counted-exit")
+    };
+    Some(AstBound { lo, hi, rule, line })
+}
+
+/// Exactly one top-level (hence unconditional) increment of `var` in the
+/// statement list.
+fn single_top_level_increment(body: &[Stmt], var: &str, cx: &Cx<'_>) -> Option<i64> {
+    let mut found = None;
+    for s in body {
+        if let Some((name, step)) = as_increment(s, cx) {
+            if name == var {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(step);
+            }
+        }
+    }
+    found
+}
+
+/// The flag-controlled search loop of `check_data` (paper fig. 2):
+/// `while (v)` where `v` is only ever cleared to 0 inside the body, and a
+/// counter `c` grows monotonically toward a guarded clearing check
+/// `if (c REL K) v = 0;`. Every path that keeps looping must move the
+/// counter and then evaluate the check, so the loop completes at most
+/// `ceil((K' - init) / s_min)` iterations even when the data-dependent
+/// clears never fire.
+fn guarded_exit_rule(
+    cond: &Expr,
+    body: &[Stmt],
+    env: &Env,
+    cx: &Cx<'_>,
+    line: u32,
+) -> Option<AstBound> {
+    let flag = flag_of(cond, cx)?;
+    // Every write to the flag must be a constant 0 outside nested loops.
+    let mut fwrites = Vec::new();
+    writes_to(body, &flag, false, &mut fwrites);
+    if fwrites.is_empty() {
+        return None;
+    }
+    for (w, in_loop) in &fwrites {
+        let Stmt::Assign { value, .. } = w else { return None };
+        if *in_loop || fold(value, cx, None) != Some(0) {
+            return None;
+        }
+    }
+    // Candidate clearing checks: `if (c REL K) { ... v = 0; ... }` with an
+    // unconditional clear in the then-branch.
+    let mut candidates = Vec::new();
+    collect_clear_checks(body, &flag, cx, &mut candidates);
+    let mut best: Option<i64> = None;
+    for (check, var, rel, k) in candidates {
+        if let Some(hi) = guarded_hi(body, check, &var, rel, k, &flag, env, cx) {
+            best = Some(best.map_or(hi, |b| b.min(hi)));
+        }
+    }
+    let hi = best?;
+    let lo = i64::from(
+        env.get(&flag).is_some_and(|v| *v != 0)
+            && !has_break_at_level(body)
+            && !has_return_deep(body),
+    );
+    Some(AstBound { lo, hi: hi.max(lo), rule: "guarded-exit", line })
+}
+
+/// Finds `if (c REL K)` statements whose then-branch unconditionally
+/// assigns the flag (rel oriented so the counter moves toward `K`).
+fn collect_clear_checks<'a>(
+    stmts: &'a [Stmt],
+    flag: &str,
+    cx: &Cx<'_>,
+    out: &mut Vec<(&'a Stmt, String, NRel, i64)>,
+) {
+    for s in stmts {
+        if let Stmt::If { cond, then_branch, else_branch, .. } = s {
+            if let Some((var, rel, k)) = normalize_rel(cond, cx) {
+                if matches!(rel, NRel::Ge | NRel::Gt | NRel::Le | NRel::Lt)
+                    && then_branch
+                        .iter()
+                        .any(|t| matches!(t, Stmt::Assign { name, .. } if name == flag))
+                {
+                    out.push((s, var, rel, k));
+                }
+            }
+            collect_clear_checks(then_branch, flag, cx, out);
+            collect_clear_checks(else_branch, flag, cx, out);
+        }
+    }
+}
+
+/// Upper bound for one candidate counter of the guarded-exit rule.
+#[allow(clippy::too_many_arguments)]
+fn guarded_hi(
+    body: &[Stmt],
+    check: &Stmt,
+    var: &str,
+    rel: NRel,
+    k: i64,
+    flag: &str,
+    env: &Env,
+    cx: &Cx<'_>,
+) -> Option<i64> {
+    if !cx.locals.contains(var) {
+        return None;
+    }
+    let init = *env.get(var)?;
+    // All counter writes must be constant steps, outside nested loops,
+    // moving toward the bound.
+    let dir: i64 = match rel {
+        NRel::Ge | NRel::Gt => 1,
+        NRel::Le | NRel::Lt => -1,
+        _ => return None,
+    };
+    let mut cwrites = Vec::new();
+    writes_to(body, var, false, &mut cwrites);
+    if cwrites.is_empty() {
+        return None;
+    }
+    if !small(init) || !small(k) {
+        return None;
+    }
+    for (w, in_loop) in &cwrites {
+        let step = as_increment(w, cx).map(|(_, s)| s)?;
+        if *in_loop || !small(step) || step * dir <= 0 {
+            return None;
+        }
+    }
+    let states =
+        body_paths(body, &PathCx { cx, counter: var, flag: Some(flag), check: Some(check) })?;
+    // Every path that takes the back edge without clearing the flag must
+    // have moved the counter toward the bound and then evaluated the
+    // check with the final counter value.
+    let mut guaranteed: Option<i64> = None;
+    for st in &states {
+        if st.end == Some(PathEnd::Continues) && !st.cleared {
+            if !small(st.inc) || st.inc * dir <= 0 || st.since_check != 0 {
+                return None;
+            }
+            let moved = st.inc * dir;
+            guaranteed = Some(guaranteed.map_or(moved, |g| g.min(moved)));
+        }
+    }
+    // All paths clear or exit: at most one completed iteration.
+    let Some(s_min) = guaranteed else { return Some(1) };
+    // Effective threshold: first counter value that satisfies `c REL K`.
+    let k_eff = match rel {
+        NRel::Ge | NRel::Le => k,
+        NRel::Gt => k.checked_add(1)?,
+        NRel::Lt => k.checked_sub(1)?,
+        _ => return None,
+    };
+    let dist = k_eff.checked_sub(init)?.checked_mul(dir)?;
+    if dist <= 0 {
+        // Already past the threshold: the first completed iteration clears.
+        return Some(1);
+    }
+    ceil_div(dist, s_min)
+}
+
+/// Monotonic-counter upper bound: every continuing path moves the guard
+/// variable toward the bound by at least some constant, so the loop
+/// completes at most `trips(init, rel, K, s_min)` iterations. The lower
+/// bound is 0 (any path may exit early or the guard may fail sooner).
+fn monotonic_rule(
+    cond: &Expr,
+    body: &[Stmt],
+    for_step: Option<&Stmt>,
+    is_do: bool,
+    env: &Env,
+    cx: &Cx<'_>,
+    line: u32,
+) -> Option<AstBound> {
+    let conj = conjuncts(cond);
+    let mut best: Option<i64> = None;
+    for c in &conj {
+        let Some((var, rel, k)) = normalize_rel(c, cx) else { continue };
+        let Some(&init) = env.get(&var) else { continue };
+        let dir: i64 = match rel {
+            NRel::Lt | NRel::Le => 1,
+            NRel::Gt | NRel::Ge => -1,
+            _ => continue,
+        };
+        let step_inc = for_step.and_then(|st| match as_increment(st, cx) {
+            Some((name, s)) if name == var => Some(s),
+            _ => None,
+        });
+        let mut writes = Vec::new();
+        writes_to(body, &var, false, &mut writes);
+        let mut ok = true;
+        for (w, in_loop) in &writes {
+            match as_increment(w, cx) {
+                Some((_, s)) if !*in_loop && small(s) && s * dir > 0 => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || (writes.is_empty() && step_inc.is_none()) {
+            continue;
+        }
+        if step_inc.is_none() && has_continue_at_level(body) {
+            // `continue` may skip every body increment; only a `for` step
+            // (which still runs on `continue`) keeps the guarantee.
+            continue;
+        }
+        let Some(states) = body_paths(body, &PathCx { cx, counter: &var, flag: None, check: None })
+        else {
+            continue;
+        };
+        let mut s_min: Option<i64> = None;
+        let mut all_paths_move = true;
+        for st in &states {
+            if st.end == Some(PathEnd::Exits) {
+                continue;
+            }
+            let moved = st.inc.checked_add(step_inc.unwrap_or(0)).and_then(|m| m.checked_mul(dir));
+            match moved {
+                Some(m) if m > 0 && small(m) => s_min = Some(s_min.map_or(m, |g| g.min(m))),
+                _ => {
+                    all_paths_move = false;
+                    break;
+                }
+            }
+        }
+        let Some(s_min) = s_min else { continue };
+        if !all_paths_move {
+            continue;
+        }
+        let Some(trips) = trips_top_tested(init, rel, k, s_min * dir) else { continue };
+        let back = if is_do { trips.max(1) - 1 } else { trips };
+        best = Some(best.map_or(back, |b| b.min(back)));
+    }
+    best.map(|hi| AstBound { lo: 0, hi, rule: "monotonic", line })
+}

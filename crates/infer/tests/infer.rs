@@ -1,0 +1,239 @@
+//! End-to-end checks of the inference rules against the paper's
+//! benchmark idioms and hand-built corner cases.
+
+use ipet_core::{parse_annotations, Analyzer, Annotations, BoundSource};
+use ipet_hw::Machine;
+use ipet_infer::{infer_and_merge, InferError, InferMode};
+use ipet_lang::{compile, parse_module, Module};
+
+fn build(src: &str, entry: &str) -> (ipet_arch::Program, Module) {
+    let program = compile(src, entry).expect("compile");
+    let module = parse_module(src).expect("parse");
+    (program, module)
+}
+
+/// Infers with no user annotations at all and returns the provenance rows.
+fn infer_only(src: &str, entry: &str) -> Vec<ipet_core::LoopProvenance> {
+    let (program, module) = build(src, entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &Annotations::default(), InferMode::Only)
+        .expect("inference");
+    out.annotations.provenance
+}
+
+fn rule_of(source: &BoundSource) -> &str {
+    match source {
+        BoundSource::Annotated => "annotated",
+        BoundSource::Inferred { rule, .. } | BoundSource::Merged { rule, .. } => rule,
+    }
+}
+
+#[test]
+fn check_data_flag_loop_matches_hand_annotation() {
+    // The paper's fig. 2 example: `while (morecheck)` cleared either by a
+    // data-dependent hit or by the counter check `if (i >= DATASIZE)`.
+    let b = ipet_suite::by_name("check_data").unwrap();
+    let rows = infer_only(b.source, b.entry);
+    assert_eq!(rows.len(), 1);
+    assert_eq!((rows[0].lo, rows[0].hi), (1, 10), "hand annotation is [1, 10]");
+    assert_eq!(rule_of(&rows[0].source), "guarded-exit");
+}
+
+#[test]
+fn matgen_nested_counted_loops_need_no_annotations() {
+    let b = ipet_suite::by_name("matgen").unwrap();
+    let (program, module) = build(b.source, b.entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &Annotations::default(), InferMode::Only)
+        .expect("matgen loops are all counted");
+    for p in &out.annotations.provenance {
+        assert_eq!((p.lo, p.hi), (20, 20));
+        assert_eq!(rule_of(&p.source), "counted");
+    }
+    assert_eq!(out.counts.inferred, out.counts.total);
+    assert_eq!(out.counts.failed, 0);
+
+    // The annotation-free estimate is bit-identical to the annotated one
+    // (matgen has no extra functionality constraints).
+    assert!(b.extra_annotations.is_empty());
+    let annotated = analyzer.analyze(&b.annotations(&program)).unwrap();
+    let inferred = analyzer.analyze_parsed(&out.annotations).unwrap();
+    assert_eq!(inferred.bound, annotated.bound);
+}
+
+#[test]
+fn piksrt_inner_loop_falls_back_to_annotation() {
+    // The inner insertion loop starts at `i = j - 1` (data-dependent), so
+    // no rule may bound it; Merge keeps the hand annotation, while the
+    // counted outer loop merges exactly.
+    let b = ipet_suite::by_name("piksrt").unwrap();
+    let (program, module) = build(b.source, b.entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let user = parse_annotations(&b.annotations(&program)).unwrap();
+    let out =
+        infer_and_merge(Some(&module), &analyzer, &user, InferMode::Merge).expect("merge mode");
+    assert_eq!(out.counts.total, 2);
+    assert_eq!(out.counts.annotated, 2);
+    assert_eq!(out.counts.inferred, 1, "only the outer loop is counted");
+    assert_eq!(out.counts.tightened, 0);
+    assert!(out.disagreements.is_empty());
+    let outer = out
+        .annotations
+        .provenance
+        .iter()
+        .find(|p| matches!(p.source, BoundSource::Merged { .. }))
+        .expect("outer loop merges annotation with inference");
+    assert_eq!((outer.lo, outer.hi), (9, 9));
+
+    // Same result as the purely annotated run.
+    let annotated = analyzer.analyze(&b.annotations(&program)).unwrap();
+    let merged = analyzer.analyze_parsed(&out.annotations).unwrap();
+    assert_eq!(merged.bound, annotated.bound);
+}
+
+#[test]
+fn only_mode_lists_unbounded_loops_by_source_line() {
+    let b = ipet_suite::by_name("piksrt").unwrap();
+    let (program, module) = build(b.source, b.entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let err = infer_and_merge(Some(&module), &analyzer, &Annotations::default(), InferMode::Only)
+        .expect_err("the inner loop is data-dependent");
+    let InferError::Unbounded(loops) = &err;
+    assert_eq!(loops.len(), 1);
+    assert_eq!(loops[0].func, "piksrt");
+    assert!(loops[0].line.is_some(), "mini-C targets carry source lines");
+    let msg = err.to_string();
+    assert!(msg.contains("piksrt(B"), "names the loop: {msg}");
+    assert!(msg.contains("at line"), "cites the source line: {msg}");
+}
+
+#[test]
+fn do_while_bounds_are_iterations_minus_one() {
+    let rows =
+        infer_only("int f(int x) { int i = 0; do { i = i + 1; } while (i < 5); return i; }", "f");
+    assert_eq!(rows.len(), 1);
+    assert_eq!((rows[0].lo, rows[0].hi), (4, 4), "5 iterations, 4 back edges");
+    assert_eq!(rule_of(&rows[0].source), "counted");
+}
+
+#[test]
+fn counted_loop_with_break_keeps_upper_bound_only() {
+    let rows = infer_only(
+        "int f(int x) {
+             int i; int s = 0;
+             for (i = 0; i < 12; i = i + 1) { if (x == i) { break; } s = s + i; }
+             return s;
+         }",
+        "f",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!((rows[0].lo, rows[0].hi), (0, 12));
+    assert_eq!(rule_of(&rows[0].source), "counted-exit");
+}
+
+#[test]
+fn conjunction_guard_takes_tightest_conjunct() {
+    let rows = infer_only(
+        "int f(int x) {
+             int i = 0; int n = 0;
+             while (i < 8 && n < 3) { i = i + 1; }
+             return i;
+         }",
+        "f",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!((rows[0].lo, rows[0].hi), (0, 8));
+    assert_eq!(rule_of(&rows[0].source), "guard-and");
+}
+
+#[test]
+fn conditionally_stepped_counter_gets_monotonic_upper_bound() {
+    let rows = infer_only(
+        "int f(int x) {
+             int i = 0;
+             while (i < 10) { if (x > 0) { i = i + 1; } else { i = i + 2; } }
+             return i;
+         }",
+        "f",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!((rows[0].lo, rows[0].hi), (0, 10), "slowest step bounds the count");
+    assert_eq!(rule_of(&rows[0].source), "monotonic");
+}
+
+#[test]
+fn merge_tightens_a_loose_annotation() {
+    let src = "int f(int x) { int i; int s = 0;
+               for (i = 0; i < 20; i = i + 1) { s = s + i; } return s; }";
+    let (program, module) = build(src, "f");
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let user = parse_annotations("fn f { loop x2 in [0, 100]; }").unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &user, InferMode::Merge).unwrap();
+    assert_eq!(out.counts.tightened, 1);
+    let p = &out.annotations.provenance[0];
+    assert_eq!((p.lo, p.hi), (20, 20));
+    match &p.source {
+        BoundSource::Merged { annotated, inferred, .. } => {
+            assert_eq!(*annotated, (0, 100));
+            assert_eq!(*inferred, (20, 20));
+        }
+        other => panic!("expected merged provenance, got {other:?}"),
+    }
+}
+
+#[test]
+fn disjoint_annotation_wins_and_is_reported() {
+    let src = "int f(int x) { int i; int s = 0;
+               for (i = 0; i < 20; i = i + 1) { s = s + i; } return s; }";
+    let (program, module) = build(src, "f");
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let user = parse_annotations("fn f { loop x2 in [2, 3]; }").unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &user, InferMode::Merge).unwrap();
+    assert_eq!(out.disagreements.len(), 1);
+    assert_eq!(out.disagreements[0].annotated, (2, 3));
+    assert_eq!(out.disagreements[0].inferred, (20, 20));
+    let p = &out.annotations.provenance[0];
+    assert_eq!((p.lo, p.hi), (2, 3), "the annotation is kept");
+    assert_eq!(p.source, BoundSource::Annotated);
+    assert_eq!(out.counts.tightened, 0);
+}
+
+#[test]
+fn prefer_annot_only_fills_gaps() {
+    let b = ipet_suite::by_name("piksrt").unwrap();
+    let (program, module) = build(b.source, b.entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let user = parse_annotations(&b.annotations(&program)).unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &user, InferMode::PreferAnnot).unwrap();
+    assert!(out.annotations.provenance.iter().all(|p| p.source == BoundSource::Annotated));
+    assert_eq!(out.counts.annotated, 2);
+    assert_eq!(out.counts.inferred, 0);
+}
+
+#[test]
+fn provenance_reaches_the_rendered_report() {
+    let b = ipet_suite::by_name("matgen").unwrap();
+    let (program, module) = build(b.source, b.entry);
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let out = infer_and_merge(Some(&module), &analyzer, &Annotations::default(), InferMode::Only)
+        .unwrap();
+    let est = analyzer.analyze_parsed(&out.annotations).unwrap();
+    let report = est.render();
+    assert!(report.contains("loop bounds:"), "report: {report}");
+    assert!(report.contains("inferred:counted"), "report: {report}");
+}
+
+#[test]
+fn machine_rule_covers_targets_without_an_ast() {
+    // Passing no module forces the machine-level trip counter to carry
+    // the whole inference, as it does for `.s` targets.
+    let b = ipet_suite::by_name("matgen").unwrap();
+    let program = compile(b.source, b.entry).unwrap();
+    let analyzer = Analyzer::new(&program, Machine::i960kb()).unwrap();
+    let out = infer_and_merge(None, &analyzer, &Annotations::default(), InferMode::Only)
+        .expect("machine counting handles constant loops");
+    for p in &out.annotations.provenance {
+        assert_eq!((p.lo, p.hi), (20, 20));
+        assert_eq!(rule_of(&p.source), "machine-counted");
+    }
+}
