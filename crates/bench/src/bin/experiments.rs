@@ -65,6 +65,16 @@ fn main() {
             audit = true;
         } else if a == "--no-warm-start" {
             warm = false;
+        } else if a == "--solver" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--solver needs a value (dense, sparse or auto)");
+                std::process::exit(1);
+            });
+            let backend = ipet_lp::SolverBackend::parse(&v).unwrap_or_else(|| {
+                eprintln!("--solver: `{v}` is not dense, sparse or auto");
+                std::process::exit(1);
+            });
+            ipet_lp::set_solver_backend(backend);
         } else if a == "--infer" {
             infer = Some(ipet_infer::InferMode::Merge);
         } else if let Some(m) = a.strip_prefix("--infer=") {

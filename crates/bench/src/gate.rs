@@ -146,11 +146,17 @@ pub struct GateConfig {
     /// counters carry the precise signal; timing only catches order-of-
     /// magnitude blowups. Speedups never fail.
     pub wall_tolerance_pct: f64,
+    /// Absolute floor, in milliseconds, under which the wall-clock check
+    /// never fails. A sub-millisecond baseline phase (fast machine, tiny
+    /// suite) would otherwise turn the relative tolerance into a limit of a
+    /// few hundred *microseconds* — scheduler noise alone blows that. The
+    /// limit is `max(baseline * (1 + pct/100), min_wall_ms)`.
+    pub min_wall_ms: f64,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { wall_tolerance_pct: 300.0 }
+        GateConfig { wall_tolerance_pct: 300.0, min_wall_ms: 50.0 }
     }
 }
 
@@ -207,7 +213,8 @@ pub fn compare(baseline: &Json, current: &Json, config: &GateConfig) -> GateRepo
         |doc: &Json| doc.get("timing").and_then(|t| t.get("solve_wall_ms")).and_then(Json::as_num);
     match (wall(baseline), wall(current)) {
         (Some(base_ms), Some(cur_ms)) => {
-            let limit = base_ms * (1.0 + config.wall_tolerance_pct / 100.0);
+            let limit =
+                (base_ms * (1.0 + config.wall_tolerance_pct / 100.0)).max(config.min_wall_ms);
             if cur_ms > limit {
                 report.failures.push(format!(
                     "timing.solve_wall_ms: {cur_ms:.3} exceeds baseline {base_ms:.3} \
@@ -344,8 +351,21 @@ mod tests {
         let cfg = GateConfig::default(); // 300% → limit is 400ms
         assert!(!compare(&base, &slow, &cfg).passed(), "10x slower must fail");
         assert!(compare(&base, &fast, &cfg).passed(), "speedups never fail");
-        let loose = GateConfig { wall_tolerance_pct: 2000.0 };
+        let loose = GateConfig { wall_tolerance_pct: 2000.0, ..GateConfig::default() };
         assert!(compare(&base, &slow, &loose).passed(), "within loose tolerance");
+    }
+
+    #[test]
+    fn sub_millisecond_baselines_use_the_wall_floor() {
+        // A 0.2 ms baseline would make the 300% limit 0.8 ms — pure noise.
+        // The floor keeps anything under `min_wall_ms` passing, while a
+        // genuine blowup past the floor still fails.
+        let base = with_num(&sample_doc(), &["timing", "solve_wall_ms"], 0.2);
+        let noisy = with_num(&base, &["timing", "solve_wall_ms"], 30.0);
+        let cfg = GateConfig::default();
+        assert!(compare(&base, &noisy, &cfg).passed(), "under the floor never fails");
+        let blowup = with_num(&base, &["timing", "solve_wall_ms"], 51.0);
+        assert!(!compare(&base, &blowup, &cfg).passed(), "past the floor still fails");
     }
 
     #[test]

@@ -88,6 +88,9 @@ fn usage() -> String {
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
      \x20        --no-warm-start (solve every ILP cold; bounds are identical,\n\
      \x20         only solver effort counters change)\n\
+     \x20        --solver dense|sparse|auto (LP backend; default auto routes pure\n\
+     \x20         flow problems to a network simplex, the rest to a presolved\n\
+     \x20         sparse revised simplex; bounds are bit-identical for any choice)\n\
      \x20        --trace-json FILE (write the ipet-trace document of the run)\n\
      \x20        --audit (re-certify every bound in exact integer arithmetic)\n\
      store:   --store FILE (crash-safe persistent solve store: certified replays\n\
@@ -231,6 +234,12 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 jobs = parse_num("--jobs", it.next())?.max(1) as usize;
             }
             "--no-warm-start" => warm = false,
+            "--solver" => {
+                let v = it.next().ok_or("--solver needs a value (dense, sparse or auto)")?;
+                let backend = ipet_lp::SolverBackend::parse(v)
+                    .ok_or_else(|| format!("--solver: `{v}` is not dense, sparse or auto"))?;
+                ipet_lp::set_solver_backend(backend);
+            }
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a value")?.to_string())
             }

@@ -22,7 +22,7 @@
 //!
 //! Two independent inference layers feed the merge:
 //!
-//! * **AST rules** ([`rules`]) — `counted` (exact trip counts for
+//! * **AST rules** (the `rules` module) — `counted` (exact trip counts for
 //!   constant-stepped counters), `guarded-exit` (flag-controlled search
 //!   loops like the paper's `check_data`), `guard-and` (conjunction
 //!   guards take the tightest conjunct) and `monotonic` (upper bounds

@@ -1,0 +1,193 @@
+//! Presolve + backend routing for cold solves.
+//!
+//! This is the entry the branch-and-bound wrapper consults before falling
+//! back to the dense tableau: exact presolve first, then the network simplex
+//! when the reduced matrix is pure flow conservation (backend `auto`), the
+//! sparse revised simplex otherwise. A result is returned **only** when it is
+//! provably the one the dense cold path would produce — witness rounds
+//! integral, optimum unique, exact integer certification against the
+//! original problem — mirroring the warm-start acceptance gate. Everything
+//! else is a miss: pivots spent are still charged (honest tick accounting),
+//! and the caller runs the ordinary dense solve.
+
+use crate::backend::SolverBackend;
+use crate::model::Problem;
+use crate::network::{solve_network, NetEnd};
+use crate::presolve::{certify_exact, presolve, IntProblem, Reduced};
+use crate::round::round_witness;
+use crate::sparse::{SparseEnd, SparseInstance};
+
+/// An accepted fast solve: full integral witness plus its exact objective.
+pub(crate) struct FastSolve {
+    pub x: Vec<i64>,
+    pub claimed: i64,
+}
+
+/// Largest |objective| we allow through: beyond 2^53 the `i64 -> f64` cast
+/// stops being exact and the canonical value would no longer round-trip.
+const MAX_EXACT_CLAIM: i128 = 1i128 << 53;
+
+/// Certify `x` against the exact problem and return the objective as an
+/// exactly-representable `i64`.
+fn claim(ip: &IntProblem, x: &[i64]) -> Option<i64> {
+    let v = certify_exact(ip, x)?;
+    if v.abs() > MAX_EXACT_CLAIM {
+        return None;
+    }
+    i64::try_from(v).ok()
+}
+
+fn network_iter_cap(red: &Reduced) -> u64 {
+    50_000 + 200 * (red.rows.len() as u64 + red.n_free as u64)
+}
+
+/// Attempt the fast path. `pivots_spent` accumulates simplex work whether or
+/// not the attempt is accepted, so the caller can meter it either way. The
+/// backend is passed explicitly (callers read the process-wide selection) so
+/// tests can exercise every backend without mutating global state.
+pub(crate) fn try_fast_solve(
+    problem: &Problem,
+    backend: SolverBackend,
+    pivots_spent: &mut u64,
+) -> Option<FastSolve> {
+    if backend == SolverBackend::Dense {
+        return None;
+    }
+    // The acceptance argument needs a pure ILP over exactly-integral data.
+    if problem.has_non_finite() || !problem.integer.iter().all(|&b| b) {
+        return None;
+    }
+    let ip = IntProblem::from_problem(problem)?;
+    let red = match presolve(&ip) {
+        Some(red) => red,
+        None => {
+            ipet_trace::counter("lp.presolve.bailouts", 1);
+            return None;
+        }
+    };
+    ipet_trace::counter("lp.presolve.runs", 1);
+    ipet_trace::counter("lp.presolve.rows_removed", red.stats.rows_removed);
+    ipet_trace::counter("lp.presolve.cols_fixed", red.stats.cols_fixed);
+    ipet_trace::counter("lp.presolve.dup_rows", red.stats.dup_rows);
+
+    if red.n_free == 0 {
+        // Every variable was forced: the feasible set is (at most) a single
+        // point, so certification alone decides. A failed certification
+        // means the problem is infeasible — the cold path owns that verdict.
+        let x = red.postsolve_witness(&[])?;
+        let claimed = claim(&ip, &x)?;
+        ipet_trace::counter("lp.presolve.solved", 1);
+        return Some(FastSolve { x, claimed });
+    }
+
+    if backend == SolverBackend::Auto {
+        match solve_network(&red, network_iter_cap(&red)) {
+            NetEnd::Declined => {}
+            NetEnd::Solved { x, pivots } => {
+                *pivots_spent += pivots;
+                ipet_trace::counter("lp.network.routed", 1);
+                let outcome = red
+                    .postsolve_witness(&x)
+                    .and_then(|full| claim(&ip, &full).map(|claimed| (full, claimed)));
+                return match outcome {
+                    Some((full, claimed)) => {
+                        ipet_trace::counter("lp.network.accepted", 1);
+                        Some(FastSolve { x: full, claimed })
+                    }
+                    None => {
+                        ipet_trace::counter("lp.network.fallbacks", 1);
+                        None
+                    }
+                };
+            }
+            NetEnd::Miss { pivots } => {
+                // Routed but not certifiable (infeasible, unbounded,
+                // non-unique, overflow): the same LP would fail the sparse
+                // gate too, so go straight to the dense path.
+                *pivots_spent += pivots;
+                ipet_trace::counter("lp.network.routed", 1);
+                ipet_trace::counter("lp.network.fallbacks", 1);
+                return None;
+            }
+        }
+    }
+
+    // General sparse path on the reduced problem, shifted so tightened
+    // lower bounds cost no phase-1 artificials.
+    let rp = red.to_shifted_problem()?;
+    let mut inst = SparseInstance::build(&rp)?;
+    ipet_trace::counter("lp.sparse.solves", 1);
+    let mut pv = 0u64;
+    let end = inst.solve_primal(inst.default_iter_cap(), &mut pv);
+    *pivots_spent += pv;
+    ipet_trace::counter("lp.sparse.refactors", inst.refactors());
+    let accepted = (|| {
+        if end != SparseEnd::Optimal {
+            return None;
+        }
+        let x = inst.extract_x();
+        let ints = round_witness(&x).ok()?;
+        if !inst.optimum_is_unique() {
+            return None;
+        }
+        let ints = red.unshift_witness(&ints)?;
+        let full = red.postsolve_witness(&ints)?;
+        let claimed = claim(&ip, &full)?;
+        Some(FastSolve { x: full, claimed })
+    })();
+    match &accepted {
+        Some(_) => ipet_trace::counter("lp.sparse.accepted", 1),
+        None => ipet_trace::counter("lp.sparse.fallbacks", 1),
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemBuilder, Relation, Sense};
+
+    fn flow_problem() -> Problem {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let d1 = b.add_var("d1", true);
+        let x1 = b.add_var("x1", true);
+        let x2 = b.add_var("x2", true);
+        b.objective(x1, 5.0);
+        b.objective(x2, 7.0);
+        b.constraint(vec![(d1, 1.0)], Relation::Eq, 1.0);
+        b.constraint(vec![(x1, 1.0), (d1, -1.0)], Relation::Eq, 0.0);
+        b.constraint(vec![(x2, 1.0), (x1, -10.0)], Relation::Le, 0.0);
+        b.build()
+    }
+
+    #[test]
+    fn fast_path_matches_dense_cold() {
+        let p = flow_problem();
+        for backend in [SolverBackend::Auto, SolverBackend::Sparse] {
+            let mut pivots = 0u64;
+            let fast = try_fast_solve(&p, backend, &mut pivots).expect("fast path accepts");
+            assert_eq!(fast.x, vec![1, 1, 10]);
+            assert_eq!(fast.claimed, 75);
+        }
+    }
+
+    #[test]
+    fn dense_backend_disables_fast_path() {
+        let mut pivots = 0u64;
+        assert!(try_fast_solve(&flow_problem(), SolverBackend::Dense, &mut pivots).is_none());
+        assert_eq!(pivots, 0);
+    }
+
+    #[test]
+    fn fractional_optimum_misses() {
+        let mut b = ProblemBuilder::new(Sense::Maximize);
+        let x = b.add_var("x", true);
+        b.objective(x, 1.0);
+        b.constraint(vec![(x, 2.0)], Relation::Le, 5.0);
+        let p = b.build();
+        for backend in [SolverBackend::Auto, SolverBackend::Sparse] {
+            let mut pivots = 0u64;
+            assert!(try_fast_solve(&p, backend, &mut pivots).is_none());
+        }
+    }
+}

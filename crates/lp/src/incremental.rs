@@ -43,12 +43,15 @@
 //! deadline the cold path's tick accounting is what drives degradation, and
 //! the warm path must never change *which* results degrade.
 
+use crate::backend::{solver_backend, SolverBackend};
 use crate::budget::{BudgetMeter, SolveBudget, SolverFaults};
 use crate::fingerprint::{delta_rows_fingerprint, fingerprint, Fingerprint};
 use crate::ilp::{solve_ilp_budgeted, IlpResolution, IlpStats};
 use crate::model::{Constraint, Problem, Relation};
+use crate::presolve::{presolve, IntProblem, IntRow, MappedRow, Reduced};
 use crate::round::{round_claimed, round_witness};
 use crate::simplex::{build_instance, DualEnd, PrimalEnd, SimplexInstance};
+use crate::sparse::{SparseDualEnd, SparseEnd, SparseInstance};
 
 /// Exact-certification callback: `(composed problem, rounded witness,
 /// claimed objective) -> certified?`. Supplied by the caller (the analysis
@@ -120,15 +123,38 @@ impl BaseProblem {
         full
     }
 
-    /// Solves the base LP relaxation once and snapshots the optimal
-    /// tableau. Returns `None` when the base is not warm-startable (not
-    /// optimal, or non-finite data); callers then solve every delta cold.
+    /// Solves the base LP relaxation once and snapshots the optimal basis.
+    /// Returns `None` when the base is not warm-startable (not optimal, or
+    /// non-finite data); callers then solve every delta cold.
+    ///
+    /// Under a non-dense backend the base is presolved and solved with the
+    /// sparse revised simplex; the snapshot then carries the reduction map
+    /// plus the factorized sparse basis, and warm starts re-optimize in the
+    /// reduced space. Any decline (non-integral data, fully-forced base,
+    /// singular basis) or sparse numerical failure falls back to the dense
+    /// tableau snapshot, so `--solver dense` behaviour is a strict subset.
     ///
     /// Pivots are charged to `meter` and reported under `lp.ticks`;
     /// `lp.warm.base_solves` counts the snapshot.
     pub fn solve_base(&self, meter: &BudgetMeter) -> Option<BaseSolution> {
         if self.problem.has_non_finite() {
             return None;
+        }
+        if solver_backend() != SolverBackend::Dense {
+            if let Some((red, mut inst)) = self.presolve_sparse_base() {
+                let cap = inst.default_iter_cap();
+                let mut pivots = 0u64;
+                let end = inst.solve_primal(cap, &mut pivots);
+                meter.charge_ticks(pivots);
+                ipet_trace::counter("lp.ticks", pivots);
+                if end == SparseEnd::Optimal {
+                    ipet_trace::counter("lp.warm.base_solves", 1);
+                    ipet_trace::counter("lp.sparse.base_solves", 1);
+                    return Some(BaseSolution { kind: BaseKind::Sparse { red, inst }, pivots });
+                }
+                // Numerical trouble in the sparse solve: fall through to the
+                // dense snapshot rather than condemning every delta to cold.
+            }
         }
         let mut inst = build_instance(&self.problem);
         let cap = inst.default_iter_cap();
@@ -138,9 +164,27 @@ impl BaseProblem {
         ipet_trace::counter("lp.warm.base_solves", 1);
         ipet_trace::counter("lp.ticks", pivots);
         match end {
-            PrimalEnd::Optimal => Some(BaseSolution { inst, pivots }),
+            PrimalEnd::Optimal => Some(BaseSolution { kind: BaseKind::Dense(inst), pivots }),
             _ => None,
         }
+    }
+
+    /// Presolve the base and build the sparse instance of the reduction.
+    /// `None` declines to the dense path.
+    fn presolve_sparse_base(&self) -> Option<(Reduced, SparseInstance)> {
+        if !self.problem.integer.iter().all(|&b| b) {
+            return None;
+        }
+        let ip = IntProblem::from_problem(&self.problem)?;
+        let red = presolve(&ip)?;
+        if red.n_free == 0 {
+            // Fully forced base: deltas degenerate; let the per-solve fast
+            // path (or the dense snapshot) handle it.
+            return None;
+        }
+        let rp = red.to_shifted_problem()?;
+        let inst = SparseInstance::build(&rp)?;
+        Some((red, inst))
     }
 }
 
@@ -149,8 +193,22 @@ impl BaseProblem {
 /// produced by [`BaseProblem::solve_base`].
 #[derive(Clone)]
 pub struct BaseSolution {
-    inst: SimplexInstance,
+    kind: BaseKind,
     pivots: u64,
+}
+
+/// Which solver produced (and can re-optimize) the base snapshot.
+// The variant sizes differ, but only a handful of snapshots exist per run
+// (one per routine base) while warm re-solves touch them constantly —
+// boxing would buy nothing and cost an indirection on every access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum BaseKind {
+    /// Dense optimal tableau of the base problem itself.
+    Dense(SimplexInstance),
+    /// Presolve reduction of the base plus the factorized sparse optimum of
+    /// the reduced problem; warm starts map delta rows through `red`.
+    Sparse { red: Reduced, inst: SparseInstance },
 }
 
 impl BaseSolution {
@@ -222,6 +280,26 @@ fn warm_attempt(
     if full.has_non_finite() || !full.integer.iter().all(|&b| b) {
         return None;
     }
+    match &solution.kind {
+        BaseKind::Dense(inst) => {
+            warm_attempt_dense(inst, solution.pivots, delta, full, meter, certify)
+        }
+        BaseKind::Sparse { red, inst } => {
+            warm_attempt_sparse(red, inst, solution.pivots, delta, full, meter, certify)
+        }
+    }
+}
+
+/// Dense warm arm: append delta rows to the snapshot tableau and dual
+/// re-optimize, exactly as before the sparse backend existed.
+fn warm_attempt_dense(
+    base_inst: &SimplexInstance,
+    base_pivots: u64,
+    delta: &DeltaSet,
+    full: &Problem,
+    meter: &BudgetMeter,
+    certify: CertifyFn,
+) -> Option<(IlpResolution, IlpStats)> {
     let n = full.num_vars();
 
     // Delta rows in `<=` form over the structural variables: `>=` rows are
@@ -239,7 +317,7 @@ fn warm_attempt(
         }
     }
 
-    let mut inst = solution.inst.clone();
+    let mut inst = base_inst.clone();
     inst.append_le_rows(&le_rows);
     let cap = inst.default_iter_cap();
     let mut warm_pivots = 0u64;
@@ -287,7 +365,7 @@ fn warm_attempt(
     debug_shadow_check(full, &resolution, stats);
 
     ipet_trace::counter("lp.warm.hits", 1);
-    ipet_trace::counter("lp.warm.pivots_saved", solution.pivots.saturating_sub(warm_pivots));
+    ipet_trace::counter("lp.warm.pivots_saved", base_pivots.saturating_sub(warm_pivots));
     // Mirror the cold path's per-solve telemetry so warm and cold runs
     // differ only in the `lp.warm.*` and tick counters.
     ipet_trace::counter("lp.ilp.solves", 1);
@@ -301,9 +379,120 @@ fn warm_attempt(
     Some((resolution, stats))
 }
 
+/// Sparse warm arm: map each delta row through the base's presolve
+/// reduction (fixed variables substituted in exact arithmetic), append the
+/// mapped rows to the factorized sparse basis — the append refactorizes,
+/// i.e. re-snapshots the basis — and dual re-optimize in the reduced space.
+/// The acceptance gate is the dense arm's, with one extra step: the reduced
+/// witness is postsolved back to a full witness before certification, so the
+/// certificate and the canonical `Exact` resolution are over the composed
+/// problem, never the reduction.
+fn warm_attempt_sparse(
+    red: &Reduced,
+    base_inst: &SparseInstance,
+    base_pivots: u64,
+    delta: &DeltaSet,
+    full: &Problem,
+    meter: &BudgetMeter,
+    certify: CertifyFn,
+) -> Option<(IlpResolution, IlpStats)> {
+    // Delta rows in exact integer form, mapped into the reduced space, then
+    // `<=` form over the free variables (`>=` negated, `=` split in the same
+    // order as the dense arm).
+    let mut le_rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(delta.rows.len());
+    for row in &delta.rows {
+        let int_row = IntRow::from_constraint(row)?;
+        let mapped = match red.map_row(&int_row)? {
+            MappedRow::Satisfied => continue,
+            // A delta row contradicting the presolved fixings proves the
+            // composed problem infeasible — but only in the reduction's
+            // algebra, with no witness to certify, so the verdict belongs
+            // to the cold path.
+            MappedRow::Violated => return None,
+            MappedRow::Row(r) => r,
+        };
+        let mut dense = vec![0.0; red.n_free];
+        for &(j, a) in &mapped.terms {
+            dense[j] = a as f64;
+        }
+        // The base instance lives in the shifted space (`x = lo + x'`), so
+        // the mapped row's right-hand side shifts with it.
+        let rhs = red.shift_rhs(&mapped.terms, mapped.rhs)? as f64;
+        match mapped.rel {
+            Relation::Le => le_rows.push((dense, rhs)),
+            Relation::Ge => le_rows.push((dense.iter().map(|&c| -c).collect(), -rhs)),
+            Relation::Eq => {
+                le_rows.push((dense.iter().map(|&c| -c).collect(), -rhs));
+                le_rows.push((dense, rhs));
+            }
+        }
+    }
+
+    let mut inst = base_inst.clone();
+    if !inst.append_le_rows(&le_rows) {
+        return None;
+    }
+    let cap = inst.default_iter_cap();
+    let mut warm_pivots = 0u64;
+    match inst.dual_reoptimize(cap, &mut warm_pivots) {
+        SparseDualEnd::Optimal => {}
+        SparseDualEnd::Infeasible | SparseDualEnd::IterLimit | SparseDualEnd::Numerical => {
+            meter.charge_ticks(warm_pivots);
+            return None;
+        }
+    }
+
+    // Integral, unique, postsolved, exactly certified — or no deal.
+    let x = inst.extract_x();
+    let accepted = (|| {
+        let ints = round_witness(&x).ok()?;
+        if !inst.optimum_is_unique() {
+            return None;
+        }
+        let ints = red.unshift_witness(&ints)?;
+        let full_ints = red.postsolve_witness(&ints)?;
+        let snapped: Vec<f64> = full_ints.iter().map(|&v| v as f64).collect();
+        let value = full.objective_value(&snapped);
+        let claimed = round_claimed(value).ok()?;
+        if !certify(full, &snapped, claimed) {
+            return None;
+        }
+        Some((snapped, claimed))
+    })();
+    meter.charge_ticks(warm_pivots);
+    let (snapped, claimed) = accepted?;
+
+    // Canonical cold result, by the same uniqueness argument as the dense
+    // arm — presolve reductions preserve the LP feasible set, so a unique
+    // integral reduced optimum is *the* composed optimum.
+    let resolution = IlpResolution::Exact { x: snapped, value: claimed as f64 };
+    let stats = IlpStats { lp_calls: 1, nodes: 1, first_relaxation_integral: true };
+    meter.add_lp_call();
+    meter.add_node();
+
+    debug_shadow_check(full, &resolution, stats);
+
+    ipet_trace::counter("lp.warm.hits", 1);
+    ipet_trace::counter("lp.warm.pivots_saved", base_pivots.saturating_sub(warm_pivots));
+    ipet_trace::counter("lp.sparse.warm_reopts", 1);
+    // Mirror the cold path's per-solve telemetry so warm and cold runs
+    // differ only in the `lp.warm.*`/`lp.sparse.*` and tick counters.
+    ipet_trace::counter("lp.ilp.solves", 1);
+    ipet_trace::counter("lp.lp_calls", stats.lp_calls as u64);
+    ipet_trace::counter("lp.bb_nodes", stats.nodes as u64);
+    ipet_trace::counter("lp.ticks", warm_pivots);
+    ipet_trace::counter("lp.outcome.exact", 1);
+    ipet_trace::gauge_max("lp.problem.vars.peak", full.num_vars() as u64);
+    ipet_trace::gauge_max("lp.problem.rows.peak", full.constraints.len() as u64);
+
+    Some((resolution, stats))
+}
+
 /// Debug builds shadow-solve every accepted warm result cold (fresh meter,
-/// no faults) and assert bit-identical resolutions and statistics. Release
-/// builds skip this; CI's warm-vs-cold counter diff covers them.
+/// no faults, dense-only — routing the shadow through the fast path would
+/// recurse and would not be an independent check) and assert bit-identical
+/// resolutions and statistics. Release builds skip this; CI's warm-vs-cold
+/// counter diff covers them.
 #[cfg(debug_assertions)]
 fn debug_shadow_check(full: &Problem, warm: &IlpResolution, warm_stats: IlpStats) {
     let mut warm = warm.clone();
@@ -312,12 +501,7 @@ fn debug_shadow_check(full: &Problem, warm: &IlpResolution, warm_stats: IlpStats
             *value += 1.0;
         }
     }
-    let (cold, cold_stats) = solve_ilp_budgeted(
-        full,
-        &SolveBudget::unlimited(),
-        &BudgetMeter::new(),
-        &mut SolverFaults::none(),
-    );
+    let (cold, cold_stats) = crate::ilp::solve_ilp_cold_dense(full);
     assert_eq!(
         warm, cold,
         "warm-started resolution diverged from the cold solve (warm-start soundness bug)"

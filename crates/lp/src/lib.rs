@@ -61,15 +61,21 @@
 //! `ipet-audit` certifier all round here, so "is this witness integral?"
 //! has exactly one answer everywhere.
 
+mod backend;
 mod budget;
+mod fastpath;
 mod fingerprint;
 mod ilp;
 mod incremental;
 mod model;
+mod network;
+mod presolve;
 mod round;
 mod simplex;
+mod sparse;
 mod structure;
 
+pub use backend::{set_solver_backend, solver_backend, SolverBackend};
 pub use budget::{
     BoundQuality, BudgetMeter, IoFault, LpFault, SolveBudget, SolveFault, SolverFaults,
 };

@@ -10,7 +10,7 @@
 //! parallel *between* ILPs but each ILP must stay sequential: one analysis
 //! yields `2 × |sets|` independent solves, and a benchmark table yields
 //! that again per program. [`SolvePool::run_plans`] batches any number of
-//! [`AnalysisPlan`]s (from [`Analyzer::plan`](ipet_core::Analyzer::plan))
+//! [`AnalysisPlan`](ipet_core::AnalysisPlan)s (from [`Analyzer::plan`](ipet_core::Analyzer::plan))
 //! into one job list and folds each plan's verdicts back with
 //! [`AnalysisPlan::complete`](ipet_core::AnalysisPlan::complete).
 //!
@@ -34,7 +34,7 @@
 //!   each other.
 //! * **Sound caching** — the cache replays a result only after structural
 //!   equality passes and the cached witness *re-certifies* against the
-//!   probe problem in exact integer arithmetic ([`cache`] module docs); a
+//!   probe problem in exact integer arithmetic (the `cache` module docs); a
 //!   cache defect can cost time, never an unsound bound.
 //! * **Budget accounting** — per-worker tick spend is reported, and the
 //!   shared [`BudgetMeter`](ipet_lp::BudgetMeter) semantics guarantee at
