@@ -81,6 +81,9 @@ fn usage() -> String {
      \x20 analyze <bench|file.mc>...   estimate [t_min, t_max] (one or more targets)\n\
      \x20 serve                        long-running NDJSON analysis daemon (stdin or\n\
      \x20                               --socket PATH; see --store for warm replays)\n\
+     serve:   --max-inflight N (concurrent requests; default 4) --max-queue N\n\
+     \x20         (waiters before shedding; default 16) --timeout-ms MS\n\
+     \x20         (per-request wall-clock watchdog; expiry degrades the bound)\n\
      options: --entry NAME --annotations FILE --idl FILE -O1 --shared\n\
      \x20        --infer[=only|prefer-annot] (derive loop bounds; default merges\n\
      \x20         with annotations taking the tighter interval per loop)\n\
@@ -205,6 +208,9 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut no_store = false;
     let mut socket: Option<String> = None;
     let mut io_faults = SolverFaults::none();
+    let mut max_inflight = 4usize;
+    let mut max_queue = 16usize;
+    let mut timeout_ms: Option<u64> = None;
 
     let parse_num = |flag: &str, v: Option<&String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -257,6 +263,11 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             "--store" => store_path = Some(it.next().ok_or("--store needs a value")?.to_string()),
             "--no-store" => no_store = true,
             "--socket" => socket = Some(it.next().ok_or("--socket needs a value")?.to_string()),
+            "--max-inflight" => {
+                max_inflight = parse_num("--max-inflight", it.next())?.max(1) as usize
+            }
+            "--max-queue" => max_queue = parse_num("--max-queue", it.next())? as usize,
+            "--timeout-ms" => timeout_ms = Some(parse_num("--timeout-ms", it.next())?),
             "--inject-fail-write" => {
                 io_faults =
                     SolverFaults::fail_write_at(parse_num("--inject-fail-write", it.next())?)
@@ -385,6 +396,9 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                 warm,
                 audit,
                 io_faults,
+                max_inflight,
+                max_queue,
+                timeout_ms,
             })
         }
         Some("analyze") => {

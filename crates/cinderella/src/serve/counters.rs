@@ -1,0 +1,85 @@
+//! `serve.*` trace counters: one atomic per event family, mirrored into
+//! [`ipet_trace`] so a `--trace-json` document carries the daemon's story.
+//!
+//! For a fixed request script the counters are deterministic at any
+//! `--jobs`: every event is driven by protocol content (a connection, a
+//! request, a shed, a bad line), never by worker scheduling. The two
+//! wall-clock families — `cancelled` (watchdog timeouts) and
+//! `client_gone` (disconnects observed mid-solve) — only fire when a
+//! client or a deadline actually misbehaves, which a deterministic script
+//! does not do.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// Connections accepted (stdin counts as one).
+    connections: AtomicU64,
+    /// Analysis requests admitted past admission control.
+    requests: AtomicU64,
+    /// Requests refused with an `overloaded` response (queue full or
+    /// draining).
+    shed: AtomicU64,
+    /// Requests whose wall-clock watchdog fired (degraded to a
+    /// certified-safe relaxed bound).
+    cancelled: AtomicU64,
+    /// Connections whose client vanished (EOF mid-request or a failed
+    /// response write).
+    client_gone: AtomicU64,
+    /// Request lines refused for exceeding the line cap.
+    oversized: AtomicU64,
+    /// Drains begun (shutdown op or SIGTERM; at most 1 per run).
+    drains: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64, name: &'static str) -> u64 {
+        ipet_trace::counter(name, 1);
+        field.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn connection(&self) {
+        Self::bump(&self.connections, "serve.connections");
+    }
+    pub fn request(&self) {
+        Self::bump(&self.requests, "serve.requests");
+    }
+    pub fn shed(&self) {
+        Self::bump(&self.shed, "serve.shed");
+    }
+    pub fn cancelled(&self) {
+        Self::bump(&self.cancelled, "serve.cancelled");
+    }
+    pub fn client_gone(&self) {
+        Self::bump(&self.client_gone, "serve.client_gone");
+    }
+    pub fn oversized(&self) {
+        Self::bump(&self.oversized, "serve.oversized");
+    }
+    /// Returns true on the first drain (callers log exactly once).
+    pub fn drain(&self) -> bool {
+        Self::bump(&self.drains, "serve.drain") == 1
+    }
+
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            client_gone: self.client_gone.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+        }
+    }
+}
+
+pub(crate) struct CounterSnapshot {
+    pub connections: u64,
+    pub requests: u64,
+    pub shed: u64,
+    pub cancelled: u64,
+    pub client_gone: u64,
+    pub oversized: u64,
+    pub drains: u64,
+}

@@ -1,0 +1,76 @@
+//! Per-request wall-clock watchdog. The solver's own budgets are counted
+//! in deterministic ticks; the daemon additionally promises its *clients*
+//! wall-clock latency, which only a timer can enforce. The timer fires the
+//! request's [`CancelToken`], and the cancellation rides the existing
+//! budget machinery: the solve observes an exhausted deadline at its next
+//! checkpoint and degrades to a certified-safe relaxed bound. A timed-out
+//! request therefore still answers — late work is shed, never wedged.
+
+use ipet_lp::CancelToken;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::Duration;
+
+pub(crate) struct RequestTimer {
+    /// Dropping the sender tells the timer the request finished.
+    done: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<bool>>,
+}
+
+impl RequestTimer {
+    /// Arms a timer that cancels `token` after `timeout` unless
+    /// [`disarm`](RequestTimer::disarm) is called first.
+    pub fn arm(timeout: Duration, token: CancelToken) -> RequestTimer {
+        let (done, finished) = mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("cinderella-watchdog".into())
+            .spawn(move || match finished.recv_timeout(timeout) {
+                // The request outlived its deadline: cancel and report.
+                Err(RecvTimeoutError::Timeout) => {
+                    token.cancel();
+                    true
+                }
+                // Sender dropped: the request finished in time.
+                Err(RecvTimeoutError::Disconnected) | Ok(()) => false,
+            })
+            .expect("spawn watchdog");
+        RequestTimer { done: Some(done), handle: Some(handle) }
+    }
+
+    /// Stops the timer, returning true when it had already fired.
+    pub fn disarm(mut self) -> bool {
+        drop(self.done.take());
+        self.handle.take().map(|h| h.join().unwrap_or(false)).unwrap_or(false)
+    }
+}
+
+impl Drop for RequestTimer {
+    fn drop(&mut self) {
+        drop(self.done.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_timeout_and_cancels_the_token() {
+        let token = CancelToken::new();
+        let timer = RequestTimer::arm(Duration::from_millis(10), token.clone());
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(timer.disarm(), "an expired timer reports that it fired");
+    }
+
+    #[test]
+    fn disarmed_in_time_never_cancels() {
+        let token = CancelToken::new();
+        let timer = RequestTimer::arm(Duration::from_secs(60), token.clone());
+        assert!(!timer.disarm(), "a disarmed timer must not report firing");
+        assert!(!token.is_cancelled());
+    }
+}

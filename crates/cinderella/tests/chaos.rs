@@ -1,0 +1,365 @@
+//! Chaos soak harness for `cinderella serve`: N concurrent clients issue
+//! randomized requests over a unix socket while the harness drops
+//! connections mid-stream, injects store IO faults and SIGKILLs the
+//! daemon at a random moment. The property under test is the daemon's
+//! acknowledgment contract:
+//!
+//! > Every `done` line a client has *read* describes solves that are
+//! > already durable, and replaying them after a restart is bit-identical
+//! > to a serial cold solve.
+//!
+//! Concretely, after each round the harness re-runs `cinderella analyze
+//! --store` for every target acknowledged exact and asserts (a) the bound
+//! equals the serial cold reference and (b) — in rounds without injected
+//! write faults — the run replays entirely from the store (`misses=0`).
+//! The store must also self-repair: reopening after a SIGKILL (stale
+//! lock, possibly torn tail) must never wedge or quarantine acknowledged
+//! records outside torn-write rounds.
+//!
+//! Every protocol event is appended eagerly to a transcript file (path in
+//! `CHAOS_TRANSCRIPT`, printed on stderr) so a failing CI run can upload
+//! the full interleaving as an artifact.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const ACTIONS_PER_CLIENT: usize = 8;
+/// Fast-solving targets only: the soak wants request *churn*, not one
+/// four-second solve hogging the round.
+const TARGETS: [&str; 5] = ["piksrt", "fullsearch", "check_data", "whetstone", "des"];
+
+struct Round {
+    name: &'static str,
+    /// Extra daemon flags (store IO fault injection).
+    flags: &'static [&'static str],
+    /// SIGKILL delay in ms; `None` ends the round with a graceful
+    /// `shutdown` op instead.
+    kill_after_ms: Option<u64>,
+    /// Whether acknowledged solves are expected on disk afterwards
+    /// (false when write faults were injected).
+    durable: bool,
+}
+
+const ROUNDS: [Round; 4] = [
+    Round { name: "calm", flags: &[], kill_after_ms: None, durable: true },
+    Round { name: "sigkill", flags: &[], kill_after_ms: Some(2500), durable: true },
+    Round {
+        name: "torn-write",
+        flags: &["--inject-torn-write", "2"],
+        kill_after_ms: Some(2000),
+        durable: false,
+    },
+    Round {
+        name: "fail-write",
+        flags: &["--inject-fail-write", "3"],
+        kill_after_ms: Some(3000),
+        durable: false,
+    },
+];
+
+struct Transcript {
+    file: Mutex<std::fs::File>,
+}
+
+impl Transcript {
+    fn open() -> (Arc<Transcript>, PathBuf) {
+        let path = std::env::var("CHAOS_TRANSCRIPT").map(PathBuf::from).unwrap_or_else(|_| {
+            std::env::temp_dir().join(format!("cinderella-chaos-{}.log", std::process::id()))
+        });
+        let file = std::fs::File::create(&path).expect("create transcript");
+        eprintln!("chaos: transcript at {}", path.display());
+        (Arc::new(Transcript { file: Mutex::new(file) }), path)
+    }
+
+    fn log(&self, line: &str) {
+        let mut f = self.file.lock().expect("transcript lock");
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+}
+
+/// One acknowledged-exact solve, as the client saw it.
+#[derive(Clone)]
+struct Ack {
+    target: String,
+    lower: u64,
+    upper: u64,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cinderella-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cinderella"))
+}
+
+/// Serial cold reference: `analyze <target>` with no store, no pool
+/// concurrency. The bound every later replay must reproduce exactly.
+fn reference_bound(target: &str) -> (u64, u64) {
+    let out = bin().args(["analyze", target]).output().expect("reference analyze");
+    assert_eq!(out.status.code(), Some(0), "reference solve of {target} must be exact");
+    parse_bound(&String::from_utf8_lossy(&out.stdout))
+        .unwrap_or_else(|| panic!("no bound line for {target}"))
+}
+
+/// Parses `estimated bound: [lo, hi] cycles`.
+fn parse_bound(stdout: &str) -> Option<(u64, u64)> {
+    let line = stdout.lines().find(|l| l.starts_with("estimated bound:"))?;
+    let inner = line.split(['[', ']']).nth(1)?;
+    let mut it = inner.split(", ");
+    let lo = it.next()?.parse().ok()?;
+    let hi = it.next()?.parse().ok()?;
+    Some((lo, hi))
+}
+
+fn store_line(stdout: &str) -> &str {
+    stdout.lines().find(|l| l.starts_with("store:")).unwrap_or("store: <missing>")
+}
+
+fn wait_for_socket(sock: &Path) {
+    let t0 = Instant::now();
+    while !sock.exists() {
+        assert!(t0.elapsed() < Duration::from_secs(10), "socket never appeared");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Reads lines until a `done` line; `None` when the daemon died or the
+/// stream broke first (expected under chaos — such requests are simply
+/// not acknowledged).
+fn try_read_done(reader: &mut impl BufRead) -> Option<ipet_trace::Json> {
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return None,
+            Ok(_) => {}
+        }
+        let v = ipet_trace::parse_json(line.trim()).ok()?;
+        if v.get("done").is_some() {
+            return Some(v);
+        }
+    }
+}
+
+/// One client's randomized action stream. Records every acknowledged
+/// exact bound; tolerates every failure mode the harness injects.
+fn run_client(
+    round: usize,
+    id: usize,
+    sock: PathBuf,
+    transcript: Arc<Transcript>,
+    acks: Arc<Mutex<Vec<Ack>>>,
+) {
+    let mut rng = StdRng::seed_from_u64((round as u64) * 1000 + id as u64);
+    for action in 0..ACTIONS_PER_CLIENT {
+        std::thread::sleep(Duration::from_millis(rng.gen_range(0..60u64)));
+        let Ok(mut conn) = UnixStream::connect(&sock) else {
+            transcript.log(&format!("r{round} c{id} a{action}: connect failed (daemon gone?)"));
+            return;
+        };
+        let mut reader = BufReader::new(match conn.try_clone() {
+            Ok(r) => r,
+            Err(_) => return,
+        });
+        let target = TARGETS[rng.gen_range(0..TARGETS.len())];
+        let roll = rng.gen_range(0..100u32);
+        let (label, request) = if roll < 55 {
+            ("plain", format!(r#"{{"id": {id}, "target": "{target}"}}"#))
+        } else if roll < 65 {
+            ("audit", format!(r#"{{"id": {id}, "target": "{target}", "audit": true}}"#))
+        } else if roll < 75 {
+            ("deadline0", format!(r#"{{"id": {id}, "target": "{target}", "deadline": 0}}"#))
+        } else if roll < 82 {
+            ("garbage", "{not json at all".to_string())
+        } else if roll < 90 {
+            ("op", r#"{"op": "stats"}"#.to_string())
+        } else {
+            // Dropped connection mid-stream: send and vanish without
+            // reading — the daemon must cancel, not compute into the
+            // dead pipe.
+            transcript.log(&format!("r{round} c{id} a{action}: drop-mid-request {target}"));
+            let _ = writeln!(conn, r#"{{"id": {id}, "target": "{target}"}}"#);
+            continue; // conn drops here
+        };
+        if writeln!(conn, "{request}").is_err() {
+            transcript.log(&format!("r{round} c{id} a{action}: write failed (daemon gone?)"));
+            return;
+        }
+        let Some(done) = try_read_done(&mut reader) else {
+            transcript.log(&format!("r{round} c{id} a{action}: {label} unacknowledged"));
+            continue;
+        };
+        let status = done.get("status").and_then(ipet_trace::Json::as_u64).unwrap_or(u64::MAX);
+        transcript.log(&format!("r{round} c{id} a{action}: {label} {target} -> {}", done.render()));
+        if label != "op" && label != "garbage" {
+            // Whatever happened — exact, degraded, shed, cancelled — the
+            // client always got a typed answer, never a hang.
+            assert!(status <= 3, "protocol status out of contract: {}", done.render());
+        }
+        if status == 0 && done.get("target").is_some() {
+            let bound = done.get("bound").and_then(ipet_trace::Json::as_arr).expect("bound");
+            acks.lock().expect("acks").push(Ack {
+                target: target.to_string(),
+                lower: bound[0].as_u64().expect("lower"),
+                upper: bound[1].as_u64().expect("upper"),
+            });
+        }
+    }
+}
+
+#[test]
+fn chaos_soak_every_acknowledged_bound_survives_restart_bit_identical() {
+    let (transcript, transcript_path) = Transcript::open();
+    let references: Vec<(&str, (u64, u64))> =
+        TARGETS.iter().map(|t| (*t, reference_bound(t))).collect();
+    transcript.log(&format!("references: {references:?}"));
+
+    for (round_no, round) in ROUNDS.iter().enumerate() {
+        let dir = scratch(&format!("r{round_no}"));
+        let sock = dir.join("serve.sock");
+        let store = dir.join("solves.store");
+        let mut args = vec![
+            "serve".to_string(),
+            "--socket".into(),
+            sock.to_str().unwrap().into(),
+            "--store".into(),
+            store.to_str().unwrap().into(),
+            "--max-inflight".into(),
+            "4".into(),
+            "--max-queue".into(),
+            "8".into(),
+            "--timeout-ms".into(),
+            "20000".into(),
+        ];
+        args.extend(round.flags.iter().map(|s| s.to_string()));
+        transcript.log(&format!("=== round {round_no} ({}): {args:?}", round.name));
+        let mut child: Child = bin()
+            .args(&args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve spawns");
+        wait_for_socket(&sock);
+
+        let acks = Arc::new(Mutex::new(Vec::<Ack>::new()));
+        let mut clients: Vec<_> = (0..CLIENTS)
+            .map(|id| {
+                let sock = sock.clone();
+                let transcript = Arc::clone(&transcript);
+                let acks = Arc::clone(&acks);
+                std::thread::spawn(move || run_client(round_no, id, sock, transcript, acks))
+            })
+            .collect();
+
+        match round.kill_after_ms {
+            Some(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                transcript.log(&format!("r{round_no}: SIGKILL after {ms}ms"));
+                let _ = child.kill(); // SIGKILL: no handler, no flush, no mercy
+                let _ = child.wait();
+            }
+            None => {
+                for c in clients.drain(..) {
+                    c.join().expect("client");
+                }
+                if let Ok(mut conn) = UnixStream::connect(&sock) {
+                    let _ = writeln!(conn, r#"{{"op": "shutdown"}}"#);
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                    let _ = try_read_done(&mut reader);
+                }
+                let status = child.wait().expect("daemon exit");
+                assert_eq!(status.code(), Some(0), "graceful round must exit 0");
+            }
+        }
+        // Clients that were mid-request when the daemon died just stop.
+        for c in clients {
+            c.join().expect("client");
+        }
+
+        // The verdict: everything acknowledged must replay bit-identical
+        // to the serial cold reference — after a SIGKILL, behind a stale
+        // lock, with or without a torn tail.
+        let acks = acks.lock().expect("acks").clone();
+        let acked_targets: BTreeSet<String> = acks.iter().map(|a| a.target.clone()).collect();
+        transcript.log(&format!(
+            "r{round_no}: {} acks over {} targets",
+            acks.len(),
+            acked_targets.len()
+        ));
+        for ack in &acks {
+            let (_, reference) = references
+                .iter()
+                .find(|(t, _)| *t == ack.target)
+                .expect("ack target has a reference");
+            assert_eq!(
+                (ack.lower, ack.upper),
+                *reference,
+                "round {round_no} ({}): acknowledged bound for {} diverges from the serial \
+                 cold solve (transcript: {})",
+                round.name,
+                ack.target,
+                transcript_path.display()
+            );
+        }
+        for target in &acked_targets {
+            let out = bin()
+                .args(["analyze", target, "--store", store.to_str().unwrap()])
+                .output()
+                .expect("replay analyze");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            transcript.log(&format!("r{round_no}: replay {target}: {}", store_line(&stdout)));
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "round {round_no} ({}): post-restart solve of {target} must succeed \
+                 (transcript: {})",
+                round.name,
+                transcript_path.display()
+            );
+            let replayed = parse_bound(&stdout).expect("replay bound");
+            let (_, reference) =
+                references.iter().find(|(t, _)| *t == target.as_str()).expect("reference");
+            assert_eq!(
+                replayed,
+                *reference,
+                "round {round_no} ({}): post-restart bound for {target} diverges \
+                 (transcript: {})",
+                round.name,
+                transcript_path.display()
+            );
+            if round.durable {
+                assert!(
+                    store_line(&stdout).contains("misses=0"),
+                    "round {round_no} ({}): acknowledged solves for {target} must already be \
+                     on disk: {} (transcript: {})",
+                    round.name,
+                    store_line(&stdout),
+                    transcript_path.display()
+                );
+            }
+            if round.name != "torn-write" {
+                assert!(
+                    store_line(&stdout).contains("quarantined=0"),
+                    "round {round_no} ({}): store must reopen clean: {} (transcript: {})",
+                    round.name,
+                    store_line(&stdout),
+                    transcript_path.display()
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

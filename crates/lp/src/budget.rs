@@ -15,7 +15,8 @@
 //! every environment, which a literal clock would not.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How trustworthy a reported bound is.
 ///
@@ -105,6 +106,47 @@ impl Default for SolveBudget {
     }
 }
 
+/// A shareable cooperative cancellation flag for in-flight solves.
+///
+/// Cancellation rides the existing budget machinery rather than adding a
+/// second control path: a [`BudgetMeter`] carrying a cancelled token
+/// reports its deadline as hit ([`BudgetMeter::deadline_hit`]) and its
+/// remaining ticks as zero, so every solver loop that already honors tick
+/// deadlines — branch-and-bound node expansion, LP entry, the plan-level
+/// set driver — observes the cancellation at its next budget check and
+/// degrades exactly as it would on exhaustion: to a certified-safe
+/// relaxed/partial bound, never a panic, a wedged worker or an unsafe
+/// answer.
+///
+/// Cancellation is *cooperative* and checked at the same granularity as
+/// deadlines (per node expansion and per LP call), so the latency from
+/// [`cancel`](CancelToken::cancel) to the solve unwinding is bounded by
+/// one LP solve, itself bounded by the solver's size-derived iteration cap.
+///
+/// Tokens are cheap (`Arc<AtomicBool>`) and clones share the flag. The
+/// default token is never cancelled and costs one relaxed load per check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every meter sharing it sees its budget as spent.
+    /// Idempotent and irrevocable: a token is single-use by design, so a
+    /// late cancel (after the work completed) is harmless.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
 /// Accumulated solver work, shared across all solves of one pipeline run.
 ///
 /// The meter is `Send + Sync`: counters are atomics, so several workers can
@@ -121,12 +163,30 @@ pub struct BudgetMeter {
     lp_calls: AtomicU64,
     /// Branch-and-bound nodes expanded.
     nodes: AtomicU64,
+    /// Cooperative cancellation: when cancelled, the meter reports its
+    /// deadline as hit regardless of ticks spent, so every deadline-aware
+    /// solver loop degrades as if the budget were exhausted.
+    cancel: CancelToken,
 }
 
 impl BudgetMeter {
     /// A fresh meter with nothing consumed.
     pub fn new() -> BudgetMeter {
         BudgetMeter::default()
+    }
+
+    /// A fresh meter observing `cancel`: once the token fires, the meter
+    /// behaves as if its deadline had passed ([`deadline_hit`]
+    /// (BudgetMeter::deadline_hit) is true and [`ticks_left`]
+    /// (BudgetMeter::ticks_left) is `Some(0)` even without a deadline).
+    pub fn with_cancel(cancel: CancelToken) -> BudgetMeter {
+        BudgetMeter { cancel, ..BudgetMeter::default() }
+    }
+
+    /// The cancellation token this meter observes (the default token of a
+    /// plain meter is never cancelled).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Charges `ticks` pivots to the meter (saturating, never wraps).
@@ -172,12 +232,18 @@ impl BudgetMeter {
     }
 
     /// Ticks still available under `budget`, or `None` when no deadline is
-    /// set. `Some(0)` means the deadline has passed.
+    /// set. `Some(0)` means the deadline has passed — or the meter's
+    /// cancellation token fired, which reports as an exhausted deadline
+    /// even when the budget has none.
     pub fn ticks_left(&self, budget: &SolveBudget) -> Option<u64> {
+        if self.cancel.is_cancelled() {
+            return Some(0);
+        }
         budget.deadline_ticks.map(|d| d.saturating_sub(self.ticks()))
     }
 
-    /// True when `budget`'s deadline has been reached.
+    /// True when `budget`'s deadline has been reached or the meter's
+    /// cancellation token has fired.
     pub fn deadline_hit(&self, budget: &SolveBudget) -> bool {
         matches!(self.ticks_left(budget), Some(0))
     }
@@ -185,7 +251,7 @@ impl BudgetMeter {
 
 impl Clone for BudgetMeter {
     fn clone(&self) -> BudgetMeter {
-        let m = BudgetMeter::new();
+        let m = BudgetMeter::with_cancel(self.cancel.clone());
         m.absorb(self);
         m
     }
@@ -519,6 +585,32 @@ mod tests {
             "over-spent by more than one tick per worker: {} ticks",
             meter.ticks()
         );
+    }
+
+    #[test]
+    fn cancellation_reports_as_an_exhausted_deadline() {
+        let meter = BudgetMeter::new();
+        let unlimited = SolveBudget::unlimited();
+        assert!(!meter.deadline_hit(&unlimited));
+        meter.cancel_token().cancel();
+        assert!(meter.deadline_hit(&unlimited), "cancel must bite without a deadline");
+        assert_eq!(meter.ticks_left(&unlimited), Some(0));
+        assert_eq!(meter.ticks_left(&SolveBudget::with_deadline(1000)), Some(0));
+    }
+
+    #[test]
+    fn cancel_tokens_are_shared_across_clones_and_meters() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let a = BudgetMeter::with_cancel(token.clone());
+        let b = a.clone(); // clones share the token
+        let c = BudgetMeter::with_cancel(token.clone());
+        token.cancel();
+        token.cancel(); // idempotent
+        let budget = SolveBudget::unlimited();
+        assert!(a.deadline_hit(&budget) && b.deadline_hit(&budget) && c.deadline_hit(&budget));
+        // A meter with its own default token is unaffected.
+        assert!(!BudgetMeter::new().deadline_hit(&budget));
     }
 
     #[test]

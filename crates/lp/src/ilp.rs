@@ -245,7 +245,12 @@ fn solve_ilp_routed(
     meter: &BudgetMeter,
     faults: &mut SolverFaults,
 ) -> (IlpResolution, IlpStats) {
-    if !faults.armed() && crate::incremental::warm_eligible(budget) {
+    // A cancelled meter routes dense, where the budget checkpoints degrade
+    // the solve promptly — fast-path work is work too.
+    if !faults.armed()
+        && crate::incremental::warm_eligible(budget)
+        && !meter.cancel_token().is_cancelled()
+    {
         let backend = crate::backend::solver_backend();
         let mut pivots = 0u64;
         let fast = crate::fastpath::try_fast_solve(problem, backend, &mut pivots);

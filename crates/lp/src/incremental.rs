@@ -140,6 +140,11 @@ impl BaseProblem {
         if self.problem.has_non_finite() {
             return None;
         }
+        // A cancelled meter declines the base solve outright: its jobs fall
+        // cold, where the budget checkpoints degrade them promptly.
+        if meter.cancel_token().is_cancelled() {
+            return None;
+        }
         if solver_backend() != SolverBackend::Dense {
             if let Some((red, mut inst)) = self.presolve_sparse_base() {
                 let cap = inst.default_iter_cap();
@@ -258,7 +263,10 @@ pub fn solve_delta_warm(
     certify: CertifyFn,
 ) -> (IlpResolution, IlpStats) {
     let full = base.compose(delta);
-    if warm_eligible(budget) && !faults.armed() {
+    // A cancelled meter skips the warm attempt: warm work is work too, and
+    // the cold path below degrades at its first budget checkpoint.
+    let cancelled = meter.cancel_token().is_cancelled();
+    if warm_eligible(budget) && !faults.armed() && !cancelled {
         match solution.and_then(|sol| warm_attempt(sol, delta, &full, meter, certify)) {
             Some(hit) => return hit,
             None => ipet_trace::counter("lp.warm.misses", 1),

@@ -77,7 +77,7 @@ mod structure;
 
 pub use backend::{set_solver_backend, solver_backend, SolverBackend};
 pub use budget::{
-    BoundQuality, BudgetMeter, IoFault, LpFault, SolveBudget, SolveFault, SolverFaults,
+    BoundQuality, BudgetMeter, CancelToken, IoFault, LpFault, SolveBudget, SolveFault, SolverFaults,
 };
 pub use fingerprint::{delta_rows_fingerprint, fingerprint, same_structure, Fingerprint};
 pub use ilp::{

@@ -44,6 +44,12 @@
 //!   quarantined as an exhausted job that degrades the affected bound to
 //!   `Partial` quality (`pool.panic.*` counters tell the story).
 //!
+//! Batches can also run under an external [`CancelToken`](ipet_lp::CancelToken)
+//! ([`SolvePool::run_plans_cancellable`]): cancelling makes every in-flight
+//! solve observe an exhausted deadline at its next budget checkpoint, so
+//! the batch degrades to certified-safe relaxed bounds and returns promptly
+//! instead of wedging a worker. Cancelled results never enter the caches.
+//!
 //! A pool can additionally be backed by a persistent, crash-safe store
 //! ([`SolvePool::with_store`], see `ipet-store`): after an in-memory miss
 //! the store is probed under the same structural + exact-certification

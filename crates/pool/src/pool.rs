@@ -7,7 +7,8 @@ use ipet_audit::{certify_witness, AuditReport, ClaimKind};
 use ipet_core::{AnalysisError, AnalysisPlan, Estimate, JobVerdict};
 use ipet_lp::{
     solve_delta_warm, solve_ilp_budgeted, warm_eligible, BaseProblem, BaseSolution, BudgetMeter,
-    DeltaSet, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget, SolverFaults,
+    CancelToken, DeltaSet, Fingerprint, IlpResolution, IlpStats, Problem, SolveBudget,
+    SolverFaults,
 };
 use ipet_store::Store;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -218,7 +219,7 @@ impl SolvePool {
             .iter()
             .map(|p| PoolJob { problem: p, key: SolveCache::key(p), warm: None, ctx: None })
             .collect();
-        self.solve_jobs(&jobs, &[], budget)
+        self.solve_jobs(&jobs, &[], budget, &CancelToken::new())
     }
 
     /// Builds the batch's job list and warm-start base table for `plans`.
@@ -233,6 +234,7 @@ impl SolvePool {
         &self,
         plans: &'a [AnalysisPlan],
         budget: &SolveBudget,
+        cancel: &CancelToken,
     ) -> (Vec<PoolJob<'a>>, Vec<(&'a BaseProblem, BaseSolution)>) {
         let warm_batch = warm_eligible(budget) && !self.faults.armed();
         let mut table: Vec<(&'a BaseProblem, BaseSolution)> = Vec::new();
@@ -245,7 +247,7 @@ impl SolvePool {
                 store.note_context(ctx.0, ctx.1);
             }
             let slots: Vec<Option<usize>> = if warm_batch && plan.warm_start() {
-                plan.bases().iter().map(|base| self.base_slot(base, &mut table)).collect()
+                plan.bases().iter().map(|base| self.base_slot(base, &mut table, cancel)).collect()
             } else {
                 Vec::new()
             };
@@ -267,6 +269,7 @@ impl SolvePool {
         &self,
         base: &'a BaseProblem,
         table: &mut Vec<(&'a BaseProblem, BaseSolution)>,
+        cancel: &CancelToken,
     ) -> Option<usize> {
         let mut cache = self.bases.lock().expect("base cache lock");
         let cached = cache
@@ -278,7 +281,7 @@ impl SolvePool {
                 entry.solution.clone()
             }
             None => {
-                let meter = BudgetMeter::new();
+                let meter = BudgetMeter::with_cancel(cancel.clone());
                 let solution = base.solve_base(&meter)?;
                 cache.push(BaseEntry {
                     fingerprint: base.fingerprint(),
@@ -301,6 +304,7 @@ impl SolvePool {
         jobs: &[PoolJob<'_>],
         bases: &[(&BaseProblem, BaseSolution)],
         budget: &SolveBudget,
+        cancel: &CancelToken,
     ) -> BatchReport {
         let _span = ipet_trace::span("pool.solve_batch");
         ipet_trace::counter("pool.batches", 1);
@@ -382,6 +386,9 @@ impl SolvePool {
         //    panics is retried once on a fresh thread (transient injected
         //    panics disarmed, always cold); a second panic quarantines the
         //    job as `Exhausted`.
+        // Per-representative slot: (resolution, stats, uncacheable). A slot
+        // is uncacheable when its solve was quarantined after a double
+        // panic, or ran under a cancelled token.
         let slots: Mutex<Vec<Option<(IlpResolution, IlpStats, bool)>>> =
             Mutex::new(vec![None; to_solve.len()]);
         let cursor = AtomicUsize::new(0);
@@ -392,6 +399,7 @@ impl SolvePool {
                 let (slots, cursor, tallies) = (&slots, &cursor, &tallies);
                 let (shards, to_solve, groups) = (&shards, &to_solve, &groups);
                 let faults_template = &self.faults;
+                let cancel = &cancel;
                 scope.spawn(move || {
                     let _worker = ipet_trace::set_worker(w as u64);
                     let mut my_ticks = 0u64;
@@ -402,7 +410,7 @@ impl SolvePool {
                         }
                         let rep = groups[to_solve[i]][0];
                         let job_budget = SolveBudget { deadline_ticks: shards[i], ..*budget };
-                        let meter = BudgetMeter::new();
+                        let meter = BudgetMeter::with_cancel((*cancel).clone());
                         let mut faults = faults_template.clone();
                         let attempt = catch_unwind(AssertUnwindSafe(|| match jobs[rep].warm {
                             Some((slot, delta)) => {
@@ -437,6 +445,7 @@ impl SolvePool {
                                     jobs[rep].problem,
                                     job_budget,
                                     retry_faults,
+                                    (*cancel).clone(),
                                 ) {
                                     Some((res, stats, ticks)) => {
                                         ipet_trace::counter("pool.panic.retried", 1);
@@ -451,7 +460,15 @@ impl SolvePool {
                                 }
                             }
                         };
-                        slots.lock().expect("slot lock")[i] = Some((res, stats, quarantined));
+                        // A solve that ran while the token was cancelled may
+                        // carry a degradation that reflects the cancellation,
+                        // not the problem — keep it out of the caches just
+                        // like a quarantined crash.
+                        let uncacheable = quarantined || cancel.is_cancelled();
+                        if !quarantined && uncacheable {
+                            ipet_trace::counter("pool.cancelled", 1);
+                        }
+                        slots.lock().expect("slot lock")[i] = Some((res, stats, uncacheable));
                     }
                     tallies.lock().expect("tick lock")[w] = my_ticks;
                 });
@@ -462,13 +479,15 @@ impl SolvePool {
         let worker_ticks = tallies.into_inner().expect("tick lock");
 
         // 5. Install the fresh solves (cache misses) and splice them into
-        //    the per-group answers. Quarantined jobs are *not* cached: the
-        //    `Exhausted` marker describes this run's crash, not the
-        //    problem, and must not be replayed into future batches.
+        //    the per-group answers. Uncacheable jobs (quarantined after a
+        //    double panic, or solved under a cancelled token) are *not*
+        //    cached: their markers describe this run's crash or
+        //    cancellation, not the problem, and must not be replayed into
+        //    future batches.
         for (i, g) in to_solve.iter().enumerate() {
             let rep = groups[*g][0];
-            let (res, stats, quarantined) = solved[i].clone().expect("every representative solved");
-            if !quarantined {
+            let (res, stats, uncacheable) = solved[i].clone().expect("every representative solved");
+            if !uncacheable {
                 self.cache.insert(keys[rep], jobs[rep].problem, &res, stats);
                 if let (Some(store), Some((identity, invalidation))) = (&self.store, jobs[rep].ctx)
                 {
@@ -529,8 +548,27 @@ impl SolvePool {
     /// shard assignment and every outcome — is a pure function of the plans
     /// and the budget, independent of the worker count.
     pub fn run_plans(&self, plans: &[AnalysisPlan], budget: &SolveBudget) -> PlanBatch {
-        let (jobs, bases) = self.prepare_jobs(plans, budget);
-        let report = self.solve_jobs(&jobs, &bases, budget);
+        self.run_plans_cancellable(plans, budget, &CancelToken::new())
+    }
+
+    /// [`SolvePool::run_plans`] under an external cancellation token.
+    ///
+    /// Cancelling the token makes every in-flight and not-yet-started solve
+    /// of this batch observe an exhausted deadline at its next budget
+    /// checkpoint (B&B node expansion, LP entry, set-driver step), so the
+    /// batch degrades to certified-safe relaxed/partial bounds and returns
+    /// promptly instead of wedging a worker. Results produced under a
+    /// cancelled token are never inserted into the in-memory or persistent
+    /// caches — cancellation is wall-clock nondeterminism and must not leak
+    /// into future batches.
+    pub fn run_plans_cancellable(
+        &self,
+        plans: &[AnalysisPlan],
+        budget: &SolveBudget,
+        cancel: &CancelToken,
+    ) -> PlanBatch {
+        let (jobs, bases) = self.prepare_jobs(plans, budget, cancel);
+        let report = self.solve_jobs(&jobs, &bases, budget, cancel);
         let mut offset = 0usize;
         let estimates = plans
             .iter()
@@ -559,8 +597,19 @@ impl SolvePool {
         plans: &[AnalysisPlan],
         budget: &SolveBudget,
     ) -> AuditedPlanBatch {
-        let (jobs, bases) = self.prepare_jobs(plans, budget);
-        let report = self.solve_jobs(&jobs, &bases, budget);
+        self.run_plans_audited_cancellable(plans, budget, &CancelToken::new())
+    }
+
+    /// [`SolvePool::run_plans_audited`] under an external cancellation
+    /// token; see [`SolvePool::run_plans_cancellable`] for the semantics.
+    pub fn run_plans_audited_cancellable(
+        &self,
+        plans: &[AnalysisPlan],
+        budget: &SolveBudget,
+        cancel: &CancelToken,
+    ) -> AuditedPlanBatch {
+        let (jobs, bases) = self.prepare_jobs(plans, budget, cancel);
+        let report = self.solve_jobs(&jobs, &bases, budget, cancel);
         let mut offset = 0usize;
         let results = plans
             .iter()
@@ -585,12 +634,13 @@ fn retry_on_fresh_worker(
     problem: &Problem,
     budget: SolveBudget,
     mut faults: SolverFaults,
+    cancel: CancelToken,
 ) -> Option<(IlpResolution, IlpStats, u64)> {
     let problem = problem.clone();
     let handle = std::thread::Builder::new()
         .name("ipet-pool-retry".into())
         .spawn(move || {
-            let meter = BudgetMeter::new();
+            let meter = BudgetMeter::with_cancel(cancel);
             let (res, stats) = solve_ilp_budgeted(&problem, &budget, &meter, &mut faults);
             (res, stats, meter.ticks())
         })

@@ -144,6 +144,12 @@ pub struct Store {
     lock_path: Option<PathBuf>,
     mode: StoreMode,
     inner: Mutex<Inner>,
+    /// Serializes whole flushes (snapshot + atomic rewrite) across threads.
+    /// `inner` alone is not enough: two concurrent flushes could encode
+    /// different snapshots and rename them in the *opposite* order, letting
+    /// an older image overwrite a newer one — losing entries whose
+    /// acknowledgment already implied durability.
+    flush_lock: Mutex<()>,
     loaded: AtomicU64,
     quarantined: AtomicU64,
     hits: AtomicU64,
@@ -221,6 +227,7 @@ impl Store {
             lock_path: None,
             mode: StoreMode::InMemory,
             inner: Mutex::new(Inner { entries: HashMap::new(), faults }),
+            flush_lock: Mutex::new(()),
             loaded: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -382,11 +389,18 @@ impl Store {
     /// [`StoreMode::ReadWrite`]. Injected IO faults fire here and are
     /// reported as errors (fail) or silently persisted damage (torn /
     /// corrupt) for recovery tests.
+    ///
+    /// Concurrent flushes are serialized end to end (`flush_lock`): each
+    /// snapshot reaches disk in the order it was taken, so a flush that
+    /// returned `Ok` can never be overwritten by an older image racing
+    /// through the rename. Inserts stay concurrent — only the
+    /// snapshot-encode step briefly holds the entry lock.
     pub fn flush(&self) -> Result<(), String> {
         if self.mode != StoreMode::ReadWrite {
             return Ok(());
         }
         let path = self.path.clone().expect("ReadWrite store has a path");
+        let _serialize = self.flush_lock.lock().expect("flush lock");
         let mut inner = self.inner.lock().expect("store lock");
         let mut payloads: Vec<Vec<u8>> =
             inner.entries.values().flat_map(|b| b.iter().map(encode_entry)).collect();
@@ -545,12 +559,40 @@ fn lock_is_stale(lock: &Path) -> bool {
     }
 }
 
+/// Atomically claims the right to break a stale `lock` by renaming it to a
+/// per-process tombstone. Of any number of racers, exactly one rename
+/// succeeds — the losers see the source vanish and return `false`. The
+/// winner then re-verifies *the tombstone's* content names a dead process:
+/// a bare `remove_file` here would be a TOCTOU hole (between the staleness
+/// check and the removal, a racer may have broken the stale lock and
+/// created a fresh live one — deleting that hands ReadWrite to two
+/// processes at once). If the captured lock turns out to be live it is
+/// restored via `hard_link` (same inode; `AlreadyExists` means the owner
+/// already recreated it, which is just as good) and the break is abandoned.
+fn break_stale_lock(lock: &Path) -> bool {
+    let mut tomb_name = lock.file_name().unwrap_or_default().to_os_string();
+    tomb_name.push(format!(".tomb.{}", std::process::id()));
+    let tomb = lock.with_file_name(tomb_name);
+    if fs::rename(lock, &tomb).is_err() {
+        // Another racer claimed the break (or the holder exited cleanly).
+        return false;
+    }
+    let dead = lock_is_stale(&tomb);
+    if !dead {
+        let _ = fs::hard_link(&tomb, lock);
+    }
+    let _ = fs::remove_file(&tomb);
+    dead
+}
+
 fn take_lock(lock: &Path) -> LockOutcome {
     match try_create_lock(lock) {
         Ok(()) => LockOutcome::Acquired { broke_stale: false },
         Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-            if lock_is_stale(lock) {
-                let _ = fs::remove_file(lock);
+            if lock_is_stale(lock) && break_stale_lock(lock) {
+                // `create_new` stays the final arbiter: whatever happened
+                // between the break and here, at most one process creates
+                // the new lock file.
                 match try_create_lock(lock) {
                     Ok(()) => LockOutcome::Acquired { broke_stale: true },
                     Err(_) => LockOutcome::Busy,
@@ -1044,6 +1086,83 @@ mod tests {
         } else {
             assert_eq!(store.mode(), StoreMode::ReadOnly);
         }
+    }
+
+    #[test]
+    fn breaking_a_live_lock_restores_it_untouched() {
+        // `break_stale_lock` is only reached after a staleness check, but
+        // the check is racy by nature: the function must detect that the
+        // lock it captured is in fact live, put it back, and refuse.
+        if !Path::new("/proc").is_dir() {
+            return;
+        }
+        let dir = scratch("liveclaim");
+        let lock = lock_path_for(&dir.join("s.store"));
+        let my_pid = std::process::id().to_string();
+        fs::write(&lock, &my_pid).expect("plant live lock");
+        assert!(!break_stale_lock(&lock), "a live lock must not be broken");
+        assert_eq!(fs::read_to_string(&lock).expect("restored"), my_pid);
+        assert!(
+            !dir.read_dir()
+                .unwrap()
+                .any(|e| { e.unwrap().file_name().to_string_lossy().contains(".tomb.") }),
+            "no tombstone may linger"
+        );
+    }
+
+    #[test]
+    fn breaking_a_dead_lock_claims_and_removes_it() {
+        if !Path::new("/proc").is_dir() {
+            return;
+        }
+        let dir = scratch("deadclaim");
+        let lock = lock_path_for(&dir.join("s.store"));
+        fs::write(&lock, format!("{}", u32::MAX)).expect("plant dead lock");
+        assert!(break_stale_lock(&lock));
+        assert!(!lock.exists(), "broken lock must be gone");
+        // A second breaker finds nothing to claim.
+        assert!(!break_stale_lock(&lock));
+    }
+
+    #[test]
+    fn concurrent_flushes_and_inserts_lose_nothing_acknowledged() {
+        // Hammer one store with interleaved inserts and flushes from many
+        // threads; every entry inserted before the final flush must be on
+        // disk afterwards. Distinct problems come from distinct rhs values.
+        let dir = scratch("concflush");
+        let path = dir.join("s.store");
+        let store = Store::open(&path);
+        assert_eq!(store.mode(), StoreMode::ReadWrite);
+        let threads = 8usize;
+        let per_thread = 12usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let mut b = ProblemBuilder::new(Sense::Maximize);
+                        let x = b.add_var("x", true);
+                        b.objective(x, 1.0);
+                        let rhs = (t * per_thread + i) as f64;
+                        b.constraint(vec![(x, 1.0)], Relation::Le, rhs);
+                        let p = b.build();
+                        let res = IlpResolution::Exact { x: vec![rhs], value: rhs };
+                        store.insert(key_of(&p), 7, 7, &p, &res, IlpStats::default());
+                        store.flush().expect("flush");
+                    }
+                });
+            }
+        });
+        store.flush().expect("final flush");
+        assert_eq!(store.len(), threads * per_thread);
+        drop(store);
+        let reopened = Store::open(&path);
+        assert_eq!(reopened.stats().quarantined, 0, "no torn or corrupt records");
+        assert_eq!(
+            reopened.stats().loaded,
+            (threads * per_thread) as u64,
+            "every acknowledged entry must survive concurrent flushing"
+        );
     }
 
     #[test]
