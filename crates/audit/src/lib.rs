@@ -263,6 +263,25 @@ pub fn certify_witness(
     Ok(CertifiedWitness { counts, objective })
 }
 
+/// Exact chord certificate for parametric region reuse (DESIGN.md §16).
+///
+/// `formula` is the line `value(p) = constant + slope·p` traced by an
+/// optimal witness solved at one end of a candidate region; `(p, value)` is
+/// the *certified* optimum at the other end. With parameter-free
+/// constraints the optimal value function is convex in `p` and the witness
+/// line is a global minorant, so exact equality of line and optimum at both
+/// endpoints proves the line *is* the optimum everywhere between them.
+///
+/// The arithmetic is exact dyadic-rational ([`Rat`]); overflow rejects the
+/// certificate (returns `false`) rather than guessing — the caller then
+/// falls back to a concrete solve, so a refused certificate costs time,
+/// never correctness.
+pub fn certify_chord(formula: ipet_lp::BoundFormula, p: u64, value: i128) -> bool {
+    let Some(term) = Rat::from_int(formula.slope).mul_int(p as i128) else { return false };
+    let Some(lhs) = term.add_checked(Rat::from_int(formula.constant)) else { return false };
+    lhs.cmp_exact(Rat::from_int(value)) == Some(std::cmp::Ordering::Equal)
+}
+
 /// One basic block's flow neighborhood, in problem-variable indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowNode {
@@ -552,6 +571,18 @@ mod tests {
             spec.check(&[1, 4, 2, 3]),
             Err(CertFailure::CouplingMismatch { entry: 1, got: 4, expected: 5 })
         );
+    }
+
+    #[test]
+    fn chord_certificate_is_exact() {
+        use ipet_lp::BoundFormula;
+        let f = BoundFormula { constant: 316, slope: 24 };
+        assert!(certify_chord(f, 0, 316));
+        assert!(certify_chord(f, 32, 316 + 24 * 32));
+        assert!(!certify_chord(f, 32, 316 + 24 * 32 + 1));
+        // Overflow refuses the certificate instead of wrapping.
+        let huge = BoundFormula { constant: 0, slope: i128::MAX };
+        assert!(!certify_chord(huge, 2, 0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! experiments blowup              # §II: explicit enumeration blow-up
 //! experiments ablation-split     # §IV: first-iteration cache splitting
 //! experiments sweep               # WCET vs i-cache miss penalty
+//! experiments parametric [--check] # sweep via certified bound formulas
 //! experiments dsp3210             # §VII: the AT&T DSP3210 port
 //! experiments dcache              # future work: data-cache hardware model
 //! experiments exhaustive          # actual bound by full input sweep
@@ -120,6 +121,7 @@ fn main() {
         "blowup" => blowup(),
         "ablation-split" => ablation(),
         "sweep" => sweep(),
+        "parametric" => parametric(jobs, warm, &rest[1..]),
         "dsp3210" => dsp3210(),
         "dcache" => dcache(),
         "exhaustive" => exhaustive(),
@@ -339,10 +341,34 @@ fn gate_cmd(jobs: usize, warm: bool, infer: Option<ipet_infer::InferMode>, args:
 }
 
 /// The miss-penalty sweep rendered from pooled points (same table as
-/// [`sweep`], but solved through the shared pool).
+/// [`sweep`], but solved through the shared pool), plus each routine's
+/// certified bound formula.
 fn sweep_pooled(pool: &ipet_pool::SolvePool, warm: bool) {
-    let (points, _) = sweep_miss_penalty_pooled(pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
-    print_sweep(&points);
+    let s = sweep_miss_penalty_parametric(pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
+    print_sweep(&s.points);
+    print_regions(&s);
+}
+
+/// Renders each routine's bound formula with its certified validity
+/// interval on the swept grid, plus the solve/reuse tallies.
+fn print_regions(s: &ParametricSweep) {
+    println!("== parametric: per-routine bound formulas wcet(p) on penalty p ==");
+    println!("{:<16} {:>7} {:>7}   formula", "function", "from", "to");
+    for r in &s.regions {
+        println!(
+            "{:<16} {:>7} {:>7}   wcet(p) = {}",
+            r.name, r.from_penalty, r.to_penalty, r.formula
+        );
+    }
+    println!(
+        "parametric: {} grid point(s): {} concrete solve(s), {} formula hit(s), \
+         {} region exit(s)",
+        SWEEP_PENALTIES.len(),
+        s.resolves,
+        s.region_hits,
+        s.region_exits
+    );
+    println!();
 }
 
 fn print_sweep(points: &[SweepPoint]) {
@@ -482,6 +508,54 @@ fn ablation() {
 
 fn sweep() {
     print_sweep(&sweep_miss_penalty(&SWEEP_PENALTIES, &SWEEP_NAMES));
+}
+
+/// `experiments parametric [--check]`: the miss-penalty sweep answered by
+/// certified bound formulas, printing each routine's `wcet(p)` line with
+/// its validity interval on the grid. `--check` re-runs the whole grid
+/// with one concrete solve per point and exits 1 unless the two sweeps
+/// are bit-identical (the CI `parametric` job runs this at `--jobs 1`
+/// and `--jobs 8`).
+fn parametric(jobs: usize, warm: bool, args: &[String]) {
+    let check = args.iter().any(|a| a == "--check");
+    let pool = ipet_pool::SolvePool::new(jobs);
+    let s = sweep_miss_penalty_parametric(&pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
+    print_sweep(&s.points);
+    print_regions(&s);
+    if check {
+        let concrete_pool = ipet_pool::SolvePool::new(jobs);
+        let (concrete, _) =
+            sweep_miss_penalty_concrete(&concrete_pool, &SWEEP_PENALTIES, &SWEEP_NAMES, warm);
+        let mut failures = 0usize;
+        for (got, want) in s.points.iter().zip(&concrete) {
+            for ((gn, gw), (wn, ww)) in got.wcet.iter().zip(&want.wcet) {
+                assert_eq!(gn, wn);
+                if gw != ww {
+                    eprintln!(
+                        "parametric: MISMATCH {gn} at penalty {}: formula {gw}, concrete {ww}",
+                        got.miss_penalty
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        if s.resolves >= SWEEP_PENALTIES.len() as u64 {
+            eprintln!(
+                "parametric: region reuse never fired ({} solves for {} grid points)",
+                s.resolves,
+                SWEEP_PENALTIES.len()
+            );
+            failures += 1;
+        }
+        if failures > 0 {
+            eprintln!("parametric: CHECK FAILED ({failures} failure(s))");
+            std::process::exit(1);
+        }
+        println!(
+            "parametric: CHECK PASS — formulas match concrete solves on all {} point(s)",
+            SWEEP_PENALTIES.len()
+        );
+    }
 }
 
 fn dsp3210() {

@@ -623,6 +623,32 @@ mod tests {
     }
 
     #[test]
+    fn parametric_sweep_matches_concrete_and_reuses_regions() {
+        let penalties = [0u64, 2, 4, 8, 16, 32];
+        let names = ["check_data"];
+        let s =
+            sweep_miss_penalty_parametric(&ipet_pool::SolvePool::new(1), &penalties, &names, true);
+        let (concrete, _) =
+            sweep_miss_penalty_concrete(&ipet_pool::SolvePool::new(1), &penalties, &names, true);
+        for (got, want) in s.points.iter().zip(&concrete) {
+            assert_eq!(got.miss_penalty, want.miss_penalty);
+            assert_eq!(got.wcet, want.wcet, "mp = {}", got.miss_penalty);
+        }
+        // Region reuse must fire: strictly fewer solves than grid points.
+        assert!(s.resolves < penalties.len() as u64, "{} solves", s.resolves);
+        assert!(s.region_hits > 0);
+        // The formulas' validity intervals tile the whole grid.
+        assert!(!s.regions.is_empty());
+        assert_eq!(s.regions.first().unwrap().from_penalty, 0);
+        assert_eq!(s.regions.last().unwrap().to_penalty, 32);
+        // And the serial entry point is the same sweep on a 1-wide pool.
+        let serial = sweep_miss_penalty(&penalties, &names);
+        for (a, b) in serial.iter().zip(&s.points) {
+            assert_eq!(a.wcet, b.wcet);
+        }
+    }
+
+    #[test]
     fn budget_sweep_degrades_safely() {
         // From unlimited down to a zero-tick deadline, the bound may widen
         // and the quality may drop, but it must never stop enclosing the
@@ -650,41 +676,194 @@ pub struct SweepPoint {
     pub wcet: Vec<(String, u64)>,
 }
 
-/// Parameter sweep: how the estimated WCET scales with the i-cache line
-/// fill penalty (the knob behind the paper's all-miss conservatism).
-/// Returns one series point per penalty value.
-pub fn sweep_miss_penalty(penalties: &[u64], names: &[&str]) -> Vec<SweepPoint> {
-    penalties
-        .iter()
-        .map(|&mp| {
-            let machine = Machine { miss_penalty: mp, ..Machine::i960kb() };
-            let wcet = names
-                .iter()
-                .map(|name| {
-                    let b = ipet_suite::by_name(name).expect("bundled benchmark");
-                    let program = b.program().unwrap();
-                    let analyzer = Analyzer::new(&program, machine).unwrap();
-                    let est = analyzer.analyze(&b.annotations(&program)).unwrap();
-                    (name.to_string(), est.bound.upper)
-                })
-                .collect();
-            SweepPoint { miss_penalty: mp, wcet }
-        })
-        .collect()
+/// A per-routine WCET bound formula together with the grid sub-range it
+/// is certified on: `wcet(p) = formula.constant + formula.slope * p` for
+/// every swept penalty in `[from_penalty, to_penalty]` (inclusive).
+#[derive(Debug, Clone)]
+pub struct SweepRegion {
+    /// Benchmark name.
+    pub name: String,
+    /// First grid penalty covered by this formula.
+    pub from_penalty: u64,
+    /// Last grid penalty covered by this formula.
+    pub to_penalty: u64,
+    /// The certified bound line.
+    pub formula: ipet_lp::BoundFormula,
 }
 
-/// [`sweep_miss_penalty`] with every point's ILPs batched through `pool`.
+/// Result of the region-certified parametric miss-penalty sweep.
+#[derive(Debug)]
+pub struct ParametricSweep {
+    /// One series point per penalty value (identical to what the concrete
+    /// per-point sweep would report — see DESIGN.md §16).
+    pub points: Vec<SweepPoint>,
+    /// Per-routine formulas with their certified validity intervals, in
+    /// `names` order then ascending penalty.
+    pub regions: Vec<SweepRegion>,
+    /// Grid points answered by a concrete ILP solve.
+    pub resolves: u64,
+    /// Grid points answered by formula evaluation alone.
+    pub region_hits: u64,
+    /// Chord-certificate failures (witness changes between probes).
+    pub region_exits: u64,
+    /// Merged batch report over every probe's pooled solve.
+    pub report: ipet_pool::BatchReport,
+}
+
+/// Parameter sweep: how the estimated WCET scales with the i-cache line
+/// fill penalty (the knob behind the paper's all-miss conservatism).
+/// Returns one series point per penalty value. Delegates to
+/// [`sweep_miss_penalty_pooled`] with a single-worker pool.
 ///
-/// Sharing the pool with an earlier [`run_all_pooled_with`] batch makes
-/// the sweep point at the default i960KB penalty (8 cycles) a pure cache
-/// replay: its problems are bit-identical to the Table II/III ones, so
-/// the pool validates and reuses those solves instead of repeating them.
-/// Returns the points plus the batch report (for replay accounting).
+/// # Panics
+///
+/// Panics if `penalties` is not strictly increasing or a benchmark fails
+/// to compile or analyse.
+pub fn sweep_miss_penalty(penalties: &[u64], names: &[&str]) -> Vec<SweepPoint> {
+    sweep_miss_penalty_pooled(&ipet_pool::SolvePool::new(1), penalties, names, true).0
+}
+
+/// [`sweep_miss_penalty`] with the ILPs batched through `pool`, solving
+/// only where the chord certificate cannot extend an already-certified
+/// bound formula (see [`sweep_miss_penalty_parametric`]). The reported
+/// points are bit-identical to a concrete per-point sweep.
+///
+/// # Panics
+///
+/// Panics if `penalties` is not strictly increasing or a benchmark fails
+/// to compile or analyse.
+pub fn sweep_miss_penalty_pooled(
+    pool: &ipet_pool::SolvePool,
+    penalties: &[u64],
+    names: &[&str],
+    warm: bool,
+) -> (Vec<SweepPoint>, ipet_pool::BatchReport) {
+    let s = sweep_miss_penalty_parametric(pool, penalties, names, warm);
+    (s.points, s.report)
+}
+
+/// The parametric sweep in full: probes the penalty grid with concrete
+/// pooled solves only at region boundaries, certifies each witness line
+/// over the interval it stays optimal (`ipet-lp`'s chord certificate,
+/// re-checked through `ipet-audit`'s exact rationals), and fills every
+/// interior grid point by evaluating the certified formula.
+///
+/// Sharing the pool with an earlier [`run_all_pooled_with`] batch makes a
+/// probe at the default i960KB penalty (8 cycles) a pure cache replay:
+/// those problems are bit-identical to the Table II/III ones.
+///
+/// In debug builds (when no trace recorder is installed, so counters stay
+/// deterministic) every formula-filled point is shadow-solved concretely
+/// and asserted bit-identical; release runs rely on the chord proof plus
+/// the CI `parametric` job, which diffs the two paths explicitly.
+///
+/// # Panics
+///
+/// Panics if `penalties` is not strictly increasing or a benchmark fails
+/// to compile or analyse.
+pub fn sweep_miss_penalty_parametric(
+    pool: &ipet_pool::SolvePool,
+    penalties: &[u64],
+    names: &[&str],
+    warm: bool,
+) -> ParametricSweep {
+    let budget = ipet_core::AnalysisBudget::default();
+    let mut report = ipet_pool::BatchReport::empty();
+    let mut probe = |mp: u64| -> Result<ipet_lp::Probe, std::convert::Infallible> {
+        let machine = Machine { miss_penalty: mp, ..Machine::i960kb() };
+        let point = machine.param_point();
+        let plans: Vec<ipet_core::AnalysisPlan> = names
+            .iter()
+            .map(|name| {
+                let b = ipet_suite::by_name(name).expect("bundled benchmark");
+                let program = b.program().unwrap();
+                let analyzer = Analyzer::new(&program, machine).unwrap().with_warm_start(warm);
+                let anns = ipet_core::parse_annotations(&b.annotations(&program)).unwrap();
+                analyzer.plan(&anns, &budget).unwrap()
+            })
+            .collect();
+        let batch = pool.run_plans(&plans, &budget.solve);
+        let mut values = Vec::with_capacity(names.len());
+        let mut formulas = Vec::with_capacity(names.len());
+        for (name, est) in names.iter().zip(batch.estimates) {
+            let est = est.unwrap_or_else(|e| panic!("{name}: {e}"));
+            values.push(est.bound.upper as i128);
+            // A witness line is only handed to the region driver when the
+            // exact-rational audit confirms it reproduces this probe's
+            // concrete optimum; anything less degrades to per-point solves.
+            formulas.push(est.wcet_formula.as_ref().and_then(|f| {
+                let (constant, slope) = f.specialize(ipet_hw::P_MISS, &point)?;
+                let line = ipet_lp::BoundFormula { constant, slope };
+                ipet_core::certify_chord(line, mp, est.bound.upper as i128).then_some(line)
+            }));
+        }
+        report.absorb(batch.report);
+        Ok(ipet_lp::Probe { values, formulas })
+    };
+    let sweep =
+        ipet_lp::parametric::sweep_grid(penalties, &mut probe).unwrap_or_else(|e| match e {});
+
+    let points: Vec<SweepPoint> = penalties
+        .iter()
+        .enumerate()
+        .map(|(pi, &mp)| SweepPoint {
+            miss_penalty: mp,
+            wcet: names
+                .iter()
+                .enumerate()
+                .map(|(ni, name)| {
+                    let v = sweep.values[pi][ni];
+                    (name.to_string(), u64::try_from(v).expect("WCET fits in u64"))
+                })
+                .collect(),
+        })
+        .collect();
+    let regions = names
+        .iter()
+        .enumerate()
+        .flat_map(|(ni, name)| {
+            sweep.regions(ni).into_iter().map(move |(s, e, formula)| SweepRegion {
+                name: name.to_string(),
+                from_penalty: penalties[s],
+                to_penalty: penalties[e],
+                formula,
+            })
+        })
+        .collect();
+
+    // Debug shadow-solve: re-derive every point concretely and require
+    // bit-identity. Skipped under an installed recorder so `lp.*` counter
+    // totals stay identical across build profiles (the bench gate diffs
+    // them exactly); the CI `parametric` job covers recorded runs.
+    #[cfg(debug_assertions)]
+    if !ipet_trace::enabled() {
+        let shadow =
+            sweep_miss_penalty_concrete(&ipet_pool::SolvePool::new(1), penalties, names, warm).0;
+        for (got, want) in points.iter().zip(&shadow) {
+            assert_eq!(got.miss_penalty, want.miss_penalty);
+            assert_eq!(got.wcet, want.wcet, "mp = {}", got.miss_penalty);
+        }
+    }
+
+    ParametricSweep {
+        points,
+        regions,
+        resolves: sweep.resolves,
+        region_hits: sweep.region_hits,
+        region_exits: sweep.region_exits,
+        report,
+    }
+}
+
+/// The reference sweep: one concrete pooled solve per grid point, no
+/// formula reuse. This is what [`sweep_miss_penalty_parametric`] must
+/// reproduce bit-for-bit; the CI `parametric` job and the debug
+/// shadow-solve both diff against it.
 ///
 /// # Panics
 ///
 /// Panics if a benchmark fails to compile or analyse.
-pub fn sweep_miss_penalty_pooled(
+pub fn sweep_miss_penalty_concrete(
     pool: &ipet_pool::SolvePool,
     penalties: &[u64],
     names: &[&str],
@@ -1077,6 +1256,58 @@ pub fn sensitivity_rows() -> Vec<(String, String, i64, i64)> {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod param_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Acceptance property of the parametric refactor: over random
+        /// synthetic programs, the region-certified sweep's values are
+        /// bit-identical to a concrete solve at every grid point.
+        #[test]
+        fn formula_sweep_matches_concrete_on_synth_programs(seed in 0u64..25) {
+            let s = synth::generate(seed, synth::SynthConfig::default());
+            let anns = {
+                let analyzer = Analyzer::new(&s.program, Machine::i960kb()).unwrap();
+                ipet_infer::infer_and_merge(
+                    Some(&s.module),
+                    &analyzer,
+                    &ipet_core::Annotations::default(),
+                    ipet_infer::InferMode::Only,
+                )
+                .unwrap()
+                .annotations
+            };
+            let grid = [0u64, 2, 4, 8, 16, 32];
+            let mut probe = |mp: u64| -> Result<ipet_lp::Probe, std::convert::Infallible> {
+                let m = Machine { miss_penalty: mp, ..Machine::i960kb() };
+                let est = Analyzer::new(&s.program, m).unwrap().analyze_parsed(&anns).unwrap();
+                let line = est.wcet_formula.as_ref().and_then(|f| {
+                    let (constant, slope) = f.specialize(ipet_hw::P_MISS, &m.param_point())?;
+                    Some(ipet_lp::BoundFormula { constant, slope })
+                });
+                Ok(ipet_lp::Probe { values: vec![est.bound.upper as i128], formulas: vec![line] })
+            };
+            let sweep = ipet_lp::parametric::sweep_grid(&grid, &mut probe)
+                .unwrap_or_else(|e| match e {});
+            for (i, &mp) in grid.iter().enumerate() {
+                let m = Machine { miss_penalty: mp, ..Machine::i960kb() };
+                let est = Analyzer::new(&s.program, m).unwrap().analyze_parsed(&anns).unwrap();
+                prop_assert_eq!(
+                    sweep.values[i][0],
+                    est.bound.upper as i128,
+                    "seed {} penalty {}",
+                    seed,
+                    mp
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,9 @@ fn usage() -> String {
      \x20        --infer[=only|prefer-annot] (derive loop bounds; default merges\n\
      \x20         with annotations taking the tighter interval per loop)\n\
      \x20        --machine i960kb|dsp3210 --cache-split --dump-structural --measure\n\
+     \x20        --parametric (sweep the i-cache miss penalty and print each\n\
+     \x20         routine's certified WCET bound formula wcet(p) with its\n\
+     \x20         validity interval; serial path only)\n\
      \x20        --jobs N (parallel ILP workers; output identical for any N)\n\
      \x20        --no-warm-start (solve every ILP cold; bounds are identical,\n\
      \x20         only solver effort counters change)\n\
@@ -195,6 +198,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let mut cache_split = false;
     let mut dump_structural = false;
     let mut do_measure = false;
+    let mut parametric = false;
     let mut infer: Option<ipet_infer::InferMode> = None;
     let mut optimize = false;
     let mut shared = false;
@@ -232,6 +236,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             "--cache-split" => cache_split = true,
             "--dump-structural" => dump_structural = true,
             "--measure" => do_measure = true,
+            "--parametric" => parametric = true,
             "--deadline" => budget.solve.deadline_ticks = Some(parse_num("--deadline", it.next())?),
             "--max-nodes" => budget.solve.max_nodes = parse_num("--max-nodes", it.next())? as usize,
             "--max-sets" => budget.solve.max_sets = parse_num("--max-sets", it.next())? as usize,
@@ -435,10 +440,10 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
             // tier); a store-backed run therefore excludes the serial-only
             // features, mirroring the multi-target restrictions below.
             let store = if let (Some(path), false) = (&store_path, no_store) {
-                if do_measure || dump_structural {
-                    return Err(
-                        "--store needs the pooled path; drop --measure/--dump-structural".into()
-                    );
+                if do_measure || dump_structural || parametric {
+                    return Err("--store needs the pooled path; drop \
+                         --measure/--dump-structural/--parametric"
+                        .into());
                 }
                 if faults.armed() {
                     return Err("--store cannot combine with --inject-corrupt-* solve faults \
@@ -465,6 +470,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     cache_split,
                     dump_structural,
                     do_measure,
+                    parametric,
                     infer,
                     shared,
                     warm,
@@ -475,9 +481,9 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
                     &mut provenances,
                 )
             } else {
-                if do_measure || dump_structural {
-                    return Err("--measure and --dump-structural need the serial path \
-                         (one target, --jobs 1)"
+                if do_measure || dump_structural || parametric {
+                    return Err("--measure, --dump-structural and --parametric need the \
+                         serial path (one target, --jobs 1)"
                         .into());
                 }
                 if faults.armed() {
@@ -782,6 +788,7 @@ fn analyze(
     cache_split: bool,
     dump_structural: bool,
     do_measure: bool,
+    parametric: bool,
     infer: Option<ipet_infer::InferMode>,
     shared: bool,
     warm: bool,
@@ -831,6 +838,10 @@ fn analyze(
         }
     }
 
+    if parametric {
+        parametric_report(t, machine, mode, context, warm, &anns, budget)?;
+    }
+
     if do_measure {
         let b = t
             .bench
@@ -872,6 +883,82 @@ fn analyze(
         );
         Ok(RunStatus::Degraded)
     }
+}
+
+/// `--parametric`: sweeps the i-cache miss penalty over a small grid
+/// (always including the selected machine's own penalty), solving
+/// concretely only where the chord certificate cannot extend an existing
+/// witness line (`ipet_lp::parametric`, DESIGN.md §16), and prints the
+/// certified WCET bound formulas with their validity intervals.
+fn parametric_report(
+    t: &Target,
+    machine: Machine,
+    mode: CacheMode,
+    context: ContextMode,
+    warm: bool,
+    anns: &ipet_core::Annotations,
+    budget: &AnalysisBudget,
+) -> Result<(), String> {
+    let mut grid: Vec<u64> = vec![0, 2, 4, 8, 16, 32];
+    if !grid.contains(&machine.miss_penalty) {
+        grid.push(machine.miss_penalty);
+        grid.sort_unstable();
+    }
+    let mut probe = |mp: u64| -> Result<ipet_lp::Probe, String> {
+        let m = Machine { miss_penalty: mp, ..machine };
+        let analyzer = Analyzer::new_with_context(&t.program, m, context)
+            .map_err(|e| e.to_string())?
+            .with_cache_mode(mode)
+            .with_warm_start(warm);
+        let est = analyzer
+            .analyze_parsed_with_faults(anns, budget, &mut SolverFaults::none())
+            .map_err(|e| e.to_string())?;
+        let line = est.wcet_formula.as_ref().and_then(|f| {
+            let (constant, slope) = f.specialize(ipet_core::P_MISS, &m.param_point())?;
+            Some(ipet_lp::BoundFormula { constant, slope })
+        });
+        Ok(ipet_lp::Probe { values: vec![est.bound.upper as i128], formulas: vec![line] })
+    };
+    let sweep = ipet_lp::parametric::sweep_grid(&grid, &mut probe)?;
+    println!("parametric WCET vs i-cache miss penalty (base penalty {}):", machine.miss_penalty);
+    for (i, &mp) in grid.iter().enumerate() {
+        let how = if sweep.formulas[i].first().copied().flatten().is_some() {
+            ""
+        } else {
+            "  (concrete solve, no certified formula)"
+        };
+        println!("  penalty {mp:>3}: wcet {}{how}", sweep.values[i][0]);
+    }
+    let regions = sweep.regions(0);
+    if regions.is_empty() {
+        println!("no certified bound formula (degraded or non-exact analysis)");
+    } else {
+        println!("certified bound formulas (validity on the swept grid):");
+        for (s, e, f) in &regions {
+            println!("  p in [{}, {}]: wcet(p) = {}", grid[*s], grid[*e], f);
+        }
+    }
+    println!(
+        "parametric: {} grid point(s): {} concrete solve(s), {} formula hit(s), \
+         {} region exit(s)",
+        grid.len(),
+        sweep.resolves,
+        sweep.region_hits,
+        sweep.region_exits
+    );
+    let base = Analyzer::new_with_context(&t.program, machine, context)
+        .map_err(|e| e.to_string())?
+        .with_cache_mode(mode)
+        .with_warm_start(warm);
+    let model = base.wcet_loop_model_parsed(anns).map_err(|e| e.to_string())?;
+    if !model.is_constant() {
+        println!(
+            "loop-bound model (first-order around the annotated bounds, \
+             not region-certified):"
+        );
+        println!("  wcet = {model}");
+    }
+    Ok(())
 }
 
 /// Multi-target / parallel `analyze`: builds every target's job graph

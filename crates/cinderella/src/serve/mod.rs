@@ -147,6 +147,10 @@ impl Daemon {
         if let Some(store) = &store {
             pool = pool.with_store(Arc::clone(store));
         }
+        // The stats op reports the solver-effort tallies (`lp.warm.*`,
+        // `lp.sparse.*`) alongside the pool/store sections; they only
+        // accumulate with the process-global trace recorder installed.
+        ipet_trace::install();
         let admission = Admission::new(cfg.max_inflight, cfg.max_queue);
         Ok(Daemon {
             cfg,
@@ -200,6 +204,19 @@ impl Daemon {
     pub(crate) fn stats_line(&self) -> Json {
         let c = self.counters.snapshot();
         let cache = self.pool.cache_stats();
+        // Warm-start and sparse-backend solver tallies since startup, in
+        // the recorder's (deterministic) name order.
+        let solver_json = {
+            let mut kv: Vec<(String, Json)> = Vec::new();
+            if let Some(doc) = ipet_trace::snapshot() {
+                for (name, value) in &doc.counters {
+                    if name.starts_with("lp.warm.") || name.starts_with("lp.sparse.") {
+                        kv.push((name.clone(), Json::Num(*value as f64)));
+                    }
+                }
+            }
+            Json::Obj(kv)
+        };
         let store_json = match &self.store {
             None => Json::Null,
             Some(store) => {
@@ -257,6 +274,7 @@ impl Daemon {
                             ("rejected".into(), Json::Num(cache.rejected as f64)),
                         ]),
                     ),
+                    ("solver".into(), solver_json),
                     ("store".into(), store_json),
                 ]),
             ),

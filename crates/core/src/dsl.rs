@@ -204,6 +204,15 @@ pub struct LoopProvenance {
     pub source: BoundSource,
 }
 
+impl LoopProvenance {
+    /// The canonical parameter-symbol name of this loop's bound, as used
+    /// in symbolic cost forms ([`ipet_hw::ParamExpr`]): `bound.<func>.x<H>`
+    /// with the header block in its 1-based `x` notation.
+    pub fn bound_symbol(&self) -> String {
+        format!("bound.{}.x{}", self.func, self.header + 1)
+    }
+}
+
 /// Parsed annotation file: statements grouped by function name.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Annotations {

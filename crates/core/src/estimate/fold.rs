@@ -7,6 +7,7 @@ use crate::error::AnalysisError;
 use ipet_audit::{
     certify_witness, AuditReport, CertFailure, CertVerdict, ClaimKind, SetCertificate,
 };
+use ipet_hw::ParamExpr;
 use ipet_lp::{round_witness, BoundQuality, IlpResolution, IlpStats, Problem, Sense};
 use std::collections::BTreeMap;
 
@@ -363,6 +364,31 @@ impl AnalysisPlan {
             *contributions.entry(m.instance_label.clone()).or_insert(0) += value * m.contrib_cost;
         }
 
+        // The symbolic WCET formula: the worst witness's counts times the
+        // parametric objective coefficients, an exact linear form over the
+        // named cache penalties. Reported only when the analysis is Exact
+        // *and* the formula provably reproduces the concrete bound at the
+        // machine's own parameter point — evaluating elsewhere is then a
+        // certified-region question (`ipet_lp::parametric`, DESIGN.md §16),
+        // never a guess here.
+        let wcet_formula = if quality == BoundQuality::Exact {
+            let mut formula = ParamExpr::default();
+            for (id, m) in self.vars.iter().enumerate() {
+                let count = worst_rounded.get(id).copied().unwrap_or(0);
+                if count != 0 {
+                    formula = formula.add(&m.param_cost.scale(count as i128));
+                }
+            }
+            // The replay check is a release-mode guard, not an assert: a
+            // witness/bound mismatch here is reachable by design through
+            // fault injection (`SolverFaults`), where the audit — not this
+            // fold — is the layer that must flag it. The formula is simply
+            // withheld.
+            (formula.eval(&self.param_point) == Some(upper as i128)).then_some(formula)
+        } else {
+            None
+        };
+
         let report = AuditReport { sets: certificates };
         if audit {
             ipet_trace::counter("audit.runs", 1);
@@ -387,6 +413,7 @@ impl AnalysisPlan {
                 sets_skipped,
                 degraded_sets,
                 loop_bounds: self.loop_bounds.clone(),
+                wcet_formula,
             },
             report,
         ))

@@ -28,7 +28,7 @@ use crate::error::AnalysisError;
 use ipet_arch::{FuncId, Program};
 use ipet_audit::{certify_witness, AuditReport, ClaimKind, FlowSpec};
 use ipet_cfg::{BlockId, InstanceId, Instances};
-use ipet_hw::{block_cost, BlockCost, Machine};
+use ipet_hw::{block_cost, block_cost_param, BlockCost, Machine, ParamExpr, ParamPoint};
 use ipet_lp::{
     solve_ilp_budgeted, BaseProblem, BoundQuality, BudgetMeter, DeltaSet, IlpResolution, IlpStats,
     IncrementalSolver, Problem, Sense, SolveBudget, SolverFaults,
@@ -191,6 +191,18 @@ pub struct Estimate {
     /// merged). Empty unless the inference pass ran — the render section
     /// only appears when non-empty, keeping annotation-only output stable.
     pub loop_bounds: Vec<LoopProvenance>,
+    /// The symbolic WCET formula: the worst-case witness's execution counts
+    /// multiplied by the *parametric* per-variable costs, an exact integer
+    /// linear form over the named cache penalties
+    /// ([`ipet_hw::P_MISS`], [`ipet_hw::P_DMISS`]).
+    ///
+    /// Present only for a [`BoundQuality::Exact`] analysis whose formula
+    /// provably reproduces `bound.upper` when evaluated at the analyzed
+    /// machine's own parameter point — so the formula is never a guess.
+    /// The formula is the witness's *line*: it equals the true WCET at this
+    /// parameter point and is a lower bound elsewhere; region certification
+    /// (`ipet_lp::parametric`, DESIGN.md §16) decides where it stays exact.
+    pub wcet_formula: Option<ParamExpr>,
 }
 
 impl Estimate {
@@ -324,6 +336,12 @@ struct VarMeta {
     /// (0 for edges and for block variables whose cost the cache split
     /// moved onto virtual cold/warm variables).
     contrib_cost: u64,
+    /// The parametric counterpart of `contrib_cost`: the same worst-case
+    /// objective coefficient as an exact linear form over the named cache
+    /// penalties. Evaluating it at the plan's parameter point reproduces
+    /// `contrib_cost` exactly; the verdict fold sums `count · param_cost`
+    /// over the worst-case witness to build [`Estimate::wcet_formula`].
+    param_cost: ParamExpr,
 }
 
 /// The job graph of one analysis: every ILP to solve plus everything needed
@@ -367,6 +385,11 @@ pub struct AnalysisPlan {
     /// annotations; empty unless the inference pass filled it in).
     loop_bounds: Vec<LoopProvenance>,
     vars: Vec<VarMeta>,
+    /// The analyzed machine's point in parameter space: where every
+    /// [`VarMeta::param_cost`] evaluates back to its concrete coefficient.
+    /// The fold uses it to prove [`Estimate::wcet_formula`] reproduces the
+    /// concrete bound before reporting the formula at all.
+    param_point: ParamPoint,
     /// CFG flow structure for the auditor's independent flow replay, built
     /// from the CFG topology rather than the assembled constraint matrix.
     flow: FlowSpec,
@@ -430,6 +453,13 @@ impl AnalysisPlan {
     pub fn loop_bounds(&self) -> &[LoopProvenance] {
         &self.loop_bounds
     }
+
+    /// The analyzed machine's point in parameter space — the concrete
+    /// penalty values at which every parametric objective coefficient
+    /// evaluates back to the concrete one.
+    pub fn param_point(&self) -> &ParamPoint {
+        &self.param_point
+    }
 }
 
 /// The IPET analyzer for one program on one machine.
@@ -442,6 +472,11 @@ pub struct Analyzer<'p> {
     instances: Instances,
     /// `costs[func][block]`
     costs: Vec<Vec<BlockCost>>,
+    /// `param_costs[func][block]`: the same cost bounds as exact linear
+    /// forms over the named cache penalties, computed once alongside the
+    /// concrete costs (invariant: evaluating at the machine's own
+    /// [`Machine::param_point`] reproduces `costs` bit for bit).
+    param_costs: Vec<Vec<BlockCost<ParamExpr>>>,
     cache_mode: CacheMode,
     warm_start: bool,
 }
@@ -479,11 +514,23 @@ impl<'p> Analyzer<'p> {
                 cfg.blocks.iter().map(|b| block_cost(&machine, &program.functions[f], b)).collect()
             })
             .collect();
+        let param_costs = instances
+            .cfgs
+            .iter()
+            .enumerate()
+            .map(|(f, cfg)| {
+                cfg.blocks
+                    .iter()
+                    .map(|b| block_cost_param(&machine, &program.functions[f], b))
+                    .collect()
+            })
+            .collect();
         Ok(Analyzer {
             program,
             machine,
             instances,
             costs,
+            param_costs,
             cache_mode: CacheMode::AllMiss,
             warm_start: true,
         })
@@ -525,6 +572,12 @@ impl<'p> Analyzer<'p> {
     /// Cost bounds of one basic block.
     pub fn block_cost(&self, func: FuncId, block: BlockId) -> BlockCost {
         self.costs[func.0][block.0]
+    }
+
+    /// Parametric cost bounds of one basic block: the same model with the
+    /// cache penalties left symbolic.
+    pub fn block_cost_param(&self, func: FuncId, block: BlockId) -> &BlockCost<ParamExpr> {
+        &self.param_costs[func.0][block.0]
     }
 
     /// The loops the user must bound, as `(function, header block)` pairs —
@@ -597,6 +650,56 @@ impl<'p> Analyzer<'p> {
             }
         }
         Ok(out)
+    }
+
+    /// First-order symbolic WCET model over the annotated loop bounds:
+    /// one named [`ParamExpr`] term per `loop` annotation, under the
+    /// canonical symbol `bound.<func>.x<H>`
+    /// ([`LoopProvenance::bound_symbol`](crate::LoopProvenance::bound_symbol)
+    /// naming), with the finite-difference sensitivity as its coefficient.
+    /// Evaluating the form at the annotated bounds reproduces the concrete
+    /// WCET exactly.
+    ///
+    /// Loop bounds enter the ILP as *constraint coefficients*, not
+    /// objective terms, so — unlike the cache-penalty axis, where the
+    /// objective is linear in the parameter — no convexity argument makes
+    /// this model globally exact: away from the annotated point it is a
+    /// local linearization, and it carries no chord-certified validity
+    /// region (the deviation is documented in DESIGN.md §16).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn wcet_loop_model(&self, annotations: &str) -> Result<ParamExpr, AnalysisError> {
+        self.wcet_loop_model_parsed(&parse_annotations(annotations)?)
+    }
+
+    /// [`Analyzer::wcet_loop_model`] over already-parsed annotations.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn wcet_loop_model_parsed(&self, anns: &Annotations) -> Result<ParamExpr, AnalysisError> {
+        let base = self.analyze_parsed(anns)?;
+        let mut model = ParamExpr::constant(base.bound.upper as i128);
+        for (fi, (func, stmts)) in anns.functions.iter().enumerate() {
+            for (si, stmt) in stmts.iter().enumerate() {
+                let Stmt::Loop { header, hi, .. } = stmt else {
+                    continue;
+                };
+                let mut widened = anns.clone();
+                if let Stmt::Loop { hi: h, .. } = &mut widened.functions[fi].1[si] {
+                    *h += 1;
+                }
+                let wider = self.analyze_parsed(&widened)?;
+                let slope = wider.bound.upper as i128 - base.bound.upper as i128;
+                let symbol = format!("bound.{func}.x{}", header.index);
+                // base + slope·(b − hi), rearranged into constant + slope·b.
+                model =
+                    model.add(&ParamExpr::term(&symbol, slope)).add_const(-(slope * *hi as i128));
+            }
+        }
+        Ok(model)
     }
 
     /// Runs the full analysis with annotation source text.

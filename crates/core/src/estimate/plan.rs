@@ -8,6 +8,7 @@ use crate::lincon::{set_is_null, LinCon};
 use crate::structural::{flow_spec, structural_constraints};
 use crate::vars::{VarRef, VarSpace};
 use ipet_cfg::{BlockId, InstanceId, LoopInfo};
+use ipet_hw::ParamExpr;
 use ipet_lp::{
     BaseProblem, BoundQuality, Constraint, DeltaSet, Problem, ProblemBuilder, Sense, VarId,
 };
@@ -155,7 +156,7 @@ impl<'p> Analyzer<'p> {
 
         // Shared structural rows and (for the worst case) split rows.
         let structural = structural_constraints(&self.instances);
-        let (split_rows, split_objective) = self.build_split(&mut space);
+        let (split_rows, split_objective, split_param) = self.build_split(&mut space);
 
         // Constraints common to *every* set (the non-disjunctive
         // statements): together with the structural and split rows they
@@ -226,30 +227,41 @@ impl<'p> Analyzer<'p> {
             });
         }
 
+        // Per-variable metadata. `param_cost` mirrors the worst-case
+        // objective coefficient symbolically: where the cache split zeroes
+        // a block's concrete cost and moves it onto the cold/warm virtual
+        // variables, the parametric coefficient moves with it, so
+        // `Σ count·param_cost` over any witness equals the objective as an
+        // exact linear form in the penalties.
         let vars: Vec<VarMeta> = space
             .iter()
             .map(|(id, r)| {
-                let (is_block, instance_label, contrib_cost) = match r {
+                let (is_block, instance_label, contrib_cost, param_cost) = match r {
                     VarRef::Block(inst, blk) => {
                         let func = self.instances.cfg(inst).func;
-                        let cost = match split_objective.get(&r) {
-                            Some(&c) => c as u64,
-                            None => self.costs[func.0][blk.0].worst_cold,
+                        let (cost, param) = match split_objective.get(&r) {
+                            Some(&c) => (c as u64, ParamExpr::default()),
+                            None => (
+                                self.costs[func.0][blk.0].worst_cold,
+                                self.param_costs[func.0][blk.0].worst_cold.clone(),
+                            ),
                         };
-                        (true, self.instances.instances[inst.0].label.clone(), cost)
+                        (true, self.instances.instances[inst.0].label.clone(), cost, param)
                     }
                     VarRef::SplitCold(inst, _) | VarRef::SplitWarm(inst, _) => (
                         false,
                         self.instances.instances[inst.0].label.clone(),
                         split_objective.get(&r).copied().unwrap_or(0.0) as u64,
+                        split_param.get(&r).cloned().unwrap_or_default(),
                     ),
-                    VarRef::Edge(_, _) => (false, String::new(), 0),
+                    VarRef::Edge(_, _) => (false, String::new(), 0, ParamExpr::default()),
                 };
                 VarMeta {
                     label: space.label(id).to_string(),
                     is_block,
                     instance_label,
                     contrib_cost,
+                    param_cost,
                 }
             })
             .collect();
@@ -282,6 +294,7 @@ impl<'p> Analyzer<'p> {
             unbounded_loops: self.unbounded_loop_labels(&bounded_headers),
             loop_bounds: anns.provenance.clone(),
             vars,
+            param_point: self.machine().param_point(),
             flow: flow_spec(&self.instances, &space),
             identity_hash,
             invalidation_hash,
@@ -314,11 +327,19 @@ impl<'p> Analyzer<'p> {
 
     /// Builds the split rows and split objective coefficients for
     /// [`CacheMode::FirstIterSplit`] (empty under [`CacheMode::AllMiss`]).
-    pub(super) fn build_split(&self, space: &mut VarSpace) -> (Vec<LinCon>, HashMap<VarRef, f64>) {
+    /// The third return value carries the same objective coefficients as
+    /// exact parametric forms, so delta/split rows keep their symbolic
+    /// objective terms alongside the concrete ones.
+    #[allow(clippy::type_complexity)]
+    pub(super) fn build_split(
+        &self,
+        space: &mut VarSpace,
+    ) -> (Vec<LinCon>, HashMap<VarRef, f64>, HashMap<VarRef, ParamExpr>) {
         let mut rows = Vec::new();
         let mut obj: HashMap<VarRef, f64> = HashMap::new();
+        let mut param: HashMap<VarRef, ParamExpr> = HashMap::new();
         if self.cache_mode != CacheMode::FirstIterSplit {
-            return (rows, obj);
+            return (rows, obj, param);
         }
         for i in 0..self.instances.len() {
             let inst = InstanceId(i);
@@ -362,9 +383,12 @@ impl<'p> Analyzer<'p> {
                 obj.insert(cold, cost.worst_cold as f64);
                 obj.insert(warm, cost.worst_warm as f64);
                 obj.insert(x, 0.0);
+                let pcost = &self.param_costs[func.0][b.0];
+                param.insert(cold, pcost.worst_cold.clone());
+                param.insert(warm, pcost.worst_warm.clone());
             }
         }
-        (rows, obj)
+        (rows, obj, param)
     }
 
     /// A loop qualifies for warm-iteration costing when its body contains

@@ -532,3 +532,75 @@ fn dnf_cap_drops_disjunctions_and_reports_partial() {
         other => panic!("{other:?}"),
     }
 }
+
+#[test]
+fn wcet_formula_replays_concrete_bound_and_predicts_sweeps() {
+    let p = while_loop_program(10);
+    let ann = "fn main { loop x2 in [10, 10]; }";
+    let base_machine = Machine::i960kb();
+    let a = Analyzer::new(&p, base_machine).unwrap();
+    let est = a.analyze(ann).unwrap();
+    let formula = est.wcet_formula.as_ref().expect("exact analysis yields a formula");
+    // Replaying at the machine's own point reproduces the bound exactly.
+    assert_eq!(formula.eval(&base_machine.param_point()), Some(est.bound.upper as i128));
+    // This single-line program has one optimal path for every penalty, so
+    // the formula predicts the whole miss-penalty sweep bit for bit.
+    for mp in [0u64, 2, 4, 8, 16, 32] {
+        let m = Machine { miss_penalty: mp, ..base_machine };
+        let swept = Analyzer::new(&p, m).unwrap().analyze(ann).unwrap();
+        assert_eq!(
+            formula.eval(&m.param_point()),
+            Some(swept.bound.upper as i128),
+            "miss_penalty = {mp}"
+        );
+    }
+}
+
+#[test]
+fn wcet_formula_survives_cache_split_objective() {
+    let p = while_loop_program(50);
+    let machine = Machine::i960kb();
+    let a = Analyzer::new(&p, machine).unwrap().with_cache_mode(CacheMode::FirstIterSplit);
+    let est = a.analyze("fn main { loop x2 in [50, 50]; }").unwrap();
+    let formula = est.wcet_formula.as_ref().expect("split analysis yields a formula");
+    assert_eq!(formula.eval(&machine.param_point()), Some(est.bound.upper as i128));
+    // Under the split, only first iterations pay the miss penalty: the
+    // slope must be strictly smaller than the all-miss slope.
+    let all_miss = Analyzer::new(&p, machine).unwrap();
+    let am = all_miss.analyze("fn main { loop x2 in [50, 50]; }").unwrap();
+    let am_formula = am.wcet_formula.as_ref().unwrap();
+    assert!(formula.coeff(ipet_hw::P_MISS) < am_formula.coeff(ipet_hw::P_MISS));
+}
+
+#[test]
+fn degraded_analysis_reports_no_formula() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [0, 10]; (x3 = 0) | (x3 = 5); }";
+    let mut budget = AnalysisBudget::unlimited();
+    budget.solve.max_sets = 1;
+    let partial = a.analyze_with(ann, &budget).unwrap();
+    assert_eq!(partial.quality, BoundQuality::Partial);
+    assert!(partial.wcet_formula.is_none(), "non-exact bounds must not claim a formula");
+}
+
+#[test]
+fn loop_model_replays_concrete_bound_at_annotated_point() {
+    let p = while_loop_program(10);
+    let a = Analyzer::new(&p, Machine::i960kb()).unwrap();
+    let ann = "fn main { loop x2 in [10, 10]; }";
+    let est = a.analyze(ann).unwrap();
+    let model = a.wcet_loop_model(ann).unwrap();
+    // Evaluating the symbolic model at the annotated bound reproduces the
+    // concrete WCET exactly.
+    let mut point = ipet_hw::ParamPoint::new();
+    point.insert("bound.main.x2".into(), 10);
+    assert_eq!(model.eval(&point), Some(est.bound.upper as i128));
+    // The symbol carries the finite-difference slope: one more iteration
+    // moves the model by exactly the sensitivity delta.
+    let slope = model.coeff("bound.main.x2");
+    assert!(slope > 0, "a bounded loop must have positive marginal cost");
+    point.insert("bound.main.x2".into(), 11);
+    let wider = a.analyze("fn main { loop x2 in [10, 11]; }").unwrap();
+    assert_eq!(model.eval(&point), Some(wider.bound.upper as i128));
+}

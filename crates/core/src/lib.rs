@@ -68,7 +68,10 @@ pub use idl::{compile_idl, idl_to_dsl, parse_idl, IdlAnnotations, IdlStmt};
 pub use infer::{infer_loop_bounds, inferred_annotations, InferredBound};
 // Budget vocabulary shared with the solver layer, re-exported so CLI and
 // bench consumers need only depend on ipet-core.
-pub use ipet_audit::{AuditReport, CertFailure, CertVerdict, SetCertificate};
+pub use ipet_audit::{certify_chord, AuditReport, CertFailure, CertVerdict, SetCertificate};
+// Parametric-cost vocabulary shared with the hardware model, re-exported
+// for the same reason (Estimate::wcet_formula is a ParamExpr).
+pub use ipet_hw::{ParamExpr, ParamPoint, P_DMISS, P_MISS};
 pub use ipet_lp::{BoundQuality, BudgetMeter, SolveBudget, SolverFaults};
 pub use lincon::{set_is_null, LinCon};
 pub use structural::{flow_spec, structural_constraints, structural_text};

@@ -1,19 +1,26 @@
 //! Constant per-basic-block cost bounds (the paper's `c_i`).
 
 use crate::machine::Machine;
+use crate::param::{ParamExpr, P_DMISS, P_MISS};
 use ipet_arch::{Function, Instr};
 use ipet_cfg::BasicBlock;
 
-/// Cost bounds of one basic block, in cycles.
+/// Cost bounds of one basic block.
+///
+/// The concrete pipeline uses `BlockCost<u64>` (cycles); the parametric
+/// pipeline uses `BlockCost<ParamExpr>` (exact linear forms over named
+/// penalties), produced by [`block_cost_param`], with the invariant that
+/// evaluating the form at the machine's own parameter point reproduces the
+/// concrete cost bit for bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct BlockCost {
+pub struct BlockCost<T = u64> {
     /// Best case: all i-cache hits, conditional branch falls through.
-    pub best: u64,
+    pub best: T,
     /// Worst case with a cold cache: every line the block spans is filled.
-    pub worst_cold: u64,
+    pub worst_cold: T,
     /// Worst case with a warm cache: all hits, but branch still taken.
     /// Used for non-first loop iterations by the cache-splitting ablation.
-    pub worst_warm: u64,
+    pub worst_warm: T,
 }
 
 /// Cycles of a single instruction given its predecessor in the block
@@ -42,6 +49,37 @@ pub fn instr_cycles(machine: &Machine, prev: Option<Instr>, instr: Instr) -> u64
 /// The function must already be laid out (its `base_addr` assigned) so the
 /// block's byte range maps onto cache lines.
 pub fn block_cost(machine: &Machine, function: &Function, block: &BasicBlock) -> BlockCost {
+    let (base, branch, loads, lines) = block_cost_parts(machine, function, block);
+    let worst = base + branch + loads * machine.dmiss_penalty;
+    BlockCost { best: base, worst_cold: worst + lines * machine.miss_penalty, worst_warm: worst }
+}
+
+/// The parametric counterpart of [`block_cost`]: the same cost model with
+/// the cache penalties left symbolic. The worst cases become exact linear
+/// forms over [`P_MISS`] (i-cache line fills) and, when the machine has a
+/// data cache, [`P_DMISS`] (per-load d-cache misses); the best case stays
+/// constant. Evaluating every field at [`Machine::param_point`] reproduces
+/// [`block_cost`] exactly.
+pub fn block_cost_param(
+    machine: &Machine,
+    function: &Function,
+    block: &BasicBlock,
+) -> BlockCost<ParamExpr> {
+    let (base, branch, loads, lines) = block_cost_parts(machine, function, block);
+    let worst_warm =
+        ParamExpr::constant((base + branch) as i128).add(&ParamExpr::term(P_DMISS, loads as i128));
+    let worst_cold = worst_warm.add(&ParamExpr::term(P_MISS, lines as i128));
+    BlockCost { best: ParamExpr::constant(base as i128), worst_cold, worst_warm }
+}
+
+/// The penalty-independent pieces of the block cost model: base cycles,
+/// taken-branch penalty, d-cache-chargeable load count (0 without a data
+/// cache), and i-cache lines spanned.
+fn block_cost_parts(
+    machine: &Machine,
+    function: &Function,
+    block: &BasicBlock,
+) -> (u64, u64, u64, u64) {
     let mut base = 0u64;
     let mut prev: Option<Instr> = None;
     for idx in block.start..block.end {
@@ -50,27 +88,28 @@ pub fn block_cost(machine: &Machine, function: &Function, block: &BasicBlock) ->
         prev = Some(ins);
     }
 
-    let mut worst = base;
+    let mut branch = 0u64;
     if let Some(Instr::Br { .. }) = function.instrs.get(block.end - 1).copied() {
-        worst += machine.branch_taken_penalty;
+        branch = machine.branch_taken_penalty;
     }
 
     // With a data cache the best case assumes every load hits and the
     // worst case assumes every load misses — the same all-hit/all-miss
     // split the paper applies to the instruction cache.
-    if machine.dcache.is_some() {
-        let loads = function.instrs[block.start..block.end]
+    let loads = if machine.dcache.is_some() {
+        function.instrs[block.start..block.end]
             .iter()
             .filter(|i| matches!(i, Instr::Ld { .. }))
-            .count() as u64;
-        worst += loads * machine.dmiss_penalty;
-    }
+            .count() as u64
+    } else {
+        0
+    };
 
     let start_addr = function.instr_addr(block.start);
     let end_addr = function.instr_addr(block.end - 1) + ipet_arch::INSTR_BYTES;
     let lines = machine.icache.lines_in_range(start_addr, end_addr) as u64;
 
-    BlockCost { best: base, worst_cold: worst + lines * machine.miss_penalty, worst_warm: worst }
+    (base, branch, loads, lines)
 }
 
 #[cfg(test)]
@@ -203,6 +242,108 @@ mod tests {
             assert!(c.best <= c.worst_warm);
             assert!(c.worst_warm <= c.worst_cold);
         }
+    }
+}
+
+#[cfg(test)]
+mod param_tests {
+    use super::*;
+    use crate::param::{P_DMISS, P_MISS};
+    use ipet_arch::{AluOp, AsmBuilder, Cond, FuncId, Program, Reg};
+    use ipet_cfg::Cfg;
+
+    fn looped_program() -> Program {
+        let mut b = AsmBuilder::new("f");
+        let l = b.fresh_label();
+        b.ld(Reg::T0, Reg::FP, 0);
+        b.alu(AluOp::Mul, Reg::T0, Reg::T0, 3);
+        b.br(Cond::Gt, Reg::T0, 0, l);
+        b.nop();
+        b.bind(l);
+        b.ret();
+        Program::new(vec![b.finish().unwrap()], vec![], FuncId(0)).unwrap()
+    }
+
+    fn assert_param_matches_concrete(m: &Machine) {
+        let p = looped_program();
+        let cfg = Cfg::build(FuncId(0), &p.functions[0]);
+        let point = m.param_point();
+        for blk in &cfg.blocks {
+            let concrete = block_cost(m, &p.functions[0], blk);
+            let form = block_cost_param(m, &p.functions[0], blk);
+            assert_eq!(form.best.eval_u64(&point), Some(concrete.best));
+            assert_eq!(form.worst_warm.eval_u64(&point), Some(concrete.worst_warm));
+            assert_eq!(form.worst_cold.eval_u64(&point), Some(concrete.worst_cold));
+        }
+    }
+
+    #[test]
+    fn formula_evaluates_to_concrete_cost_on_every_machine() {
+        assert_param_matches_concrete(&Machine::i960kb());
+        assert_param_matches_concrete(&Machine::i960kb_with_dcache());
+        assert_param_matches_concrete(&Machine::dsp3210());
+    }
+
+    #[test]
+    fn miss_coefficient_counts_cache_lines() {
+        let m = Machine::i960kb();
+        let p = looped_program();
+        let cfg = Cfg::build(FuncId(0), &p.functions[0]);
+        for blk in &cfg.blocks {
+            let concrete = block_cost(&m, &p.functions[0], blk);
+            let form = block_cost_param(&m, &p.functions[0], blk);
+            // Slope of worst_cold in the miss penalty = lines spanned.
+            let lines = (concrete.worst_cold - concrete.worst_warm) / m.miss_penalty;
+            assert_eq!(form.worst_cold.coeff(P_MISS), lines as i128);
+            // Without a d-cache no load is chargeable to P_DMISS.
+            assert_eq!(form.worst_cold.coeff(P_DMISS), 0);
+            assert!(form.best.is_constant());
+        }
+    }
+
+    #[test]
+    fn zero_miss_penalty_formula_constant_equals_concrete_cost() {
+        // Degenerate sweep edge: with miss_penalty = 0 (and no d-cache) the
+        // symbolic penalty terms contribute nothing, so the formula's
+        // constant term must equal the concrete cost.
+        let m = Machine { miss_penalty: 0, ..Machine::i960kb() };
+        let p = looped_program();
+        let cfg = Cfg::build(FuncId(0), &p.functions[0]);
+        for blk in &cfg.blocks {
+            let concrete = block_cost(&m, &p.functions[0], blk);
+            let form = block_cost_param(&m, &p.functions[0], blk);
+            assert_eq!(concrete.worst_cold, concrete.worst_warm);
+            assert_eq!(form.worst_cold.constant_part(), concrete.worst_warm as i128);
+            assert_eq!(form.best.constant_part(), concrete.best as i128);
+        }
+        assert_param_matches_concrete(&m);
+    }
+
+    #[test]
+    fn zero_dmiss_penalty_formula_constant_equals_concrete_cost() {
+        // Same edge for the data cache: dmiss_penalty = 0 makes loads free
+        // to miss, so worst_warm collapses onto its constant term.
+        let m = Machine { dmiss_penalty: 0, miss_penalty: 0, ..Machine::i960kb_with_dcache() };
+        let p = looped_program();
+        let cfg = Cfg::build(FuncId(0), &p.functions[0]);
+        for blk in &cfg.blocks {
+            let concrete = block_cost(&m, &p.functions[0], blk);
+            let form = block_cost_param(&m, &p.functions[0], blk);
+            assert_eq!(form.worst_warm.constant_part(), concrete.worst_warm as i128);
+            assert_eq!(form.worst_cold.constant_part(), concrete.worst_cold as i128);
+        }
+        assert_param_matches_concrete(&m);
+    }
+
+    #[test]
+    fn dcache_machine_charges_loads_to_dmiss_symbol() {
+        let m = Machine::i960kb_with_dcache();
+        let p = looped_program();
+        let cfg = Cfg::build(FuncId(0), &p.functions[0]);
+        let form = block_cost_param(&m, &p.functions[0], &cfg.blocks[0]);
+        // The entry block has exactly one load.
+        assert_eq!(form.worst_warm.coeff(P_DMISS), 1);
+        assert_eq!(form.worst_cold.coeff(P_DMISS), 1);
     }
 }
 

@@ -45,7 +45,9 @@
 mod cache;
 mod cost;
 mod machine;
+mod param;
 
 pub use cache::CacheGeom;
-pub use cost::{block_cost, instr_cycles, BlockCost};
+pub use cost::{block_cost, block_cost_param, instr_cycles, BlockCost};
 pub use machine::Machine;
+pub use param::{ParamExpr, ParamPoint, P_DMISS, P_MISS};

@@ -122,6 +122,16 @@ impl Machine {
         }
     }
 
+    /// This machine's point in parameter space: the concrete values of the
+    /// symbolic penalties used by [`crate::block_cost_param`]. Evaluating a
+    /// parametric cost at this point reproduces the concrete cost exactly.
+    pub fn param_point(&self) -> crate::ParamPoint {
+        let mut point = crate::ParamPoint::new();
+        point.insert(crate::P_MISS.to_string(), self.miss_penalty as i128);
+        point.insert(crate::P_DMISS.to_string(), self.dmiss_penalty as i128);
+        point
+    }
+
     /// Base execution cycles for an instruction class (no cache, no
     /// hazards, branch not taken).
     pub fn class_cycles(&self, class: InstrClass) -> u64 {

@@ -176,9 +176,10 @@ impl BudgetMeter {
     }
 
     /// A fresh meter observing `cancel`: once the token fires, the meter
-    /// behaves as if its deadline had passed ([`deadline_hit`]
-    /// (BudgetMeter::deadline_hit) is true and [`ticks_left`]
-    /// (BudgetMeter::ticks_left) is `Some(0)` even without a deadline).
+    /// behaves as if its deadline had passed
+    /// ([`deadline_hit`](BudgetMeter::deadline_hit) is true and
+    /// [`ticks_left`](BudgetMeter::ticks_left) is `Some(0)` even without
+    /// a deadline).
     pub fn with_cancel(cancel: CancelToken) -> BudgetMeter {
         BudgetMeter { cancel, ..BudgetMeter::default() }
     }

@@ -69,6 +69,7 @@ mod ilp;
 mod incremental;
 mod model;
 mod network;
+pub mod parametric;
 mod presolve;
 mod round;
 mod simplex;
@@ -91,6 +92,7 @@ pub use incremental::{
     IncrementalSolver,
 };
 pub use model::{Constraint, Problem, ProblemBuilder, Relation, Sense, VarId};
+pub use parametric::{BoundFormula, GridSweep, Probe};
 pub use round::{round_claimed, round_witness, RoundError, WITNESS_TOL};
 pub use simplex::{solve_lp, solve_lp_metered, LpOutcome, FEAS_TOL, INT_TOL};
 pub use structure::is_network_matrix;

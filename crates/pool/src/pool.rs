@@ -50,6 +50,40 @@ pub struct BatchReport {
     pub wall: std::time::Duration,
 }
 
+impl BatchReport {
+    /// An empty report (no jobs, no ticks) — the identity of
+    /// [`BatchReport::absorb`], for accumulating multi-round sweeps.
+    pub fn empty() -> BatchReport {
+        BatchReport {
+            outcomes: Vec::new(),
+            hits: 0,
+            misses: 0,
+            worker_ticks: Vec::new(),
+            total_ticks: 0,
+            wall: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Merges another round's report into this one: outcomes concatenate,
+    /// tallies and ticks add (worker ticks element-wise, padding with the
+    /// longer roster), wall clocks sum. Used by sweeps that run several
+    /// pool batches and must report one aggregate, so downstream tick
+    /// accounting (`bench::gate`) sees the same shape as a single batch.
+    pub fn absorb(&mut self, other: BatchReport) {
+        self.outcomes.extend(other.outcomes);
+        self.hits += other.hits;
+        self.misses += other.misses;
+        if self.worker_ticks.len() < other.worker_ticks.len() {
+            self.worker_ticks.resize(other.worker_ticks.len(), 0);
+        }
+        for (mine, theirs) in self.worker_ticks.iter_mut().zip(other.worker_ticks) {
+            *mine += theirs;
+        }
+        self.total_ticks += other.total_ticks;
+        self.wall += other.wall;
+    }
+}
+
 /// Result of [`SolvePool::run_plans`]: one estimate per plan plus the
 /// batch-level report.
 pub struct PlanBatch {
